@@ -1,0 +1,75 @@
+// Experiment E4 (extension) — the Table 1 cost model as a planner: for a
+// grid of (s, eps) instances, which protocol is predicted cheapest, and
+// does the prediction agree with metered reality? This paints the regime
+// map the paper's Table 1 implies: exact Gram at coarse accuracy
+// (1/eps >= d), sampling for weak-guarantee fleets, FD in the
+// deterministic column, SVS/adaptive in the randomized sweet spot.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "dist/protocol_planner.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+void RegimeMap(size_t k) {
+  const size_t d = 96;
+  std::printf("\n  regime map, d=%zu, k=%zu (predicted cheapest):\n", d, k);
+  std::printf("  %-10s", "s \\ eps");
+  const double epsilons[] = {0.4, 0.2, 0.1, 0.05, 0.02, 0.01};
+  for (double eps : epsilons) std::printf("%-16.3g", eps);
+  std::printf("\n");
+  for (size_t s : {2u, 8u, 32u, 128u, 512u, 2048u}) {
+    std::printf("  %-10zu", s);
+    for (double eps : epsilons) {
+      SketchRequest req;
+      req.eps = eps;
+      req.k = k;
+      auto plan = PlanSketchProtocol(s, d, req);
+      DS_CHECK(plan.ok());
+      std::printf("%-16s", std::string(plan->protocol->Name()).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void AuditPredictions() {
+  std::printf("\n  prediction audit (metered vs predicted words):\n");
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 2048, .cols = 48, .alpha = 0.8, .seed = 1});
+  for (size_t s : {4u, 16u, 64u}) {
+    for (double eps : {0.2, 0.1}) {
+      SketchRequest req;
+      req.eps = eps;
+      req.k = 0;
+      auto plan = PlanSketchProtocol(s, 48, req);
+      DS_CHECK(plan.ok());
+      Cluster cluster = bench::MakeCluster(a, s, eps);
+      auto result = plan->protocol->Run(cluster);
+      DS_CHECK(result.ok());
+      std::printf(
+          "    s=%-4zu eps=%-5.3g chose %-13s predicted=%-9.0f "
+          "measured=%-9llu (%.2fx)\n",
+          s, eps, std::string(plan->protocol->Name()).c_str(),
+          plan->predicted_words,
+          static_cast<unsigned long long>(result->comm.total_words),
+          static_cast<double>(result->comm.total_words) /
+              plan->predicted_words);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distsketch
+
+int main() {
+  std::printf(
+      "E4 (extension): protocol planner — Table 1 as a cost model\n");
+  distsketch::RegimeMap(/*k=*/0);
+  distsketch::RegimeMap(/*k=*/4);
+  distsketch::AuditPredictions();
+  return 0;
+}

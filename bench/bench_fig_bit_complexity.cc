@@ -1,0 +1,119 @@
+// Experiment F5 — §3.3 bit/word complexity:
+//  (a) case rank(A) <= 2k: the exact O(skd)-word protocol vs FD-merge and
+//      the trivial O(sd^2) Gram exchange on the same low-rank instance;
+//  (b) case rank(A) > 2k: payload rounding at poly^{-1}(nd/eps)
+//      precision — exact bits on the wire vs the real-number convention,
+//      with the covariance guarantee certified after rounding.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "dist/adaptive_sketch_protocol.h"
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "dist/low_rank_exact_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+using bench::MakeCluster;
+using bench::Section;
+
+void LowRankCase() {
+  Section("case 1: rank(A) <= 2k — exact protocol at O(skd) words");
+  const size_t k = 4;
+  const size_t d = 64;
+  const size_t s = 16;
+  Matrix a = GenerateLowRankPlusNoise({.rows = 2048,
+                                       .cols = d,
+                                       .rank = 2 * k,
+                                       .decay = 0.8,
+                                       .top_singular_value = 40.0,
+                                       .noise_stddev = 0.0,
+                                       .seed = 1});
+  Cluster cluster = MakeCluster(a, s, 0.1);
+
+  LowRankExactProtocol exact_lr({.k = k});
+  auto lr = exact_lr.Run(cluster);
+  DS_CHECK(lr.ok());
+  std::printf("  %-16s words=%-10llu coverr/|A|F2=%.2e (exact)\n",
+              "low_rank_exact",
+              static_cast<unsigned long long>(lr->comm.total_words),
+              CovarianceError(a, lr->sketch) / SquaredFrobeniusNorm(a));
+
+  FdMergeProtocol fd({.eps = 0.1, .k = k});
+  auto fd_result = fd.Run(cluster);
+  DS_CHECK(fd_result.ok());
+  std::printf("  %-16s words=%-10llu coverr/|A|F2=%.2e\n", "fd_merge",
+              static_cast<unsigned long long>(fd_result->comm.total_words),
+              CovarianceError(a, fd_result->sketch) /
+                  SquaredFrobeniusNorm(a));
+
+  ExactGramProtocol gram;
+  auto gram_result = gram.Run(cluster);
+  DS_CHECK(gram_result.ok());
+  std::printf("  %-16s words=%-10llu coverr/|A|F2=%.2e (trivial O(sd^2))\n",
+              "exact_gram",
+              static_cast<unsigned long long>(gram_result->comm.total_words),
+              CovarianceError(a, gram_result->sketch) /
+                  SquaredFrobeniusNorm(a));
+  std::printf("  theory: skd = %zu, sd^2 = %zu\n", s * k * d, s * d * d);
+}
+
+void RoundingCase() {
+  Section("case 2: rank(A) > 2k — §3.3 payload rounding, bits on the wire");
+  const size_t k = 4;
+  const double eps = 0.2;
+  // Integer input per the paper's model.
+  Matrix a = GenerateGaussian(2048, 48, 4.0, 2);
+  QuantizeToIntegers(a, 64.0);
+  const double budget = SketchErrorBudget(a, 3.0 * eps, k);
+
+  for (size_t s : {8u, 32u}) {
+    Cluster cluster = MakeCluster(a, s, eps);
+    const uint64_t word_bits = cluster.cost_model().bits_per_word();
+
+    AdaptiveSketchProtocol plain({.eps = eps, .k = k, .seed = 7});
+    auto p = plain.Run(cluster);
+    DS_CHECK(p.ok());
+
+    AdaptiveSketchProtocol quantized(
+        {.eps = eps, .k = k, .quantize = true, .seed = 7});
+    auto q = quantized.Run(cluster);
+    DS_CHECK(q.ok());
+
+    // Three accounting conventions for the same sketch payload:
+    //   doubles  — shipping raw IEEE doubles (the "real number" cost the
+    //              paper's footnote 1 points out is unbounded in
+    //              principle; 64 bits here);
+    //   words    — the paper's O(log(nd/eps))-bit machine-word model;
+    //   rounded  — exact bits after §3.3 fixed-point rounding.
+    std::printf(
+        "  s=%-3zu word=%llub | doubles=%-11llu word-model=%-11llu "
+        "rounded=%-11llu bits   err/budget=%.3f\n",
+        s, static_cast<unsigned long long>(word_bits),
+        static_cast<unsigned long long>(p->comm.total_words * 64),
+        static_cast<unsigned long long>(p->comm.total_bits),
+        static_cast<unsigned long long>(q->comm.total_bits),
+        CovarianceError(a, q->sketch) / budget);
+  }
+  std::printf(
+      "  Reading: §3.3 rounding certifies a finite bit count within a "
+      "small factor of the word-model assumption and below the raw-double "
+      "cost, while the covariance guarantee survives (Lemma 7 ensures the "
+      "tail energy of integer inputs with rank > 2k cannot be small "
+      "enough for the rounding to matter).\n");
+}
+
+}  // namespace
+}  // namespace distsketch
+
+int main() {
+  std::printf("F5: §3.3 bit complexity\n");
+  distsketch::LowRankCase();
+  distsketch::RoundingCase();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment F4 — error/communication trade-off curves implied by
+// Definitions 1-3: for each protocol we sweep its accuracy knob and plot
+// (words, covariance error, k-projection error) on two spectra — a
+// low-effective-rank workload (where (eps,k)-sketches shine) and a
+// heavy-tailed Zipf workload.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "dist/adaptive_sketch_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "dist/row_sampling_protocol.h"
+#include "dist/svs_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+using bench::MakeCluster;
+using bench::Section;
+
+void Curve(const Matrix& a, size_t s, size_t k) {
+  const double f2 = SquaredFrobeniusNorm(a);
+  std::printf("  %-18s %-7s %-10s %-14s %-14s\n", "algo", "eps", "words",
+              "coverr/|A|F2", "projerr/opt");
+  for (double eps : {0.4, 0.2, 0.1, 0.05}) {
+    Cluster cluster = MakeCluster(a, s, eps);
+    const double opt = OptimalTailEnergy(a, k);
+
+    FdMergeProtocol fd({.eps = eps, .k = k});
+    auto fd_result = fd.Run(cluster);
+    DS_CHECK(fd_result.ok());
+    std::printf("  %-18s %-7.3g %-10llu %-14.4f %-14.4f\n", "fd_merge",
+                eps,
+                static_cast<unsigned long long>(fd_result->comm.total_words),
+                CovarianceError(a, fd_result->sketch) / f2,
+                ProjectionError(a, fd_result->sketch, k) / opt);
+
+    AdaptiveSketchProtocol adaptive(
+        {.eps = eps, .k = k, .delta = 0.1, .seed = 7});
+    auto ad = adaptive.Run(cluster);
+    DS_CHECK(ad.ok());
+    std::printf("  %-18s %-7.3g %-10llu %-14.4f %-14.4f\n", "adaptive",
+                eps, static_cast<unsigned long long>(ad->comm.total_words),
+                CovarianceError(a, ad->sketch) / f2,
+                ProjectionError(a, ad->sketch, k) / opt);
+
+    RowSamplingProtocol sampling({.eps = eps, .oversample = 2.0, .seed = 9});
+    auto sr = sampling.Run(cluster);
+    DS_CHECK(sr.ok());
+    std::printf("  %-18s %-7.3g %-10llu %-14.4f %-14.4f\n", "row_sampling",
+                eps, static_cast<unsigned long long>(sr->comm.total_words),
+                CovarianceError(a, sr->sketch) / f2,
+                ProjectionError(a, sr->sketch, k) / opt);
+
+    SvsProtocol svs({.alpha = eps / 4.0, .delta = 0.1, .seed = 11});
+    auto sv = svs.Run(cluster);
+    DS_CHECK(sv.ok());
+    std::printf("  %-18s %-7.3g %-10llu %-14.4f %-14.4f\n", "svs", eps,
+                static_cast<unsigned long long>(sv->comm.total_words),
+                CovarianceError(a, sv->sketch) / f2,
+                ProjectionError(a, sv->sketch, k) / opt);
+  }
+}
+
+}  // namespace
+}  // namespace distsketch
+
+int main() {
+  using namespace distsketch;
+  std::printf(
+      "F4: error vs communication trade-off (s=16, d=48, k=4)\n");
+  bench::Section("low-effective-rank workload (rank 8, decaying)");
+  const Matrix low_rank = GenerateLowRankPlusNoise({.rows = 3072,
+                                                    .cols = 48,
+                                                    .rank = 8,
+                                                    .decay = 0.6,
+                                                    .top_singular_value =
+                                                        100.0,
+                                                    .noise_stddev = 0.4,
+                                                    .seed = 1});
+  Curve(low_rank, 16, 4);
+
+  bench::Section("heavy-tailed Zipf workload (alpha = 0.8)");
+  const Matrix zipf = GenerateZipfSpectrum({.rows = 3072,
+                                            .cols = 48,
+                                            .alpha = 0.8,
+                                            .top_singular_value = 100.0,
+                                            .seed = 2});
+  Curve(zipf, 16, 4);
+
+  std::printf(
+      "\n  Reading: on the low-rank workload the adaptive sketch achieves "
+      "near-optimal projection error with far fewer words than fd_merge; "
+      "row sampling's weak eps*||A||_F^2 guarantee translates to poor "
+      "projection error per word on both spectra.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment F2 — empirical view of the deterministic lower bound
+// construction (§2.1, Lemma 2 / Theorem 3).
+//
+// Hard instances: every server holds a t-by-d +-1 matrix, so
+// ||A||_F^2 = s*t*d exactly and the allowed coverr for an (eps,0)-sketch
+// with eps = sigma/t is sigma*s*d. Lemma 2 says any big input rectangle
+// contains two inputs whose covariances differ by Omega(s*d) - s*t, so a
+// single answer cannot serve both once sigma is a small constant.
+//
+// We sample random input pairs and measure ||A^T A - A'^T A'||_2 / (s*d):
+// the ratio concentrates around a constant (growing with t like sqrt(t)
+// for random pairs; Lemma 2's adversarial pairs achieve Omega(1) even at
+// t = sigma*d), while the allowed error is only sigma. Any sigma below
+// the observed separation certifies that distinguishing inputs is
+// necessary, i.e. communication must grow with s*t*d = s*d/eps bits.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/spectral.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+// ||A^T A - A'^T A'||_2 for fresh random +-1 inputs of shape (s*t)-by-d.
+double PairSeparation(size_t s, size_t t, size_t d, uint64_t seed) {
+  const Matrix a = GenerateSignMatrix(s * t, d, Rng::DeriveSeed(seed, 1));
+  const Matrix a2 = GenerateSignMatrix(s * t, d, Rng::DeriveSeed(seed, 2));
+  const Matrix diff = Subtract(Gram(a), Gram(a2));
+  return SymmetricSpectralNorm(diff);
+}
+
+}  // namespace
+}  // namespace distsketch
+
+int main() {
+  using namespace distsketch;
+  std::printf(
+      "F2: lower-bound construction (Thm 3) — covariance separation of "
+      "random +-1 hard instances\n\n");
+  std::printf(
+      "  %-6s %-6s %-6s   %-22s %-18s\n", "s", "t", "d",
+      "mean ||G-G'||/(s*d)", "allowed sigma (eps*t)");
+  for (size_t d : {32u, 64u}) {
+    for (size_t s : {4u, 8u, 16u}) {
+      for (size_t t : {4u, 8u, 16u}) {
+        const int trials = 5;
+        double mean = 0.0, worst = 0.0;
+        for (int trial = 0; trial < trials; ++trial) {
+          const double sep =
+              PairSeparation(s, t, d, 1000 * trial + 17 * d + s);
+          mean += sep;
+          worst = std::max(worst, sep);
+        }
+        mean /= trials;
+        const double norm = static_cast<double>(s) * static_cast<double>(d);
+        // For the output X of a correct protocol to serve both inputs we
+        // would need separation <= 2*sigma*s*d, i.e. sigma >= sep/(2sd).
+        std::printf(
+            "  %-6zu %-6zu %-6zu   mean=%-8.3f max=%-8.3f sigma must "
+            "exceed %.3f\n",
+            s, t, d, mean / norm, worst / norm, worst / (2.0 * norm));
+      }
+    }
+  }
+  std::printf(
+      "\n  Reading: with eps = sigma/t below the printed threshold, no "
+      "single output serves two random inputs, so a deterministic "
+      "protocol must distinguish essentially all 2^{std} inputs — "
+      "Omega(s*t*d) = Omega(s*d/eps) bits (Theorem 3). The randomized SVS "
+      "protocol (bench_table1) beats this with sqrt(s) scaling, proving "
+      "the separation.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment M1 — google-benchmark microbenchmarks of the computational
+// kernels every protocol sits on: FD append/shrink throughput, SVD,
+// symmetric eigensolve, spectral norm (power iteration), SVS, and Gram.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
+#include "linalg/spectral.h"
+#include "linalg/svd.h"
+#include "sketch/frequent_directions.h"
+#include "sketch/row_sampling.h"
+#include "sketch/svs.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+void BM_Gram(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(512, d, 1.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gram(a));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * d);
+}
+BENCHMARK(BM_Gram)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(4 * d, d, 1.0, 2);
+  for (auto _ : state) {
+    auto qr = HouseholderQr(a);
+    benchmark::DoNotOptimize(qr);
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(2 * d, d, 1.0, 3);
+  for (auto _ : state) {
+    auto svd = ComputeSvd(a);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(2 * d, d, 1.0, 4);
+  const Matrix g = Gram(a);
+  for (auto _ : state) {
+    auto eig = ComputeSymmetricEigen(g);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SpectralNormPowerIteration(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(2 * d, d, 1.0, 5);
+  const Matrix g = Gram(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymmetricSpectralNorm(g));
+  }
+}
+BENCHMARK(BM_SpectralNormPowerIteration)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_FdStreamThroughput(benchmark::State& state) {
+  const size_t d = 64;
+  const size_t sketch_size = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(2048, d, 1.0, 6);
+  for (auto _ : state) {
+    FrequentDirections fd(d, sketch_size);
+    fd.AppendRows(a);
+    benchmark::DoNotOptimize(fd.Sketch());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_FdStreamThroughput)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SvsQuadratic(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 4 * d, .cols = d, .alpha = 0.8, .seed = 7});
+  SamplingFunctionParams params;
+  params.num_servers = 16;
+  params.alpha = 0.1;
+  params.total_frobenius = SquaredFrobeniusNorm(a);
+  params.dim = d;
+  params.delta = 0.1;
+  const QuadraticSamplingFunction g(params);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto r = Svs(a, g, ++seed);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SvsQuadratic)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RowStreamReservoir(benchmark::State& state) {
+  const size_t d = 64;
+  const Matrix a = GenerateGaussian(2048, d, 1.0, 8);
+  for (auto _ : state) {
+    RowSamplingSketch s(d, 64, 9);
+    s.AppendRows(a);
+    benchmark::DoNotOptimize(s.Sketch());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_RowStreamReservoir);
+
+}  // namespace
+}  // namespace distsketch
+
+BENCHMARK_MAIN();

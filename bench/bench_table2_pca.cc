@@ -1,0 +1,95 @@
+// Experiment T2 — reproduces Table 2 of the paper: communication costs of
+// distributed PCA.
+//
+//   | algorithm | communication (words)                              |
+//   | [5]       | O(skd + (s k / eps^2) min{d, k/eps^2})             |
+//   | New       | O(skd + (sqrt(s log d) k / eps) min{d, k/eps^2})   |
+//
+// The [5] comparator is the distributed subspace-iteration proxy described
+// in DESIGN.md; "New" is the Theorem 9 sketch-and-solve. We also include
+// the older O(skd/eps) FD-PCA baseline for context, and verify every
+// protocol actually reaches (1+O(eps)) projection error.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "pca/distributed_power_iteration.h"
+#include "pca/fd_pca.h"
+#include "pca/pca_quality.h"
+#include "pca/sketch_and_solve.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+using bench::MakeCluster;
+using bench::Section;
+
+void PrintRow(const char* algo, size_t s, double eps, uint64_t words,
+              double ratio) {
+  std::printf(
+      "  %-22s s=%-4zu eps=%-5.3g words=%-10llu proj_err/opt=%.3f\n", algo,
+      s, eps, static_cast<unsigned long long>(words), ratio);
+}
+
+void RunPoint(const Matrix& a, size_t s, double eps, size_t k) {
+  Cluster cluster = MakeCluster(a, s, eps);
+
+  FdPcaProtocol fd({.k = k, .eps = eps});
+  auto fd_result = fd.Run(cluster);
+  DS_CHECK(fd_result.ok());
+  PrintRow("fd_pca [22]", s, eps, fd_result->comm.total_words,
+           EvaluatePcaQuality(a, fd_result->components).ratio);
+
+  PowerIterationPcaOptions base_options;
+  base_options.k = k;
+  base_options.eps = eps;
+  base_options.seed = 31;
+  DistributedPowerIterationPca baseline(base_options);
+  auto base_result = baseline.Run(cluster);
+  DS_CHECK(base_result.ok());
+  PrintRow("[5]-proxy (batch)", s, eps, base_result->comm.total_words,
+           EvaluatePcaQuality(a, base_result->components).ratio);
+
+  SketchAndSolvePca ours_collect(
+      {.k = k, .eps = eps, .mode = SolveMode::kCollect, .seed = 41});
+  auto collect_result = ours_collect.Run(cluster);
+  DS_CHECK(collect_result.ok());
+  PrintRow("new (collect)", s, eps, collect_result->comm.total_words,
+           EvaluatePcaQuality(a, collect_result->components).ratio);
+
+  SketchAndSolvePca ours_auto(
+      {.k = k, .eps = eps, .mode = SolveMode::kAuto, .seed = 43});
+  auto auto_result = ours_auto.Run(cluster);
+  DS_CHECK(auto_result.ok());
+  PrintRow("new (Thm 9, auto)", s, eps, auto_result->comm.total_words,
+           EvaluatePcaQuality(a, auto_result->components).ratio);
+}
+
+}  // namespace
+}  // namespace distsketch
+
+int main() {
+  using distsketch::GenerateLowRankPlusNoise;
+  std::printf("T2: Table 2 reproduction — distributed PCA costs (d=64, k=4)\n");
+  const auto a = GenerateLowRankPlusNoise({.rows = 4096,
+                                           .cols = 64,
+                                           .rank = 8,
+                                           .decay = 0.6,
+                                           .top_singular_value = 100.0,
+                                           .noise_stddev = 0.5,
+                                           .seed = 1});
+  distsketch::bench::Section("words vs s (eps = 0.2)");
+  for (size_t s : {4u, 16u, 64u}) {
+    distsketch::RunPoint(a, s, 0.2, 4);
+  }
+  distsketch::bench::Section("words vs eps (s = 16)");
+  for (double eps : {0.4, 0.2, 0.1}) {
+    distsketch::RunPoint(a, 16, eps, 4);
+  }
+  std::printf(
+      "\nExpected shape: the eps-dependent term of [5] grows ~1/eps^2 "
+      "while 'new' grows ~1/eps with a sqrt(s)/s advantage; both are "
+      "dominated by the skd term at small eps*d.\n");
+  return 0;
+}

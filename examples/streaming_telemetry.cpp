@@ -1,0 +1,92 @@
+// Distributed streaming telemetry: the deployment story of the paper's
+// abstract — s servers each observe a stream they can read only once with
+// bounded memory; at query time the coordinator wants a covariance sketch
+// of the union without shipping the raw data.
+//
+// We simulate 16 edge servers, each receiving a differently-skewed slice
+// of a shared low-rank process, run the Theorem 7 adaptive protocol, and
+// report what a dashboard would: per-server working space, words on the
+// wire vs raw size, and the spectral summary the coordinator can serve.
+
+#include <cstdio>
+
+#include "dist/adaptive_sketch_protocol.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+using namespace distsketch;
+
+int main() {
+  const size_t s = 16;
+  const size_t d = 40;
+  const double eps = 0.25;
+  const size_t k = 4;
+
+  // A shared global process, sliced unevenly (skewed partition): some
+  // servers see most of the traffic, as in real fleets.
+  const Matrix global = GenerateLowRankPlusNoise({.rows = 6400,
+                                                  .cols = d,
+                                                  .rank = 6,
+                                                  .decay = 0.65,
+                                                  .top_singular_value =
+                                                      80.0,
+                                                  .noise_stddev = 0.5,
+                                                  .seed = 11});
+  auto cluster = Cluster::Create(
+      PartitionRows(global, s, PartitionScheme::kSkewed), eps);
+  if (!cluster.ok()) {
+    std::printf("error: %s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("fleet: %zu servers, row dim %zu\n", s, d);
+  std::printf("  server 0 holds %zu rows; server %zu holds %zu rows\n",
+              cluster->server(0).num_rows(), s - 1,
+              cluster->server(s - 1).num_rows());
+
+  AdaptiveSketchProtocol protocol(
+      {.eps = eps, .k = k, .recompress = true, .seed = 5});
+  auto result = protocol.Run(*cluster);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const uint64_t raw_words = global.rows() * d;
+  const size_t fd_space = (k + static_cast<size_t>(k / eps)) * 2 * d;
+  std::printf("\nprotocol: Theorem 7 adaptive sketch (+ recompress)\n");
+  std::printf("  per-server working space : %zu doubles (one pass)\n",
+              fd_space);
+  std::printf("  rounds                   : %d\n", result->comm.num_rounds);
+  std::printf("  words on the wire        : %llu (raw data: %llu, %.0fx)\n",
+              static_cast<unsigned long long>(result->comm.total_words),
+              static_cast<unsigned long long>(raw_words),
+              static_cast<double>(raw_words) / result->comm.total_words);
+  std::printf("  coordinator sketch rows  : %zu\n", result->sketch_rows);
+  std::printf("  coverr / certified budget: %.3f\n",
+              CovarianceError(global, result->sketch) /
+                  SketchErrorBudget(global, 6.0 * eps, k));
+
+  // The dashboard: top singular directions of the fleet-wide covariance.
+  auto svd = ComputeSvd(result->sketch);
+  if (svd.ok()) {
+    std::printf("\n  fleet spectrum (from sketch): ");
+    for (size_t i = 0; i < std::min<size_t>(6, svd->singular_values.size());
+         ++i) {
+      std::printf("%.1f ", svd->singular_values[i]);
+    }
+    auto truth = SingularValues(global);
+    if (truth.ok()) {
+      std::printf("\n  fleet spectrum (ground truth): ");
+      for (size_t i = 0; i < 6; ++i) std::printf("%.1f ", (*truth)[i]);
+    }
+    std::printf(
+        "\n  (FD shrinkage biases sketch singular values downward by a "
+        "bounded amount — the covariance guarantee is on directions and "
+        "quadratic forms, not raw magnitudes.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "common/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace distsketch {
+
+CostModel::CostModel(uint64_t n, uint64_t d, double eps) {
+  DS_CHECK(n >= 1);
+  DS_CHECK(d >= 1);
+  DS_CHECK(eps > 0.0);
+  const double magnitude =
+      static_cast<double>(n) * static_cast<double>(d) / eps;
+  const uint64_t bits =
+      static_cast<uint64_t>(std::ceil(std::log2(std::max(2.0, magnitude)))) +
+      kWordSlack;
+  bits_per_word_ = std::max<uint64_t>(bits, 32);
+}
+
+}  // namespace distsketch

@@ -1,0 +1,51 @@
+#ifndef DISTSKETCH_COMMON_COST_MODEL_H_
+#define DISTSKETCH_COMMON_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace distsketch {
+
+/// Communication cost model of the paper (§1.2): each machine word has
+/// `O(log(nd/eps))` bits and each entry of the (integer) input matrix fits
+/// in one word. Protocols meter their traffic in words; quantised payloads
+/// additionally report exact bit counts.
+class CostModel {
+ public:
+  /// Constructs the model for an instance with `n` rows, `d` columns and
+  /// accuracy `eps`. The word size is `ceil(log2(n*d/eps)) + kWordSlack`
+  /// bits, floored at 32.
+  CostModel(uint64_t n, uint64_t d, double eps);
+
+  /// Bits per machine word for this instance.
+  uint64_t bits_per_word() const { return bits_per_word_; }
+
+  /// Words needed for a dense real m-by-d matrix payload (one word per
+  /// entry, the paper's convention for sketch matrices after §3.3
+  /// rounding).
+  uint64_t MatrixWords(uint64_t rows, uint64_t cols) const {
+    return rows * cols;
+  }
+
+  /// Words needed for `count` scalars.
+  uint64_t ScalarWords(uint64_t count) const { return count; }
+
+  /// Converts a word count to bits.
+  uint64_t WordsToBits(uint64_t words) const {
+    return words * bits_per_word_;
+  }
+
+  /// Words needed to carry `bits` raw bits (rounded up).
+  uint64_t BitsToWords(uint64_t bits) const {
+    return (bits + bits_per_word_ - 1) / bits_per_word_;
+  }
+
+ private:
+  // Extra bits per word for sign + headroom, mirroring the O() constant.
+  static constexpr uint64_t kWordSlack = 2;
+
+  uint64_t bits_per_word_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_COMMON_COST_MODEL_H_

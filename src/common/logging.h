@@ -1,0 +1,33 @@
+#ifndef DISTSKETCH_COMMON_LOGGING_H_
+#define DISTSKETCH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace distsketch {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[distsketch] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace distsketch
+
+/// Aborts the process when `expr` is false. Used for programming-error
+/// invariants (index bounds, shape mismatches caught at the lowest level);
+/// recoverable conditions use Status instead.
+#define DS_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::distsketch::internal_logging::CheckFailed(__FILE__, __LINE__, \
+                                                  #expr);             \
+    }                                                                 \
+  } while (0)
+
+#define DS_DCHECK(expr) DS_CHECK(expr)
+
+#endif  // DISTSKETCH_COMMON_LOGGING_H_

@@ -1,0 +1,117 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace distsketch {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four xoshiro words from SplitMix64 as recommended by the
+  // xoshiro authors; avoids the all-zero state.
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextUint64Below(uint64_t bound) {
+  DS_CHECK(bound >= 1);
+  // Lemire-style rejection to remove modulo bias.
+  const uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextSign() { return (NextUint64() & 1) ? 1.0 : -1.0; }
+
+uint64_t Rng::NextZipf(uint64_t n, double alpha) {
+  DS_CHECK(n >= 1);
+  DS_CHECK(alpha > 0.0);
+  if (zipf_n_ != n || zipf_alpha_ != alpha) {
+    zipf_cdf_.assign(n, 0.0);
+    double acc = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), alpha);
+      zipf_cdf_[i - 1] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+    zipf_n_ = n;
+    zipf_alpha_ = alpha;
+  }
+  const double u = NextDouble();
+  // Binary search the CDF.
+  uint64_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+uint64_t Rng::DeriveSeed(uint64_t seed, uint64_t stream) {
+  uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  (void)SplitMix64(sm);
+  return SplitMix64(sm);
+}
+
+}  // namespace distsketch

@@ -1,0 +1,63 @@
+#ifndef DISTSKETCH_COMMON_RNG_H_
+#define DISTSKETCH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace distsketch {
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// Every randomized component in distsketch takes an explicit seed so that
+/// experiments and tests are reproducible. The generator is small, fast,
+/// and passes BigCrush; it is not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with the same seed produce the
+  /// same stream.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) for bound >= 1 (unbiased via rejection).
+  uint64_t NextUint64Below(uint64_t bound);
+
+  /// Uniform in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached spare).
+  double NextGaussian();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Random sign: +1.0 or -1.0 with equal probability.
+  double NextSign();
+
+  /// Zipf-distributed integer in [1, n] with exponent `alpha` > 0, sampled
+  /// by inverse-CDF over precomputed weights. Intended for modest n
+  /// (workload generation), not high-throughput sampling.
+  uint64_t NextZipf(uint64_t n, double alpha);
+
+  /// Deterministically derives a new seed for a child component. Mixing is
+  /// SplitMix64 over (current seed, stream id), so sibling components get
+  /// decorrelated streams.
+  static uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+  // Cached Zipf table for (zipf_n_, zipf_alpha_).
+  std::vector<double> zipf_cdf_;
+  uint64_t zipf_n_ = 0;
+  double zipf_alpha_ = 0.0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_COMMON_RNG_H_

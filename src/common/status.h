@@ -1,0 +1,154 @@
+#ifndef DISTSKETCH_COMMON_STATUS_H_
+#define DISTSKETCH_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace distsketch {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of status-based error handling: no exceptions escape the
+/// public API.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kInternal = 5,
+  kNumericalError = 6,
+  kUnimplemented = 7,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result carrier.
+///
+/// All fallible operations in distsketch return `Status` (or `StatusOr<T>`),
+/// never throw. The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, analogous to absl::StatusOr.
+///
+/// Holds either a `T` or a non-OK `Status`. Access to the value when the
+/// status is non-OK aborts the process (we compile without exceptions in
+/// spirit; misuse is a programming error, not a runtime condition).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+  /// The status: OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when `ok()`.
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define DS_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::distsketch::Status _st = (expr);      \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, binding the value.
+#define DS_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto DS_CONCAT_(_statusor_, __LINE__) = (expr); \
+  if (!DS_CONCAT_(_statusor_, __LINE__).ok())     \
+    return DS_CONCAT_(_statusor_, __LINE__).status(); \
+  lhs = std::move(DS_CONCAT_(_statusor_, __LINE__)).value()
+
+#define DS_CONCAT_INNER_(a, b) a##b
+#define DS_CONCAT_(a, b) DS_CONCAT_INNER_(a, b)
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_COMMON_STATUS_H_

@@ -1,0 +1,81 @@
+#include "dist/adaptive_sketch_protocol.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sketch/adaptive_sketch.h"
+#include "sketch/quantizer.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+
+StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
+  cluster.ResetLog();
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  CommLog& log = cluster.log();
+
+  // Pass: stream local rows through FD; then split head/tail.
+  std::vector<AdaptiveLocalSketch> locals;
+  locals.reserve(s);
+  for (size_t i = 0; i < s; ++i) {
+    DS_ASSIGN_OR_RETURN(
+        AdaptiveLocalSketch local,
+        AdaptiveLocalSketch::Create(d, options_.eps, options_.k,
+                                    Rng::DeriveSeed(options_.seed, i)));
+    RowStream stream = cluster.server(i).OpenStream();
+    while (stream.HasNext()) local.Append(stream.Next());
+    locals.push_back(std::move(local));
+  }
+
+  // Round 1: tail masses.
+  log.BeginRound();
+  double global_tail_mass = 0.0;
+  for (size_t i = 0; i < s; ++i) {
+    global_tail_mass += locals[i].FinishAndReportTailMass();
+    log.Record(static_cast<int>(i), kCoordinator, "tail_mass", 1);
+  }
+
+  // Round 2: broadcast the global tail mass (fixes g everywhere).
+  log.BeginRound();
+  log.RecordBroadcast(s, "global_tail_mass", 1);
+
+  // Round 3: local Q^(i) = [T^(i); W^(i)] to the coordinator.
+  log.BeginRound();
+  SketchProtocolResult result;
+  result.sketch.SetZero(0, d);
+  for (size_t i = 0; i < s; ++i) {
+    DS_ASSIGN_OR_RETURN(Matrix q_i,
+                        locals[i].CompressWithGlobalTailMass(
+                            global_tail_mass, s, options_.delta,
+                            options_.kind));
+    if (q_i.rows() == 0) continue;
+    if (options_.quantize) {
+      const double precision =
+          SketchRoundingPrecision(cluster.total_rows(), d, options_.eps);
+      DS_ASSIGN_OR_RETURN(QuantizeResult qr, QuantizeMatrix(q_i, precision));
+      log.Record(static_cast<int>(i), kCoordinator, "local_q_sketch_q",
+                 cluster.cost_model().BitsToWords(qr.total_bits),
+                 qr.total_bits);
+      q_i = std::move(qr.matrix);
+    } else {
+      log.Record(static_cast<int>(i), kCoordinator, "local_q_sketch",
+                 cluster.cost_model().MatrixWords(q_i.rows(), d));
+    }
+    result.sketch.AppendRows(q_i);
+  }
+
+  if (options_.recompress && result.sketch.rows() > 0) {
+    DS_ASSIGN_OR_RETURN(
+        Matrix compressed,
+        RecompressSketch(result.sketch, options_.eps, options_.k));
+    result.sketch = std::move(compressed);
+  }
+
+  result.comm = log.Stats();
+  result.sketch_rows = result.sketch.rows();
+  return result;
+}
+
+}  // namespace distsketch

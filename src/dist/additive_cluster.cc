@@ -1,0 +1,127 @@
+#include "dist/additive_cluster.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "sketch/countsketch.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+
+StatusOr<AdditiveCluster> AdditiveCluster::Create(std::vector<Matrix> shares,
+                                                  double eps_hint) {
+  if (shares.empty()) {
+    return Status::InvalidArgument("AdditiveCluster: no shares");
+  }
+  if (eps_hint <= 0.0) {
+    return Status::InvalidArgument("AdditiveCluster: eps_hint must be > 0");
+  }
+  const size_t rows = shares[0].rows();
+  const size_t dim = shares[0].cols();
+  if (rows == 0 || dim == 0) {
+    return Status::InvalidArgument("AdditiveCluster: empty shares");
+  }
+  for (const auto& share : shares) {
+    if (share.rows() != rows || share.cols() != dim) {
+      return Status::InvalidArgument(
+          "AdditiveCluster: shares must have identical shape");
+    }
+  }
+  CostModel cost_model(rows, dim, eps_hint);
+  return AdditiveCluster(std::move(shares), rows, dim, cost_model);
+}
+
+Matrix AdditiveCluster::AssembleGroundTruth() const {
+  Matrix sum(rows_, dim_);
+  for (const auto& share : shares_) sum = Add(sum, share);
+  return sum;
+}
+
+std::vector<Matrix> SplitAdditive(const Matrix& a, size_t s,
+                                  uint64_t seed) {
+  DS_CHECK(s >= 1);
+  std::vector<Matrix> shares;
+  shares.reserve(s);
+  // Scale the random shares like the data so no share is negligible.
+  const double scale = std::sqrt(
+      SquaredFrobeniusNorm(a) /
+      std::max<double>(1.0, static_cast<double>(a.size())));
+  Matrix remainder = a;
+  for (size_t i = 0; i + 1 < s; ++i) {
+    Matrix share = GenerateGaussian(a.rows(), a.cols(), scale,
+                                    Rng::DeriveSeed(seed, i));
+    remainder = Subtract(remainder, share);
+    shares.push_back(std::move(share));
+  }
+  shares.push_back(std::move(remainder));
+  return shares;
+}
+
+StatusOr<AdditiveSketchResult> RunAdditiveCountSketch(
+    AdditiveCluster& cluster, const AdditiveCountSketchOptions& options) {
+  cluster.ResetLog();
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  CommLog& log = cluster.log();
+
+  // Round 1: the shared seed.
+  log.BeginRound();
+  log.RecordBroadcast(s, "countsketch_seed", 1);
+
+  // Round 2: each server compresses its share with the SAME S and sends
+  // the m-by-d result; the coordinator sums (linearity of S).
+  log.BeginRound();
+  DS_ASSIGN_OR_RETURN(CountSketchCompressor reference,
+                      CountSketchCompressor::FromEps(
+                          d, options.eps, options.seed,
+                          options.oversample));
+  const size_t m = reference.buckets();
+  Matrix total(m, d);
+  for (size_t i = 0; i < s; ++i) {
+    CountSketchCompressor local(m, d, options.seed);
+    const Matrix& share = cluster.share(i);
+    for (size_t r = 0; r < share.rows(); ++r) {
+      local.Absorb(r, share.Row(r));
+    }
+    log.Record(static_cast<int>(i), kCoordinator, "compressed_share",
+               cluster.cost_model().MatrixWords(m, d));
+    total = Add(total, local.compressed());
+  }
+
+  AdditiveSketchResult result;
+  result.sketch = std::move(total);
+  result.comm = log.Stats();
+  return result;
+}
+
+StatusOr<AdditiveSketchResult> RunAdditiveExact(AdditiveCluster& cluster) {
+  cluster.ResetLog();
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  CommLog& log = cluster.log();
+  log.BeginRound();
+
+  Matrix sum(cluster.rows(), d);
+  for (size_t i = 0; i < s; ++i) {
+    log.Record(static_cast<int>(i), kCoordinator, "raw_share",
+               cluster.cost_model().MatrixWords(cluster.rows(), d));
+    sum = Add(sum, cluster.share(i));
+  }
+  DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
+                      ComputeSymmetricEigen(Gram(sum)));
+  AdditiveSketchResult result;
+  result.sketch.SetZero(0, d);
+  std::vector<double> row(d);
+  for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {
+    if (eig.eigenvalues[j] <= 0.0) break;
+    const double sigma = std::sqrt(eig.eigenvalues[j]);
+    for (size_t i = 0; i < d; ++i) row[i] = sigma * eig.eigenvectors(i, j);
+    result.sketch.AppendRow(row);
+  }
+  result.comm = log.Stats();
+  return result;
+}
+
+}  // namespace distsketch

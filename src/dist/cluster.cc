@@ -1,0 +1,46 @@
+#include "dist/cluster.h"
+
+namespace distsketch {
+
+StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
+                                  double eps_hint) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("Cluster: no server partitions");
+  }
+  size_t dim = 0;
+  size_t total_rows = 0;
+  for (const auto& p : parts) {
+    if (p.cols() > 0) {
+      if (dim == 0) dim = p.cols();
+      if (p.cols() != dim) {
+        return Status::InvalidArgument(
+            "Cluster: partitions disagree on column count");
+      }
+    }
+    total_rows += p.rows();
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("Cluster: all partitions empty");
+  }
+  if (eps_hint <= 0.0) {
+    return Status::InvalidArgument("Cluster: eps_hint must be positive");
+  }
+  std::vector<Server> servers;
+  servers.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    Matrix rows = std::move(parts[i]);
+    if (rows.cols() == 0) rows.SetZero(0, dim);
+    servers.emplace_back(static_cast<int>(i), std::move(rows));
+  }
+  CostModel cost_model(std::max<uint64_t>(total_rows, 1), dim, eps_hint);
+  return Cluster(std::move(servers), dim, total_rows, cost_model);
+}
+
+Matrix Cluster::AssembleGroundTruth() const {
+  Matrix out;
+  out.SetZero(0, dim_);
+  for (const auto& s : servers_) out.AppendRows(s.local_rows());
+  return out;
+}
+
+}  // namespace distsketch

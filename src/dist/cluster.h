@@ -1,0 +1,88 @@
+#ifndef DISTSKETCH_DIST_CLUSTER_H_
+#define DISTSKETCH_DIST_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/status.h"
+#include "dist/comm_log.h"
+#include "linalg/matrix.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+
+/// One server of the simulated shared-nothing cluster. Holds the local
+/// row partition; protocols consume it through `OpenStream()` when they
+/// claim single-pass behaviour, or through `local_rows()` for batch
+/// protocols (the distinction §1's "distributed streaming vs batch").
+class Server {
+ public:
+  Server(int id, Matrix local_rows)
+      : id_(id), local_rows_(std::move(local_rows)) {}
+
+  int id() const { return id_; }
+  /// Batch access to the local partition.
+  const Matrix& local_rows() const { return local_rows_; }
+  /// Single-pass access to the local partition.
+  RowStream OpenStream() const { return RowStream(local_rows_); }
+  /// Number of local rows.
+  size_t num_rows() const { return local_rows_.rows(); }
+
+ private:
+  int id_;
+  Matrix local_rows_;
+};
+
+/// The simulated message-passing cluster of the paper's model: `s`
+/// servers holding a row partition of A, one coordinator, point-to-point
+/// channels metered by a CommLog. The substitution for a physical cluster
+/// is documented in DESIGN.md: the paper's complexity measure is words
+/// exchanged, which the simulation meters exactly.
+class Cluster {
+ public:
+  /// Builds a cluster from a row partition (one matrix per server; all
+  /// must share the column count). `n_hint` and `eps_hint` parameterize
+  /// the word size of the cost model (§1.2); pass the instance's real n
+  /// and target eps.
+  static StatusOr<Cluster> Create(std::vector<Matrix> parts, double eps_hint);
+
+  size_t num_servers() const { return servers_.size(); }
+  /// Row dimension d.
+  size_t dim() const { return dim_; }
+  /// Total rows across servers.
+  size_t total_rows() const { return total_rows_; }
+
+  const Server& server(size_t i) const { return servers_[i]; }
+
+  CommLog& log() { return log_; }
+  const CommLog& log() const { return log_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Resets the communication log (between protocol runs on the same
+  /// data).
+  void ResetLog() { log_ = CommLog(cost_model_.bits_per_word()); }
+
+  /// Reassembles the full input [A^(1); ...; A^(s)] (test/bench oracle —
+  /// a real coordinator never sees this).
+  Matrix AssembleGroundTruth() const;
+
+ private:
+  Cluster(std::vector<Server> servers, size_t dim, size_t total_rows,
+          CostModel cost_model)
+      : servers_(std::move(servers)),
+        dim_(dim),
+        total_rows_(total_rows),
+        cost_model_(cost_model),
+        log_(cost_model.bits_per_word()) {}
+
+  std::vector<Server> servers_;
+  size_t dim_;
+  size_t total_rows_;
+  CostModel cost_model_;
+  CommLog log_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_CLUSTER_H_

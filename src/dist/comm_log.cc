@@ -1,0 +1,47 @@
+#include "dist/comm_log.h"
+
+#include <utility>
+
+namespace distsketch {
+
+int CommLog::BeginRound() { return ++round_; }
+
+void CommLog::Record(int from, int to, std::string tag, uint64_t words,
+                     uint64_t bits) {
+  MessageRecord rec;
+  rec.from = from;
+  rec.to = to;
+  rec.tag = std::move(tag);
+  rec.words = words;
+  rec.bits = (bits == 0) ? words * bits_per_word_ : bits;
+  rec.round = round_;
+  messages_.push_back(std::move(rec));
+}
+
+void CommLog::RecordBroadcast(size_t num_servers, std::string tag,
+                              uint64_t words, uint64_t bits) {
+  for (size_t i = 0; i < num_servers; ++i) {
+    Record(kCoordinator, static_cast<int>(i), tag, words, bits);
+  }
+}
+
+CommStats CommLog::Stats() const {
+  CommStats s;
+  for (const auto& m : messages_) {
+    s.total_words += m.words;
+    s.total_bits += m.bits;
+    ++s.num_messages;
+  }
+  s.num_rounds = round_;
+  return s;
+}
+
+uint64_t CommLog::WordsSentBy(int from) const {
+  uint64_t acc = 0;
+  for (const auto& m : messages_) {
+    if (m.from == from) acc += m.words;
+  }
+  return acc;
+}
+
+}  // namespace distsketch

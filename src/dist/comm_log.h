@@ -1,0 +1,78 @@
+#ifndef DISTSKETCH_DIST_COMM_LOG_H_
+#define DISTSKETCH_DIST_COMM_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distsketch {
+
+/// Identifies the coordinator as a message endpoint.
+inline constexpr int kCoordinator = -1;
+
+/// One metered point-to-point transfer.
+struct MessageRecord {
+  int from = kCoordinator;
+  int to = kCoordinator;
+  /// What the payload is ("local_sketch", "tail_mass", ...).
+  std::string tag;
+  /// Payload size in machine words.
+  uint64_t words = 0;
+  /// Exact payload bits (words * bits_per_word unless quantised).
+  uint64_t bits = 0;
+  /// Communication round the message belongs to.
+  int round = 0;
+};
+
+/// Aggregate communication statistics for one protocol run.
+struct CommStats {
+  uint64_t total_words = 0;
+  uint64_t total_bits = 0;
+  uint64_t num_messages = 0;
+  int num_rounds = 0;
+};
+
+/// Meters every transfer of a protocol run (the quantity the paper
+/// analyses). The paper's model is point-to-point message passing with a
+/// coordinator; a broadcast from the coordinator to s servers is s
+/// point-to-point messages (footnote 3).
+class CommLog {
+ public:
+  /// `bits_per_word` comes from the instance's CostModel (§1.2).
+  explicit CommLog(uint64_t bits_per_word) : bits_per_word_(bits_per_word) {}
+
+  /// Starts a new communication round; returns its index (1-based).
+  int BeginRound();
+
+  /// Meters one message of `words` words. `bits` overrides the default
+  /// words*bits_per_word (used by quantised payloads); pass 0 to use the
+  /// default.
+  void Record(int from, int to, std::string tag, uint64_t words,
+              uint64_t bits = 0);
+
+  /// Meters a coordinator broadcast to `num_servers` servers (s
+  /// point-to-point copies of the payload).
+  void RecordBroadcast(size_t num_servers, std::string tag, uint64_t words,
+                       uint64_t bits = 0);
+
+  /// Aggregate stats so far.
+  CommStats Stats() const;
+
+  /// Words sent by endpoint `from` (use kCoordinator for the coordinator).
+  uint64_t WordsSentBy(int from) const;
+
+  /// Full message trace (in send order).
+  const std::vector<MessageRecord>& messages() const { return messages_; }
+
+  uint64_t bits_per_word() const { return bits_per_word_; }
+  int current_round() const { return round_; }
+
+ private:
+  uint64_t bits_per_word_;
+  int round_ = 0;
+  std::vector<MessageRecord> messages_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_COMM_LOG_H_

@@ -1,0 +1,46 @@
+#include "dist/exact_gram_protocol.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+
+namespace distsketch {
+
+StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
+  cluster.ResetLog();
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  CommLog& log = cluster.log();
+  log.BeginRound();
+
+  Matrix total_gram(d, d);
+  for (size_t i = 0; i < s; ++i) {
+    const Matrix& local = cluster.server(i).local_rows();
+    const Matrix gram =
+        local.rows() > 0 ? Gram(local) : Matrix(d, d);
+    // Symmetric payload: upper triangle only.
+    log.Record(static_cast<int>(i), kCoordinator, "local_gram",
+               d * (d + 1) / 2);
+    total_gram = Add(total_gram, gram);
+  }
+
+  // Coordinator: B = sqrt(Lambda) V^T from the eigendecomposition.
+  DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
+                      ComputeSymmetricEigen(total_gram));
+  SketchProtocolResult result;
+  result.sketch.SetZero(0, d);
+  std::vector<double> row(d);
+  for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {
+    const double lambda = eig.eigenvalues[j];
+    if (lambda <= 0.0) break;  // sorted non-increasing
+    const double sigma = std::sqrt(lambda);
+    for (size_t i = 0; i < d; ++i) row[i] = sigma * eig.eigenvectors(i, j);
+    result.sketch.AppendRow(row);
+  }
+  result.comm = log.Stats();
+  result.sketch_rows = result.sketch.rows();
+  return result;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,25 @@
+#ifndef DISTSKETCH_DIST_EXACT_GRAM_PROTOCOL_H_
+#define DISTSKETCH_DIST_EXACT_GRAM_PROTOCOL_H_
+
+#include "dist/protocol.h"
+
+namespace distsketch {
+
+/// The trivial exact protocol referenced throughout the paper: every
+/// server ships its local Gram matrix A^(i)T A^(i) (upper triangle,
+/// d(d+1)/2 words) and the coordinator sums them — O(s d^2) words, zero
+/// covariance error. The coordinator's output sketch is the symmetric
+/// square root Sigma V^T of the exact covariance. This is the baseline
+/// every sub-d^2 algorithm must beat, and the matching upper bound for
+/// the 1/eps >= d regime of Theorem 3.
+class ExactGramProtocol : public SketchProtocol {
+ public:
+  ExactGramProtocol() = default;
+
+  std::string_view Name() const override { return "exact_gram"; }
+  StatusOr<SketchProtocolResult> Run(Cluster& cluster) override;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_EXACT_GRAM_PROTOCOL_H_

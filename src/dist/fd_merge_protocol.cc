@@ -1,0 +1,57 @@
+#include "dist/fd_merge_protocol.h"
+
+#include <utility>
+
+#include "sketch/frequent_directions.h"
+#include "sketch/quantizer.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+namespace {
+
+StatusOr<FrequentDirections> MakeFd(size_t dim, const FdMergeOptions& opt) {
+  if (opt.k == 0) {
+    return FrequentDirections::FromEps(dim, opt.eps);
+  }
+  return FrequentDirections::FromEpsK(dim, opt.eps, opt.k);
+}
+
+}  // namespace
+
+StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
+  cluster.ResetLog();
+  const size_t d = cluster.dim();
+  CommLog& log = cluster.log();
+  log.BeginRound();
+
+  DS_ASSIGN_OR_RETURN(FrequentDirections merged, MakeFd(d, options_));
+  for (size_t i = 0; i < cluster.num_servers(); ++i) {
+    DS_ASSIGN_OR_RETURN(FrequentDirections local, MakeFd(d, options_));
+    RowStream stream = cluster.server(i).OpenStream();
+    while (stream.HasNext()) local.Append(stream.Next());
+    Matrix sketch = local.Sketch();
+
+    if (options_.quantize && sketch.rows() > 0) {
+      const double precision = SketchRoundingPrecision(
+          cluster.total_rows(), d, options_.eps);
+      DS_ASSIGN_OR_RETURN(QuantizeResult q,
+                          QuantizeMatrix(sketch, precision));
+      log.Record(static_cast<int>(i), kCoordinator, "local_sketch_q",
+                 cluster.cost_model().BitsToWords(q.total_bits),
+                 q.total_bits);
+      sketch = std::move(q.matrix);
+    } else {
+      log.Record(static_cast<int>(i), kCoordinator, "local_sketch",
+                 cluster.cost_model().MatrixWords(sketch.rows(), d));
+    }
+    merged.AppendRows(sketch);
+  }
+
+  SketchProtocolResult result;
+  result.sketch = merged.Sketch();
+  result.comm = log.Stats();
+  result.sketch_rows = result.sketch.rows();
+  return result;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,43 @@
+#ifndef DISTSKETCH_DIST_FD_MERGE_PROTOCOL_H_
+#define DISTSKETCH_DIST_FD_MERGE_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "dist/protocol.h"
+
+namespace distsketch {
+
+/// Options for the deterministic FD-merge protocol.
+struct FdMergeOptions {
+  /// Accuracy parameter of Definition 3.
+  double eps = 0.1;
+  /// Rank parameter; k = 0 requests the (eps, 0) guarantee
+  /// coverr <= eps * ||A||_F^2.
+  size_t k = 0;
+  /// When true, local sketches are rounded per §3.3 before transmission
+  /// and metered in exact bits (the word-complexity version of Thm 2).
+  bool quantize = false;
+};
+
+/// The deterministic protocol of Theorem 2: each server streams its local
+/// rows through Frequent Directions (one pass, O(kd/eps) space), sends
+/// the local sketch to the coordinator, and the coordinator merges the s
+/// sketches through another FD (mergeability [1]). One round,
+/// O(s k d / eps) words, covariance error eps * ||A - [A]_k||_F^2 / k —
+/// optimal for deterministic protocols by Theorem 3.
+class FdMergeProtocol : public SketchProtocol {
+ public:
+  explicit FdMergeProtocol(FdMergeOptions options) : options_(options) {}
+
+  std::string_view Name() const override { return "fd_merge"; }
+  StatusOr<SketchProtocolResult> Run(Cluster& cluster) override;
+
+  const FdMergeOptions& options() const { return options_; }
+
+ private:
+  FdMergeOptions options_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_FD_MERGE_PROTOCOL_H_

@@ -1,0 +1,102 @@
+#include "dist/low_rank_exact_protocol.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/pinv.h"
+#include "linalg/row_basis.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+
+StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
+  cluster.ResetLog();
+  if (options_.k < 1) {
+    return Status::InvalidArgument("LowRankExactProtocol: k < 1");
+  }
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  const size_t max_rank = std::min(2 * options_.k, d);
+  CommLog& log = cluster.log();
+  log.BeginRound();
+
+  Matrix total_cov(d, d);
+  for (size_t i = 0; i < s; ++i) {
+    // One pass: row basis Q, orthonormal side basis V, projected moment
+    // Z = V (A^T A so far) V^T.
+    RowBasisBuilder builder(d, max_rank);
+    Matrix z(0, 0);
+    RowStream stream = cluster.server(i).OpenStream();
+    while (stream.HasNext()) {
+      auto row = stream.Next();
+      const size_t old_rank = builder.rank();
+      builder.Offer(row);
+      if (builder.overflowed()) {
+        return Status::FailedPrecondition(
+            "LowRankExactProtocol: local rank exceeds 2k; use the rounding "
+            "path (§3.3 case 2)");
+      }
+      const size_t rank = builder.rank();
+      if (rank > old_rank) {
+        // Basis grew: pad Z with a zero row/column (exact, since all
+        // previous rows lie in the old span).
+        Matrix grown(rank, rank);
+        for (size_t a = 0; a < old_rank; ++a) {
+          for (size_t b = 0; b < old_rank; ++b) grown(a, b) = z(a, b);
+        }
+        z = std::move(grown);
+      }
+      if (rank == 0) continue;
+      // Z += (V u)(V u)^T.
+      const std::vector<double> coords =
+          MatVec(builder.orthonormal_basis(), row);
+      for (size_t a = 0; a < rank; ++a) {
+        for (size_t b = 0; b < rank; ++b) {
+          z(a, b) += coords[a] * coords[b];
+        }
+      }
+    }
+
+    const Matrix& q = builder.selected_rows();
+    const size_t m = q.rows();
+    if (m == 0) continue;
+
+    // G = Q A^T A Q^T = (Q V^T) Z (Q V^T)^T, computed locally.
+    const Matrix qvt = MultiplyTransposeB(q, builder.orthonormal_basis());
+    const Matrix g = Multiply(Multiply(qvt, z), Transpose(qvt));
+
+    // Wire: the basis rows (original input entries) plus the m-by-m Gram.
+    log.Record(static_cast<int>(i), kCoordinator, "row_basis",
+               cluster.cost_model().MatrixWords(m, d));
+    log.Record(static_cast<int>(i), kCoordinator, "projected_gram",
+               cluster.cost_model().MatrixWords(m, m));
+
+    // Coordinator side: A^(i)T A^(i) = Q^+ G Q^{+T}.
+    DS_ASSIGN_OR_RETURN(Matrix q_pinv, PseudoInverse(q));
+    const Matrix local_cov =
+        Multiply(Multiply(q_pinv, g), Transpose(q_pinv));
+    total_cov = Add(total_cov, local_cov);
+  }
+
+  // Coordinator output: exact covariance square root.
+  DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
+                      ComputeSymmetricEigen(total_cov));
+  SketchProtocolResult result;
+  result.sketch.SetZero(0, d);
+  std::vector<double> row(d);
+  for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {
+    if (eig.eigenvalues[j] <= 1e-12 * std::max(1.0, eig.eigenvalues[0])) {
+      break;
+    }
+    const double sigma = std::sqrt(eig.eigenvalues[j]);
+    for (size_t a = 0; a < d; ++a) row[a] = sigma * eig.eigenvectors(a, j);
+    result.sketch.AppendRow(row);
+  }
+  result.comm = log.Stats();
+  result.sketch_rows = result.sketch.rows();
+  return result;
+}
+
+}  // namespace distsketch

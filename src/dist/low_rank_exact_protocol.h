@@ -1,0 +1,45 @@
+#ifndef DISTSKETCH_DIST_LOW_RANK_EXACT_PROTOCOL_H_
+#define DISTSKETCH_DIST_LOW_RANK_EXACT_PROTOCOL_H_
+
+#include <cstddef>
+
+#include "dist/protocol.h"
+
+namespace distsketch {
+
+/// Options for the low-rank exact protocol.
+struct LowRankExactOptions {
+  /// The rank budget: the protocol is exact whenever rank(A) <= 2k.
+  size_t k = 2;
+};
+
+/// The §3.3 case-1 protocol (rank(A) <= 2k): each server selects, in one
+/// pass, a maximal set Q of linearly independent local rows while
+/// maintaining on the side an orthonormal basis V of span(Q) and the
+/// projected second moment Z = V A^(i)T A^(i) V^T (O(k^2) extra space,
+/// updated as Z += (V u)(V u)^T per row u). At query time it sends Q
+/// (<= 2k*d words of original input entries) and the Gram
+/// Q A^(i)T A^(i) Q^T = (Q V^T) Z (Q V^T)^T (<= 4k^2 words). The
+/// coordinator reconstructs each local covariance exactly through the
+/// pseudoinverse: A^(i)T A^(i) = Q^+ (Q A^T A Q^T) Q^{+T}, sums them, and
+/// outputs the exact covariance square root. Total O(s k d) words.
+///
+/// Run() fails with FailedPrecondition if some local rank exceeds 2k (the
+/// §3.3 case split sends such instances to the rounding path instead).
+class LowRankExactProtocol : public SketchProtocol {
+ public:
+  explicit LowRankExactProtocol(LowRankExactOptions options)
+      : options_(options) {}
+
+  std::string_view Name() const override { return "low_rank_exact"; }
+  StatusOr<SketchProtocolResult> Run(Cluster& cluster) override;
+
+  const LowRankExactOptions& options() const { return options_; }
+
+ private:
+  LowRankExactOptions options_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_LOW_RANK_EXACT_PROTOCOL_H_

@@ -1,0 +1,43 @@
+#ifndef DISTSKETCH_DIST_PROTOCOL_H_
+#define DISTSKETCH_DIST_PROTOCOL_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/comm_log.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Output of a distributed covariance-sketch protocol run.
+struct SketchProtocolResult {
+  /// The coordinator's sketch matrix B.
+  Matrix sketch;
+  /// Communication metered during the run.
+  CommStats comm;
+  /// Number of rows in `sketch` (convenience for tables).
+  size_t sketch_rows = 0;
+};
+
+/// A distributed protocol that leaves a covariance sketch of the
+/// partitioned input at the coordinator. Implementations must route every
+/// transfer through cluster.log() so benches can meter them, and must
+/// only combine per-server information through those transfers (the
+/// simulation is shared-memory; the discipline is what makes the metering
+/// meaningful).
+class SketchProtocol {
+ public:
+  virtual ~SketchProtocol() = default;
+
+  /// Protocol name for tables ("fd_merge", "svs", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// Runs the protocol. Resets the cluster's log first so the stats in
+  /// the result reflect this run only.
+  virtual StatusOr<SketchProtocolResult> Run(Cluster& cluster) = 0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_PROTOCOL_H_

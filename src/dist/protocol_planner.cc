@@ -1,0 +1,123 @@
+#include "dist/protocol_planner.h"
+
+#include <cmath>
+
+#include "dist/adaptive_sketch_protocol.h"
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "dist/row_sampling_protocol.h"
+#include "dist/svs_protocol.h"
+
+namespace distsketch {
+namespace {
+
+double LogTerm(size_t d, double delta) {
+  return std::max(1.0, std::log(static_cast<double>(d) / delta));
+}
+
+}  // namespace
+
+double PredictExactGramWords(size_t s, size_t d) {
+  return static_cast<double>(s) * static_cast<double>(d) *
+         static_cast<double>(d + 1) / 2.0;
+}
+
+double PredictFdMergeWords(size_t s, size_t d, const SketchRequest& req) {
+  const double l = req.k == 0
+                       ? std::ceil(1.0 / req.eps) + 1.0
+                       : req.k + std::ceil(req.k / req.eps);
+  return static_cast<double>(s) * l * static_cast<double>(d);
+}
+
+double PredictRowSamplingWords(size_t s, size_t d,
+                               const SketchRequest& req) {
+  // Only provides the (eps, 0) guarantee; t = 2/eps^2 samples (the
+  // oversample this library defaults to in benches).
+  const double t = 2.0 / (req.eps * req.eps);
+  return t * static_cast<double>(d) + 3.0 * static_cast<double>(s);
+}
+
+double PredictSvsWords(size_t s, size_t d, const SketchRequest& req) {
+  // Theorem 6 at alpha = eps/4 (the calibration the protocols use).
+  const double alpha = req.eps / 4.0;
+  return std::sqrt(static_cast<double>(s)) * static_cast<double>(d) /
+             alpha * std::sqrt(LogTerm(d, req.delta)) +
+         2.0 * static_cast<double>(s);
+}
+
+double PredictAdaptiveWords(size_t s, size_t d, const SketchRequest& req) {
+  const double k = static_cast<double>(req.k);
+  return static_cast<double>(s) * k * static_cast<double>(d) +
+         std::sqrt(static_cast<double>(s)) * k * static_cast<double>(d) /
+             req.eps * std::sqrt(LogTerm(d, req.delta)) +
+         2.0 * static_cast<double>(s);
+}
+
+StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
+                                          const SketchRequest& request) {
+  if (num_servers < 1 || dim < 1) {
+    return Status::InvalidArgument("PlanSketchProtocol: bad instance");
+  }
+  if (request.eps <= 0.0 || request.eps >= 1.0) {
+    return Status::InvalidArgument("PlanSketchProtocol: eps not in (0,1)");
+  }
+  const size_t s = num_servers;
+  const size_t d = dim;
+
+  ProtocolPlan best;
+  best.predicted_words = PredictExactGramWords(s, d);
+  best.protocol = std::make_unique<ExactGramProtocol>();
+  best.rationale = "exact_gram: O(sd^2) baseline";
+
+  const double fd_words = PredictFdMergeWords(s, d, request);
+  if (fd_words < best.predicted_words) {
+    FdMergeOptions options;
+    options.eps = request.eps;
+    options.k = request.k;
+    best.predicted_words = fd_words;
+    best.protocol = std::make_unique<FdMergeProtocol>(options);
+    best.rationale = "fd_merge: deterministic O(s*l*d) beats sd^2";
+  }
+
+  if (request.allow_randomized) {
+    if (request.k == 0) {
+      const double sampling_words = PredictRowSamplingWords(s, d, request);
+      if (sampling_words < best.predicted_words) {
+        RowSamplingOptions options;
+        options.eps = request.eps;
+        options.oversample = 2.0;
+        options.seed = request.seed;
+        best.predicted_words = sampling_words;
+        best.protocol = std::make_unique<RowSamplingProtocol>(options);
+        best.rationale =
+            "row_sampling: large eps makes O(s + d/eps^2) cheapest";
+      }
+      const double svs_words = PredictSvsWords(s, d, request);
+      if (svs_words < best.predicted_words) {
+        SvsProtocolOptions options;
+        options.alpha = request.eps / 4.0;
+        options.delta = request.delta;
+        options.seed = request.seed;
+        best.predicted_words = svs_words;
+        best.protocol = std::make_unique<SvsProtocol>(options);
+        best.rationale = "svs: sqrt(s) scaling wins at this (s, d, eps)";
+      }
+    } else {
+      const double adaptive_words = PredictAdaptiveWords(s, d, request);
+      if (adaptive_words < best.predicted_words) {
+        AdaptiveSketchOptions options;
+        options.eps = request.eps;
+        options.k = request.k;
+        options.delta = request.delta;
+        options.seed = request.seed;
+        best.predicted_words = adaptive_words;
+        best.protocol = std::make_unique<AdaptiveSketchProtocol>(options);
+        best.rationale =
+            "adaptive_sketch: sdk + sqrt(s)kd/eps beats s*k*d/eps";
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace distsketch

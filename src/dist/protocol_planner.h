@@ -1,0 +1,57 @@
+#ifndef DISTSKETCH_DIST_PROTOCOL_PLANNER_H_
+#define DISTSKETCH_DIST_PROTOCOL_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "dist/protocol.h"
+
+namespace distsketch {
+
+/// What the caller needs from the sketch (drives algorithm choice).
+struct SketchRequest {
+  /// Accuracy parameter of Definition 3.
+  double eps = 0.1;
+  /// Rank parameter; 0 selects the (eps, 0) guarantee eps*||A||_F^2.
+  size_t k = 0;
+  /// Whether a randomized answer (correct w.h.p.) is acceptable. When
+  /// false only the deterministic protocols are considered — this is the
+  /// Theorem 3 regime, where Omega(s d k / eps) is unavoidable.
+  bool allow_randomized = true;
+  /// Failure probability for randomized protocols.
+  double delta = 0.1;
+  uint64_t seed = 42;
+};
+
+/// A planned protocol together with its predicted cost.
+struct ProtocolPlan {
+  std::unique_ptr<SketchProtocol> protocol;
+  /// Predicted total words (the planner's cost-model estimate — compare
+  /// against the metered result to audit the model).
+  double predicted_words = 0.0;
+  /// Planner's explanation ("exact_gram: d <= 1/eps so sd^2 wins", ...).
+  std::string rationale;
+};
+
+/// Predicted word cost of each protocol family for an (s, d) instance
+/// and request, per the paper's Table 1 formulas (constants calibrated to
+/// this implementation). Exposed for tests and for the planner bench.
+double PredictExactGramWords(size_t s, size_t d);
+double PredictFdMergeWords(size_t s, size_t d, const SketchRequest& req);
+double PredictRowSamplingWords(size_t s, size_t d, const SketchRequest& req);
+double PredictSvsWords(size_t s, size_t d, const SketchRequest& req);
+double PredictAdaptiveWords(size_t s, size_t d, const SketchRequest& req);
+
+/// Chooses the cheapest applicable protocol for the instance, in the
+/// spirit of a query planner: the paper's Table 1 is exactly a cost
+/// model, and different (s, d, eps, k) regimes have different winners
+/// (exact Gram when 1/eps >= d; sampling when eps is large and only the
+/// weak guarantee is needed; FD when determinism is required; SVS /
+/// adaptive otherwise).
+StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
+                                          const SketchRequest& request);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_PROTOCOL_PLANNER_H_

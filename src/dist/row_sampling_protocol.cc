@@ -1,0 +1,99 @@
+#include "dist/row_sampling_protocol.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sketch/row_sampling.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+
+StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
+  cluster.ResetLog();
+  if (options_.eps <= 0.0 || options_.oversample <= 0.0) {
+    return Status::InvalidArgument("RowSamplingProtocol: bad options");
+  }
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  const size_t t = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(options_.oversample / (options_.eps * options_.eps))));
+  CommLog& log = cluster.log();
+
+  // Pass: every server fills t weighted reservoirs over its local stream.
+  std::vector<RowSamplingSketch> local;
+  local.reserve(s);
+  for (size_t i = 0; i < s; ++i) {
+    local.emplace_back(d, t, Rng::DeriveSeed(options_.seed, i));
+    RowStream stream = cluster.server(i).OpenStream();
+    while (stream.HasNext()) local.back().Append(stream.Next());
+  }
+
+  // Round 1: local masses to the coordinator.
+  log.BeginRound();
+  double global_mass = 0.0;
+  std::vector<double> masses(s);
+  for (size_t i = 0; i < s; ++i) {
+    masses[i] = local[i].total_mass();
+    global_mass += masses[i];
+    log.Record(static_cast<int>(i), kCoordinator, "local_mass", 1);
+  }
+
+  SketchProtocolResult result;
+  result.sketch.SetZero(0, d);
+  if (global_mass <= 0.0) {
+    result.comm = log.Stats();
+    return result;
+  }
+
+  // Round 2: coordinator draws the multinomial split of t samples across
+  // servers (each of the t global samples independently picks server i
+  // with probability mass_i / global_mass) and replies with the count and
+  // the global mass.
+  log.BeginRound();
+  Rng coord_rng(Rng::DeriveSeed(options_.seed, 0xC00Dull));
+  std::vector<size_t> counts(s, 0);
+  for (size_t j = 0; j < t; ++j) {
+    double u = coord_rng.NextDouble() * global_mass;
+    size_t pick = s - 1;
+    for (size_t i = 0; i < s; ++i) {
+      if (u < masses[i]) {
+        pick = i;
+        break;
+      }
+      u -= masses[i];
+    }
+    ++counts[pick];
+  }
+  for (size_t i = 0; i < s; ++i) {
+    log.Record(kCoordinator, static_cast<int>(i), "sample_count+mass", 2);
+  }
+
+  // Round 3: servers send their first m_i reservoir rows, rescaled with
+  // the global mass so that E[B^T B] = A^T A.
+  log.BeginRound();
+  std::vector<double> scaled(d);
+  for (size_t i = 0; i < s; ++i) {
+    size_t sent = 0;
+    for (size_t r = 0; r < t && sent < counts[i]; ++r) {
+      if (!local[i].HasSample(r)) continue;
+      const double p = local[i].SampleWeight(r) / global_mass;
+      const double scale = 1.0 / std::sqrt(static_cast<double>(t) * p);
+      auto row = local[i].SampleRow(r);
+      for (size_t j = 0; j < d; ++j) scaled[j] = scale * row[j];
+      result.sketch.AppendRow(scaled);
+      ++sent;
+    }
+    if (sent > 0) {
+      log.Record(static_cast<int>(i), kCoordinator, "sampled_rows",
+                 cluster.cost_model().MatrixWords(sent, d));
+    }
+  }
+
+  result.comm = log.Stats();
+  result.sketch_rows = result.sketch.rows();
+  return result;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,64 @@
+#include "dist/svs_protocol.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "sketch/svs.h"
+
+namespace distsketch {
+
+StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
+  cluster.ResetLog();
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  CommLog& log = cluster.log();
+
+  // Round 1: local Frobenius masses.
+  log.BeginRound();
+  double global_mass = 0.0;
+  for (size_t i = 0; i < s; ++i) {
+    global_mass += SquaredFrobeniusNorm(cluster.server(i).local_rows());
+    log.Record(static_cast<int>(i), kCoordinator, "local_mass", 1);
+  }
+  SketchProtocolResult result;
+  result.sketch.SetZero(0, d);
+  if (global_mass <= 0.0) {
+    result.comm = log.Stats();
+    return result;
+  }
+
+  // Round 2: broadcast the global mass (fixes g on every server).
+  log.BeginRound();
+  log.RecordBroadcast(s, "global_mass", 1);
+
+  SamplingFunctionParams params;
+  params.num_servers = s;
+  params.alpha = options_.alpha;
+  params.total_frobenius = global_mass;
+  params.dim = d;
+  params.delta = options_.delta;
+  DS_ASSIGN_OR_RETURN(std::unique_ptr<SamplingFunction> g,
+                      MakeSamplingFunction(options_.kind, params));
+
+  // Round 3: local SVS, sampled rows to the coordinator.
+  log.BeginRound();
+  for (size_t i = 0; i < s; ++i) {
+    const Matrix& local = cluster.server(i).local_rows();
+    if (local.rows() == 0) continue;
+    DS_ASSIGN_OR_RETURN(
+        SvsResult svs,
+        Svs(local, *g, Rng::DeriveSeed(options_.seed, i)));
+    if (svs.sketch.rows() > 0) {
+      log.Record(static_cast<int>(i), kCoordinator, "svs_rows",
+                 cluster.cost_model().MatrixWords(svs.sketch.rows(), d));
+      result.sketch.AppendRows(svs.sketch);
+    }
+  }
+
+  result.comm = log.Stats();
+  result.sketch_rows = result.sketch.rows();
+  return result;
+}
+
+}  // namespace distsketch

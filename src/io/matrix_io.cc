@@ -1,0 +1,127 @@
+#include "io/matrix_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace distsketch {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'M', 'T'};
+
+}  // namespace
+
+Status SaveCsv(const Matrix& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("SaveCsv: cannot open " + path);
+  }
+  char buf[64];
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      std::snprintf(buf, sizeof(buf), "%.17g", a(i, j));
+      out << buf;
+      if (j + 1 < a.cols()) out << ',';
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::Internal("SaveCsv: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<Matrix> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("LoadCsv: cannot open " + path);
+  }
+  Matrix out;
+  std::string line;
+  std::vector<double> row;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    row.clear();
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      while (end && (*end == ' ' || *end == '\t' || *end == '\r')) ++end;
+      if (end == field.c_str() || (end && *end != '\0')) {
+        return Status::InvalidArgument("LoadCsv: bad field '" + field +
+                                       "' at line " +
+                                       std::to_string(line_no));
+      }
+      row.push_back(v);
+    }
+    if (row.empty()) continue;
+    if (!out.empty() && row.size() != out.cols()) {
+      return Status::InvalidArgument("LoadCsv: ragged row at line " +
+                                     std::to_string(line_no));
+    }
+    out.AppendRow(row);
+  }
+  if (out.rows() == 0) {
+    return Status::InvalidArgument("LoadCsv: no data rows in " + path);
+  }
+  return out;
+}
+
+Status SaveBinary(const Matrix& a, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound("SaveBinary: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t rows = a.rows();
+  const uint64_t cols = a.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(a.data()),
+            static_cast<std::streamsize>(a.size() * sizeof(double)));
+  out.flush();
+  if (!out) {
+    return Status::Internal("SaveBinary: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<Matrix> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("LoadBinary: cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("LoadBinary: bad magic in " + path);
+  }
+  uint64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in) {
+    return Status::InvalidArgument("LoadBinary: truncated header in " +
+                                   path);
+  }
+  if (rows > (1ULL << 32) || cols > (1ULL << 24)) {
+    return Status::InvalidArgument("LoadBinary: implausible shape in " +
+                                   path);
+  }
+  Matrix out(rows, cols);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size() * sizeof(double)));
+  if (!in) {
+    return Status::InvalidArgument("LoadBinary: truncated payload in " +
+                                   path);
+  }
+  return out;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,31 @@
+#ifndef DISTSKETCH_IO_MATRIX_IO_H_
+#define DISTSKETCH_IO_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Writes `a` as comma-separated values, one row per line, full double
+/// precision (%.17g).
+Status SaveCsv(const Matrix& a, const std::string& path);
+
+/// Reads a CSV of doubles. Every row must have the same number of
+/// fields; blank lines and lines starting with '#' are skipped. Returns
+/// InvalidArgument on ragged rows or unparsable fields, NotFound if the
+/// file cannot be opened.
+StatusOr<Matrix> LoadCsv(const std::string& path);
+
+/// Writes `a` in the dsmat binary format: magic "DSMT", uint64 rows,
+/// uint64 cols, then rows*cols little-endian doubles. Lossless and fast;
+/// the interchange format for sketches between runs.
+Status SaveBinary(const Matrix& a, const std::string& path);
+
+/// Reads a dsmat binary file written by SaveBinary.
+StatusOr<Matrix> LoadBinary(const std::string& path);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_IO_MATRIX_IO_H_

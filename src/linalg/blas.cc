@@ -1,0 +1,173 @@
+#include "linalg/blas.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace distsketch {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  DS_CHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Norm2(std::span<const double> x) { return std::sqrt(SquaredNorm2(x)); }
+
+double SquaredNorm2(std::span<const double> x) {
+  double acc = 0.0;
+  for (const double v : x) acc += v * v;
+  return acc;
+}
+
+void Axpy(double a, std::span<const double> x, std::span<double> y) {
+  DS_CHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void ScaleVector(double a, std::span<double> x) {
+  for (double& v : x) v *= a;
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  DS_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and c rows contiguously.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.data() + i * c.cols();
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.data() + k * b.cols();
+      for (size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
+  DS_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* ak = a.data() + k * a.cols();
+    const double* bk = b.data() + k * b.cols();
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c.data() + i * c.cols();
+      for (size_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b) {
+  DS_CHECK(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      c(i, j) = Dot(a.Row(i), b.Row(j));
+    }
+  }
+  return c;
+}
+
+Matrix Gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* row = a.data() + k * a.cols();
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      double* gi = g.data() + i * g.cols();
+      for (size_t j = i; j < a.cols(); ++j) gi[j] += ri * row[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < g.rows(); ++i) {
+    for (size_t j = i + 1; j < g.cols(); ++j) g(j, i) = g(i, j);
+  }
+  return g;
+}
+
+std::vector<double> MatVec(const Matrix& a, std::span<const double> x) {
+  DS_CHECK(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) y[i] = Dot(a.Row(i), x);
+  return y;
+}
+
+std::vector<double> MatTVec(const Matrix& a, std::span<const double> x) {
+  DS_CHECK(a.rows() == x.size());
+  std::vector<double> y(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    Axpy(x[i], a.Row(i), y);
+  }
+  return y;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  DS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c.data()[i] += b.data()[i];
+  return c;
+}
+
+Matrix Subtract(const Matrix& a, const Matrix& b) {
+  DS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+  return c;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  return std::sqrt(SquaredFrobeniusNorm(a));
+}
+
+double SquaredFrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i] * a.data()[i];
+  return acc;
+}
+
+double MaxAbs(const Matrix& a) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a.data()[i]));
+  return m;
+}
+
+Matrix ConcatRows(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.AppendRows(b);
+  return out;
+}
+
+Matrix ConcatRows(std::span<const Matrix> parts) {
+  Matrix out;
+  for (const Matrix& p : parts) out.AppendRows(p);
+  return out;
+}
+
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool HasOrthonormalColumns(const Matrix& a, double tol) {
+  const Matrix g = Gram(a);
+  const Matrix eye = Matrix::Identity(a.cols());
+  return AlmostEqual(g, eye, tol);
+}
+
+}  // namespace distsketch

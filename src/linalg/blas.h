@@ -1,0 +1,81 @@
+#ifndef DISTSKETCH_LINALG_BLAS_H_
+#define DISTSKETCH_LINALG_BLAS_H_
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+// BLAS-level kernels used by the factorizations and sketches. Shapes are
+// DS_CHECK-ed; these are infallible given valid shapes, so they return
+// values rather than Status.
+
+/// Dot product of two equal-length vectors.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm of a vector.
+double Norm2(std::span<const double> x);
+
+/// Squared Euclidean norm of a vector.
+double SquaredNorm2(std::span<const double> x);
+
+/// y += a * x (equal lengths).
+void Axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// x *= a.
+void ScaleVector(double a, std::span<double> x);
+
+/// C = A * B.
+Matrix Multiply(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.
+Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.
+Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b);
+
+/// The Gram matrix A^T A (symmetric d-by-d; computed via SYRK so only the
+/// upper triangle is evaluated then mirrored).
+Matrix Gram(const Matrix& a);
+
+/// y = A * x.
+std::vector<double> MatVec(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x.
+std::vector<double> MatTVec(const Matrix& a, std::span<const double> x);
+
+/// A^T (out-of-place).
+Matrix Transpose(const Matrix& a);
+
+/// C = A + B.
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// C = A - B.
+Matrix Subtract(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm of A.
+double FrobeniusNorm(const Matrix& a);
+
+/// Squared Frobenius norm of A.
+double SquaredFrobeniusNorm(const Matrix& a);
+
+/// Max absolute entry of A (0 for the empty matrix).
+double MaxAbs(const Matrix& a);
+
+/// [A; B] — rows of A followed by rows of B. Either side may be empty.
+Matrix ConcatRows(const Matrix& a, const Matrix& b);
+
+/// Concatenates the rows of every matrix in `parts` in order.
+Matrix ConcatRows(std::span<const Matrix> parts);
+
+/// True iff A and B have the same shape and max |a_ij - b_ij| <= tol.
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
+
+/// True iff A's columns are orthonormal: max |A^T A - I| <= tol.
+bool HasOrthonormalColumns(const Matrix& a, double tol);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_BLAS_H_

@@ -1,0 +1,69 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace distsketch {
+
+StatusOr<CholeskyFactor> CholeskyFactor::Factorize(const Matrix& x) {
+  if (x.empty() || x.rows() != x.cols()) {
+    return Status::InvalidArgument("Cholesky: input must be square");
+  }
+  const size_t n = x.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = x(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::NumericalError(
+              "Cholesky: matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return CholeskyFactor(std::move(l));
+}
+
+std::vector<double> CholeskyFactor::Solve(std::span<const double> b) const {
+  const size_t n = l_.rows();
+  DS_CHECK(b.size() == n);
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+Matrix CholeskyFactor::SolveMatrix(const Matrix& b) const {
+  DS_CHECK(b.rows() == l_.rows());
+  Matrix out(b.rows(), b.cols());
+  std::vector<double> column(b.rows());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < b.rows(); ++i) column[i] = b(i, j);
+    const std::vector<double> solved = Solve(column);
+    for (size_t i = 0; i < b.rows(); ++i) out(i, j) = solved[i];
+  }
+  return out;
+}
+
+double CholeskyFactor::LogDeterminant() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace distsketch

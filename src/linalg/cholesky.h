@@ -1,0 +1,43 @@
+#ifndef DISTSKETCH_LINALG_CHOLESKY_H_
+#define DISTSKETCH_LINALG_CHOLESKY_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Cholesky factorization X = L L^T of a symmetric positive-definite
+/// matrix, with solve routines. This is the solver behind the
+/// sketch-based ridge regression in `src/query`: systems of the form
+/// (B^T B + lambda I) x = y are SPD by construction.
+class CholeskyFactor {
+ public:
+  /// Factorizes `x` (symmetric; the strictly upper triangle is ignored).
+  /// Returns NumericalError if a non-positive pivot appears (matrix not
+  /// positive definite within round-off).
+  static StatusOr<CholeskyFactor> Factorize(const Matrix& x);
+
+  /// Solves L L^T x = b.
+  std::vector<double> Solve(std::span<const double> b) const;
+
+  /// Solves for every column of B (returns a matrix of solutions).
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// log(det(X)) = 2 * sum log(L_ii); useful for model-selection demos.
+  double LogDeterminant() const;
+
+  /// The lower-triangular factor.
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit CholeskyFactor(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_CHOLESKY_H_

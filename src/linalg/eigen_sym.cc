@@ -1,0 +1,94 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.h"
+
+namespace distsketch {
+
+StatusOr<SymmetricEigenResult> ComputeSymmetricEigen(
+    const Matrix& x, const EigenSymOptions& options) {
+  if (x.empty()) {
+    return Status::InvalidArgument("ComputeSymmetricEigen: empty input");
+  }
+  if (x.rows() != x.cols()) {
+    return Status::InvalidArgument("ComputeSymmetricEigen: not square");
+  }
+  const size_t n = x.rows();
+
+  // Work on a symmetrized copy (average the triangles so mild asymmetry
+  // from floating-point Gram computations cannot bias the rotations).
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = 0.5 * (x(i, j) + x(j, i));
+  }
+  Matrix v = Matrix::Identity(n);
+  const double frob = FrobeniusNorm(a);
+  const double stop = options.tol * std::max(frob, 1e-300);
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Off-diagonal mass.
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
+    }
+    if (std::sqrt(off) <= stop) break;
+
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= stop / static_cast<double>(n * n)) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // A <- J^T A J applied to rows/cols p and q.
+        for (size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (size_t j = 0; j < n; ++j) {
+          const double apj = a(p, j);
+          const double aqj = a(q, j);
+          a(p, j) = c * apj - s * aqj;
+          a(q, j) = s * apj + c * aqj;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigenResult out;
+  out.eigenvalues.resize(n);
+  for (size_t i = 0; i < n; ++i) out.eigenvalues[i] = a(i, i);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    return out.eigenvalues[i] > out.eigenvalues[j];
+  });
+  SymmetricEigenResult sorted;
+  sorted.eigenvalues.resize(n);
+  sorted.eigenvectors.SetZero(n, n);
+  for (size_t jj = 0; jj < n; ++jj) {
+    const size_t j = order[jj];
+    sorted.eigenvalues[jj] = out.eigenvalues[j];
+    for (size_t i = 0; i < n; ++i) sorted.eigenvectors(i, jj) = v(i, j);
+  }
+  return sorted;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,36 @@
+#ifndef DISTSKETCH_LINALG_EIGEN_SYM_H_
+#define DISTSKETCH_LINALG_EIGEN_SYM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Eigendecomposition X = V diag(lambda) V^T of a real symmetric matrix.
+/// Eigenvalues are sorted in non-increasing order; V's columns are the
+/// matching orthonormal eigenvectors.
+struct SymmetricEigenResult {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Options for the Jacobi eigensolver.
+struct EigenSymOptions {
+  /// Stop when the off-diagonal Frobenius mass falls below
+  /// tol * ||X||_F.
+  double tol = 1e-12;
+  /// Maximum cyclic Jacobi sweeps.
+  int max_sweeps = 60;
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric d-by-d matrix.
+/// Returns InvalidArgument if X is empty or not square; symmetry is
+/// assumed (the strictly lower triangle is ignored).
+StatusOr<SymmetricEigenResult> ComputeSymmetricEigen(
+    const Matrix& x, const EigenSymOptions& options = {});
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_EIGEN_SYM_H_

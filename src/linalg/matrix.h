@@ -1,0 +1,114 @@
+#ifndef DISTSKETCH_LINALG_MATRIX_H_
+#define DISTSKETCH_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace distsketch {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the storage type used throughout distsketch: input data, local
+/// sketches and wire payloads are all row sets, so row-major layout makes
+/// row append/stream operations contiguous. The class is a data container;
+/// numerical algorithms live in `linalg/blas.h`, `linalg/qr.h`,
+/// `linalg/svd.h`, etc.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A rows-by-cols matrix, zero-initialised.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from nested initialiser lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// The rows-by-rows identity matrix.
+  static Matrix Identity(size_t n);
+
+  /// A diagonal matrix with the given diagonal values.
+  static Matrix Diagonal(std::span<const double> diag);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  /// True iff the matrix has no entries.
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  /// Number of stored entries (rows*cols).
+  size_t size() const { return data_.size(); }
+
+  /// Element access (bounds-checked in debug).
+  double& operator()(size_t i, size_t j) {
+    DS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    DS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Mutable view of row `i`.
+  std::span<double> Row(size_t i) {
+    DS_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  /// Const view of row `i`.
+  std::span<const double> Row(size_t i) const {
+    DS_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Raw row-major storage.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Appends one row (must match cols(); a row appended to an empty matrix
+  /// sets the column count).
+  void AppendRow(std::span<const double> row);
+
+  /// Appends all rows of `other` (column counts must match; appending to an
+  /// empty matrix adopts other's column count).
+  void AppendRows(const Matrix& other);
+
+  /// Returns the submatrix of rows [begin, end).
+  Matrix RowRange(size_t begin, size_t end) const;
+
+  /// Removes rows whose Euclidean norm is <= tol (used by SVS step 7).
+  void RemoveZeroRows(double tol = 0.0);
+
+  /// Resizes to rows-by-cols, zero-filling (discards old contents).
+  void SetZero(size_t rows, size_t cols);
+
+  /// Multiplies every entry by `c`.
+  void Scale(double c);
+
+  /// Multiplies row `i` by `c`.
+  void ScaleRow(size_t i, double c);
+
+  /// Human-readable dump (for tests and debugging; not a wire format).
+  std::string ToString(int precision = 4) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_MATRIX_H_

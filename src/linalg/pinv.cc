@@ -1,0 +1,31 @@
+#include "linalg/pinv.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+
+StatusOr<Matrix> PseudoInverse(const Matrix& a, double rcond) {
+  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(a));
+  const double sigma_max =
+      svd.singular_values.empty() ? 0.0 : svd.singular_values[0];
+  if (rcond < 0.0) {
+    rcond = static_cast<double>(std::max(a.rows(), a.cols())) *
+            std::numeric_limits<double>::epsilon();
+  }
+  const double cutoff = rcond * sigma_max;
+
+  // pinv(A) = V diag(1/sigma) U^T over the numerically nonzero part.
+  Matrix v_scaled = svd.v;  // n-by-r
+  for (size_t j = 0; j < svd.singular_values.size(); ++j) {
+    const double sigma = svd.singular_values[j];
+    const double inv = (sigma > cutoff) ? 1.0 / sigma : 0.0;
+    for (size_t i = 0; i < v_scaled.rows(); ++i) v_scaled(i, j) *= inv;
+  }
+  return MultiplyTransposeB(v_scaled, svd.u);
+}
+
+}  // namespace distsketch

@@ -1,0 +1,19 @@
+#ifndef DISTSKETCH_LINALG_PINV_H_
+#define DISTSKETCH_LINALG_PINV_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Moore-Penrose pseudoinverse Q^+ of an m-by-n matrix, computed from the
+/// SVD with singular values below `rcond * sigma_max` treated as zero
+/// (rcond < 0 selects the standard max(m,n)*machine-eps default).
+///
+/// Used by the §3.3 low-rank exact protocol: the coordinator reconstructs
+/// A^{(i)T} A^{(i)} = Q^+ (Q A^T A Q^T) Q^{+T} from a row basis Q.
+StatusOr<Matrix> PseudoInverse(const Matrix& a, double rcond = -1.0);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_PINV_H_

@@ -1,0 +1,80 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.h"
+
+namespace distsketch {
+
+StatusOr<QrResult> HouseholderQr(const Matrix& a) {
+  if (a.empty()) {
+    return Status::InvalidArgument("HouseholderQr: empty input");
+  }
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  const size_t r = std::min(m, n);
+
+  // Work on a copy; reflectors are stored in `v_list` (classic compact
+  // storage is possible but clarity wins at our sizes).
+  Matrix work = a;
+  std::vector<std::vector<double>> v_list;
+  v_list.reserve(r);
+
+  for (size_t k = 0; k < r; ++k) {
+    // Build the Householder vector for column k, rows k..m-1.
+    double norm_x = 0.0;
+    for (size_t i = k; i < m; ++i) norm_x += work(i, k) * work(i, k);
+    norm_x = std::sqrt(norm_x);
+
+    std::vector<double> v(m - k, 0.0);
+    if (norm_x > 0.0) {
+      const double x0 = work(k, k);
+      const double alpha = (x0 >= 0.0) ? -norm_x : norm_x;
+      v[0] = x0 - alpha;
+      for (size_t i = k + 1; i < m; ++i) v[i - k] = work(i, k);
+      const double vnorm = Norm2(v);
+      if (vnorm > 0.0) {
+        ScaleVector(1.0 / vnorm, v);
+        // Apply H = I - 2 v v^T to work(k:m, k:n).
+        for (size_t j = k; j < n; ++j) {
+          double dot = 0.0;
+          for (size_t i = k; i < m; ++i) dot += v[i - k] * work(i, j);
+          const double two_dot = 2.0 * dot;
+          for (size_t i = k; i < m; ++i) work(i, j) -= two_dot * v[i - k];
+        }
+      }
+    }
+    v_list.push_back(std::move(v));
+  }
+
+  QrResult result;
+  // R is the upper r-by-n block of the reduced matrix.
+  result.r.SetZero(r, n);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = i; j < n; ++j) result.r(i, j) = work(i, j);
+  }
+
+  // Q: apply the reflectors in reverse order to the first r columns of I.
+  result.q.SetZero(m, r);
+  for (size_t j = 0; j < r; ++j) result.q(j, j) = 1.0;
+  for (size_t k = r; k-- > 0;) {
+    const std::vector<double>& v = v_list[k];
+    const double vnorm2 = SquaredNorm2(v);
+    if (vnorm2 == 0.0) continue;
+    for (size_t j = 0; j < r; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i - k] * result.q(i, j);
+      const double two_dot = 2.0 * dot;
+      for (size_t i = k; i < m; ++i) result.q(i, j) -= two_dot * v[i - k];
+    }
+  }
+  return result;
+}
+
+StatusOr<Matrix> OrthonormalizeColumns(const Matrix& a) {
+  DS_ASSIGN_OR_RETURN(QrResult qr, HouseholderQr(a));
+  return std::move(qr.q);
+}
+
+}  // namespace distsketch

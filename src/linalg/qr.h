@@ -1,0 +1,27 @@
+#ifndef DISTSKETCH_LINALG_QR_H_
+#define DISTSKETCH_LINALG_QR_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Thin QR factorization A = Q R with Q (m-by-r) having orthonormal
+/// columns and R (r-by-n) upper triangular/trapezoidal, r = min(m, n).
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder thin QR of an m-by-n matrix. Numerically stable (uses
+/// reflectors, not Gram-Schmidt). Fails only on an empty input.
+StatusOr<QrResult> HouseholderQr(const Matrix& a);
+
+/// Orthonormalizes the columns of `a` in place via Householder QR,
+/// returning the Q factor (m-by-min(m,n)). Columns that are linearly
+/// dependent come out as arbitrary orthonormal completions.
+StatusOr<Matrix> OrthonormalizeColumns(const Matrix& a);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_QR_H_

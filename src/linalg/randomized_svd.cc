@@ -1,0 +1,57 @@
+#include "linalg/randomized_svd.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace distsketch {
+
+StatusOr<SvdResult> RandomizedSvd(const Matrix& a, size_t rank,
+                                  const RandomizedSvdOptions& options) {
+  if (a.empty()) {
+    return Status::InvalidArgument("RandomizedSvd: empty input");
+  }
+  if (rank == 0) {
+    return Status::InvalidArgument("RandomizedSvd: rank must be >= 1");
+  }
+  const size_t m = a.rows();
+  const size_t d = a.cols();
+  const size_t b = std::min({rank + options.oversample, m, d});
+
+  // Range finder on the right singular subspace: Y = (A^T A)^q A^T G0
+  // computed as alternating multiplications, re-orthonormalized each
+  // pass for stability.
+  Rng rng(options.seed);
+  Matrix g(d, b);
+  for (size_t i = 0; i < g.size(); ++i) g.data()[i] = rng.NextGaussian();
+  Matrix y = MultiplyTransposeA(a, Multiply(a, g));  // d x b
+  for (size_t q = 0; q < options.power_iterations; ++q) {
+    DS_ASSIGN_OR_RETURN(Matrix qy, OrthonormalizeColumns(y));
+    y = MultiplyTransposeA(a, Multiply(a, qy));
+  }
+  DS_ASSIGN_OR_RETURN(Matrix v_basis, OrthonormalizeColumns(y));  // d x b
+
+  // Rayleigh-Ritz: SVD of the small projected matrix A * V_basis.
+  const Matrix small = Multiply(a, v_basis);  // m x b
+  DS_ASSIGN_OR_RETURN(SvdResult small_svd, ComputeSvd(small));
+
+  const size_t keep = std::min(rank, small_svd.singular_values.size());
+  SvdResult out;
+  out.singular_values.assign(small_svd.singular_values.begin(),
+                             small_svd.singular_values.begin() + keep);
+  out.u.SetZero(m, keep);
+  for (size_t j = 0; j < keep; ++j) {
+    for (size_t i = 0; i < m; ++i) out.u(i, j) = small_svd.u(i, j);
+  }
+  // Right vectors: V = V_basis * W, truncated to `keep`.
+  Matrix w(b, keep);
+  for (size_t j = 0; j < keep; ++j) {
+    for (size_t i = 0; i < b; ++i) w(i, j) = small_svd.v(i, j);
+  }
+  out.v = Multiply(v_basis, w);  // d x keep
+  return out;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,37 @@
+#ifndef DISTSKETCH_LINALG_RANDOMIZED_SVD_H_
+#define DISTSKETCH_LINALG_RANDOMIZED_SVD_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+
+/// Options for the randomized truncated SVD.
+struct RandomizedSvdOptions {
+  /// Extra subspace columns beyond the requested rank (accuracy knob).
+  size_t oversample = 8;
+  /// Subspace (power) iterations; 2 is enough for the FD shrink use case
+  /// where only the top of the spectrum matters.
+  size_t power_iterations = 2;
+  uint64_t seed = 0x5eedULL;
+};
+
+/// Randomized truncated SVD (Halko-Martinsson-Tropp style): returns the
+/// top-`rank` singular triplets of `a` approximately, in
+/// O(nnz-ish * (rank + p) * q) time instead of a full Jacobi SVD. This is
+/// the engine of the fast Frequent Directions variant of Ghashami,
+/// Liberty & Phillips [15] that the paper cites for
+/// O(nnz(A) k / eps)-time sketching.
+///
+/// The returned SvdResult has at most `rank` triplets (fewer if
+/// min(a.rows(), a.cols()) < rank); singular values are non-increasing
+/// and slightly *underestimate* the true values (Rayleigh-Ritz from a
+/// subspace), which is the safe direction for FD's shrink step.
+StatusOr<SvdResult> RandomizedSvd(const Matrix& a, size_t rank,
+                                  const RandomizedSvdOptions& options = {});
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_RANDOMIZED_SVD_H_

@@ -1,0 +1,43 @@
+#include "linalg/row_basis.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.h"
+
+namespace distsketch {
+
+RowBasisBuilder::RowBasisBuilder(size_t dim, size_t max_rank, double rel_tol)
+    : dim_(dim), max_rank_(max_rank), rel_tol_(rel_tol) {
+  selected_.SetZero(0, dim);
+  basis_.SetZero(0, dim);
+}
+
+bool RowBasisBuilder::Offer(std::span<const double> row) {
+  DS_CHECK(row.size() == dim_);
+  const double row_norm = Norm2(row);
+  if (row_norm == 0.0) return false;
+
+  // Residual = row - sum_j <row, v_j> v_j, with one re-orthogonalization
+  // pass (classical Gram-Schmidt twice is numerically equivalent to MGS).
+  std::vector<double> residual(row.begin(), row.end());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t j = 0; j < basis_.rows(); ++j) {
+      const double coeff = Dot(residual, basis_.Row(j));
+      Axpy(-coeff, basis_.Row(j), residual);
+    }
+  }
+  const double res_norm = Norm2(residual);
+  if (res_norm <= rel_tol_ * row_norm) return false;
+
+  if (rank() >= max_rank_) {
+    overflowed_ = true;
+    return false;
+  }
+  selected_.AppendRow(row);
+  ScaleVector(1.0 / res_norm, residual);
+  basis_.AppendRow(residual);
+  return true;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,53 @@
+#ifndef DISTSKETCH_LINALG_ROW_BASIS_H_
+#define DISTSKETCH_LINALG_ROW_BASIS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Streaming extraction of a maximal set of linearly independent rows.
+///
+/// Implements the one-pass construction of §3.3 (case rank(A) <= 2k): it
+/// maintains the selected original rows Q and, on the side, an orthonormal
+/// basis V of their span. A new row is selected iff its residual after
+/// projection onto span(V) is non-negligible. Working space is
+/// O(max_rank * d).
+class RowBasisBuilder {
+ public:
+  /// `dim` is the row dimension d; `max_rank` caps how many rows are kept
+  /// (pass d for no cap); `rel_tol` is the relative residual threshold for
+  /// declaring a row dependent.
+  RowBasisBuilder(size_t dim, size_t max_rank, double rel_tol = 1e-10);
+
+  /// Offers one row; returns true iff it was added to the basis.
+  bool Offer(std::span<const double> row);
+
+  /// The selected original rows (a row basis Q of everything offered, as
+  /// long as the cap was never hit).
+  const Matrix& selected_rows() const { return selected_; }
+
+  /// The orthonormal basis of span(Q), one row per basis vector.
+  const Matrix& orthonormal_basis() const { return basis_; }
+
+  /// Number of selected rows (the observed rank, up to the cap).
+  size_t rank() const { return selected_.rows(); }
+
+  /// True iff the cap was reached and a subsequent independent row was
+  /// rejected (i.e. rank(A) > max_rank was detected).
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  size_t dim_;
+  size_t max_rank_;
+  double rel_tol_;
+  Matrix selected_;
+  Matrix basis_;
+  bool overflowed_ = false;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_ROW_BASIS_H_

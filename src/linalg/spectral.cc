@@ -1,0 +1,89 @@
+#include "linalg/spectral.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+
+namespace distsketch {
+namespace {
+
+// One power-iteration run on the linear operator `apply` acting on
+// dimension-n vectors; returns the converged operator-norm estimate.
+template <typename ApplyFn>
+double PowerIterate(size_t n, const ApplyFn& apply,
+                    const SpectralNormOptions& options, Rng& rng) {
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.NextGaussian();
+  double norm = Norm2(x);
+  if (norm == 0.0) return 0.0;
+  ScaleVector(1.0 / norm, x);
+
+  double estimate = 0.0;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    std::vector<double> y = apply(x);
+    const double ynorm = Norm2(y);
+    if (ynorm == 0.0) return 0.0;
+    const double prev = estimate;
+    estimate = ynorm;
+    ScaleVector(1.0 / ynorm, y);
+    x = std::move(y);
+    if (it > 0 && std::abs(estimate - prev) <=
+                      options.tol * std::max(estimate, 1e-300)) {
+      break;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace
+
+double SymmetricSpectralNorm(const Matrix& x,
+                             const SpectralNormOptions& options) {
+  if (x.empty()) return 0.0;
+  DS_CHECK(x.rows() == x.cols());
+  const size_t n = x.rows();
+  Rng rng(options.seed);
+  double best = 0.0;
+  for (int r = 0; r < options.restarts; ++r) {
+    const double est = PowerIterate(
+        n, [&](const std::vector<double>& v) { return MatVec(x, v); },
+        options, rng);
+    best = std::max(best, est);
+  }
+  return best;
+}
+
+double SpectralNorm(const Matrix& a, const SpectralNormOptions& options) {
+  if (a.empty()) return 0.0;
+  const size_t n = a.cols();
+  Rng rng(options.seed);
+  double best = 0.0;
+  for (int r = 0; r < options.restarts; ++r) {
+    // Iterate on A^T A; the estimate converges to sigma_max^2.
+    const double est = PowerIterate(
+        n,
+        [&](const std::vector<double>& v) {
+          const std::vector<double> av = MatVec(a, v);
+          return MatTVec(a, av);
+        },
+        options, rng);
+    best = std::max(best, est);
+  }
+  return std::sqrt(best);
+}
+
+double SymmetricSpectralNormExact(const Matrix& x) {
+  if (x.empty()) return 0.0;
+  auto eig = ComputeSymmetricEigen(x);
+  DS_CHECK(eig.ok());
+  double best = 0.0;
+  for (const double lambda : eig->eigenvalues) {
+    best = std::max(best, std::abs(lambda));
+  }
+  return best;
+}
+
+}  // namespace distsketch

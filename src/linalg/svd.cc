@@ -1,0 +1,212 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace distsketch {
+namespace {
+
+// One-sided Jacobi SVD of an m-by-n matrix with m >= n.
+// On return: `work` holds U*diag(sigma) in its columns, `v` is n-by-n.
+Status OneSidedJacobi(Matrix& work, Matrix& v, const SvdOptions& options) {
+  const size_t m = work.rows();
+  const size_t n = work.cols();
+  DS_CHECK(m >= n);
+  v = Matrix::Identity(n);
+  if (n < 2) return Status::OK();
+
+  // Columns whose squared norm is below round-off relative to the whole
+  // matrix are numerically zero (they carry sigma <= 1e-14 * ||A||_F).
+  // Rotations involving them are numerical no-ops that can cycle forever
+  // on rank-deficient inputs (the rotation angle underflows while the
+  // off-diagonal test keeps failing), so they are frozen instead.
+  double total = 0.0;
+  for (size_t i = 0; i < work.size(); ++i) {
+    total += work.data()[i] * work.data()[i];
+  }
+  const double column_floor = 1e-28 * total;
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        // Column inner products.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          const double* row = work.data() + i * n;
+          app += row[p] * row[p];
+          aqq += row[q] * row[q];
+          apq += row[p] * row[q];
+        }
+        if (std::abs(apq) <= options.tol * std::sqrt(app * aqq) ||
+            app <= column_floor || aqq <= column_floor) {
+          continue;
+        }
+        rotated = true;
+        // Jacobi rotation zeroing the (p,q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          double* row = work.data() + i * n;
+          const double wp = row[p];
+          const double wq = row[q];
+          row[p] = c * wp - s * wq;
+          row[q] = s * wp + c * wq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          double* row = v.data() + i * n;
+          const double vp = row[p];
+          const double vq = row[q];
+          row[p] = c * vp - s * vq;
+          row[q] = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) return Status::OK();
+  }
+  return Status::NumericalError("one-sided Jacobi SVD did not converge");
+}
+
+// Extracts sigma and normalized U columns from work = U*diag(sigma);
+// sorts everything by non-increasing sigma.
+SvdResult FinalizeFromColumns(Matrix work, Matrix v) {
+  const size_t m = work.rows();
+  const size_t n = work.cols();
+  SvdResult out;
+  out.singular_values.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm2 = 0.0;
+    for (size_t i = 0; i < m; ++i) norm2 += work(i, j) * work(i, j);
+    out.singular_values[j] = std::sqrt(norm2);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return out.singular_values[a] > out.singular_values[b];
+  });
+
+  SvdResult sorted;
+  sorted.singular_values.resize(n);
+  sorted.u.SetZero(m, n);
+  sorted.v.SetZero(v.rows(), n);
+  for (size_t jj = 0; jj < n; ++jj) {
+    const size_t j = order[jj];
+    const double sigma = out.singular_values[j];
+    sorted.singular_values[jj] = sigma;
+    if (sigma > 0.0) {
+      const double inv = 1.0 / sigma;
+      for (size_t i = 0; i < m; ++i) sorted.u(i, jj) = work(i, j) * inv;
+    }
+    for (size_t i = 0; i < v.rows(); ++i) sorted.v(i, jj) = v(i, j);
+  }
+  return sorted;
+}
+
+}  // namespace
+
+Matrix SvdResult::Reconstruct() const {
+  Matrix us = u;
+  for (size_t j = 0; j < singular_values.size(); ++j) {
+    for (size_t i = 0; i < us.rows(); ++i) us(i, j) *= singular_values[j];
+  }
+  return MultiplyTransposeB(us, v);
+}
+
+Matrix SvdResult::AggregatedForm() const {
+  // Row j of agg(A) is sigma_j * v_j^T.
+  Matrix agg(singular_values.size(), v.rows());
+  for (size_t j = 0; j < singular_values.size(); ++j) {
+    for (size_t i = 0; i < v.rows(); ++i) {
+      agg(j, i) = singular_values[j] * v(i, j);
+    }
+  }
+  return agg;
+}
+
+Matrix SvdResult::RankKApproximation(size_t k) const {
+  k = std::min(k, singular_values.size());
+  if (k == 0) return Matrix(u.rows(), v.rows());
+  Matrix us(u.rows(), k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < u.rows(); ++i) {
+      us(i, j) = u(i, j) * singular_values[j];
+    }
+  }
+  Matrix vk(v.rows(), k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < v.rows(); ++i) vk(i, j) = v(i, j);
+  }
+  return MultiplyTransposeB(us, vk);
+}
+
+double SvdResult::TailEnergy(size_t k) const {
+  double acc = 0.0;
+  for (size_t j = std::min(k, singular_values.size());
+       j < singular_values.size(); ++j) {
+    acc += singular_values[j] * singular_values[j];
+  }
+  return acc;
+}
+
+Matrix SvdResult::TopRightSingularVectors(size_t k) const {
+  k = std::min(k, singular_values.size());
+  Matrix vk(v.rows(), k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < v.rows(); ++i) vk(i, j) = v(i, j);
+  }
+  return vk;
+}
+
+StatusOr<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
+  if (a.empty()) {
+    return Status::InvalidArgument("ComputeSvd: empty input");
+  }
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+
+  if (m < n) {
+    // Wide input: SVD of the transpose, then swap the factors.
+    DS_ASSIGN_OR_RETURN(SvdResult t, ComputeSvd(Transpose(a), options));
+    SvdResult out;
+    out.u = std::move(t.v);
+    out.v = std::move(t.u);
+    out.singular_values = std::move(t.singular_values);
+    return out;
+  }
+
+  if (static_cast<double>(m) >
+      options.qr_ratio * static_cast<double>(n)) {
+    // Tall input: A = Q R, SVD(R) = Ur S V^T, so A = (Q Ur) S V^T.
+    DS_ASSIGN_OR_RETURN(QrResult qr, HouseholderQr(a));
+    Matrix work = std::move(qr.r);
+    Matrix v;
+    DS_RETURN_IF_ERROR(OneSidedJacobi(work, v, options));
+    SvdResult inner = FinalizeFromColumns(std::move(work), std::move(v));
+    SvdResult out;
+    out.u = Multiply(qr.q, inner.u);
+    out.singular_values = std::move(inner.singular_values);
+    out.v = std::move(inner.v);
+    return out;
+  }
+
+  Matrix work = a;
+  Matrix v;
+  DS_RETURN_IF_ERROR(OneSidedJacobi(work, v, options));
+  return FinalizeFromColumns(std::move(work), std::move(v));
+}
+
+StatusOr<std::vector<double>> SingularValues(const Matrix& a,
+                                             const SvdOptions& options) {
+  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(a, options));
+  return std::move(svd.singular_values);
+}
+
+}  // namespace distsketch

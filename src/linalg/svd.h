@@ -1,0 +1,64 @@
+#ifndef DISTSKETCH_LINALG_SVD_H_
+#define DISTSKETCH_LINALG_SVD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Reduced singular value decomposition A = U diag(sigma) V^T with
+/// U (m-by-r), V (d-by-r) orthonormal-column matrices and r = min(m, d).
+/// Singular values are sorted in non-increasing order (paper §1.1).
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+
+  /// Reassembles U diag(sigma) V^T (testing aid).
+  Matrix Reconstruct() const;
+
+  /// The "aggregated" form agg(A) = diag(sigma) V^T used by SVS (§3.1.1):
+  /// an r-by-d matrix whose rows are the scaled right singular vectors.
+  Matrix AggregatedForm() const;
+
+  /// The best rank-k approximation [A]_k = U_k diag(sigma_k) V_k^T.
+  /// k is clamped to r.
+  Matrix RankKApproximation(size_t k) const;
+
+  /// sum_{i>k} sigma_i^2 = ||A - [A]_k||_F^2 (the tail energy; k clamped).
+  double TailEnergy(size_t k) const;
+
+  /// The first k right singular vectors as a d-by-k orthonormal matrix
+  /// (k clamped to r).
+  Matrix TopRightSingularVectors(size_t k) const;
+};
+
+/// Options for the Jacobi SVD.
+struct SvdOptions {
+  /// Convergence threshold on normalized off-diagonal column coherence.
+  double tol = 1e-12;
+  /// Maximum number of one-sided Jacobi sweeps before giving up.
+  int max_sweeps = 60;
+  /// When the input is taller than `qr_ratio` times its width, a thin QR
+  /// is performed first and Jacobi runs on the small R factor.
+  double qr_ratio = 1.2;
+};
+
+/// Computes the reduced SVD of an m-by-d matrix via one-sided Jacobi
+/// (with Householder-QR preprocessing for tall inputs, and via the
+/// transpose for wide inputs). Deterministic; accurate to ~1e-12 relative
+/// for well-scaled inputs.
+///
+/// Returns NumericalError if Jacobi fails to converge within
+/// `options.max_sweeps` sweeps, InvalidArgument on an empty input.
+StatusOr<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options = {});
+
+/// Convenience: singular values only (non-increasing).
+StatusOr<std::vector<double>> SingularValues(const Matrix& a,
+                                             const SvdOptions& options = {});
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_SVD_H_

@@ -1,0 +1,172 @@
+#include "monitor/continuous_tracking.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "sketch/decomp.h"
+#include "sketch/error_metrics.h"
+#include "sketch/svs.h"
+
+namespace distsketch {
+namespace {
+
+// Both the per-server delta sketch and the coordinator's merged sketch
+// run FD at eps/2 so the total error splits evenly between the synced
+// part (FD guarantee) and the unsynced suffixes (sync condition).
+StatusOr<FrequentDirections> MakeFd(size_t dim, double eps) {
+  return FrequentDirections::FromEps(dim, eps / 2.0);
+}
+
+}  // namespace
+
+TrackingServer::TrackingServer(size_t dim, const TrackingOptions& options,
+                               int server_id, size_t num_servers,
+                               FrequentDirections delta)
+    : dim_(dim),
+      options_(options),
+      server_id_(server_id),
+      num_servers_(num_servers),
+      delta_(std::move(delta)) {}
+
+StatusOr<TrackingServer> TrackingServer::Create(
+    size_t dim, const TrackingOptions& options, int server_id,
+    size_t num_servers) {
+  if (options.eps <= 0.0 || options.eps >= 1.0) {
+    return Status::InvalidArgument("TrackingServer: eps not in (0,1)");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("TrackingServer: k < 1");
+  }
+  if (num_servers < 1) {
+    return Status::InvalidArgument("TrackingServer: num_servers < 1");
+  }
+  DS_ASSIGN_OR_RETURN(FrequentDirections delta, MakeFd(dim, options.eps));
+  return TrackingServer(dim, options, server_id, num_servers,
+                        std::move(delta));
+}
+
+bool TrackingServer::Append(std::span<const double> row) {
+  delta_.Append(row);
+  unsynced_mass_ += SquaredNorm2(row);
+  // Sync once the unsynced suffix could contribute eps/2 * ||A||_F^2 / s
+  // of covariance mass. Before any broadcast (cold start) every row
+  // syncs, which is also what keeps the estimate valid from t = 0.
+  const double budget =
+      0.5 * options_.eps *
+      std::max(last_broadcast_mass_, 1e-300) /
+      static_cast<double>(num_servers_);
+  return unsynced_mass_ > 0.0 &&
+         (last_broadcast_mass_ <= 0.0 || unsynced_mass_ >= budget);
+}
+
+StatusOr<Matrix> TrackingServer::TakeSyncPayload(double global_mass) {
+  Matrix sketch = delta_.Sketch();
+  synced_mass_ += unsynced_mass_;
+  unsynced_mass_ = 0.0;
+  ++sync_count_;
+  DS_ASSIGN_OR_RETURN(FrequentDirections fresh,
+                      MakeFd(dim_, options_.eps));
+  delta_ = std::move(fresh);
+  if (sketch.rows() == 0) return sketch;
+
+  if (options_.payload == SyncPayload::kDeltaSketch) {
+    return sketch;
+  }
+  // SVS-compressed payload (the §1.5 open question): keep the top-k head
+  // of the delta verbatim, Bernoulli-compress the tail with the quadratic
+  // sampling function parameterized by the *global* mass, so tails that
+  // are small relative to the stream so far mostly vanish.
+  DS_ASSIGN_OR_RETURN(DecompResult decomp, Decomp(sketch, options_.k));
+  if (decomp.tail.rows() == 0 || global_mass <= 0.0) {
+    return std::move(decomp.head);
+  }
+  SamplingFunctionParams params;
+  params.num_servers = num_servers_;
+  params.alpha = options_.eps / 2.0;
+  params.total_frobenius = global_mass;
+  params.dim = dim_;
+  params.delta = 0.1;
+  const QuadraticSamplingFunction g(params);
+  DS_ASSIGN_OR_RETURN(
+      SvsResult svs,
+      SvsOnAggregatedForm(decomp.tail, g,
+                          Rng::DeriveSeed(options_.seed,
+                                          (sync_count_ << 8) ^
+                                              static_cast<uint64_t>(
+                                                  server_id_))));
+  return ConcatRows(decomp.head, svs.sketch);
+}
+
+TrackingCoordinator::TrackingCoordinator(size_t dim,
+                                         FrequentDirections merged)
+    : dim_(dim), merged_(std::move(merged)) {}
+
+StatusOr<TrackingCoordinator> TrackingCoordinator::Create(
+    size_t dim, const TrackingOptions& options) {
+  if (options.eps <= 0.0 || options.eps >= 1.0) {
+    return Status::InvalidArgument("TrackingCoordinator: eps not in (0,1)");
+  }
+  DS_ASSIGN_OR_RETURN(FrequentDirections merged, MakeFd(dim, options.eps));
+  return TrackingCoordinator(dim, std::move(merged));
+}
+
+void TrackingCoordinator::Ingest(const Matrix& payload, double delta_mass) {
+  merged_.AppendRows(payload);
+  global_mass_ += delta_mass;
+}
+
+Matrix TrackingCoordinator::Estimate() { return merged_.Sketch(); }
+
+StatusOr<TrackingRunResult> RunTrackingSimulation(
+    const Matrix& a, size_t num_servers, const TrackingOptions& options,
+    size_t checkpoint_every) {
+  if (a.empty()) {
+    return Status::InvalidArgument("RunTrackingSimulation: empty input");
+  }
+  const size_t d = a.cols();
+  DS_ASSIGN_OR_RETURN(TrackingCoordinator coordinator,
+                      TrackingCoordinator::Create(d, options));
+  std::vector<TrackingServer> servers;
+  for (size_t i = 0; i < num_servers; ++i) {
+    DS_ASSIGN_OR_RETURN(TrackingServer server,
+                        TrackingServer::Create(d, options,
+                                               static_cast<int>(i),
+                                               num_servers));
+    servers.push_back(std::move(server));
+  }
+
+  TrackingRunResult result;
+  double prefix_mass = 0.0;
+  for (size_t t = 0; t < a.rows(); ++t) {
+    auto row = a.Row(t);
+    prefix_mass += SquaredNorm2(row);
+    TrackingServer& server = servers[t % num_servers];
+    if (server.Append(row)) {
+      const double delta_mass = server.unsynced_mass();
+      DS_ASSIGN_OR_RETURN(Matrix payload,
+                          server.TakeSyncPayload(coordinator.global_mass()));
+      // Payload rows + 1 word of mass up; broadcast of the new global
+      // mass down (s words).
+      result.total_words += payload.rows() * d + 1 + num_servers;
+      ++result.num_syncs;
+      coordinator.Ingest(payload, delta_mass);
+      for (auto& peer : servers) {
+        peer.ReceiveGlobalMass(coordinator.global_mass());
+      }
+    }
+    if ((t + 1) % checkpoint_every == 0 || t + 1 == a.rows()) {
+      const Matrix estimate = coordinator.Estimate();
+      const Matrix prefix = a.RowRange(0, t + 1);
+      const double err = CovarianceError(prefix, estimate);
+      result.worst_error_ratio =
+          std::max(result.worst_error_ratio,
+                   err / std::max(prefix_mass, 1e-300));
+      ++result.checkpoints;
+    }
+  }
+  return result;
+}
+
+}  // namespace distsketch

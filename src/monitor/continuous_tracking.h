@@ -1,0 +1,128 @@
+#ifndef DISTSKETCH_MONITOR_CONTINUOUS_TRACKING_H_
+#define DISTSKETCH_MONITOR_CONTINUOUS_TRACKING_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "sketch/frequent_directions.h"
+
+namespace distsketch {
+
+/// Payload shipped on each sync in the continuous-tracking protocol.
+enum class SyncPayload {
+  /// The FD sketch of the server's rows since its last sync.
+  kDeltaSketch,
+  /// The delta sketch further compressed by Decomp + SVS (§3.2 applied
+  /// to the monitoring model — the paper's open question in §1.5 whether
+  /// its techniques improve Ghashami-Phillips-Li [17]).
+  kSvsCompressed,
+};
+
+/// Options for continuous covariance tracking.
+struct TrackingOptions {
+  /// Target: coverr(A(t), estimate) <= eps * ||A(t)||_F^2 at all times.
+  double eps = 0.2;
+  /// Head rank used by the SVS-compressed payload (>= 1).
+  size_t k = 2;
+  SyncPayload payload = SyncPayload::kDeltaSketch;
+  uint64_t seed = 42;
+};
+
+/// Per-server state of the continuous-tracking protocol (the distributed
+/// monitoring model of [17]: servers see growing streams, the coordinator
+/// must be able to answer at *any* time, not only at a final query).
+///
+/// Invariant: a server syncs whenever the Frobenius mass it accumulated
+/// since its last sync exceeds (eps/2) * (last broadcast global mass) / s,
+/// so the union of unsynced suffixes never carries more than
+/// (eps/2)*||A||_F^2 of covariance mass; the synced part is covered by
+/// the FD guarantee at eps/2. Together: eps at all times.
+class TrackingServer {
+ public:
+  static StatusOr<TrackingServer> Create(size_t dim,
+                                         const TrackingOptions& options,
+                                         int server_id, size_t num_servers);
+
+  /// Processes one row. Returns true if this row trips the sync
+  /// condition (the caller then collects the payload via TakeSyncPayload
+  /// and routes it to the coordinator).
+  bool Append(std::span<const double> row);
+
+  /// Builds the payload for the pending sync and resets the delta state.
+  /// `global_mass` is the coordinator's current global-mass estimate
+  /// (used by the SVS-compressed payload to parameterize g).
+  StatusOr<Matrix> TakeSyncPayload(double global_mass);
+
+  /// Receives the coordinator's broadcast of the new global mass.
+  void ReceiveGlobalMass(double mass) { last_broadcast_mass_ = mass; }
+
+  /// Local unsynced Frobenius mass (diagnostics).
+  double unsynced_mass() const { return unsynced_mass_; }
+  /// Local mass synced so far.
+  double synced_mass() const { return synced_mass_; }
+
+ private:
+  TrackingServer(size_t dim, const TrackingOptions& options, int server_id,
+                 size_t num_servers, FrequentDirections delta);
+
+  size_t dim_;
+  TrackingOptions options_;
+  int server_id_;
+  size_t num_servers_;
+  FrequentDirections delta_;
+  double unsynced_mass_ = 0.0;
+  double synced_mass_ = 0.0;
+  double last_broadcast_mass_ = 0.0;
+  uint64_t sync_count_ = 0;
+};
+
+/// Coordinator state: merges delta payloads into a running FD and tracks
+/// the global mass.
+class TrackingCoordinator {
+ public:
+  static StatusOr<TrackingCoordinator> Create(size_t dim,
+                                              const TrackingOptions& options);
+
+  /// Ingests one sync payload together with the payload's exact mass
+  /// contribution (one extra word on the wire).
+  void Ingest(const Matrix& payload, double delta_mass);
+
+  /// The current covariance-sketch estimate (valid at any time).
+  Matrix Estimate();
+
+  /// Global synced Frobenius mass.
+  double global_mass() const { return global_mass_; }
+
+ private:
+  TrackingCoordinator(size_t dim, FrequentDirections merged);
+
+  size_t dim_;
+  FrequentDirections merged_;
+  double global_mass_ = 0.0;
+};
+
+/// Result of a tracking simulation run.
+struct TrackingRunResult {
+  uint64_t total_words = 0;
+  uint64_t num_syncs = 0;
+  /// max over checkpoints of coverr(A(t), estimate)/||A(t)||_F^2.
+  double worst_error_ratio = 0.0;
+  /// Number of checkpoints evaluated.
+  size_t checkpoints = 0;
+};
+
+/// Replays `a`'s rows round-robin across `num_servers` tracking servers,
+/// evaluating the coordinator's estimate every `checkpoint_every` rows
+/// against the true prefix covariance. This is the test/bench harness for
+/// the monitoring extension.
+StatusOr<TrackingRunResult> RunTrackingSimulation(
+    const Matrix& a, size_t num_servers, const TrackingOptions& options,
+    size_t checkpoint_every);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_MONITOR_CONTINUOUS_TRACKING_H_

@@ -1,0 +1,30 @@
+#include "pca/fd_pca.h"
+
+#include "dist/fd_merge_protocol.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+
+StatusOr<PcaResult> FdPcaProtocol::Run(Cluster& cluster) {
+  if (options_.k < 1) {
+    return Status::InvalidArgument("FdPcaProtocol: k < 1");
+  }
+  FdMergeOptions fd_options;
+  fd_options.eps = options_.eps / 2.0;
+  fd_options.k = options_.k;
+  FdMergeProtocol sketch_protocol(fd_options);
+  DS_ASSIGN_OR_RETURN(SketchProtocolResult sketch,
+                      sketch_protocol.Run(cluster));
+
+  PcaResult result;
+  result.comm = sketch.comm;
+  if (sketch.sketch.rows() == 0) {
+    result.components.SetZero(cluster.dim(), 0);
+    return result;
+  }
+  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(sketch.sketch));
+  result.components = svd.TopRightSingularVectors(options_.k);
+  return result;
+}
+
+}  // namespace distsketch

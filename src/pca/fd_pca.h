@@ -1,0 +1,36 @@
+#ifndef DISTSKETCH_PCA_FD_PCA_H_
+#define DISTSKETCH_PCA_FD_PCA_H_
+
+#include <cstdint>
+
+#include "pca/pca_protocol.h"
+
+namespace distsketch {
+
+/// Options for the deterministic FD-based PCA baseline.
+struct FdPcaOptions {
+  size_t k = 2;
+  double eps = 0.1;
+};
+
+/// The O(s k d / eps) deterministic baseline ([22]-style, via Theorem 2 +
+/// Lemma 1): run the FD-merge protocol at accuracy eps/2, then take the
+/// top-k right singular vectors of the merged sketch. By Lemma 1 these
+/// are (1+eps)-approximate PCs. This is the bound both [5] and the
+/// paper's Theorem 9 improve on.
+class FdPcaProtocol : public PcaProtocol {
+ public:
+  explicit FdPcaProtocol(FdPcaOptions options) : options_(options) {}
+
+  std::string_view Name() const override { return "fd_pca"; }
+  StatusOr<PcaResult> Run(Cluster& cluster) override;
+
+  const FdPcaOptions& options() const { return options_; }
+
+ private:
+  FdPcaOptions options_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_PCA_FD_PCA_H_

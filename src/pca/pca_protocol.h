@@ -1,0 +1,37 @@
+#ifndef DISTSKETCH_PCA_PCA_PROTOCOL_H_
+#define DISTSKETCH_PCA_PCA_PROTOCOL_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/comm_log.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Output of a distributed PCA protocol run.
+struct PcaResult {
+  /// d-by-k orthonormal matrix of approximate top-k principal components
+  /// (Definition 4), known to the coordinator.
+  Matrix components;
+  /// Communication metered during the run.
+  CommStats comm;
+};
+
+/// A distributed protocol computing (1+eps)-approximate top-k PCs of the
+/// row-partitioned input (Definition 4). Only the coordinator needs the
+/// answer (the paper's model); broadcasting it costs a further O(skd).
+class PcaProtocol {
+ public:
+  virtual ~PcaProtocol() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  /// Runs the protocol; resets the cluster log first.
+  virtual StatusOr<PcaResult> Run(Cluster& cluster) = 0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_PCA_PCA_PROTOCOL_H_

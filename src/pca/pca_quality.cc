@@ -1,0 +1,33 @@
+#include "pca/pca_quality.h"
+
+#include <limits>
+
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+
+namespace distsketch {
+
+PcaQualityReport EvaluatePcaQuality(const Matrix& a, const Matrix& v) {
+  PcaQualityReport report;
+  const double total = SquaredFrobeniusNorm(a);
+  if (v.empty()) {
+    report.projection_error = total;
+  } else {
+    const Matrix av = Multiply(a, v);
+    report.projection_error = total - SquaredFrobeniusNorm(av);
+  }
+  report.optimal_error = OptimalTailEnergy(a, v.cols());
+  // Optimal error at the numerical noise floor counts as zero: the ratio
+  // of two round-off residuals is meaningless.
+  const double floor = 1e-12 * std::max(total, 1.0);
+  if (report.optimal_error > floor) {
+    report.ratio = report.projection_error / report.optimal_error;
+  } else if (report.projection_error <= 1e-9 * std::max(total, 1.0)) {
+    report.ratio = 1.0;
+  } else {
+    report.ratio = std::numeric_limits<double>::infinity();
+  }
+  return report;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,29 @@
+#ifndef DISTSKETCH_PCA_PCA_QUALITY_H_
+#define DISTSKETCH_PCA_PCA_QUALITY_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Quality report for a candidate PC matrix V against ground truth A.
+struct PcaQualityReport {
+  /// ||A - A V V^T||_F^2 (what Definition 4 bounds).
+  double projection_error = 0.0;
+  /// ||A - [A]_k||_F^2 (the unavoidable part).
+  double optimal_error = 0.0;
+  /// projection_error / optimal_error; Definition 4 asks <= 1 + eps.
+  /// Infinity when the optimal error is zero but the projection error is
+  /// not; 1.0 when both are zero.
+  double ratio = 1.0;
+};
+
+/// Evaluates the (1+eps) PCA guarantee of Definition 4 for V (d-by-k,
+/// expected orthonormal columns) against the full data matrix `a`.
+/// This is a test/bench oracle: it sees the assembled input.
+PcaQualityReport EvaluatePcaQuality(const Matrix& a, const Matrix& v);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_PCA_PCA_QUALITY_H_

@@ -1,0 +1,62 @@
+#ifndef DISTSKETCH_PCA_SKETCH_AND_SOLVE_H_
+#define DISTSKETCH_PCA_SKETCH_AND_SOLVE_H_
+
+#include <cstdint>
+
+#include "pca/pca_protocol.h"
+
+namespace distsketch {
+
+/// How the "solve" step of Theorem 9 consumes the distributed sketch.
+enum class SolveMode {
+  /// Servers ship Q^(i) to the coordinator, which SVDs the concatenation
+  /// (this is Theorem 7 + Lemma 1: O(sdk + sqrt(s) k d sqrt(log d)/eps)
+  /// words; optimal O(skd) once s >= log(d)/eps^2).
+  kCollect,
+  /// The batch PCA comparator runs *on the distributed sketch parts* —
+  /// the full Theorem 9 composition with cost
+  /// O(skd + (sqrt(s log d) k / eps) min{d, k/eps^2}).
+  kDistributedSolve,
+  /// Pick whichever of the two has the smaller metered-cost estimate
+  /// (the min{} in Theorem 9's statement).
+  kAuto,
+};
+
+/// Options for the sketch-and-solve distributed PCA of Theorem 9.
+struct SketchAndSolveOptions {
+  size_t k = 2;
+  double eps = 0.1;
+  double delta = 0.1;
+  SolveMode mode = SolveMode::kAuto;
+  uint64_t seed = 42;
+};
+
+/// The paper's distributed streaming PCA (§4, Theorem 9):
+///
+///   1. every server streams its rows once through the adaptive
+///      (eps/2, k)-sketch pipeline of §3.2, producing Q^(i) locally
+///      (only 2 scalars per server travel: the tail-mass agreement);
+///   2. the PCA problem is solved *on the sketch* Q = [Q^(1);...;Q^(s)]
+///      — by Lemma 8, any (1+eps)-approximate top-k PCs of Q are
+///      (1+O(eps))-approximate for A, because Q is a strong sketch with
+///      ||Q||_F^2 = ||A||_F^2 + O(||A - [A]_k||_F^2).
+///
+/// Unlike the batch algorithm of [5], every server reads its data once
+/// with O(dk/eps) working space.
+class SketchAndSolvePca : public PcaProtocol {
+ public:
+  explicit SketchAndSolvePca(SketchAndSolveOptions options)
+      : options_(options) {}
+
+  std::string_view Name() const override { return "sketch_and_solve_pca"; }
+  StatusOr<PcaResult> Run(Cluster& cluster) override;
+
+  const SketchAndSolveOptions& options() const { return options_; }
+
+ private:
+  SketchAndSolveOptions options_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_PCA_SKETCH_AND_SOLVE_H_

@@ -1,0 +1,71 @@
+#include "query/covariance_query.h"
+
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+
+CovarianceQueryEngine::CovarianceQueryEngine(Matrix sketch,
+                                             double coverr_bound)
+    : sketch_(std::move(sketch)), coverr_bound_(coverr_bound) {
+  DS_CHECK(!sketch_.empty());
+  gram_ = Gram(sketch_);
+}
+
+double CovarianceQueryEngine::QuadraticForm(
+    std::span<const double> x) const {
+  const std::vector<double> bx = MatVec(sketch_, x);
+  return SquaredNorm2(bx);
+}
+
+double CovarianceQueryEngine::QuadraticFormErrorBound(
+    std::span<const double> x) const {
+  return coverr_bound_ * SquaredNorm2(x);
+}
+
+double CovarianceQueryEngine::DirectionEnergy(
+    std::span<const double> v) const {
+  return QuadraticForm(v);
+}
+
+StatusOr<Matrix> CovarianceQueryEngine::PrincipalComponents(
+    size_t k) const {
+  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(sketch_));
+  return svd.TopRightSingularVectors(k);
+}
+
+StatusOr<double> CovarianceQueryEngine::ResidualScore(
+    std::span<const double> x, size_t k) const {
+  const double energy = SquaredNorm2(x);
+  if (energy == 0.0) return 0.0;
+  DS_ASSIGN_OR_RETURN(Matrix v, PrincipalComponents(k));
+  double captured = 0.0;
+  for (size_t j = 0; j < v.cols(); ++j) {
+    double dot = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) dot += x[i] * v(i, j);
+    captured += dot * dot;
+  }
+  return (energy - captured) / energy;
+}
+
+StatusOr<std::vector<double>> CovarianceQueryEngine::RidgeSolve(
+    std::span<const double> atb, double lambda) const {
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("RidgeSolve: lambda must be positive");
+  }
+  if (atb.size() != gram_.rows()) {
+    return Status::InvalidArgument("RidgeSolve: A^T b has wrong dimension");
+  }
+  Matrix system = gram_;
+  for (size_t i = 0; i < system.rows(); ++i) system(i, i) += lambda;
+  DS_ASSIGN_OR_RETURN(CholeskyFactor chol,
+                      CholeskyFactor::Factorize(system));
+  return chol.Solve(atb);
+}
+
+double CovarianceQueryEngine::RidgeRelativeErrorBound(double lambda) const {
+  return lambda > 0.0 ? coverr_bound_ / lambda : 0.0;
+}
+
+}  // namespace distsketch

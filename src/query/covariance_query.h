@@ -1,0 +1,68 @@
+#ifndef DISTSKETCH_QUERY_COVARIANCE_QUERY_H_
+#define DISTSKETCH_QUERY_COVARIANCE_QUERY_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Query engine over a covariance sketch B of some (possibly enormous,
+/// possibly remote) matrix A. This is the consumer side of the paper:
+/// once the coordinator holds an (eps, k)-sketch, these are the questions
+/// it can answer without touching the data again, each with error
+/// controlled by coverr(A, B) (Definition 1).
+class CovarianceQueryEngine {
+ public:
+  /// Takes ownership of the sketch. `coverr_bound` is the certified
+  /// covariance-error budget of the sketch (e.g. SketchErrorBudget of the
+  /// protocol that produced it); it parameterizes every error estimate
+  /// below. Pass 0 if unknown (error estimates then read 0 and only the
+  /// point estimates are meaningful).
+  CovarianceQueryEngine(Matrix sketch, double coverr_bound);
+
+  /// ||A x||^2 estimated as ||B x||^2; true value is within
+  /// +- coverr_bound * ||x||^2 (the Definition 1 equivalence).
+  double QuadraticForm(std::span<const double> x) const;
+
+  /// Absolute error bound for QuadraticForm on this x.
+  double QuadraticFormErrorBound(std::span<const double> x) const;
+
+  /// Energy of A along a candidate unit direction v, i.e. v^T A^T A v —
+  /// the "variance explained" primitive behind PCA dashboards.
+  double DirectionEnergy(std::span<const double> v) const;
+
+  /// Top-k right singular vectors of the sketch: approximate principal
+  /// components of A (Lemma 1 quality).
+  StatusOr<Matrix> PrincipalComponents(size_t k) const;
+
+  /// Approximate row "outlierness" score of a new row x: the fraction of
+  /// ||x||^2 outside the sketch's top-k subspace. The anomaly-detection
+  /// primitive ([20], [36] in the paper's intro).
+  StatusOr<double> ResidualScore(std::span<const double> x, size_t k) const;
+
+  /// Solves the ridge problem argmin_w ||A w - b||^2 + lambda ||w||^2
+  /// given the *exact* d-vector c = A^T b (cheap to compute in one
+  /// distributed round: d words per server), using B^T B in place of
+  /// A^T A:  w = (B^T B + lambda I)^{-1} c.
+  /// Relative solution error is bounded by coverr_bound / lambda.
+  StatusOr<std::vector<double>> RidgeSolve(std::span<const double> atb,
+                                           double lambda) const;
+
+  /// Relative error bound coverr_bound/lambda for RidgeSolve.
+  double RidgeRelativeErrorBound(double lambda) const;
+
+  const Matrix& sketch() const { return sketch_; }
+  double coverr_bound() const { return coverr_bound_; }
+
+ private:
+  Matrix sketch_;
+  double coverr_bound_;
+  Matrix gram_;  // B^T B, precomputed (d x d)
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_QUERY_COVARIANCE_QUERY_H_

@@ -1,0 +1,49 @@
+#ifndef DISTSKETCH_QUERY_DISTRIBUTED_RIDGE_H_
+#define DISTSKETCH_QUERY_DISTRIBUTED_RIDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/comm_log.h"
+
+namespace distsketch {
+
+/// Options for sketch-based distributed ridge regression.
+struct DistributedRidgeOptions {
+  /// Ridge regularizer (> 0).
+  double lambda = 1.0;
+  /// Accuracy of the covariance sketch used in place of X^T X.
+  double eps = 0.1;
+  /// Rank parameter of the sketch.
+  size_t k = 4;
+  uint64_t seed = 42;
+};
+
+/// Output of a distributed ridge run.
+struct DistributedRidgeResult {
+  /// The fitted weights (d-dimensional).
+  std::vector<double> weights;
+  /// Words exchanged (sketch protocol + the exact X^T y aggregation).
+  CommStats comm;
+  /// Analytic relative-error bound coverr_budget / lambda for the
+  /// solution, from the certified sketch budget.
+  double relative_error_bound = 0.0;
+};
+
+/// Distributed ridge regression over row-partitioned data
+/// (X^(i), y^(i)) — a canonical downstream consumer of a covariance
+/// sketch. Each server of `cluster` holds rows [x | y] (the last column
+/// is the regression target). One extra exact round aggregates
+/// c = X^T y = sum_i X^(i)T y^(i) (d words per server); the Gram X^T X is
+/// replaced by the Theorem 7 sketch's B^T B, so the whole fit costs
+/// O(s d (k + sqrt-term)) words instead of the O(n d) of centralizing
+/// the data, with solution error || w_hat - w* || / || w* || <=
+/// coverr / lambda_min(X^T X + lambda I) <= budget / lambda.
+StatusOr<DistributedRidgeResult> DistributedRidge(
+    Cluster& cluster, const DistributedRidgeOptions& options);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_QUERY_DISTRIBUTED_RIDGE_H_

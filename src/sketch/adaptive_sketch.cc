@@ -1,0 +1,105 @@
+#include "sketch/adaptive_sketch.h"
+
+#include <utility>
+
+#include "linalg/blas.h"
+#include "sketch/decomp.h"
+#include "sketch/svs.h"
+
+namespace distsketch {
+
+AdaptiveLocalSketch::AdaptiveLocalSketch(size_t dim, double eps, size_t k,
+                                         uint64_t seed,
+                                         FrequentDirections fd)
+    : dim_(dim), eps_(eps), k_(k), seed_(seed), fd_(std::move(fd)) {}
+
+StatusOr<AdaptiveLocalSketch> AdaptiveLocalSketch::Create(size_t dim,
+                                                          double eps,
+                                                          size_t k,
+                                                          uint64_t seed) {
+  if (dim < 1) {
+    return Status::InvalidArgument("AdaptiveLocalSketch: dim < 1");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("AdaptiveLocalSketch: k < 1");
+  }
+  if (eps <= 0.0 || eps >= 1.0) {
+    return Status::InvalidArgument("AdaptiveLocalSketch: eps not in (0,1)");
+  }
+  DS_ASSIGN_OR_RETURN(FrequentDirections fd,
+                      FrequentDirections::FromEpsK(dim, eps, k));
+  return AdaptiveLocalSketch(dim, eps, k, seed, std::move(fd));
+}
+
+void AdaptiveLocalSketch::Append(std::span<const double> row) {
+  DS_CHECK(!finished_);
+  fd_.Append(row);
+}
+
+void AdaptiveLocalSketch::AppendRows(const Matrix& rows) {
+  for (size_t i = 0; i < rows.rows(); ++i) Append(rows.Row(i));
+}
+
+double AdaptiveLocalSketch::FinishAndReportTailMass() {
+  if (finished_) return tail_mass_;
+  finished_ = true;
+  const Matrix b = fd_.Sketch();
+  if (b.rows() == 0) {
+    head_.SetZero(0, dim_);
+    tail_.SetZero(0, dim_);
+    tail_mass_ = 0.0;
+    return tail_mass_;
+  }
+  auto decomp = Decomp(b, k_);
+  DS_CHECK(decomp.ok());
+  head_ = std::move(decomp->head);
+  tail_ = std::move(decomp->tail);
+  tail_mass_ = SquaredFrobeniusNorm(tail_);
+  return tail_mass_;
+}
+
+StatusOr<Matrix> AdaptiveLocalSketch::CompressWithGlobalTailMass(
+    double global_tail_mass, size_t num_servers, double delta,
+    SamplingFunctionKind kind) {
+  if (!finished_) {
+    return Status::FailedPrecondition(
+        "CompressWithGlobalTailMass called before FinishAndReportTailMass");
+  }
+  if (tail_.rows() == 0 || global_tail_mass <= 0.0) {
+    // Nothing to compress: the head alone carries the whole spectrum.
+    return head_;
+  }
+  SamplingFunctionParams params;
+  params.num_servers = num_servers;
+  // Target tail error eps*||R||_F^2/k  ==> alpha = eps/k (§3.2).
+  params.alpha = eps_ / static_cast<double>(k_);
+  params.total_frobenius = global_tail_mass;
+  params.dim = dim_;
+  params.delta = delta;
+  DS_ASSIGN_OR_RETURN(std::unique_ptr<SamplingFunction> g,
+                      MakeSamplingFunction(kind, params));
+  DS_ASSIGN_OR_RETURN(SvsResult svs, SvsOnAggregatedForm(tail_, *g, seed_));
+  return ConcatRows(head_, svs.sketch);
+}
+
+StatusOr<Matrix> AdaptiveSketch(const Matrix& a, double eps, size_t k,
+                                uint64_t seed, size_t num_servers,
+                                double delta) {
+  DS_ASSIGN_OR_RETURN(AdaptiveLocalSketch local,
+                      AdaptiveLocalSketch::Create(a.cols(), eps, k, seed));
+  local.AppendRows(a);
+  const double tail_mass = local.FinishAndReportTailMass();
+  return local.CompressWithGlobalTailMass(tail_mass, num_servers, delta);
+}
+
+StatusOr<Matrix> RecompressSketch(const Matrix& q, double eps, size_t k) {
+  if (q.empty()) {
+    return Status::InvalidArgument("RecompressSketch: empty input");
+  }
+  DS_ASSIGN_OR_RETURN(FrequentDirections fd,
+                      FrequentDirections::FromEpsK(q.cols(), eps, k));
+  fd.AppendRows(q);
+  return fd.Sketch();
+}
+
+}  // namespace distsketch

@@ -1,0 +1,92 @@
+#ifndef DISTSKETCH_SKETCH_ADAPTIVE_SKETCH_H_
+#define DISTSKETCH_SKETCH_ADAPTIVE_SKETCH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "sketch/frequent_directions.h"
+#include "sketch/sampling_function.h"
+
+namespace distsketch {
+
+/// Per-server state of the randomized (eps, k)-sketch of §3.2 (Theorem 7).
+///
+/// The pipeline on server i is:
+///   1. stream local rows through FD -> local sketch B^(i)  [one pass]
+///   2. Decomp(B^(i), k) -> head T^(i) (top-k directions, sent verbatim)
+///      and tail R^(i); report ||R^(i)||_F^2 (one word)
+///   3. once the coordinator broadcasts the global tail mass
+///      sum_i ||R^(i)||_F^2, run SVS on R^(i) with the quadratic sampling
+///      function at alpha = eps/k -> W^(i); output Q^(i) = [T^(i); W^(i)].
+///
+/// The concatenation Q = [Q^(1); ...; Q^(s)] is a (3*eps, k)-sketch of A
+/// with O(s d k + (sqrt(s) k d / eps) sqrt(log d)) total words.
+class AdaptiveLocalSketch {
+ public:
+  /// Creates the local sketcher. `eps` and `k` follow Definition 3;
+  /// `seed` drives the SVS sampling on this server.
+  static StatusOr<AdaptiveLocalSketch> Create(size_t dim, double eps,
+                                              size_t k, uint64_t seed);
+
+  /// Phase 1: processes one local input row (single pass, O(dk/eps)
+  /// working space).
+  void Append(std::span<const double> row);
+
+  /// Phase 1 helper: processes every row of `rows`.
+  void AppendRows(const Matrix& rows);
+
+  /// Phase 2: finishes FD, splits head/tail, and returns the local tail
+  /// mass ||R^(i)||_F^2 (the one scalar sent to the coordinator).
+  /// Idempotent after first call.
+  double FinishAndReportTailMass();
+
+  /// Phase 3: given the coordinator-broadcast parameters (global tail
+  /// mass, number of servers, failure probability), compresses the tail
+  /// via SVS and returns Q^(i) = [T^(i); W^(i)].
+  /// Must be called after FinishAndReportTailMass().
+  StatusOr<Matrix> CompressWithGlobalTailMass(
+      double global_tail_mass, size_t num_servers, double delta,
+      SamplingFunctionKind kind = SamplingFunctionKind::kQuadratic);
+
+  /// The head T^(i) (available after FinishAndReportTailMass()).
+  const Matrix& head() const { return head_; }
+  /// The tail R^(i) (available after FinishAndReportTailMass()).
+  const Matrix& tail() const { return tail_; }
+
+  size_t dim() const { return dim_; }
+  double eps() const { return eps_; }
+  size_t k() const { return k_; }
+
+ private:
+  AdaptiveLocalSketch(size_t dim, double eps, size_t k, uint64_t seed,
+                      FrequentDirections fd);
+
+  size_t dim_;
+  double eps_;
+  size_t k_;
+  uint64_t seed_;
+  FrequentDirections fd_;
+  bool finished_ = false;
+  Matrix head_;
+  Matrix tail_;
+  double tail_mass_ = 0.0;
+};
+
+/// Single-machine convenience: runs the full §3.2 pipeline on one matrix
+/// as if it were one server among `num_servers` (the sampling function
+/// still scales with num_servers, matching how the distributed protocol
+/// parameterizes each server). Returns the (O(eps), k)-sketch Q.
+StatusOr<Matrix> AdaptiveSketch(const Matrix& a, double eps, size_t k,
+                                uint64_t seed, size_t num_servers = 1,
+                                double delta = 0.1);
+
+/// Final recompression (end of §3.2): one more FD pass over the combined
+/// sketch Q brings it to the optimal O(k/eps) rows while keeping
+/// coverr = O(eps) * ||A - [A]_k||_F^2 / k.
+StatusOr<Matrix> RecompressSketch(const Matrix& q, double eps, size_t k);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_ADAPTIVE_SKETCH_H_

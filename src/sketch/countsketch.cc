@@ -1,0 +1,55 @@
+#include "sketch/countsketch.h"
+
+#include <cmath>
+
+namespace distsketch {
+namespace {
+
+inline uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+CountSketchCompressor::CountSketchCompressor(size_t buckets, size_t dim,
+                                             uint64_t seed)
+    : seed_(seed) {
+  DS_CHECK(buckets >= 1);
+  DS_CHECK(dim >= 1);
+  compressed_.SetZero(buckets, dim);
+}
+
+StatusOr<CountSketchCompressor> CountSketchCompressor::FromEps(
+    size_t dim, double eps, uint64_t seed, double oversample) {
+  if (eps <= 0.0 || oversample <= 0.0) {
+    return Status::InvalidArgument(
+        "CountSketchCompressor: eps and oversample must be > 0");
+  }
+  const size_t m = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(oversample / (eps * eps))));
+  return CountSketchCompressor(m, dim, seed);
+}
+
+void CountSketchCompressor::Hash(uint64_t row_index, size_t* bucket,
+                                 double* sign) const {
+  const uint64_t h = Mix(seed_ ^ (row_index + 0x9e3779b97f4a7c15ULL));
+  *bucket = static_cast<size_t>(h % compressed_.rows());
+  *sign = ((h >> 63) & 1) ? 1.0 : -1.0;
+}
+
+void CountSketchCompressor::Absorb(uint64_t row_index,
+                                   std::span<const double> row) {
+  DS_CHECK(row.size() == compressed_.cols());
+  size_t bucket = 0;
+  double sign = 0.0;
+  Hash(row_index, &bucket, &sign);
+  double* dst = compressed_.data() + bucket * compressed_.cols();
+  for (size_t j = 0; j < row.size(); ++j) dst[j] += sign * row[j];
+}
+
+}  // namespace distsketch

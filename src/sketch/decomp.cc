@@ -1,0 +1,29 @@
+#include "sketch/decomp.h"
+
+#include <algorithm>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+
+StatusOr<DecompResult> Decomp(const Matrix& b, size_t k) {
+  if (b.empty()) {
+    return Status::InvalidArgument("Decomp: empty input");
+  }
+  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(b));
+  const Matrix agg = svd.AggregatedForm();
+  const size_t split = std::min(k, agg.rows());
+  DecompResult out;
+  out.head = agg.RowRange(0, split);
+  out.tail = agg.RowRange(split, agg.rows());
+  // Drop numerically-zero tail rows (row norm = sigma_j at round-off
+  // level relative to sigma_max): they carry no spectral mass and would
+  // otherwise be transmitted.
+  const double sigma_max =
+      agg.rows() > 0 ? Norm2(agg.Row(0)) : 0.0;
+  out.tail.RemoveZeroRows(1e-11 * sigma_max);
+  return out;
+}
+
+}  // namespace distsketch

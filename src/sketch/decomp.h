@@ -1,0 +1,30 @@
+#ifndef DISTSKETCH_SKETCH_DECOMP_H_
+#define DISTSKETCH_SKETCH_DECOMP_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// The head/tail split of Lemma 6: B^T B = T^T T + R^T R with
+/// T the top-k rows of the aggregated form Sigma V^T and R the remaining
+/// rows, so that ||R||_F^2 = ||B - [B]_k||_F^2.
+struct DecompResult {
+  /// Top-k scaled right singular vectors (k-by-d; fewer rows if
+  /// rank(B) < k).
+  Matrix head;
+  /// Remaining scaled right singular vectors ((r-k)-by-d).
+  Matrix tail;
+};
+
+/// Decomp(B, k) from the paper: splits the spectrum of B at rank k.
+/// The head carries the dominant directions that the adaptive algorithm
+/// (§3.2) transmits verbatim; the tail is what SVS further compresses.
+/// Returns InvalidArgument on empty input.
+StatusOr<DecompResult> Decomp(const Matrix& b, size_t k);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_DECOMP_H_

@@ -1,0 +1,56 @@
+#include "sketch/error_metrics.h"
+
+#include "linalg/blas.h"
+#include "linalg/spectral.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+namespace {
+
+Matrix GramOrZero(const Matrix& m, size_t d) {
+  if (m.empty()) {
+    return Matrix(d, d);
+  }
+  return Gram(m);
+}
+
+}  // namespace
+
+double CovarianceError(const Matrix& a, const Matrix& b, bool exact) {
+  DS_CHECK(!a.empty() || !b.empty());
+  const size_t d = a.empty() ? b.cols() : a.cols();
+  if (!a.empty() && !b.empty()) DS_CHECK(a.cols() == b.cols());
+  const Matrix diff = Subtract(GramOrZero(a, d), GramOrZero(b, d));
+  return exact ? SymmetricSpectralNormExact(diff)
+               : SymmetricSpectralNorm(diff);
+}
+
+double ProjectionError(const Matrix& a, const Matrix& b, size_t k) {
+  const double total = SquaredFrobeniusNorm(a);
+  if (b.empty() || k == 0) return total;
+  auto svd = ComputeSvd(b);
+  DS_CHECK(svd.ok());
+  const Matrix v = svd->TopRightSingularVectors(k);
+  // Pythagorean: ||A - A V V^T||_F^2 = ||A||_F^2 - ||A V||_F^2.
+  const Matrix av = Multiply(a, v);
+  return total - SquaredFrobeniusNorm(av);
+}
+
+double OptimalTailEnergy(const Matrix& a, size_t k) {
+  auto svd = SingularValues(a);
+  DS_CHECK(svd.ok());
+  double acc = 0.0;
+  for (size_t i = k; i < svd->size(); ++i) acc += (*svd)[i] * (*svd)[i];
+  return acc;
+}
+
+double SketchErrorBudget(const Matrix& a, double eps, size_t k) {
+  if (k == 0) return eps * SquaredFrobeniusNorm(a);
+  return eps * OptimalTailEnergy(a, k) / static_cast<double>(k);
+}
+
+bool IsEpsKSketch(const Matrix& a, const Matrix& b, double eps, size_t k) {
+  return CovarianceError(a, b) <= SketchErrorBudget(a, eps, k);
+}
+
+}  // namespace distsketch

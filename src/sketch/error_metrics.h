@@ -1,0 +1,36 @@
+#ifndef DISTSKETCH_SKETCH_ERROR_METRICS_H_
+#define DISTSKETCH_SKETCH_ERROR_METRICS_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Covariance error coverr(A, B) = ||A^T A - B^T B||_2 (Definition 1).
+/// Either matrix may be empty (its Gram is then zero). Computed via power
+/// iteration on the d-by-d Gram difference; `exact` switches to the Jacobi
+/// eigensolver (slower, used for cross-validation in tests).
+double CovarianceError(const Matrix& a, const Matrix& b, bool exact = false);
+
+/// k-projection error ||A - pi_B^k(A)||_F^2 (Definition 2): the Frobenius
+/// cost of projecting A's rows onto the span of B's top-k right singular
+/// vectors. B empty or k = 0 yields ||A||_F^2.
+double ProjectionError(const Matrix& a, const Matrix& b, size_t k);
+
+/// ||A - [A]_k||_F^2, the optimal rank-k tail energy (sum of squared
+/// singular values past the k-th).
+double OptimalTailEnergy(const Matrix& a, size_t k);
+
+/// True iff B is an (eps, k)-sketch of A (Definition 3):
+///   k >= 1: coverr(A,B) <= eps * ||A - [A]_k||_F^2 / k;
+///   k == 0: coverr(A,B) <= eps * ||A||_F^2.
+bool IsEpsKSketch(const Matrix& a, const Matrix& b, double eps, size_t k);
+
+/// The (eps,k)-sketch error budget: eps*||A-[A]_k||_F^2/k for k >= 1,
+/// eps*||A||_F^2 for k == 0.
+double SketchErrorBudget(const Matrix& a, double eps, size_t k);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_ERROR_METRICS_H_

@@ -1,0 +1,78 @@
+#include "sketch/fast_frequent_directions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/randomized_svd.h"
+
+namespace distsketch {
+
+FastFrequentDirections::FastFrequentDirections(size_t dim,
+                                               size_t sketch_size,
+                                               uint64_t seed)
+    : dim_(dim), sketch_size_(sketch_size), seed_(seed) {
+  DS_CHECK(dim >= 1);
+  DS_CHECK(sketch_size >= 1);
+  buffer_.SetZero(0, dim);
+}
+
+StatusOr<FastFrequentDirections> FastFrequentDirections::FromEpsK(
+    size_t dim, double eps, size_t k, uint64_t seed) {
+  if (k < 1) {
+    return Status::InvalidArgument("FromEpsK: k must be >= 1");
+  }
+  if (eps <= 0.0) {
+    return Status::InvalidArgument("FromEpsK: eps must be positive");
+  }
+  const size_t sketch_size =
+      k + static_cast<size_t>(std::ceil(static_cast<double>(k) / eps));
+  return FastFrequentDirections(dim, sketch_size, seed);
+}
+
+void FastFrequentDirections::Append(std::span<const double> row) {
+  DS_CHECK(row.size() == dim_);
+  buffer_.AppendRow(row);
+  if (buffer_.rows() >= 2 * sketch_size_) Shrink();
+}
+
+void FastFrequentDirections::AppendRows(const Matrix& rows) {
+  for (size_t i = 0; i < rows.rows(); ++i) Append(rows.Row(i));
+}
+
+void FastFrequentDirections::Shrink() {
+  if (buffer_.rows() <= sketch_size_) return;
+  // Randomized truncated SVD: we need the top l values (to keep) plus the
+  // (l+1)-th (the delta), so ask for l+1 with oversampling.
+  RandomizedSvdOptions options;
+  options.oversample = 8;
+  options.power_iterations = 2;
+  options.seed = Rng::DeriveSeed(seed_, ++shrink_count_);
+  auto svd = RandomizedSvd(buffer_, sketch_size_ + 1, options);
+  DS_CHECK(svd.ok());
+  const auto& sigma = svd->singular_values;
+
+  const double delta = (sigma.size() > sketch_size_)
+                           ? sigma[sketch_size_] * sigma[sketch_size_]
+                           : 0.0;
+  total_shrinkage_ += delta;
+
+  const size_t keep = std::min<size_t>(sketch_size_, sigma.size());
+  Matrix next(0, dim_);
+  std::vector<double> scaled_row(dim_);
+  for (size_t j = 0; j < keep; ++j) {
+    const double s2 = sigma[j] * sigma[j] - delta;
+    if (s2 <= 0.0) break;
+    const double s = std::sqrt(s2);
+    for (size_t i = 0; i < dim_; ++i) scaled_row[i] = s * svd->v(i, j);
+    next.AppendRow(scaled_row);
+  }
+  buffer_ = std::move(next);
+}
+
+Matrix FastFrequentDirections::Sketch() {
+  Shrink();
+  return buffer_;
+}
+
+}  // namespace distsketch

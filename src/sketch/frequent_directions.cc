@@ -1,0 +1,91 @@
+#include "sketch/frequent_directions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace distsketch {
+
+FrequentDirections::FrequentDirections(size_t dim, size_t sketch_size)
+    : dim_(dim), sketch_size_(sketch_size) {
+  DS_CHECK(dim >= 1);
+  DS_CHECK(sketch_size >= 1);
+  buffer_.SetZero(0, dim);
+}
+
+StatusOr<FrequentDirections> FrequentDirections::FromEpsK(size_t dim,
+                                                          double eps,
+                                                          size_t k) {
+  if (k < 1) {
+    return Status::InvalidArgument("FromEpsK: k must be >= 1 (use FromEps)");
+  }
+  if (eps <= 0.0) {
+    return Status::InvalidArgument("FromEpsK: eps must be positive");
+  }
+  const size_t sketch_size =
+      k + static_cast<size_t>(std::ceil(static_cast<double>(k) / eps));
+  return FrequentDirections(dim, sketch_size);
+}
+
+StatusOr<FrequentDirections> FrequentDirections::FromEps(size_t dim,
+                                                         double eps) {
+  if (eps <= 0.0) {
+    return Status::InvalidArgument("FromEps: eps must be positive");
+  }
+  const size_t sketch_size =
+      static_cast<size_t>(std::ceil(1.0 / eps)) + 1;
+  return FrequentDirections(dim, sketch_size);
+}
+
+void FrequentDirections::Append(std::span<const double> row) {
+  DS_CHECK(row.size() == dim_);
+  buffer_.AppendRow(row);
+  ++rows_seen_;
+  if (buffer_.rows() >= 2 * sketch_size_) Shrink();
+}
+
+void FrequentDirections::AppendRows(const Matrix& rows) {
+  for (size_t i = 0; i < rows.rows(); ++i) Append(rows.Row(i));
+}
+
+void FrequentDirections::Merge(const FrequentDirections& other) {
+  DS_CHECK(other.dim() == dim_);
+  AppendRows(other.buffer());
+}
+
+void FrequentDirections::Shrink() {
+  if (buffer_.rows() <= sketch_size_) return;
+  auto svd = ComputeSvd(buffer_);
+  DS_CHECK(svd.ok());
+  auto& sigma = svd->singular_values;
+
+  // delta = sigma_{l+1}^2 (the first value that must be zeroed). If the
+  // buffer already has rank <= sketch_size the shrink is free.
+  const double delta = (sigma.size() > sketch_size_)
+                           ? sigma[sketch_size_] * sigma[sketch_size_]
+                           : 0.0;
+  total_shrinkage_ += delta;
+  ++shrink_count_;
+
+  // B <- sqrt(max(Sigma^2 - delta I, 0)) V^T, keeping the top rows.
+  const size_t keep =
+      std::min<size_t>(sketch_size_, sigma.size());
+  Matrix next(0, dim_);
+  std::vector<double> scaled_row(dim_);
+  for (size_t j = 0; j < keep; ++j) {
+    const double s2 = sigma[j] * sigma[j] - delta;
+    if (s2 <= 0.0) break;  // sigma sorted: the rest are zero too.
+    const double s = std::sqrt(s2);
+    for (size_t i = 0; i < dim_; ++i) scaled_row[i] = s * svd->v(i, j);
+    next.AppendRow(scaled_row);
+  }
+  buffer_ = std::move(next);
+}
+
+Matrix FrequentDirections::Sketch() {
+  Shrink();
+  return buffer_;
+}
+
+}  // namespace distsketch

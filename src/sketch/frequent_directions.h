@@ -1,0 +1,97 @@
+#ifndef DISTSKETCH_SKETCH_FREQUENT_DIRECTIONS_H_
+#define DISTSKETCH_SKETCH_FREQUENT_DIRECTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Frequent Directions streaming covariance sketch (Liberty [27], with the
+/// improved analysis of Ghashami-Phillips [16]; paper Theorem 1).
+///
+/// Maintains at most `2*sketch_size` rows of working space; the finished
+/// sketch has at most `sketch_size` rows and guarantees, for every
+/// k < sketch_size,
+///
+///   ||A^T A - B^T B||_2 <= ||A - [A]_k||_F^2 / (sketch_size - k).
+///
+/// The shrink step subtracts the (sketch_size+1)-th squared singular value
+/// from the spectrum of the buffer ("buffer doubling" variant), which
+/// keeps total cost O(n * d * sketch_size) amortized.
+///
+/// FD is deterministic and mergeable [1]: feeding another FD's sketch rows
+/// into this sketch preserves the guarantee for the combined input, which
+/// is exactly how the distributed deterministic protocol (Theorem 2) uses
+/// it.
+class FrequentDirections {
+ public:
+  /// Creates a sketch over dimension-`dim` rows keeping `sketch_size`
+  /// rows. Requires sketch_size >= 1.
+  FrequentDirections(size_t dim, size_t sketch_size);
+
+  /// Sizes the sketch for the (eps, k) guarantee of Theorem 1:
+  /// sketch_size = k + ceil(k/eps), giving covariance error at most
+  /// eps * ||A - [A]_k||_F^2 / k. Requires k >= 1 and eps > 0.
+  static StatusOr<FrequentDirections> FromEpsK(size_t dim, double eps,
+                                               size_t k);
+
+  /// Sizes the sketch for the (eps, 0) guarantee: sketch_size =
+  /// ceil(1/eps) + 1, giving covariance error at most eps * ||A||_F^2.
+  static StatusOr<FrequentDirections> FromEps(size_t dim, double eps);
+
+  /// Processes one input row.
+  void Append(std::span<const double> row);
+
+  /// Processes every row of `rows`.
+  void AppendRows(const Matrix& rows);
+
+  /// Merges another FD sketch (mergeable-summaries property [1]): the
+  /// other sketch's current rows are fed through this sketch. Both must
+  /// share `dim`; the other's sketch_size may differ (the combined
+  /// guarantee is governed by the smaller one).
+  void Merge(const FrequentDirections& other);
+
+  /// Finishes and returns the sketch matrix B with at most sketch_size
+  /// rows. The sketch remains usable (more rows may be appended after).
+  Matrix Sketch();
+
+  /// The raw working buffer (up to 2*sketch_size rows), without the final
+  /// compression. Cheap; used by Merge and by tests.
+  const Matrix& buffer() const { return buffer_; }
+
+  /// Row dimension d.
+  size_t dim() const { return dim_; }
+
+  /// Maximum number of rows in the finished sketch.
+  size_t sketch_size() const { return sketch_size_; }
+
+  /// Total spectral mass subtracted by shrink steps so far. The FD
+  /// invariant guarantees coverr <= total_shrinkage() and
+  /// sketch_size * total_shrinkage() <= ||A||_F^2 - ||B||_F^2.
+  double total_shrinkage() const { return total_shrinkage_; }
+
+  /// Number of SVD-based shrink operations performed (cost diagnostic).
+  uint64_t shrink_count() const { return shrink_count_; }
+
+  /// Total rows appended (including rows fed by Merge).
+  uint64_t rows_seen() const { return rows_seen_; }
+
+ private:
+  // Shrinks the buffer to at most sketch_size_ non-trivial rows.
+  void Shrink();
+
+  size_t dim_;
+  size_t sketch_size_;
+  Matrix buffer_;
+  double total_shrinkage_ = 0.0;
+  uint64_t shrink_count_ = 0;
+  uint64_t rows_seen_ = 0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_FREQUENT_DIRECTIONS_H_

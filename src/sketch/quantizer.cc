@@ -1,0 +1,50 @@
+#include "sketch/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/spectral.h"
+
+namespace distsketch {
+
+StatusOr<QuantizeResult> QuantizeMatrix(const Matrix& a, double precision) {
+  if (precision <= 0.0) {
+    return Status::InvalidArgument("QuantizeMatrix: precision must be > 0");
+  }
+  QuantizeResult out;
+  out.precision = precision;
+  out.matrix = a;
+  double max_quotient = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double q = std::round(a.data()[i] / precision);
+    const double rounded = q * precision;
+    out.max_error =
+        std::max(out.max_error, std::abs(a.data()[i] - rounded));
+    out.matrix.data()[i] = rounded;
+    max_quotient = std::max(max_quotient, std::abs(q));
+  }
+  // Fixed-width encoding: sign bit + ceil(log2(maxq + 1)) magnitude bits.
+  out.bits_per_entry =
+      1 + static_cast<uint64_t>(std::ceil(std::log2(max_quotient + 2.0)));
+  out.total_bits = out.bits_per_entry * a.size();
+  return out;
+}
+
+double SketchRoundingPrecision(uint64_t n, uint64_t d, double eps) {
+  const double nd = static_cast<double>(n) * static_cast<double>(d);
+  return eps / (nd * nd);
+}
+
+double RoundingCoverrBound(const Matrix& q, double precision) {
+  if (q.empty()) return 0.0;
+  const double rows = static_cast<double>(q.rows());
+  const double d = static_cast<double>(q.cols());
+  const double spec = SpectralNorm(q);
+  // Q'^T Q' - Q^T Q = E^T Q + Q^T E + E^T E with ||E||_2 <= ||E||_F
+  // <= precision/2 * sqrt(rows*d).
+  const double e_norm = 0.5 * precision * std::sqrt(rows * d);
+  return 2.0 * e_norm * spec + e_norm * e_norm;
+}
+
+}  // namespace distsketch

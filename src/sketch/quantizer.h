@@ -1,0 +1,50 @@
+#ifndef DISTSKETCH_SKETCH_QUANTIZER_H_
+#define DISTSKETCH_SKETCH_QUANTIZER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Result of fixed-point quantization of a matrix payload.
+struct QuantizeResult {
+  /// The rounded matrix (each entry an integer multiple of `precision`).
+  Matrix matrix;
+  /// Bits per entry in the fixed-width encoding (sign + magnitude of the
+  /// integer quotient).
+  uint64_t bits_per_entry = 0;
+  /// Total payload bits = entries * bits_per_entry.
+  uint64_t total_bits = 0;
+  /// The additive precision actually used.
+  double precision = 0.0;
+  /// Max |original - quantized| over all entries (<= precision / 2).
+  double max_error = 0.0;
+};
+
+/// Rounds every entry of `a` to the nearest multiple of `precision` and
+/// reports the exact wire size of the fixed-width encoding. This is the
+/// §3.3 rounding step: with precision = poly^{-1}(nd/eps), each entry
+/// costs O(log(nd/eps)) bits and the covariance error of an (eps,k)-sketch
+/// is perturbed by less than the slack in the guarantee (justified by
+/// Lemma 7's lower bound on ||A - [A]_k||_F^2 for integer inputs of
+/// rank > 2k).
+StatusOr<QuantizeResult> QuantizeMatrix(const Matrix& a, double precision);
+
+/// The additive precision poly^{-1}(nd/eps) used by the §3.3 argument:
+/// eps / (n*d)^2, floored at 1e-12 below the matrix scale in the caller's
+/// hands. Small enough that rounding an (eps,k)-sketch keeps the
+/// guarantee whenever rank(A) > 2k (Lemma 7).
+double SketchRoundingPrecision(uint64_t n, uint64_t d, double eps);
+
+/// Upper bound on the covariance-error perturbation caused by rounding a
+/// sketch Q at the given precision:
+///   ||Q^T Q - Q'^T Q'||_2 <= 2 * precision * rows * ||Q||_2
+///                            + precision^2 * rows * d
+/// (coarse but sufficient for tests to certify the guarantee survives).
+double RoundingCoverrBound(const Matrix& q, double precision);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_QUANTIZER_H_

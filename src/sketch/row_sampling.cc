@@ -1,0 +1,65 @@
+#include "sketch/row_sampling.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace distsketch {
+
+RowSamplingSketch::RowSamplingSketch(size_t dim, size_t num_samples,
+                                     uint64_t seed)
+    : dim_(dim),
+      num_samples_(num_samples),
+      rng_(seed),
+      reservoir_(num_samples),
+      reservoir_weight_(num_samples, 0.0) {
+  DS_CHECK(dim >= 1);
+  DS_CHECK(num_samples >= 1);
+}
+
+StatusOr<RowSamplingSketch> RowSamplingSketch::FromEps(size_t dim, double eps,
+                                                       uint64_t seed,
+                                                       double oversample) {
+  if (eps <= 0.0 || oversample <= 0.0) {
+    return Status::InvalidArgument("FromEps: eps and oversample must be > 0");
+  }
+  const size_t t =
+      static_cast<size_t>(std::ceil(oversample / (eps * eps)));
+  return RowSamplingSketch(dim, std::max<size_t>(t, 1), seed);
+}
+
+void RowSamplingSketch::Append(std::span<const double> row) {
+  DS_CHECK(row.size() == dim_);
+  const double w = SquaredNorm2(row);
+  if (w == 0.0) return;
+  total_mass_ += w;
+  const double replace_prob = w / total_mass_;
+  for (size_t r = 0; r < num_samples_; ++r) {
+    if (rng_.NextBernoulli(replace_prob)) {
+      reservoir_[r].assign(row.begin(), row.end());
+      reservoir_weight_[r] = w;
+    }
+  }
+}
+
+void RowSamplingSketch::AppendRows(const Matrix& rows) {
+  for (size_t i = 0; i < rows.rows(); ++i) Append(rows.Row(i));
+}
+
+Matrix RowSamplingSketch::Sketch() const {
+  Matrix out(0, dim_);
+  if (total_mass_ == 0.0) return out;
+  std::vector<double> scaled(dim_);
+  for (size_t r = 0; r < num_samples_; ++r) {
+    if (reservoir_[r].empty()) continue;
+    // p_i = w_i / ||A||_F^2; rescale by 1/sqrt(t * p_i).
+    const double p = reservoir_weight_[r] / total_mass_;
+    const double scale =
+        1.0 / std::sqrt(static_cast<double>(num_samples_) * p);
+    for (size_t j = 0; j < dim_; ++j) scaled[j] = scale * reservoir_[r][j];
+    out.AppendRow(scaled);
+  }
+  return out;
+}
+
+}  // namespace distsketch

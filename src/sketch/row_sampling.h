@@ -1,0 +1,72 @@
+#ifndef DISTSKETCH_SKETCH_ROW_SAMPLING_H_
+#define DISTSKETCH_SKETCH_ROW_SAMPLING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Squared-norm row sampling covariance sketch (Drineas-Kannan-Mahoney
+/// [10]; the "Sampling" row of Table 1).
+///
+/// Draws `num_samples` i.i.d. rows (with replacement) with probability
+/// proportional to their squared Euclidean norm, rescaling each sampled
+/// row by 1/sqrt(t * p_i) so that E[B^T B] = A^T A. With t = O(1/eps^2)
+/// samples, coverr(A, B) <= eps * ||A||_F^2 with constant probability.
+///
+/// Implemented as one-pass weighted sampling: `num_samples` independent
+/// reservoirs, each holding one candidate row that is replaced by row i
+/// with probability w_i / W_prefix; per reservoir this realizes exactly
+/// the squared-norm-proportional distribution over the whole stream.
+class RowSamplingSketch {
+ public:
+  /// Sketch over dimension-`dim` rows taking `num_samples` samples.
+  RowSamplingSketch(size_t dim, size_t num_samples, uint64_t seed);
+
+  /// Sizes the sketch for coverr <= eps * ||A||_F^2 (with constant
+  /// probability): num_samples = ceil(oversample / eps^2).
+  static StatusOr<RowSamplingSketch> FromEps(size_t dim, double eps,
+                                             uint64_t seed,
+                                             double oversample = 1.0);
+
+  /// Processes one input row.
+  void Append(std::span<const double> row);
+
+  /// Processes every row of `rows`.
+  void AppendRows(const Matrix& rows);
+
+  /// Finishes and returns the sketch matrix: exactly `num_samples`
+  /// rescaled rows whenever any non-zero row was seen (empty otherwise).
+  Matrix Sketch() const;
+
+  /// Total squared Frobenius mass ||A||_F^2 seen so far.
+  double total_mass() const { return total_mass_; }
+
+  /// True iff reservoir `r` holds a candidate row.
+  bool HasSample(size_t r) const { return !reservoir_[r].empty(); }
+  /// The raw (unscaled) candidate row of reservoir `r`.
+  std::span<const double> SampleRow(size_t r) const { return reservoir_[r]; }
+  /// The squared norm of reservoir r's candidate.
+  double SampleWeight(size_t r) const { return reservoir_weight_[r]; }
+
+  size_t dim() const { return dim_; }
+  size_t num_samples() const { return num_samples_; }
+
+ private:
+  size_t dim_;
+  size_t num_samples_;
+  Rng rng_;
+  // One candidate row per reservoir plus its (squared-norm) weight.
+  std::vector<std::vector<double>> reservoir_;
+  std::vector<double> reservoir_weight_;
+  double total_mass_ = 0.0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_ROW_SAMPLING_H_

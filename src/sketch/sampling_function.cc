@@ -1,0 +1,78 @@
+#include "sketch/sampling_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace distsketch {
+namespace {
+
+double LogTerm(const SamplingFunctionParams& params) {
+  // log(d/delta), floored so tiny d with large delta cannot go negative.
+  return std::max(1.0, std::log(static_cast<double>(params.dim) /
+                                params.delta));
+}
+
+Status ValidateParams(const SamplingFunctionParams& params) {
+  if (params.num_servers < 1) {
+    return Status::InvalidArgument("sampling function: num_servers < 1");
+  }
+  if (params.alpha <= 0.0) {
+    return Status::InvalidArgument("sampling function: alpha <= 0");
+  }
+  if (params.total_frobenius <= 0.0) {
+    return Status::InvalidArgument("sampling function: total_frobenius <= 0");
+  }
+  if (params.dim < 1) {
+    return Status::InvalidArgument("sampling function: dim < 1");
+  }
+  if (params.delta <= 0.0 || params.delta >= 1.0) {
+    return Status::InvalidArgument("sampling function: delta not in (0,1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+LinearSamplingFunction::LinearSamplingFunction(
+    const SamplingFunctionParams& params) {
+  const double s = static_cast<double>(params.num_servers);
+  beta_ = std::sqrt(s) * LogTerm(params) /
+          (params.alpha * params.total_frobenius);
+}
+
+double LinearSamplingFunction::Probability(double sigma_squared) const {
+  DS_DCHECK(sigma_squared >= 0.0);
+  return std::min(beta_ * sigma_squared, 1.0);
+}
+
+QuadraticSamplingFunction::QuadraticSamplingFunction(
+    const SamplingFunctionParams& params) {
+  const double s = static_cast<double>(params.num_servers);
+  const double f2 = params.total_frobenius;
+  b_ = s * LogTerm(params) / (params.alpha * params.alpha * f2 * f2);
+  threshold_ = params.alpha * f2 / s;
+}
+
+double QuadraticSamplingFunction::Probability(double sigma_squared) const {
+  DS_DCHECK(sigma_squared >= 0.0);
+  if (sigma_squared < threshold_) return 0.0;
+  return std::min(b_ * sigma_squared * sigma_squared, 1.0);
+}
+
+StatusOr<std::unique_ptr<SamplingFunction>> MakeSamplingFunction(
+    SamplingFunctionKind kind, const SamplingFunctionParams& params) {
+  DS_RETURN_IF_ERROR(ValidateParams(params));
+  switch (kind) {
+    case SamplingFunctionKind::kLinear:
+      return std::unique_ptr<SamplingFunction>(
+          new LinearSamplingFunction(params));
+    case SamplingFunctionKind::kQuadratic:
+      return std::unique_ptr<SamplingFunction>(
+          new QuadraticSamplingFunction(params));
+  }
+  return Status::InvalidArgument("unknown sampling function kind");
+}
+
+}  // namespace distsketch

@@ -1,0 +1,92 @@
+#ifndef DISTSKETCH_SKETCH_SAMPLING_FUNCTION_H_
+#define DISTSKETCH_SKETCH_SAMPLING_FUNCTION_H_
+
+#include <memory>
+
+#include "common/status.h"
+
+namespace distsketch {
+
+/// The sampling distribution g() of the SVS algorithm (§3.1): g(sigma^2)
+/// is the probability with which a right singular vector with squared
+/// singular value sigma^2 is kept. Implementations must map into [0, 1].
+class SamplingFunction {
+ public:
+  virtual ~SamplingFunction() = default;
+
+  /// Probability of sampling a singular vector with squared singular
+  /// value `sigma_squared` (>= 0).
+  virtual double Probability(double sigma_squared) const = 0;
+
+  /// Human-readable description for logs and bench output.
+  virtual const char* Name() const = 0;
+};
+
+/// Global quantities every concrete sampling function depends on. In the
+/// distributed protocols these are agreed on in a cheap pre-round
+/// (footnote 6 of the paper): servers report local ||A^(i)||_F^2, the
+/// coordinator sums and broadcasts.
+struct SamplingFunctionParams {
+  /// Number of servers s.
+  size_t num_servers = 1;
+  /// Target covariance error fraction alpha: coverr target is
+  /// alpha * total_frobenius.
+  double alpha = 0.1;
+  /// ||A||_F^2 (global, across all servers).
+  double total_frobenius = 1.0;
+  /// Row dimension d (enters the log factor).
+  size_t dim = 1;
+  /// Failure probability delta.
+  double delta = 0.1;
+};
+
+/// Linear sampling function of Theorem 5:
+///   g(x) = min{ (sqrt(s) * log(d/delta) / (alpha * ||A||_F^2)) * x, 1 }.
+/// Expected communication O((sqrt(s) d / alpha) * log(d/delta)).
+class LinearSamplingFunction : public SamplingFunction {
+ public:
+  explicit LinearSamplingFunction(const SamplingFunctionParams& params);
+
+  double Probability(double sigma_squared) const override;
+  const char* Name() const override { return "linear"; }
+
+  /// The slope beta of g(x) = min(beta*x, 1).
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+/// Quadratic sampling function of Theorem 6:
+///   g(x) = min{ (s * log(d/delta) / (alpha^2 ||A||_F^4)) * x^2, 1 }
+///          for x >= alpha * ||A||_F^2 / s, and 0 below the threshold
+/// (small singular values are dropped, adding at most alpha*||A||_F^2
+/// error — Eq. (7)). Expected communication
+/// O((sqrt(s) d / alpha) * sqrt(log(d/delta))): a sqrt(log d) better than
+/// the linear function.
+class QuadraticSamplingFunction : public SamplingFunction {
+ public:
+  explicit QuadraticSamplingFunction(const SamplingFunctionParams& params);
+
+  double Probability(double sigma_squared) const override;
+  const char* Name() const override { return "quadratic"; }
+
+  /// The curvature b of g(x) = min(b*x^2, 1).
+  double b() const { return b_; }
+  /// The drop threshold alpha*||A||_F^2/s.
+  double threshold() const { return threshold_; }
+
+ private:
+  double b_;
+  double threshold_;
+};
+
+/// Validates params and builds the requested function.
+enum class SamplingFunctionKind { kLinear, kQuadratic };
+
+StatusOr<std::unique_ptr<SamplingFunction>> MakeSamplingFunction(
+    SamplingFunctionKind kind, const SamplingFunctionParams& params);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_SAMPLING_FUNCTION_H_

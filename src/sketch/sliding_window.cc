@@ -1,0 +1,86 @@
+#include "sketch/sliding_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace distsketch {
+
+SlidingWindowSketch::SlidingWindowSketch(size_t dim, size_t window,
+                                         double eps, size_t block_rows,
+                                         FrequentDirections active)
+    : dim_(dim),
+      window_(window),
+      eps_(eps),
+      block_rows_(block_rows),
+      active_(std::move(active)) {}
+
+StatusOr<FrequentDirections> SlidingWindowSketch::MakeFd() const {
+  // Per-block (and merge) accuracy eps/2 so the block-boundary error and
+  // the FD error split the budget.
+  return FrequentDirections::FromEps(dim_, eps_ / 2.0);
+}
+
+StatusOr<SlidingWindowSketch> SlidingWindowSketch::Create(size_t dim,
+                                                          size_t window,
+                                                          double eps) {
+  if (dim < 1) {
+    return Status::InvalidArgument("SlidingWindowSketch: dim < 1");
+  }
+  if (window < 1) {
+    return Status::InvalidArgument("SlidingWindowSketch: window < 1");
+  }
+  if (eps <= 0.0 || eps >= 1.0) {
+    return Status::InvalidArgument("SlidingWindowSketch: eps not in (0,1)");
+  }
+  const size_t block_rows = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(eps * static_cast<double>(window) /
+                                        2.0)));
+  DS_ASSIGN_OR_RETURN(FrequentDirections active,
+                      FrequentDirections::FromEps(dim, eps / 2.0));
+  return SlidingWindowSketch(dim, window, eps, block_rows,
+                             std::move(active));
+}
+
+void SlidingWindowSketch::EvictExpired() {
+  // A block is dead once its newest row falls outside the window.
+  const uint64_t window_start =
+      rows_seen_ >= window_ ? rows_seen_ - window_ : 0;
+  while (!blocks_.empty() && blocks_.front().end <= window_start) {
+    blocks_.pop_front();
+  }
+}
+
+Status SlidingWindowSketch::Append(std::span<const double> row) {
+  if (row.size() != dim_) {
+    return Status::InvalidArgument("SlidingWindowSketch: bad row dimension");
+  }
+  active_.Append(row);
+  max_row_norm_ = std::max(max_row_norm_, Norm2(row));
+  ++rows_seen_;
+  if (rows_seen_ - active_begin_ >= block_rows_) {
+    Block block;
+    block.sketch = active_.Sketch();
+    block.begin = active_begin_;
+    block.end = rows_seen_;
+    blocks_.push_back(std::move(block));
+    DS_ASSIGN_OR_RETURN(FrequentDirections fresh, MakeFd());
+    active_ = std::move(fresh);
+    active_begin_ = rows_seen_;
+  }
+  EvictExpired();
+  return Status::OK();
+}
+
+StatusOr<Matrix> SlidingWindowSketch::Query() {
+  EvictExpired();
+  DS_ASSIGN_OR_RETURN(FrequentDirections merged, MakeFd());
+  for (const Block& block : blocks_) {
+    merged.AppendRows(block.sketch);
+  }
+  merged.Merge(active_);
+  return merged.Sketch();
+}
+
+}  // namespace distsketch

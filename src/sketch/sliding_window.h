@@ -1,0 +1,82 @@
+#ifndef DISTSKETCH_SKETCH_SLIDING_WINDOW_H_
+#define DISTSKETCH_SKETCH_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "sketch/frequent_directions.h"
+
+namespace distsketch {
+
+/// Covariance sketching over a sequence-based sliding window — the
+/// Logarithmic-Method construction of Wei et al., SIGMOD'16 [34] (cited
+/// in the paper's §1.5), block-based variant.
+///
+/// The stream is cut into blocks of B = max(1, floor(eps*W/2)) rows; each
+/// finished block is compressed to an FD sketch at accuracy eps/2 and
+/// kept until it can no longer intersect the window. A query merges (via
+/// FD) the sketches of every block intersecting the last W rows plus the
+/// active partial block. Exactly one block straddles the window boundary;
+/// its rows contribute at most B * R^2 <= (eps/2) * W * R^2 of spectral
+/// mass, where R is the largest row norm seen, so
+///
+///   coverr(window, Query()) <= eps * W * R^2
+///
+/// (the guarantee form of [34]; for streams with comparable row norms
+/// this is within a constant of eps * ||window||_F^2). Space is
+/// O((1/eps) blocks * (1/eps) sketch rows * d) = O(d/eps^2).
+class SlidingWindowSketch {
+ public:
+  /// Creates a sketch over dimension-`dim` rows for windows of `window`
+  /// rows at accuracy `eps`.
+  static StatusOr<SlidingWindowSketch> Create(size_t dim, size_t window,
+                                              double eps);
+
+  /// Processes one stream row.
+  Status Append(std::span<const double> row);
+
+  /// Sketch of (a superset of at most one block beyond) the last
+  /// `window()` rows. May be called at any time.
+  StatusOr<Matrix> Query();
+
+  size_t dim() const { return dim_; }
+  size_t window() const { return window_; }
+  double eps() const { return eps_; }
+  /// Rows ingested so far.
+  uint64_t rows_seen() const { return rows_seen_; }
+  /// Largest row norm seen (the R of the guarantee).
+  double max_row_norm() const { return max_row_norm_; }
+  /// Number of retained block sketches (space diagnostic).
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    Matrix sketch;
+    /// Stream index of the block's first and one-past-last row.
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  SlidingWindowSketch(size_t dim, size_t window, double eps,
+                      size_t block_rows, FrequentDirections active);
+
+  StatusOr<FrequentDirections> MakeFd() const;
+  void EvictExpired();
+
+  size_t dim_;
+  size_t window_;
+  double eps_;
+  size_t block_rows_;
+  std::deque<Block> blocks_;
+  FrequentDirections active_;
+  uint64_t active_begin_ = 0;
+  uint64_t rows_seen_ = 0;
+  double max_row_norm_ = 0.0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_SLIDING_WINDOW_H_

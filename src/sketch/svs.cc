@@ -1,0 +1,51 @@
+#include "sketch/svs.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+
+StatusOr<SvsResult> Svs(const Matrix& a, const SamplingFunction& g,
+                        uint64_t seed) {
+  if (a.empty()) {
+    return Status::InvalidArgument("Svs: empty input");
+  }
+  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(a));
+  return SvsOnAggregatedForm(svd.AggregatedForm(), g, seed);
+}
+
+StatusOr<SvsResult> SvsOnAggregatedForm(const Matrix& agg,
+                                        const SamplingFunction& g,
+                                        uint64_t seed) {
+  if (agg.cols() == 0) {
+    return Status::InvalidArgument("SvsOnAggregatedForm: empty input");
+  }
+  Rng rng(seed);
+  SvsResult out;
+  out.sketch.SetZero(0, agg.cols());
+  out.candidates = agg.rows();
+
+  std::vector<double> scaled(agg.cols());
+  for (size_t j = 0; j < agg.rows(); ++j) {
+    const double sigma2 = SquaredNorm2(agg.Row(j));
+    const double p = g.Probability(sigma2);
+    out.expected_sampled += p;
+    if (p <= 0.0) continue;
+    if (!rng.NextBernoulli(p)) continue;
+    // w_j = sigma_j / sqrt(p); row is sigma_j * v_j^T, so multiply the
+    // row by w_j / sigma_j = 1/sqrt(p).
+    const double rescale = 1.0 / std::sqrt(p);
+    for (size_t i = 0; i < agg.cols(); ++i) {
+      scaled[i] = rescale * agg(j, i);
+    }
+    out.sketch.AppendRow(scaled);
+    ++out.sampled;
+  }
+  return out;
+}
+
+}  // namespace distsketch

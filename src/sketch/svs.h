@@ -1,0 +1,51 @@
+#ifndef DISTSKETCH_SKETCH_SVS_H_
+#define DISTSKETCH_SKETCH_SVS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "sketch/sampling_function.h"
+
+namespace distsketch {
+
+/// Result of one SVS run.
+struct SvsResult {
+  /// The sampled-and-rescaled sketch (zero rows removed), rows are scaled
+  /// right singular vectors of the input: w_j * v_j^T.
+  Matrix sketch;
+  /// Number of singular vectors considered (= rank dimension of the SVD).
+  size_t candidates = 0;
+  /// Number of singular vectors sampled (rows of `sketch`).
+  size_t sampled = 0;
+  /// Sum over j of g(sigma_j^2): the expected number of sampled rows, for
+  /// communication accounting against the measured value.
+  double expected_sampled = 0.0;
+};
+
+/// Singular-value sampling — Algorithm 1 of the paper.
+///
+/// Computes the SVD of `a`, then keeps each right singular vector v_j
+/// independently with probability g(sigma_j^2), rescaled by
+/// w_j = sigma_j / sqrt(g(sigma_j^2)). The output B satisfies
+/// E[B^T B] = A^T A exactly (Claim 3) because the rows of the aggregated
+/// form agg(A) = Sigma V^T are orthogonal — which is also why Bernoulli
+/// (not i.i.d.-with-replacement) sampling admits the Matrix Bernstein
+/// analysis of Theorem 4.
+///
+/// Deterministic given `seed`. Returns InvalidArgument on empty input.
+StatusOr<SvsResult> Svs(const Matrix& a, const SamplingFunction& g,
+                        uint64_t seed);
+
+/// SVS applied to a precomputed aggregated form (rows are already
+/// sigma_j * v_j^T with mutually orthogonal rows, e.g. the R factor of
+/// Decomp). Skips the SVD: row norms are the singular values. This is the
+/// form used inside the adaptive (eps, k)-sketch where the local FD
+/// output is already diagonalized.
+StatusOr<SvsResult> SvsOnAggregatedForm(const Matrix& agg,
+                                        const SamplingFunction& g,
+                                        uint64_t seed);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SKETCH_SVS_H_

@@ -1,0 +1,164 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+
+namespace distsketch {
+namespace {
+
+// Tall random matrix with orthonormal columns (n >= k).
+Matrix RandomOrthonormalColumns(size_t n, size_t k, Rng& rng) {
+  DS_CHECK(k <= n);
+  Matrix g(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) g(i, j) = rng.NextGaussian();
+  }
+  auto q = OrthonormalizeColumns(g);
+  DS_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+// U diag(sigma) V^T for given spectrum; factors drawn from `rng`.
+Matrix FromSpectrum(size_t rows, size_t cols,
+                    const std::vector<double>& spectrum, Rng& rng) {
+  const size_t r = spectrum.size();
+  DS_CHECK(r <= std::min(rows, cols));
+  Matrix u = RandomOrthonormalColumns(rows, r, rng);
+  Matrix v = RandomOrthonormalColumns(cols, r, rng);
+  for (size_t j = 0; j < r; ++j) {
+    for (size_t i = 0; i < rows; ++i) u(i, j) *= spectrum[j];
+  }
+  return MultiplyTransposeB(u, v);
+}
+
+}  // namespace
+
+Matrix GenerateLowRankPlusNoise(const LowRankPlusNoiseOptions& options) {
+  DS_CHECK(options.rank <= std::min(options.rows, options.cols));
+  Rng rng(options.seed);
+  std::vector<double> spectrum(options.rank);
+  double sigma = options.top_singular_value;
+  for (size_t i = 0; i < options.rank; ++i) {
+    spectrum[i] = sigma;
+    sigma *= options.decay;
+  }
+  Matrix a = FromSpectrum(options.rows, options.cols, spectrum, rng);
+  if (options.noise_stddev > 0.0) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      a.data()[i] += options.noise_stddev * rng.NextGaussian();
+    }
+  }
+  return a;
+}
+
+Matrix GenerateZipfSpectrum(const ZipfSpectrumOptions& options) {
+  Rng rng(options.seed);
+  const size_t r = std::min(options.rows, options.cols);
+  std::vector<double> spectrum(r);
+  for (size_t i = 0; i < r; ++i) {
+    spectrum[i] = options.top_singular_value /
+                  std::pow(static_cast<double>(i + 1), options.alpha);
+  }
+  return FromSpectrum(options.rows, options.cols, spectrum, rng);
+}
+
+Matrix GenerateSignMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(rows, cols);
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.NextSign();
+  return a;
+}
+
+Matrix GenerateSparse(const SparseOptions& options) {
+  Rng rng(options.seed);
+  Matrix a(options.rows, options.cols);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (rng.NextBernoulli(options.density)) {
+      a.data()[i] = options.value_stddev * rng.NextGaussian();
+    }
+  }
+  return a;
+}
+
+ClusteredData GenerateClusteredGaussian(
+    const ClusteredGaussianOptions& options) {
+  Rng rng(options.seed);
+  // Cluster centers live in a random `num_clusters`-dimensional subspace so
+  // the top principal components align with between-cluster variance.
+  Matrix centers(options.num_clusters, options.cols);
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    for (size_t j = 0; j < options.cols; ++j) {
+      centers(c, j) = options.center_scale * rng.NextGaussian() /
+                      std::sqrt(static_cast<double>(options.cols));
+    }
+  }
+  ClusteredData out;
+  out.data.SetZero(options.rows, options.cols);
+  out.labels.resize(options.rows);
+  for (size_t i = 0; i < options.rows; ++i) {
+    const size_t c = rng.NextUint64Below(options.num_clusters);
+    out.labels[i] = c;
+    for (size_t j = 0; j < options.cols; ++j) {
+      out.data(i, j) =
+          centers(c, j) + options.within_stddev * rng.NextGaussian();
+    }
+  }
+  return out;
+}
+
+Matrix GenerateGaussian(size_t rows, size_t cols, double stddev,
+                        uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(rows, cols);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = stddev * rng.NextGaussian();
+  }
+  return a;
+}
+
+Matrix GenerateDocumentTerm(const DocumentTermOptions& options) {
+  DS_CHECK(options.topics >= 1);
+  DS_CHECK(options.vocab >= 1);
+  Rng rng(options.seed);
+  // Each topic is a Zipf distribution over a topic-specific permutation
+  // of the vocabulary (so topics emphasize different words).
+  std::vector<std::vector<size_t>> topic_perm(options.topics);
+  for (auto& perm : topic_perm) {
+    perm.resize(options.vocab);
+    for (size_t i = 0; i < options.vocab; ++i) perm[i] = i;
+    // Fisher-Yates.
+    for (size_t i = options.vocab; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.NextUint64Below(i)]);
+    }
+  }
+  Matrix docs(options.docs, options.vocab);
+  for (size_t doc = 0; doc < options.docs; ++doc) {
+    const size_t topic = rng.NextUint64Below(options.topics);
+    const size_t length =
+        options.length / 2 + rng.NextUint64Below(options.length + 1);
+    for (size_t w = 0; w < length; ++w) {
+      const size_t rank = rng.NextZipf(options.vocab, options.zipf_alpha);
+      docs(doc, topic_perm[topic][rank - 1]) += 1.0;
+    }
+  }
+  return docs;
+}
+
+Matrix RandomOrthonormal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return RandomOrthonormalColumns(n, n, rng);
+}
+
+void QuantizeToIntegers(Matrix& a, double magnitude) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    double v = std::round(a.data()[i]);
+    v = std::clamp(v, -magnitude, magnitude);
+    a.data()[i] = v;
+  }
+}
+
+}  // namespace distsketch

@@ -1,0 +1,125 @@
+#ifndef DISTSKETCH_WORKLOAD_GENERATORS_H_
+#define DISTSKETCH_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Parameters for the low-rank-plus-noise generator.
+struct LowRankPlusNoiseOptions {
+  size_t rows = 1000;
+  size_t cols = 64;
+  /// Effective rank of the signal part.
+  size_t rank = 8;
+  /// Multiplicative decay of successive signal singular values
+  /// (1.0 = flat, <1 = geometric decay).
+  double decay = 0.8;
+  /// Largest signal singular value.
+  double top_singular_value = 100.0;
+  /// Standard deviation of the i.i.d. Gaussian noise added to every entry.
+  double noise_stddev = 0.1;
+  uint64_t seed = 1;
+};
+
+/// A = U diag(sigma) V^T + N: random orthonormal factors, geometrically
+/// decaying signal spectrum, dense Gaussian noise. The canonical workload
+/// where ||A - [A]_k||_F^2 << ||A||_F^2, i.e. where (eps, k)-sketches pay
+/// off (paper §1.2).
+Matrix GenerateLowRankPlusNoise(const LowRankPlusNoiseOptions& options);
+
+/// Parameters for the power-law spectrum generator.
+struct ZipfSpectrumOptions {
+  size_t rows = 1000;
+  size_t cols = 64;
+  /// sigma_i proportional to i^{-alpha}.
+  double alpha = 1.0;
+  double top_singular_value = 100.0;
+  uint64_t seed = 1;
+};
+
+/// A with singular values sigma_i = top * i^{-alpha} and random
+/// orthonormal factors: heavy-tailed spectra where no sharp rank cutoff
+/// exists. Stresses the tail-compression (SVS) stage.
+Matrix GenerateZipfSpectrum(const ZipfSpectrumOptions& options);
+
+/// Uniform random {-1, +1} matrix — the hard-instance family of the
+/// deterministic lower bound (§2.1): flat spectrum, ||A||_F^2 = rows*cols.
+Matrix GenerateSignMatrix(size_t rows, size_t cols, uint64_t seed);
+
+/// Parameters for the sparse generator.
+struct SparseOptions {
+  size_t rows = 1000;
+  size_t cols = 64;
+  /// Probability that an entry is non-zero.
+  double density = 0.05;
+  /// Non-zero magnitudes are Gaussian with this stddev.
+  double value_stddev = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Sparse i.i.d. matrix (Bernoulli mask times Gaussian values).
+Matrix GenerateSparse(const SparseOptions& options);
+
+/// Parameters for the clustered-Gaussian generator (PCA demo workload).
+struct ClusteredGaussianOptions {
+  size_t rows = 1000;
+  size_t cols = 64;
+  size_t num_clusters = 4;
+  /// Separation between cluster centers.
+  double center_scale = 10.0;
+  /// Within-cluster standard deviation.
+  double within_stddev = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Result of the clustered generator: data plus ground-truth labels.
+struct ClusteredData {
+  Matrix data;
+  std::vector<size_t> labels;
+};
+
+/// Mixture of `num_clusters` spherical Gaussians with well-separated
+/// means: the variance structure PCA is meant to recover (intro's
+/// motivating analytics workload).
+ClusteredData GenerateClusteredGaussian(const ClusteredGaussianOptions& options);
+
+/// Dense i.i.d. Gaussian matrix (flat-spectrum control).
+Matrix GenerateGaussian(size_t rows, size_t cols, double stddev,
+                        uint64_t seed);
+
+/// Parameters for the document-term generator.
+struct DocumentTermOptions {
+  /// Number of documents (rows).
+  size_t docs = 1000;
+  /// Vocabulary size (columns).
+  size_t vocab = 64;
+  /// Number of latent topics; each document draws from one topic whose
+  /// word distribution is a shifted Zipf over the vocabulary.
+  size_t topics = 4;
+  /// Words per document (uniform in [length/2, 3*length/2]).
+  size_t length = 100;
+  /// Zipf exponent of each topic's word distribution.
+  double zipf_alpha = 1.1;
+  uint64_t seed = 1;
+};
+
+/// Bag-of-words document-term count matrix — the "textual analysis"
+/// workload of the paper's introduction. Rows are sparse, integer,
+/// heavy-tailed (Zipf word frequencies), with latent topic structure
+/// that gives the matrix a low effective rank.
+Matrix GenerateDocumentTerm(const DocumentTermOptions& options);
+
+/// A random d-by-d orthonormal matrix (QR of a Gaussian matrix).
+Matrix RandomOrthonormal(size_t n, uint64_t seed);
+
+/// Rounds every entry to the nearest integer in [-magnitude, magnitude],
+/// matching the paper's integer-entry input model (§1.2). Zero rows that
+/// may result are kept.
+void QuantizeToIntegers(Matrix& a, double magnitude);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_WORKLOAD_GENERATORS_H_

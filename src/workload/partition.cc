@@ -1,0 +1,66 @@
+#include "workload/partition.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace distsketch {
+
+std::vector<Matrix> PartitionRows(const Matrix& a, size_t s,
+                                  PartitionScheme scheme, uint64_t seed) {
+  DS_CHECK(s >= 1);
+  std::vector<Matrix> parts(s);
+  for (auto& p : parts) p.SetZero(0, a.cols());
+
+  switch (scheme) {
+    case PartitionScheme::kRoundRobin: {
+      for (size_t i = 0; i < a.rows(); ++i) {
+        parts[i % s].AppendRow(a.Row(i));
+      }
+      break;
+    }
+    case PartitionScheme::kContiguous: {
+      const size_t base = a.rows() / s;
+      const size_t extra = a.rows() % s;
+      size_t next = 0;
+      for (size_t p = 0; p < s; ++p) {
+        const size_t count = base + (p < extra ? 1 : 0);
+        for (size_t i = 0; i < count; ++i) {
+          parts[p].AppendRow(a.Row(next++));
+        }
+      }
+      break;
+    }
+    case PartitionScheme::kSkewed: {
+      // Server p receives ~ half of what remains: sizes n/2, n/4, ...
+      size_t next = 0;
+      size_t remaining = a.rows();
+      for (size_t p = 0; p < s && next < a.rows(); ++p) {
+        size_t count = (p + 1 == s) ? remaining
+                                    : std::max<size_t>(1, remaining / 2);
+        count = std::min(count, remaining);
+        for (size_t i = 0; i < count; ++i) {
+          parts[p].AppendRow(a.Row(next++));
+        }
+        remaining -= count;
+      }
+      break;
+    }
+    case PartitionScheme::kRandom: {
+      Rng rng(seed);
+      for (size_t i = 0; i < a.rows(); ++i) {
+        parts[rng.NextUint64Below(s)].AppendRow(a.Row(i));
+      }
+      break;
+    }
+  }
+  return parts;
+}
+
+Matrix UnpartitionRows(const std::vector<Matrix>& parts) {
+  Matrix out;
+  for (const auto& p : parts) out.AppendRows(p);
+  return out;
+}
+
+}  // namespace distsketch

@@ -1,0 +1,39 @@
+#ifndef DISTSKETCH_WORKLOAD_PARTITION_H_
+#define DISTSKETCH_WORKLOAD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// How the rows of the input matrix are spread across servers. The paper
+/// makes no assumption on the partition (§ "Distributed models"); these
+/// schemes let tests and benches verify partition-invariance.
+enum class PartitionScheme {
+  /// Row i goes to server i mod s.
+  kRoundRobin,
+  /// Equal-size contiguous blocks.
+  kContiguous,
+  /// Geometrically skewed block sizes (first server largest).
+  kSkewed,
+  /// Each row assigned to a uniformly random server.
+  kRandom,
+};
+
+/// Splits `a` into `s` row-disjoint local matrices according to `scheme`.
+/// Every row of `a` appears in exactly one part; parts may be empty (e.g.
+/// random scheme with few rows).
+std::vector<Matrix> PartitionRows(const Matrix& a, size_t s,
+                                  PartitionScheme scheme, uint64_t seed = 0);
+
+/// Reassembles a partition into a single matrix (order: server 0's rows,
+/// then server 1's, ...). Note the row order generally differs from the
+/// original matrix; covariance A^T A is invariant to row order, which is
+/// what the sketches approximate.
+Matrix UnpartitionRows(const std::vector<Matrix>& parts);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_WORKLOAD_PARTITION_H_

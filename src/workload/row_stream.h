@@ -1,0 +1,46 @@
+#ifndef DISTSKETCH_WORKLOAD_ROW_STREAM_H_
+#define DISTSKETCH_WORKLOAD_ROW_STREAM_H_
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace distsketch {
+
+/// Single-pass row stream over a matrix. Servers in the distributed
+/// streaming model consume their local input through this interface so
+/// that "one pass with limited working space" is enforced structurally:
+/// a consumed row cannot be revisited.
+class RowStream {
+ public:
+  /// Streams over the rows of `source`; the matrix must outlive the
+  /// stream.
+  explicit RowStream(const Matrix& source) : source_(&source) {}
+
+  /// True while rows remain.
+  bool HasNext() const { return next_ < source_->rows(); }
+
+  /// Consumes and returns the next row.
+  std::span<const double> Next() {
+    DS_CHECK(HasNext());
+    return source_->Row(next_++);
+  }
+
+  /// Row dimension d.
+  size_t dim() const { return source_->cols(); }
+
+  /// Rows consumed so far.
+  size_t consumed() const { return next_; }
+
+  /// Total rows in the underlying source.
+  size_t total() const { return source_->rows(); }
+
+ private:
+  const Matrix* source_;
+  size_t next_ = 0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_WORKLOAD_ROW_STREAM_H_

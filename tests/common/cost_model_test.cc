@@ -1,0 +1,40 @@
+#include "common/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace distsketch {
+namespace {
+
+TEST(CostModelTest, WordSizeGrowsWithInstance) {
+  const CostModel small(100, 10, 0.1);
+  const CostModel large(1000000, 1000, 0.001);
+  EXPECT_GE(large.bits_per_word(), small.bits_per_word());
+  EXPECT_GE(small.bits_per_word(), 32u);
+}
+
+TEST(CostModelTest, WordSizeIsLogarithmic) {
+  // log2(1e6 * 1e3 / 1e-3) = log2(1e12) ~ 40 bits plus slack.
+  const CostModel m(1000000, 1000, 0.001);
+  EXPECT_GE(m.bits_per_word(), 40u);
+  EXPECT_LE(m.bits_per_word(), 48u);
+}
+
+TEST(CostModelTest, MatrixWordsIsEntryCount) {
+  const CostModel m(100, 10, 0.1);
+  EXPECT_EQ(m.MatrixWords(5, 7), 35u);
+  EXPECT_EQ(m.ScalarWords(3), 3u);
+}
+
+TEST(CostModelTest, WordBitConversionRoundTrips) {
+  const CostModel m(100, 10, 0.1);
+  const uint64_t words = 17;
+  const uint64_t bits = m.WordsToBits(words);
+  EXPECT_EQ(bits, words * m.bits_per_word());
+  EXPECT_EQ(m.BitsToWords(bits), words);
+  // Partial word rounds up.
+  EXPECT_EQ(m.BitsToWords(bits + 1), words + 1);
+  EXPECT_EQ(m.BitsToWords(1), 1u);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,127 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace distsketch {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, Uint64BelowRespectsBound) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64Below(17), 17u);
+  }
+}
+
+TEST(RngTest, Uint64BelowIsRoughlyUniform) {
+  Rng rng(17);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextUint64Below(5)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.2, 0.02) << value;
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, SignIsBalanced) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextSign();
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(37);
+  const int n = 50000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextZipf(100, 1.2)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[1], counts[10]);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GE(value, 1u);
+    EXPECT_LE(value, 100u);
+    (void)count;
+  }
+}
+
+TEST(RngTest, DeriveSeedDecorrelatesStreams) {
+  const uint64_t s0 = Rng::DeriveSeed(99, 0);
+  const uint64_t s1 = Rng::DeriveSeed(99, 1);
+  EXPECT_NE(s0, s1);
+  // Derivation is deterministic.
+  EXPECT_EQ(s0, Rng::DeriveSeed(99, 0));
+}
+
+}  // namespace
+}  // namespace distsketch

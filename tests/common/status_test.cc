@@ -1,0 +1,87 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace distsketch {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::NumericalError("diverged");
+  EXPECT_EQ(s.ToString(), "NumericalError: diverged");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::NotFound("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("gone"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  ASSERT_TRUE(v.ok());
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  DS_ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(4, &out).ok());
+  EXPECT_EQ(out, 2);
+  const Status st = UseHalf(3, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNumericalError),
+            "NumericalError");
+}
+
+}  // namespace
+}  // namespace distsketch

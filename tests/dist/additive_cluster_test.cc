@@ -1,0 +1,114 @@
+#include "dist/additive_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(AdditiveClusterTest, Validation) {
+  EXPECT_FALSE(AdditiveCluster::Create({}, 0.1).ok());
+  std::vector<Matrix> mismatched;
+  mismatched.push_back(Matrix(3, 4));
+  mismatched.push_back(Matrix(3, 5));
+  EXPECT_FALSE(AdditiveCluster::Create(std::move(mismatched), 0.1).ok());
+  std::vector<Matrix> ok_shares;
+  ok_shares.push_back(GenerateGaussian(3, 4, 1.0, 1));
+  EXPECT_FALSE(AdditiveCluster::Create(std::move(ok_shares), 0.0).ok());
+}
+
+TEST(AdditiveClusterTest, SplitAdditiveSumsBack) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 40, .cols = 8, .rank = 3, .noise_stddev = 0.2, .seed = 1});
+  const auto shares = SplitAdditive(a, 5, 7);
+  ASSERT_EQ(shares.size(), 5u);
+  Matrix sum(40, 8);
+  for (const auto& share : shares) sum = Add(sum, share);
+  EXPECT_TRUE(AlmostEqual(sum, a, 1e-10));
+  // Shares individually look nothing like A (dense noise).
+  EXPECT_GT(CovarianceError(a, shares[0]),
+            0.3 * SquaredFrobeniusNorm(a) /
+                static_cast<double>(a.cols()));
+}
+
+TEST(AdditiveClusterTest, LocalGramsDoNotAddUp) {
+  // The reason the row-partition protocols fail here: sum of share
+  // Grams != Gram of sum.
+  const Matrix a = GenerateGaussian(30, 6, 1.0, 2);
+  const auto shares = SplitAdditive(a, 3, 8);
+  Matrix gram_sum(6, 6);
+  for (const auto& share : shares) gram_sum = Add(gram_sum, Gram(share));
+  EXPECT_FALSE(AlmostEqual(gram_sum, Gram(a),
+                           0.1 * SquaredFrobeniusNorm(a)));
+}
+
+TEST(AdditiveClusterTest, ExactProtocolIsExactAtOsndCost) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 50, .cols = 10, .rank = 4, .noise_stddev = 0.1, .seed = 3});
+  auto cluster = AdditiveCluster::Create(SplitAdditive(a, 4, 9), 0.1);
+  ASSERT_TRUE(cluster.ok());
+  auto result = RunAdditiveExact(*cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(CovarianceError(a, result->sketch), 0.0,
+              1e-6 * SquaredFrobeniusNorm(a));
+  EXPECT_EQ(result->comm.total_words, 4u * 50u * 10u);
+}
+
+TEST(AdditiveClusterTest, CountSketchProtocolMeetsBudget) {
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 400, .cols = 16, .alpha = 0.8, .seed = 4});
+  const double eps = 0.25;
+  auto cluster = AdditiveCluster::Create(SplitAdditive(a, 6, 10), eps);
+  ASSERT_TRUE(cluster.ok());
+  int good = 0;
+  for (int t = 0; t < 5; ++t) {
+    auto result = RunAdditiveCountSketch(
+        *cluster, {.eps = eps, .oversample = 4.0,
+                   .seed = 100 + static_cast<uint64_t>(t)});
+    ASSERT_TRUE(result.ok());
+    // IMPORTANT: error is against the SUM, not any share.
+    if (CovarianceError(a, result->sketch) <=
+        eps * SquaredFrobeniusNorm(a)) {
+      ++good;
+    }
+  }
+  EXPECT_GE(good, 4);
+}
+
+TEST(AdditiveClusterTest, CountSketchCostIndependentOfN) {
+  const double eps = 0.25;
+  uint64_t words_small = 0, words_large = 0;
+  for (const size_t n : {200u, 3200u}) {
+    const Matrix a = GenerateGaussian(n, 12, 1.0, n);
+    auto cluster = AdditiveCluster::Create(SplitAdditive(a, 4, 11), eps);
+    ASSERT_TRUE(cluster.ok());
+    auto result =
+        RunAdditiveCountSketch(*cluster, {.eps = eps, .seed = 5});
+    ASSERT_TRUE(result.ok());
+    (n == 200u ? words_small : words_large) = result->comm.total_words;
+  }
+  EXPECT_EQ(words_small, words_large);
+}
+
+TEST(AdditiveClusterTest, RowPartitionIsASpecialCase) {
+  // Shares with disjoint supports: both protocols still work (sanity
+  // that the model generalizes row partition).
+  const Matrix a = GenerateGaussian(60, 8, 1.0, 6);
+  std::vector<Matrix> shares(3, Matrix(60, 8));
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = 0; j < 8; ++j) shares[i % 3](i, j) = a(i, j);
+  }
+  auto cluster = AdditiveCluster::Create(std::move(shares), 0.25);
+  ASSERT_TRUE(cluster.ok());
+  auto result =
+      RunAdditiveCountSketch(*cluster, {.eps = 0.25, .seed = 12});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(CovarianceError(a, result->sketch),
+            0.25 * SquaredFrobeniusNorm(a));
+}
+
+}  // namespace
+}  // namespace distsketch

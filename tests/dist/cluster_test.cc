@@ -1,0 +1,95 @@
+#include "dist/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+TEST(ClusterTest, CreateValidation) {
+  EXPECT_FALSE(Cluster::Create({}, 0.1).ok());
+  // All-empty partitions.
+  std::vector<Matrix> empties(3);
+  EXPECT_FALSE(Cluster::Create(std::move(empties), 0.1).ok());
+  // Mismatched widths.
+  std::vector<Matrix> mismatched;
+  mismatched.push_back(Matrix(2, 3));
+  mismatched.push_back(Matrix(2, 4));
+  EXPECT_FALSE(Cluster::Create(std::move(mismatched), 0.1).ok());
+  // Bad eps.
+  std::vector<Matrix> ok_parts;
+  ok_parts.push_back(Matrix(2, 3));
+  EXPECT_FALSE(Cluster::Create(std::move(ok_parts), 0.0).ok());
+}
+
+TEST(ClusterTest, BasicAccessors) {
+  const Matrix a = GenerateGaussian(20, 5, 1.0, 1);
+  auto cluster = Cluster::Create(
+      PartitionRows(a, 4, PartitionScheme::kContiguous), 0.1);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ(cluster->num_servers(), 4u);
+  EXPECT_EQ(cluster->dim(), 5u);
+  EXPECT_EQ(cluster->total_rows(), 20u);
+  EXPECT_EQ(cluster->server(0).num_rows(), 5u);
+  EXPECT_EQ(cluster->server(2).id(), 2);
+}
+
+TEST(ClusterTest, EmptyServerToleratedIfAnyNonEmpty) {
+  std::vector<Matrix> parts;
+  parts.push_back(GenerateGaussian(4, 3, 1.0, 2));
+  parts.push_back(Matrix());  // empty server
+  auto cluster = Cluster::Create(std::move(parts), 0.1);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ(cluster->server(1).num_rows(), 0u);
+  EXPECT_EQ(cluster->server(1).local_rows().cols(), 3u);
+}
+
+TEST(ClusterTest, AssembleGroundTruthConcatenates) {
+  const Matrix a = GenerateGaussian(12, 4, 1.0, 3);
+  auto cluster = Cluster::Create(
+      PartitionRows(a, 3, PartitionScheme::kContiguous), 0.1);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_TRUE(cluster->AssembleGroundTruth() == a);
+}
+
+TEST(ClusterTest, ResetLogClearsStats) {
+  const Matrix a = GenerateGaussian(6, 3, 1.0, 4);
+  auto cluster =
+      Cluster::Create(PartitionRows(a, 2, PartitionScheme::kContiguous),
+                      0.1);
+  ASSERT_TRUE(cluster.ok());
+  cluster->log().BeginRound();
+  cluster->log().Record(0, kCoordinator, "x", 7);
+  EXPECT_EQ(cluster->log().Stats().total_words, 7u);
+  cluster->ResetLog();
+  EXPECT_EQ(cluster->log().Stats().total_words, 0u);
+  EXPECT_EQ(cluster->log().Stats().num_rounds, 0);
+}
+
+TEST(ClusterTest, StreamingAccessIsSinglePass) {
+  const Matrix a = GenerateGaussian(8, 3, 1.0, 5);
+  auto cluster = Cluster::Create(
+      PartitionRows(a, 2, PartitionScheme::kRoundRobin), 0.1);
+  ASSERT_TRUE(cluster.ok());
+  RowStream stream = cluster->server(0).OpenStream();
+  size_t n = 0;
+  while (stream.HasNext()) {
+    stream.Next();
+    ++n;
+  }
+  EXPECT_EQ(n, 4u);
+}
+
+TEST(ClusterTest, CostModelWordSizeReflectsInstance) {
+  const Matrix a = GenerateGaussian(1000, 50, 1.0, 6);
+  auto cluster = Cluster::Create(
+      PartitionRows(a, 4, PartitionScheme::kContiguous), 0.01);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_GE(cluster->cost_model().bits_per_word(), 32u);
+}
+
+}  // namespace
+}  // namespace distsketch

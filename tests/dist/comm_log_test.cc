@@ -1,0 +1,73 @@
+#include "dist/comm_log.h"
+
+#include <gtest/gtest.h>
+
+namespace distsketch {
+namespace {
+
+TEST(CommLogTest, EmptyLogHasZeroStats) {
+  CommLog log(32);
+  const CommStats s = log.Stats();
+  EXPECT_EQ(s.total_words, 0u);
+  EXPECT_EQ(s.total_bits, 0u);
+  EXPECT_EQ(s.num_messages, 0u);
+  EXPECT_EQ(s.num_rounds, 0);
+}
+
+TEST(CommLogTest, RecordsWordsAndDefaultBits) {
+  CommLog log(40);
+  log.BeginRound();
+  log.Record(0, kCoordinator, "sketch", 100);
+  const CommStats s = log.Stats();
+  EXPECT_EQ(s.total_words, 100u);
+  EXPECT_EQ(s.total_bits, 4000u);
+  EXPECT_EQ(s.num_messages, 1u);
+  EXPECT_EQ(s.num_rounds, 1);
+}
+
+TEST(CommLogTest, ExplicitBitsOverrideDefault) {
+  CommLog log(40);
+  log.BeginRound();
+  log.Record(1, kCoordinator, "quantized", 10, 123);
+  EXPECT_EQ(log.Stats().total_bits, 123u);
+  EXPECT_EQ(log.Stats().total_words, 10u);
+}
+
+TEST(CommLogTest, BroadcastIsSPointToPointMessages) {
+  CommLog log(32);
+  log.BeginRound();
+  log.RecordBroadcast(5, "params", 3);
+  const CommStats s = log.Stats();
+  EXPECT_EQ(s.num_messages, 5u);
+  EXPECT_EQ(s.total_words, 15u);
+  for (const auto& m : log.messages()) {
+    EXPECT_EQ(m.from, kCoordinator);
+    EXPECT_EQ(m.tag, "params");
+  }
+}
+
+TEST(CommLogTest, RoundsIncrementAndStamp) {
+  CommLog log(32);
+  EXPECT_EQ(log.BeginRound(), 1);
+  log.Record(0, kCoordinator, "a", 1);
+  EXPECT_EQ(log.BeginRound(), 2);
+  log.Record(1, kCoordinator, "b", 1);
+  ASSERT_EQ(log.messages().size(), 2u);
+  EXPECT_EQ(log.messages()[0].round, 1);
+  EXPECT_EQ(log.messages()[1].round, 2);
+  EXPECT_EQ(log.Stats().num_rounds, 2);
+}
+
+TEST(CommLogTest, WordsSentByEndpoint) {
+  CommLog log(32);
+  log.BeginRound();
+  log.Record(0, kCoordinator, "x", 10);
+  log.Record(1, kCoordinator, "y", 20);
+  log.Record(kCoordinator, 0, "z", 5);
+  EXPECT_EQ(log.WordsSentBy(0), 10u);
+  EXPECT_EQ(log.WordsSentBy(1), 20u);
+  EXPECT_EQ(log.WordsSentBy(kCoordinator), 5u);
+}
+
+}  // namespace
+}  // namespace distsketch

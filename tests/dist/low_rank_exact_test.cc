@@ -1,0 +1,101 @@
+#include "dist/low_rank_exact_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+Cluster MakeCluster(const Matrix& a, size_t s) {
+  auto cluster = Cluster::Create(
+      PartitionRows(a, s, PartitionScheme::kRoundRobin), 0.1);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+TEST(LowRankExactTest, RejectsZeroK) {
+  const Matrix a = GenerateGaussian(10, 4, 1.0, 1);
+  Cluster cluster = MakeCluster(a, 2);
+  LowRankExactProtocol protocol({.k = 0});
+  EXPECT_FALSE(protocol.Run(cluster).ok());
+}
+
+TEST(LowRankExactTest, ExactForLowRankInput) {
+  // rank(A) = 3 <= 2k with k = 2.
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 80, .cols = 12, .rank = 3, .noise_stddev = 0.0, .seed = 2});
+  Cluster cluster = MakeCluster(a, 4);
+  LowRankExactProtocol protocol({.k = 2});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(CovarianceError(a, result->sketch), 0.0,
+              1e-5 * SquaredFrobeniusNorm(a));
+  // Sketch has rank(A) rows.
+  EXPECT_EQ(result->sketch_rows, 3u);
+}
+
+TEST(LowRankExactTest, CostIsOskd) {
+  const size_t k = 3;
+  const size_t d = 16;
+  const size_t s = 5;
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 100, .cols = d, .rank = 2 * k, .noise_stddev = 0.0,
+       .seed = 3});
+  Cluster cluster = MakeCluster(a, s);
+  LowRankExactProtocol protocol({.k = k});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  // Per server at most 2k*d + (2k)^2 words.
+  EXPECT_LE(result->comm.total_words, s * (2 * k * d + 4 * k * k));
+  EXPECT_EQ(result->comm.num_rounds, 1);
+}
+
+TEST(LowRankExactTest, FailsPreconditionWhenRankTooHigh) {
+  // Full-rank Gaussian input with 2k < d: some server sees rank > 2k.
+  const Matrix a = GenerateGaussian(60, 10, 1.0, 4);
+  Cluster cluster = MakeCluster(a, 2);
+  LowRankExactProtocol protocol({.k = 2});
+  auto result = protocol.Run(cluster);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LowRankExactTest, HandlesEmptyServers) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 10, .cols = 8, .rank = 2, .noise_stddev = 0.0, .seed = 5});
+  // 12 servers, 10 rows: some servers are empty.
+  Cluster cluster = MakeCluster(a, 12);
+  LowRankExactProtocol protocol({.k = 1});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(CovarianceError(a, result->sketch), 0.0,
+              1e-6 * SquaredFrobeniusNorm(a));
+}
+
+TEST(LowRankExactTest, IntegerInputStaysExact) {
+  // The paper's input model: small integer entries. Build a rank-2
+  // integer matrix by repeating two integer rows with integer multiples.
+  Matrix a(0, 6);
+  const double r1[] = {1, 2, 0, -1, 3, 0};
+  const double r2[] = {0, 1, 1, 2, -2, 4};
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> row(6);
+    for (int j = 0; j < 6; ++j) {
+      row[j] = (i % 3) * r1[j] + (i % 5 - 2) * r2[j];
+    }
+    a.AppendRow(row);
+  }
+  Cluster cluster = MakeCluster(a, 3);
+  LowRankExactProtocol protocol({.k = 1});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(CovarianceError(a, result->sketch), 0.0,
+              1e-6 * std::max(1.0, SquaredFrobeniusNorm(a)));
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,157 @@
+// Systematic guarantee sweep: every covariance-sketch protocol, across
+// server counts, accuracies and spectra, certified against its own
+// theorem's budget. This is the regression net for the whole protocol
+// layer — any change that silently weakens a guarantee fails here.
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "dist/adaptive_sketch_protocol.h"
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "dist/row_sampling_protocol.h"
+#include "dist/svs_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+enum class Workload { kLowRank, kZipf, kSign, kSparse };
+
+Matrix MakeWorkload(Workload w, uint64_t seed) {
+  switch (w) {
+    case Workload::kLowRank:
+      return GenerateLowRankPlusNoise({.rows = 256,
+                                       .cols = 20,
+                                       .rank = 4,
+                                       .decay = 0.7,
+                                       .top_singular_value = 30.0,
+                                       .noise_stddev = 0.3,
+                                       .seed = seed});
+    case Workload::kZipf:
+      return GenerateZipfSpectrum(
+          {.rows = 256, .cols = 20, .alpha = 0.9, .seed = seed});
+    case Workload::kSign:
+      return GenerateSignMatrix(256, 20, seed);
+    case Workload::kSparse:
+      return GenerateSparse(
+          {.rows = 256, .cols = 20, .density = 0.15, .seed = seed});
+  }
+  return {};
+}
+
+std::string WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kLowRank:
+      return "lowrank";
+    case Workload::kZipf:
+      return "zipf";
+    case Workload::kSign:
+      return "sign";
+    case Workload::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+using SweepParam = std::tuple<size_t, double, Workload>;
+
+class GuaranteeSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const auto [s, eps, workload] = GetParam();
+    s_ = s;
+    eps_ = eps;
+    a_ = MakeWorkload(workload, 17);
+    auto cluster = Cluster::Create(
+        PartitionRows(a_, s_, PartitionScheme::kRoundRobin), eps_);
+    ASSERT_TRUE(cluster.ok());
+    cluster_.emplace(std::move(*cluster));
+  }
+
+  size_t s_ = 0;
+  double eps_ = 0.0;
+  Matrix a_;
+  std::optional<Cluster> cluster_;
+};
+
+TEST_P(GuaranteeSweep, ExactGramIsExact) {
+  ExactGramProtocol protocol;
+  auto result = protocol.Run(*cluster_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(CovarianceError(a_, result->sketch),
+            1e-6 * SquaredFrobeniusNorm(a_));
+}
+
+TEST_P(GuaranteeSweep, FdMergeEpsZero) {
+  FdMergeProtocol protocol({.eps = eps_, .k = 0});
+  auto result = protocol.Run(*cluster_);
+  ASSERT_TRUE(result.ok());
+  // Merge-of-sketches constant: certify at 2 eps.
+  EXPECT_LE(CovarianceError(a_, result->sketch),
+            2.0 * eps_ * SquaredFrobeniusNorm(a_) * (1.0 + 1e-9));
+}
+
+TEST_P(GuaranteeSweep, FdMergeEpsK) {
+  FdMergeProtocol protocol({.eps = eps_, .k = 3});
+  auto result = protocol.Run(*cluster_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsEpsKSketch(a_, result->sketch, 2.0 * eps_, 3));
+}
+
+TEST_P(GuaranteeSweep, AdaptiveEpsK) {
+  AdaptiveSketchProtocol protocol({.eps = eps_, .k = 3, .seed = 23});
+  auto result = protocol.Run(*cluster_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsEpsKSketch(a_, result->sketch, 3.0 * eps_, 3));
+}
+
+TEST_P(GuaranteeSweep, SvsQuadratic) {
+  SvsProtocol protocol({.alpha = eps_ / 4.0, .delta = 0.05, .seed = 29});
+  auto result = protocol.Run(*cluster_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(CovarianceError(a_, result->sketch),
+            eps_ * SquaredFrobeniusNorm(a_) * (1.0 + 1e-9));
+}
+
+TEST_P(GuaranteeSweep, RowSampling) {
+  RowSamplingProtocol protocol(
+      {.eps = eps_, .oversample = 6.0, .seed = 31});
+  auto result = protocol.Run(*cluster_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(CovarianceError(a_, result->sketch),
+            eps_ * SquaredFrobeniusNorm(a_) * (1.0 + 1e-9));
+}
+
+TEST_P(GuaranteeSweep, DeterministicCostExactlyLinearInS) {
+  FdMergeProtocol protocol({.eps = eps_, .k = 3});
+  auto result = protocol.Run(*cluster_);
+  ASSERT_TRUE(result.ok());
+  // Every server ships at most l = 3 + ceil(3/eps) rows of d words.
+  const uint64_t l = 3 + static_cast<uint64_t>(std::ceil(3.0 / eps_));
+  EXPECT_LE(result->comm.total_words, s_ * l * a_.cols());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuaranteeSweep,
+    ::testing::Combine(::testing::Values(2, 5, 16),
+                       ::testing::Values(0.15, 0.35),
+                       ::testing::Values(Workload::kLowRank, Workload::kZipf,
+                                         Workload::kSign,
+                                         Workload::kSparse)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) *
+                                             100)) +
+             "_" + WorkloadName(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,131 @@
+#include "dist/protocol_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+TEST(ProtocolPlannerTest, Validation) {
+  EXPECT_FALSE(PlanSketchProtocol(0, 8, {}).ok());
+  EXPECT_FALSE(PlanSketchProtocol(4, 0, {}).ok());
+  SketchRequest bad;
+  bad.eps = 0.0;
+  EXPECT_FALSE(PlanSketchProtocol(4, 8, bad).ok());
+}
+
+TEST(ProtocolPlannerTest, CoarseEpsPicksExactGram) {
+  // 1/eps >= d: the trivial O(sd^2) protocol is optimal (end of §2.1).
+  SketchRequest req;
+  req.eps = 0.5;
+  req.allow_randomized = false;
+  auto plan = PlanSketchProtocol(4, 2, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->protocol->Name(), "exact_gram");
+}
+
+TEST(ProtocolPlannerTest, DeterministicRequestPicksFd) {
+  // l = k + k/eps = 10 rows per server beats the d(d+1)/2-word Gram.
+  SketchRequest req;
+  req.eps = 0.25;
+  req.k = 2;
+  req.allow_randomized = false;
+  auto plan = PlanSketchProtocol(16, 64, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->protocol->Name(), "fd_merge");
+}
+
+TEST(ProtocolPlannerTest, ManyServersPicksRandomized) {
+  SketchRequest req;
+  req.eps = 0.1;
+  req.k = 4;
+  auto plan = PlanSketchProtocol(64, 64, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->protocol->Name(), "adaptive_sketch");
+}
+
+TEST(ProtocolPlannerTest, EpsZeroManyServersPicksSvs) {
+  // The SVS win region needs all three: d > 1/eps (else exact Gram),
+  // sqrt(s) < ~1/(2 eps) (else sampling), sqrt(s) > ~4 sqrt(log d)
+  // (else FD) — the Table 1 geometry.
+  SketchRequest req;
+  req.eps = 0.01;
+  req.k = 0;
+  auto plan = PlanSketchProtocol(256, 192, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->protocol->Name(), "svs");
+}
+
+TEST(ProtocolPlannerTest, HugeFleetWeakGuaranteePicksSampling) {
+  // Sampling's O(s + d/eps^2) is nearly s-free: at very large s with a
+  // moderate eps and only the weak guarantee, it undercuts even the
+  // sqrt(s)-scaling SVS.
+  SketchRequest req;
+  req.eps = 0.3;
+  req.k = 0;
+  auto plan = PlanSketchProtocol(512, 64, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->protocol->Name(), "row_sampling");
+}
+
+TEST(ProtocolPlannerTest, CostFormulasAreMonotone) {
+  SketchRequest req;
+  req.eps = 0.1;
+  req.k = 2;
+  EXPECT_LT(PredictFdMergeWords(4, 32, req), PredictFdMergeWords(8, 32, req));
+  EXPECT_LT(PredictSvsWords(4, 32, req), PredictSvsWords(16, 32, req));
+  SketchRequest coarse = req;
+  coarse.eps = 0.4;
+  EXPECT_LT(PredictAdaptiveWords(8, 32, coarse),
+            PredictAdaptiveWords(8, 32, req));
+}
+
+TEST(ProtocolPlannerTest, PlannedProtocolRunsAndMeetsBudget) {
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 320,
+                                             .cols = 24,
+                                             .rank = 4,
+                                             .noise_stddev = 0.3,
+                                             .seed = 1});
+  SketchRequest req;
+  req.eps = 0.25;
+  req.k = 3;
+  auto plan = PlanSketchProtocol(8, 24, req);
+  ASSERT_TRUE(plan.ok());
+  auto cluster = Cluster::Create(
+      PartitionRows(a, 8, PartitionScheme::kRoundRobin), req.eps);
+  ASSERT_TRUE(cluster.ok());
+  auto result = plan->protocol->Run(*cluster);
+  ASSERT_TRUE(result.ok());
+  // Certify at the protocol's guarantee constant (3 eps covers all).
+  EXPECT_TRUE(IsEpsKSketch(a, result->sketch, 3.0 * req.eps, req.k));
+  EXPECT_FALSE(plan->rationale.empty());
+}
+
+TEST(ProtocolPlannerTest, PredictionWithinFactorOfMeasured) {
+  // The cost model should be within ~3x of the metered words (it is a
+  // planner, not an oracle).
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 640, .cols = 32, .alpha = 0.8, .seed = 2});
+  for (size_t s : {4u, 32u}) {
+    SketchRequest req;
+    req.eps = 0.1;
+    req.k = 0;
+    auto plan = PlanSketchProtocol(s, 32, req);
+    ASSERT_TRUE(plan.ok());
+    auto cluster = Cluster::Create(
+        PartitionRows(a, s, PartitionScheme::kRoundRobin), req.eps);
+    ASSERT_TRUE(cluster.ok());
+    auto result = plan->protocol->Run(*cluster);
+    ASSERT_TRUE(result.ok());
+    const double measured =
+        static_cast<double>(result->comm.total_words);
+    EXPECT_LT(measured, 3.0 * plan->predicted_words);
+    EXPECT_GT(measured, plan->predicted_words / 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,253 @@
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "dist/adaptive_sketch_protocol.h"
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "dist/row_sampling_protocol.h"
+#include "dist/svs_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+Cluster MakeCluster(const Matrix& a, size_t s, double eps,
+                    PartitionScheme scheme = PartitionScheme::kRoundRobin) {
+  auto cluster = Cluster::Create(PartitionRows(a, s, scheme, 7), eps);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+Matrix DefaultWorkload(uint64_t seed = 1) {
+  return GenerateLowRankPlusNoise({.rows = 160,
+                                   .cols = 16,
+                                   .rank = 4,
+                                   .decay = 0.7,
+                                   .top_singular_value = 40.0,
+                                   .noise_stddev = 0.4,
+                                   .seed = seed});
+}
+
+TEST(ExactGramProtocolTest, ZeroErrorAtSd2Cost) {
+  const Matrix a = DefaultWorkload();
+  Cluster cluster = MakeCluster(a, 4, 0.1);
+  ExactGramProtocol protocol;
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(CovarianceError(a, result->sketch), 0.0,
+              1e-6 * SquaredFrobeniusNorm(a));
+  // s * d(d+1)/2 words, one round.
+  EXPECT_EQ(result->comm.total_words, 4u * (16u * 17u / 2u));
+  EXPECT_EQ(result->comm.num_rounds, 1);
+}
+
+TEST(FdMergeProtocolTest, Theorem2GuaranteeAndCost) {
+  const Matrix a = DefaultWorkload(2);
+  const double eps = 0.4;
+  const size_t k = 3;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  FdMergeProtocol protocol({.eps = eps, .k = k});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  // Merged-sketch guarantee certified at 2*eps (merge of sketches).
+  EXPECT_TRUE(IsEpsKSketch(a, result->sketch, 2.0 * eps, k));
+  // Cost <= s * l * d with l = k + ceil(k/eps).
+  const uint64_t l = k + 8;
+  EXPECT_LE(result->comm.total_words, 4u * l * 16u);
+  EXPECT_GT(result->comm.total_words, 0u);
+  EXPECT_EQ(result->comm.num_rounds, 1);
+  EXPECT_LE(result->sketch_rows, l);
+}
+
+TEST(FdMergeProtocolTest, EpsZeroVariant) {
+  const Matrix a = GenerateSignMatrix(120, 12, 3);
+  const double eps = 0.25;
+  Cluster cluster = MakeCluster(a, 3, eps);
+  FdMergeProtocol protocol({.eps = eps, .k = 0});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(CovarianceError(a, result->sketch),
+            2.0 * eps * SquaredFrobeniusNorm(a));
+}
+
+TEST(FdMergeProtocolTest, QuantizedVariantMetersBitsAndKeepsGuarantee) {
+  const Matrix a = DefaultWorkload(4);
+  const double eps = 0.4;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  FdMergeProtocol plain({.eps = eps, .k = 3, .quantize = false});
+  FdMergeProtocol quant({.eps = eps, .k = 3, .quantize = true});
+  auto pr = plain.Run(cluster);
+  auto qr = quant.Run(cluster);
+  ASSERT_TRUE(pr.ok());
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(IsEpsKSketch(a, qr->sketch, 2.0 * eps, 3));
+  // Quantized payloads report exact bits, which must not exceed the
+  // default word encoding by much and are typically smaller.
+  EXPECT_GT(qr->comm.total_bits, 0u);
+  EXPECT_LE(qr->comm.total_bits, pr->comm.total_bits * 2);
+}
+
+TEST(RowSamplingProtocolTest, ErrorBoundAndCost) {
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 200, .cols = 12, .alpha = 0.6, .seed = 5});
+  const double eps = 0.5;
+  Cluster cluster = MakeCluster(a, 5, eps);
+  RowSamplingProtocol protocol(
+      {.eps = eps, .oversample = 4.0, .seed = 11});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(CovarianceError(a, result->sketch),
+            eps * SquaredFrobeniusNorm(a));
+  // t = ceil(4/eps^2) = 16 rows of d plus O(s) control words.
+  const uint64_t t = 16;
+  EXPECT_LE(result->comm.total_words, t * 12 + 3 * 5 + 5);
+  EXPECT_EQ(result->comm.num_rounds, 3);
+}
+
+TEST(RowSamplingProtocolTest, AllZeroInputYieldsEmptySketch) {
+  std::vector<Matrix> parts;
+  parts.push_back(Matrix(5, 4));
+  parts.push_back(Matrix(5, 4));
+  auto cluster = Cluster::Create(std::move(parts), 0.5);
+  ASSERT_TRUE(cluster.ok());
+  RowSamplingProtocol protocol({.eps = 0.5});
+  auto result = protocol.Run(*cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sketch.rows(), 0u);
+}
+
+class SvsProtocolTest
+    : public ::testing::TestWithParam<SamplingFunctionKind> {};
+
+TEST_P(SvsProtocolTest, ErrorWithinTheorem6Bound) {
+  const Matrix a = DefaultWorkload(6);
+  const double alpha = 0.1;
+  Cluster cluster = MakeCluster(a, 6, alpha);
+  SvsProtocol protocol(
+      {.alpha = alpha, .delta = 0.05, .kind = GetParam(), .seed = 13});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(CovarianceError(a, result->sketch),
+            4.0 * alpha * SquaredFrobeniusNorm(a));
+  EXPECT_LE(FrobeniusNorm(result->sketch), 2.0 * FrobeniusNorm(a));
+  EXPECT_EQ(result->comm.num_rounds, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SvsProtocolTest,
+                         ::testing::Values(SamplingFunctionKind::kLinear,
+                                           SamplingFunctionKind::kQuadratic));
+
+TEST(SvsProtocolTest, BeatsFdCommunicationAtLargeS) {
+  // The headline separation: for many servers and the (alpha,0) error,
+  // SVS should communicate less than deterministic FD-merge.
+  const size_t s = 32;
+  const double alpha = 0.15;
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 640, .cols = 24, .alpha = 1.0, .seed = 7});
+  Cluster cluster = MakeCluster(a, s, alpha);
+
+  FdMergeProtocol fd({.eps = alpha, .k = 0});
+  auto fd_result = fd.Run(cluster);
+  ASSERT_TRUE(fd_result.ok());
+
+  SvsProtocol svs({.alpha = alpha, .delta = 0.1, .seed = 17});
+  auto svs_result = svs.Run(cluster);
+  ASSERT_TRUE(svs_result.ok());
+
+  EXPECT_LT(svs_result->comm.total_words, fd_result->comm.total_words);
+  // And both meet the error target.
+  EXPECT_LE(CovarianceError(a, svs_result->sketch),
+            4.0 * alpha * SquaredFrobeniusNorm(a));
+}
+
+TEST(AdaptiveSketchProtocolTest, Theorem7GuaranteeAndRounds) {
+  const Matrix a = DefaultWorkload(8);
+  const double eps = 0.3;
+  const size_t k = 3;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  AdaptiveSketchProtocol protocol(
+      {.eps = eps, .k = k, .delta = 0.1, .seed = 19});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsEpsKSketch(a, result->sketch, 3.0 * eps, k))
+      << "coverr=" << CovarianceError(a, result->sketch);
+  EXPECT_EQ(result->comm.num_rounds, 3);
+  // Frobenius norm bound of Theorem 7.
+  EXPECT_LE(SquaredFrobeniusNorm(result->sketch),
+            SquaredFrobeniusNorm(a) + 8.0 * OptimalTailEnergy(a, k));
+}
+
+TEST(AdaptiveSketchProtocolTest, RecompressGivesOptimalRows) {
+  const Matrix a = DefaultWorkload(9);
+  const double eps = 0.3;
+  const size_t k = 3;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  AdaptiveSketchProtocol protocol(
+      {.eps = eps, .k = k, .recompress = true, .seed = 21});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->sketch_rows, k + 10u + 1u);  // k + ceil(k/eps)
+  EXPECT_TRUE(IsEpsKSketch(a, result->sketch, 6.0 * eps, k));
+}
+
+TEST(AdaptiveSketchProtocolTest, QuantizedVariantKeepsGuarantee) {
+  const Matrix a = DefaultWorkload(10);
+  const double eps = 0.3;
+  const size_t k = 3;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  AdaptiveSketchProtocol protocol(
+      {.eps = eps, .k = k, .quantize = true, .seed = 23});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsEpsKSketch(a, result->sketch, 3.0 * eps, k));
+  EXPECT_GT(result->comm.total_bits, 0u);
+}
+
+// Partition invariance: all protocols' guarantees hold regardless of how
+// rows are spread (the paper assumes arbitrary partitions).
+class PartitionInvarianceTest
+    : public ::testing::TestWithParam<PartitionScheme> {};
+
+TEST_P(PartitionInvarianceTest, AdaptiveGuaranteeUnderAllPartitions) {
+  const Matrix a = DefaultWorkload(11);
+  const double eps = 0.3;
+  const size_t k = 3;
+  Cluster cluster = MakeCluster(a, 5, eps, GetParam());
+  AdaptiveSketchProtocol protocol({.eps = eps, .k = k, .seed = 29});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsEpsKSketch(a, result->sketch, 3.0 * eps, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PartitionInvarianceTest,
+                         ::testing::Values(PartitionScheme::kRoundRobin,
+                                           PartitionScheme::kContiguous,
+                                           PartitionScheme::kSkewed,
+                                           PartitionScheme::kRandom));
+
+TEST(ProtocolComparisonTest, AdaptiveBeatsFdOnCommAtLargeS) {
+  const size_t s = 32;
+  const double eps = 0.25;
+  const size_t k = 2;
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 640,
+                                             .cols = 24,
+                                             .rank = 4,
+                                             .noise_stddev = 0.3,
+                                             .seed = 12});
+  Cluster cluster = MakeCluster(a, s, eps);
+  FdMergeProtocol fd({.eps = eps, .k = k});
+  AdaptiveSketchProtocol adaptive({.eps = eps, .k = k, .seed = 31});
+  auto fd_result = fd.Run(cluster);
+  auto ad_result = adaptive.Run(cluster);
+  ASSERT_TRUE(fd_result.ok());
+  ASSERT_TRUE(ad_result.ok());
+  EXPECT_LT(ad_result->comm.total_words, fd_result->comm.total_words);
+}
+
+}  // namespace
+}  // namespace distsketch

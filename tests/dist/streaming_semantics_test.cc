@@ -1,0 +1,146 @@
+// Semantics of the distributed streaming model (§1): a single pass over
+// each local stream, bounded working space, determinism where the paper
+// claims it, and batch/stream equivalence of the sketches.
+
+#include <gtest/gtest.h>
+
+#include "dist/adaptive_sketch_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "dist/row_sampling_protocol.h"
+#include "dist/svs_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "sketch/frequent_directions.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+namespace {
+
+Cluster MakeCluster(const Matrix& a, size_t s, double eps) {
+  auto cluster = Cluster::Create(
+      PartitionRows(a, s, PartitionScheme::kRoundRobin), eps);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+TEST(StreamingSemanticsTest, FdIsOrderDependentButBothOrdersValid) {
+  // FD is a streaming algorithm: different row orders give different
+  // sketches, but both satisfy the guarantee (the paper's bounds are
+  // order-free).
+  const Matrix a = GenerateGaussian(120, 10, 1.0, 1);
+  Matrix reversed(0, 10);
+  for (size_t i = a.rows(); i-- > 0;) reversed.AppendRow(a.Row(i));
+  FrequentDirections forward(10, 5), backward(10, 5);
+  forward.AppendRows(a);
+  backward.AppendRows(reversed);
+  const double budget = OptimalTailEnergy(a, 2) / 3.0;  // l-k = 3
+  EXPECT_LE(CovarianceError(a, forward.Sketch()), budget * (1 + 1e-9));
+  EXPECT_LE(CovarianceError(a, backward.Sketch()), budget * (1 + 1e-9));
+}
+
+TEST(StreamingSemanticsTest, FdBatchEqualsStreamed) {
+  // Feeding rows one by one equals feeding them as blocks: the sketch is
+  // a pure function of the row sequence.
+  const Matrix a = GenerateGaussian(90, 8, 1.0, 2);
+  FrequentDirections streamed(8, 4), blocked(8, 4);
+  for (size_t i = 0; i < a.rows(); ++i) streamed.Append(a.Row(i));
+  blocked.AppendRows(a.RowRange(0, 30));
+  blocked.AppendRows(a.RowRange(30, 90));
+  EXPECT_TRUE(streamed.Sketch() == blocked.Sketch());
+}
+
+TEST(StreamingSemanticsTest, DeterministicProtocolIsRunToRunIdentical) {
+  const Matrix a = GenerateGaussian(100, 8, 1.0, 3);
+  Cluster cluster = MakeCluster(a, 4, 0.25);
+  FdMergeProtocol protocol({.eps = 0.25, .k = 2});
+  auto r1 = protocol.Run(cluster);
+  auto r2 = protocol.Run(cluster);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r1->sketch == r2->sketch);
+  EXPECT_EQ(r1->comm.total_words, r2->comm.total_words);
+}
+
+TEST(StreamingSemanticsTest, RandomizedProtocolsSeedDeterministic) {
+  const Matrix a = GenerateGaussian(100, 8, 1.0, 4);
+  Cluster cluster = MakeCluster(a, 4, 0.25);
+  for (int run = 0; run < 2; ++run) {
+    SvsProtocol svs({.alpha = 0.1, .seed = 9});
+    AdaptiveSketchProtocol adaptive({.eps = 0.25, .k = 2, .seed = 9});
+    RowSamplingProtocol sampling({.eps = 0.4, .seed = 9});
+    static Matrix svs_first, adaptive_first, sampling_first;
+    auto s1 = svs.Run(cluster);
+    auto s2 = adaptive.Run(cluster);
+    auto s3 = sampling.Run(cluster);
+    ASSERT_TRUE(s1.ok());
+    ASSERT_TRUE(s2.ok());
+    ASSERT_TRUE(s3.ok());
+    if (run == 0) {
+      svs_first = s1->sketch;
+      adaptive_first = s2->sketch;
+      sampling_first = s3->sketch;
+    } else {
+      EXPECT_TRUE(s1->sketch == svs_first);
+      EXPECT_TRUE(s2->sketch == adaptive_first);
+      EXPECT_TRUE(s3->sketch == sampling_first);
+    }
+  }
+}
+
+TEST(StreamingSemanticsTest, DifferentSeedsGiveDifferentSketches) {
+  // The linear sampling function keeps probabilities strictly inside
+  // (0,1) over a wide band (the quadratic one clamps to {0,1} outside a
+  // narrow band at small s, which would make SVS deterministic).
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 100, .cols = 16, .alpha = 1.2, .seed = 5});
+  Cluster cluster = MakeCluster(a, 4, 0.25);
+  SvsProtocol p1({.alpha = 0.2,
+                  .kind = SamplingFunctionKind::kLinear,
+                  .seed = 1});
+  SvsProtocol p2({.alpha = 0.2,
+                  .kind = SamplingFunctionKind::kLinear,
+                  .seed = 2});
+  auto r1 = p1.Run(cluster);
+  auto r2 = p2.Run(cluster);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r1->sketch == r2->sketch);
+}
+
+TEST(StreamingSemanticsTest, FdWorkingSpaceIsBounded) {
+  // The buffer never exceeds 2*l rows at any point in the stream — the
+  // O(l d) working-space claim of Theorem 1.
+  FrequentDirections fd(16, 6);
+  const Matrix a = GenerateGaussian(500, 16, 1.0, 6);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    fd.Append(a.Row(i));
+    EXPECT_LT(fd.buffer().rows(), 2u * 6u);
+  }
+}
+
+TEST(StreamingSemanticsTest, RowStreamCannotBeReplayed) {
+  const Matrix a = GenerateGaussian(10, 4, 1.0, 7);
+  RowStream stream(a);
+  while (stream.HasNext()) stream.Next();
+  EXPECT_FALSE(stream.HasNext());
+  EXPECT_EQ(stream.consumed(), stream.total());
+}
+
+TEST(StreamingSemanticsTest, ProtocolRerunDoesNotLeakLogState) {
+  // Run() resets the cluster log: message counts never accumulate across
+  // runs.
+  const Matrix a = GenerateGaussian(80, 6, 1.0, 8);
+  Cluster cluster = MakeCluster(a, 4, 0.3);
+  FdMergeProtocol protocol({.eps = 0.3, .k = 2});
+  auto r1 = protocol.Run(cluster);
+  auto r2 = protocol.Run(cluster);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->comm.num_messages, r2->comm.num_messages);
+  EXPECT_EQ(r1->comm.num_rounds, r2->comm.num_rounds);
+}
+
+}  // namespace
+}  // namespace distsketch

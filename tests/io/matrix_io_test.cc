@@ -1,0 +1,123 @@
+#include "io/matrix_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(MatrixIoTest, CsvRoundTrip) {
+  const Matrix a = GenerateGaussian(13, 7, 3.0, 1);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(a, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  // %.17g round-trips doubles exactly.
+  EXPECT_TRUE(*loaded == a);
+}
+
+TEST(MatrixIoTest, CsvSkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n1,2,3\n# mid comment\n4,5,6\n\n";
+  }
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 2u);
+  EXPECT_EQ(loaded->cols(), 3u);
+  EXPECT_DOUBLE_EQ((*loaded)(1, 2), 6.0);
+}
+
+TEST(MatrixIoTest, CsvRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2,3\n4,5\n";
+  }
+  auto loaded = LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixIoTest, CsvRejectsGarbage) {
+  const std::string path = TempPath("garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "1,banana,3\n";
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+}
+
+TEST(MatrixIoTest, CsvMissingFileIsNotFound) {
+  auto loaded = LoadCsv(TempPath("does_not_exist.csv"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MatrixIoTest, CsvEmptyFileRejected) {
+  const std::string path = TempPath("empty.csv");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadCsv(path).ok());
+}
+
+TEST(MatrixIoTest, BinaryRoundTrip) {
+  const Matrix a = GenerateGaussian(31, 9, 1e6, 2);
+  const std::string path = TempPath("roundtrip.dsmat");
+  ASSERT_TRUE(SaveBinary(a, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == a);
+}
+
+TEST(MatrixIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.dsmat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE and then some bytes";
+  }
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixIoTest, BinaryRejectsTruncation) {
+  const Matrix a = GenerateGaussian(8, 8, 1.0, 3);
+  const std::string path = TempPath("truncated.dsmat");
+  ASSERT_TRUE(SaveBinary(a, path).ok());
+  // Chop the file short.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(LoadBinary(path).ok());
+}
+
+TEST(MatrixIoTest, CsvPreservesSpecialValues) {
+  Matrix a(1, 3);
+  a(0, 0) = -0.0;
+  a(0, 1) = 1e-300;
+  a(0, 2) = 12345.678901234567;
+  const std::string path = TempPath("special.csv");
+  ASSERT_TRUE(SaveCsv(a, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)(0, 1), 1e-300);
+  EXPECT_EQ((*loaded)(0, 2), 12345.678901234567);
+}
+
+}  // namespace
+}  // namespace distsketch

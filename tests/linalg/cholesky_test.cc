@@ -1,0 +1,82 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+// Random SPD matrix: G^T G + delta I.
+Matrix RandomSpd(size_t n, uint64_t seed, double ridge = 0.5) {
+  const Matrix g = GenerateGaussian(n + 4, n, 1.0, seed);
+  Matrix spd = Gram(g);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += ridge;
+  return spd;
+}
+
+TEST(CholeskyTest, Validation) {
+  EXPECT_FALSE(CholeskyFactor::Factorize(Matrix()).ok());
+  EXPECT_FALSE(CholeskyFactor::Factorize(Matrix(2, 3)).ok());
+  // Negative definite fails.
+  Matrix neg = Matrix::Identity(3);
+  neg.Scale(-1.0);
+  auto f = CholeskyFactor::Factorize(neg);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  const Matrix spd = RandomSpd(8, 1);
+  auto f = CholeskyFactor::Factorize(spd);
+  ASSERT_TRUE(f.ok());
+  const Matrix rec = MultiplyTransposeB(f->lower(), f->lower());
+  EXPECT_TRUE(AlmostEqual(rec, spd, 1e-9 * FrobeniusNorm(spd)));
+  // L is lower triangular.
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = i + 1; j < 8; ++j) EXPECT_EQ(f->lower()(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  const Matrix spd = RandomSpd(10, 2);
+  Rng rng(3);
+  std::vector<double> x_true(10);
+  for (auto& v : x_true) v = rng.NextGaussian();
+  const std::vector<double> b = MatVec(spd, x_true);
+  auto f = CholeskyFactor::Factorize(spd);
+  ASSERT_TRUE(f.ok());
+  const std::vector<double> x = f->Solve(b);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, SolveMatrixMatchesColumnwise) {
+  const Matrix spd = RandomSpd(6, 4);
+  const Matrix b = GenerateGaussian(6, 3, 1.0, 5);
+  auto f = CholeskyFactor::Factorize(spd);
+  ASSERT_TRUE(f.ok());
+  const Matrix x = f->SolveMatrix(b);
+  EXPECT_TRUE(AlmostEqual(Multiply(spd, x), b, 1e-8));
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesDiagonalProduct) {
+  const double diag[] = {2.0, 3.0, 5.0};
+  auto f = CholeskyFactor::Factorize(Matrix::Diagonal(diag));
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(f->LogDeterminant(), std::log(30.0), 1e-12);
+}
+
+TEST(CholeskyTest, IdentitySolvesTrivially) {
+  auto f = CholeskyFactor::Factorize(Matrix::Identity(4));
+  ASSERT_TRUE(f.ok());
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> x = f->Solve(b);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,104 @@
+#include "linalg/eigen_sym.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+Matrix RandomSymmetric(size_t n, uint64_t seed) {
+  const Matrix g = GenerateGaussian(n, n, 1.0, seed);
+  Matrix s = Add(g, Transpose(g));
+  s.Scale(0.5);
+  return s;
+}
+
+TEST(EigenSymTest, RejectsEmptyAndNonSquare) {
+  EXPECT_FALSE(ComputeSymmetricEigen(Matrix()).ok());
+  EXPECT_FALSE(ComputeSymmetricEigen(Matrix(2, 3)).ok());
+}
+
+TEST(EigenSymTest, DiagonalKnownEigenvalues) {
+  const double diag[] = {-2.0, 5.0, 1.0};
+  auto eig = ComputeSymmetricEigen(Matrix::Diagonal(diag));
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], -2.0, 1e-12);
+}
+
+TEST(EigenSymTest, TwoByTwoKnown) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix x{{2, 1}, {1, 2}};
+  auto eig = ComputeSymmetricEigen(x);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(EigenSymTest, ReconstructionAndOrthonormality) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Matrix x = RandomSymmetric(12, seed);
+    auto eig = ComputeSymmetricEigen(x);
+    ASSERT_TRUE(eig.ok());
+    EXPECT_TRUE(HasOrthonormalColumns(eig->eigenvectors, 1e-10));
+    // V diag(lambda) V^T = X.
+    Matrix vl = eig->eigenvectors;
+    for (size_t j = 0; j < vl.cols(); ++j) {
+      for (size_t i = 0; i < vl.rows(); ++i) {
+        vl(i, j) *= eig->eigenvalues[j];
+      }
+    }
+    const Matrix rec = MultiplyTransposeB(vl, eig->eigenvectors);
+    EXPECT_TRUE(AlmostEqual(rec, x, 1e-9 * std::max(1.0, FrobeniusNorm(x))));
+  }
+}
+
+TEST(EigenSymTest, EigenvaluesSortedNonIncreasing) {
+  const Matrix x = RandomSymmetric(20, 7);
+  auto eig = ComputeSymmetricEigen(x);
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 1; i < eig->eigenvalues.size(); ++i) {
+    EXPECT_GE(eig->eigenvalues[i - 1], eig->eigenvalues[i]);
+  }
+}
+
+TEST(EigenSymTest, GramEigenvaluesAreSquaredSingularValues) {
+  const Matrix a = GenerateGaussian(15, 6, 1.0, 9);
+  auto eig = ComputeSymmetricEigen(Gram(a));
+  auto svals = SingularValues(a);
+  ASSERT_TRUE(eig.ok());
+  ASSERT_TRUE(svals.ok());
+  for (size_t i = 0; i < svals->size(); ++i) {
+    EXPECT_NEAR(eig->eigenvalues[i], (*svals)[i] * (*svals)[i],
+                1e-8 * std::max(1.0, eig->eigenvalues[0]));
+  }
+}
+
+TEST(EigenSymTest, ProjectorHasZeroOneSpectrum) {
+  // P = v v^T for unit v: eigenvalues 1, 0, ..., 0.
+  const Matrix v{{0.6}, {0.8}, {0.0}};
+  const Matrix p = MultiplyTransposeB(v, v);
+  auto eig = ComputeSymmetricEigen(p);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 0.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], 0.0, 1e-12);
+}
+
+TEST(EigenSymTest, TraceIsEigenvalueSum) {
+  const Matrix x = RandomSymmetric(9, 11);
+  auto eig = ComputeSymmetricEigen(x);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) trace += x(i, i);
+  double sum = 0.0;
+  for (double l : eig->eigenvalues) sum += l;
+  EXPECT_NEAR(trace, sum, 1e-9 * std::max(1.0, std::abs(trace)));
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,144 @@
+// Numerical-stability torture tests for the linear-algebra substrate:
+// extreme scales, ill-conditioned spectra, and near-degenerate inputs.
+// Database workloads hit these (counts vs normalized features differ by
+// many orders of magnitude), and every sketch guarantee rests on the SVD
+// behaving here.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+#include "sketch/error_metrics.h"
+#include "sketch/frequent_directions.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+// Hilbert matrix: the classic ill-conditioned test case (condition number
+// ~ e^{3.5 n}).
+Matrix Hilbert(size_t n) {
+  Matrix h(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    }
+  }
+  return h;
+}
+
+class ScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleTest, SvdReconstructsAtExtremeScales) {
+  const double scale = GetParam();
+  Matrix a = GenerateGaussian(20, 8, 1.0, 1);
+  a.Scale(scale);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_TRUE(AlmostEqual(svd->Reconstruct(), a,
+                          1e-10 * FrobeniusNorm(a)));
+  EXPECT_TRUE(HasOrthonormalColumns(svd->v, 1e-9));
+}
+
+TEST_P(ScaleTest, FdGuaranteeScaleInvariant) {
+  const double scale = GetParam();
+  Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 100, .cols = 12, .rank = 3, .noise_stddev = 0.2, .seed = 2});
+  a.Scale(scale);
+  auto fd = FrequentDirections::FromEpsK(12, 0.4, 3);
+  ASSERT_TRUE(fd.ok());
+  fd->AppendRows(a);
+  EXPECT_TRUE(IsEpsKSketch(a, fd->Sketch(), 0.4, 3)) << "scale=" << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleTest,
+                         ::testing::Values(1e-8, 1e-4, 1.0, 1e4, 1e8));
+
+TEST(StabilityTest, HilbertSvdMatchesKnownConditioning) {
+  const Matrix h = Hilbert(8);
+  auto svd = ComputeSvd(h);
+  ASSERT_TRUE(svd.ok());
+  // Known: sigma_1 ~ 1.696, huge condition number; reconstruction must
+  // still be accurate in a relative sense.
+  EXPECT_NEAR(svd->singular_values[0], 1.6959, 1e-3);
+  EXPECT_TRUE(AlmostEqual(svd->Reconstruct(), h, 1e-12));
+  EXPECT_LT(svd->singular_values[7], 1e-9);
+}
+
+TEST(StabilityTest, EigenOnNearlyDefectiveMatrix) {
+  // Two nearly-equal eigenvalues: eigenvectors may rotate freely within
+  // the pair's subspace, but the reconstruction must hold.
+  Matrix x = Matrix::Identity(4);
+  x(0, 0) = 2.0;
+  x(1, 1) = 2.0 + 1e-13;
+  auto eig = ComputeSymmetricEigen(x);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 2.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_TRUE(HasOrthonormalColumns(eig->eigenvectors, 1e-10));
+}
+
+TEST(StabilityTest, QrOnNearlyDependentColumns) {
+  Matrix a(10, 3);
+  Rng rng(3);
+  for (size_t i = 0; i < 10; ++i) {
+    a(i, 0) = rng.NextGaussian();
+    a(i, 1) = a(i, 0) * (1.0 + 1e-12) + 1e-12 * rng.NextGaussian();
+    a(i, 2) = rng.NextGaussian();
+  }
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(AlmostEqual(Multiply(qr->q, qr->r), a, 1e-12));
+  EXPECT_TRUE(HasOrthonormalColumns(qr->q, 1e-10));
+}
+
+TEST(StabilityTest, MixedScaleRowsInFd) {
+  // A stream mixing tiny and huge rows: the sketch must track the huge
+  // directions and the guarantee must hold.
+  Matrix a(0, 6);
+  Rng rng(4);
+  std::vector<double> row(6);
+  for (int i = 0; i < 200; ++i) {
+    const double scale = (i % 10 == 0) ? 1e6 : 1e-3;
+    for (auto& v : row) v = scale * rng.NextGaussian();
+    a.AppendRow(row);
+  }
+  auto fd = FrequentDirections::FromEps(6, 0.25);
+  ASSERT_TRUE(fd.ok());
+  fd->AppendRows(a);
+  EXPECT_LE(CovarianceError(a, fd->Sketch()),
+            0.25 * SquaredFrobeniusNorm(a) * (1.0 + 1e-9));
+}
+
+TEST(StabilityTest, SpectralNormOfTinyDifferences) {
+  // coverr of two nearly identical matrices must come out ~0, not noise
+  // amplified by the power iteration.
+  const Matrix a = GenerateGaussian(30, 8, 1e5, 5);
+  Matrix b = a;
+  b(0, 0) += 1e-6;
+  const double err = CovarianceError(a, b);
+  EXPECT_LT(err, 1.0);
+}
+
+TEST(StabilityTest, ZeroAndSingleEntryMatrices) {
+  // Degenerate shapes must not crash or return garbage.
+  const Matrix single{{42.0}};
+  auto svd = ComputeSvd(single);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_DOUBLE_EQ(svd->singular_values[0], 42.0);
+  auto eig = ComputeSymmetricEigen(single);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_DOUBLE_EQ(eig->eigenvalues[0], 42.0);
+  const Matrix zero_col(5, 1);
+  auto svd2 = ComputeSvd(zero_col);
+  ASSERT_TRUE(svd2.ok());
+  EXPECT_DOUBLE_EQ(svd2->singular_values[0], 0.0);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,84 @@
+#include "linalg/pinv.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+// Checks the four Moore-Penrose axioms.
+void CheckMoorePenrose(const Matrix& a, const Matrix& p, double tol) {
+  // 1) A P A = A.
+  EXPECT_TRUE(AlmostEqual(Multiply(Multiply(a, p), a), a, tol));
+  // 2) P A P = P.
+  EXPECT_TRUE(AlmostEqual(Multiply(Multiply(p, a), p), p, tol));
+  // 3) (A P)^T = A P.
+  const Matrix ap = Multiply(a, p);
+  EXPECT_TRUE(AlmostEqual(Transpose(ap), ap, tol));
+  // 4) (P A)^T = P A.
+  const Matrix pa = Multiply(p, a);
+  EXPECT_TRUE(AlmostEqual(Transpose(pa), pa, tol));
+}
+
+TEST(PinvTest, EmptyFails) { EXPECT_FALSE(PseudoInverse(Matrix()).ok()); }
+
+TEST(PinvTest, InvertibleMatrixGivesInverse) {
+  const Matrix a{{2, 0}, {0, 4}};
+  auto p = PseudoInverse(a);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(AlmostEqual(Multiply(a, *p), Matrix::Identity(2), 1e-12));
+}
+
+TEST(PinvTest, FullRankTall) {
+  const Matrix a = GenerateGaussian(10, 4, 1.0, 1);
+  auto p = PseudoInverse(a);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rows(), 4u);
+  EXPECT_EQ(p->cols(), 10u);
+  CheckMoorePenrose(a, *p, 1e-9);
+  // For full column rank, P A = I.
+  EXPECT_TRUE(AlmostEqual(Multiply(*p, a), Matrix::Identity(4), 1e-9));
+}
+
+TEST(PinvTest, FullRankWide) {
+  const Matrix a = GenerateGaussian(4, 10, 1.0, 2);
+  auto p = PseudoInverse(a);
+  ASSERT_TRUE(p.ok());
+  CheckMoorePenrose(a, *p, 1e-9);
+  // For full row rank, A P = I.
+  EXPECT_TRUE(AlmostEqual(Multiply(a, *p), Matrix::Identity(4), 1e-9));
+}
+
+TEST(PinvTest, RankDeficient) {
+  // Rank-1 matrix.
+  const Matrix a{{1, 2, 3}, {2, 4, 6}, {3, 6, 9}};
+  auto p = PseudoInverse(a);
+  ASSERT_TRUE(p.ok());
+  CheckMoorePenrose(a, *p, 1e-9);
+}
+
+TEST(PinvTest, ProjectorPropertyUsedByLowRankProtocol) {
+  // Q^+ Q projects onto the row space of Q: for x in rowspace(Q),
+  // Q^+ Q x = x — the identity §3.3 case 1 relies on.
+  const Matrix q = GenerateGaussian(3, 8, 1.0, 5);
+  auto p = PseudoInverse(q);
+  ASSERT_TRUE(p.ok());
+  const Matrix projector = Multiply(*p, q);  // d x d
+  // Rows of Q are in the row space.
+  EXPECT_TRUE(
+      AlmostEqual(Multiply(q, Transpose(projector)), q, 1e-9));
+  // Projector is idempotent.
+  EXPECT_TRUE(
+      AlmostEqual(Multiply(projector, projector), projector, 1e-9));
+}
+
+TEST(PinvTest, ZeroMatrixPinvIsZero) {
+  auto p = PseudoInverse(Matrix(3, 5));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(SquaredFrobeniusNorm(*p), 0.0);
+}
+
+}  // namespace
+}  // namespace distsketch

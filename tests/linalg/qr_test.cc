@@ -1,0 +1,80 @@
+#include "linalg/qr.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(QrTest, EmptyInputFails) {
+  EXPECT_FALSE(HouseholderQr(Matrix()).ok());
+}
+
+TEST(QrTest, IdentityFactorsTrivially) {
+  auto qr = HouseholderQr(Matrix::Identity(4));
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(AlmostEqual(Multiply(qr->q, qr->r), Matrix::Identity(4),
+                          1e-12));
+}
+
+TEST(QrTest, RankDeficientStillReconstructs) {
+  // Two identical rows: rank 1.
+  const Matrix a{{1, 2, 3}, {1, 2, 3}};
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(AlmostEqual(Multiply(qr->q, qr->r), a, 1e-12));
+  EXPECT_TRUE(HasOrthonormalColumns(qr->q, 1e-12));
+}
+
+TEST(QrTest, OrthonormalizeColumnsReturnsQ) {
+  const Matrix a = GenerateGaussian(10, 4, 1.0, 3);
+  auto q = OrthonormalizeColumns(a);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows(), 10u);
+  EXPECT_EQ(q->cols(), 4u);
+  EXPECT_TRUE(HasOrthonormalColumns(*q, 1e-10));
+}
+
+// Property sweep over shapes: reconstruction, orthonormality, upper
+// triangularity.
+class QrShapeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {
+};
+
+TEST_P(QrShapeTest, FactorsCorrectly) {
+  const auto [m, n, seed] = GetParam();
+  const Matrix a = GenerateGaussian(m, n, 1.0, seed);
+  auto qr = HouseholderQr(a);
+  ASSERT_TRUE(qr.ok());
+  const size_t r = std::min(m, n);
+  EXPECT_EQ(qr->q.rows(), m);
+  EXPECT_EQ(qr->q.cols(), r);
+  EXPECT_EQ(qr->r.rows(), r);
+  EXPECT_EQ(qr->r.cols(), n);
+  // A = Q R.
+  EXPECT_TRUE(AlmostEqual(Multiply(qr->q, qr->r), a, 1e-10));
+  // Q^T Q = I.
+  EXPECT_TRUE(HasOrthonormalColumns(qr->q, 1e-10));
+  // R upper triangular.
+  for (size_t i = 0; i < qr->r.rows(); ++i) {
+    for (size_t j = 0; j < i && j < qr->r.cols(); ++j) {
+      EXPECT_NEAR(qr->r(i, j), 0.0, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(5, 5, 2),
+                      std::make_tuple(20, 5, 3), std::make_tuple(5, 20, 4),
+                      std::make_tuple(50, 8, 5), std::make_tuple(8, 50, 6),
+                      std::make_tuple(100, 30, 7),
+                      std::make_tuple(33, 32, 8),
+                      std::make_tuple(2, 7, 9)));
+
+}  // namespace
+}  // namespace distsketch

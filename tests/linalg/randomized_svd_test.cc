@@ -1,0 +1,84 @@
+#include "linalg/randomized_svd.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(RandomizedSvdTest, Validation) {
+  EXPECT_FALSE(RandomizedSvd(Matrix(), 2).ok());
+  EXPECT_FALSE(RandomizedSvd(Matrix(3, 3), 0).ok());
+}
+
+TEST(RandomizedSvdTest, RecoversLowRankExactly) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 60, .cols = 20, .rank = 4, .noise_stddev = 0.0, .seed = 1});
+  auto fast = RandomizedSvd(a, 4);
+  auto exact = ComputeSvd(a);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(fast->singular_values.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(fast->singular_values[i], exact->singular_values[i],
+                1e-6 * exact->singular_values[0]);
+  }
+  // Rank-4 truncation reconstructs the full matrix.
+  EXPECT_TRUE(AlmostEqual(fast->Reconstruct(), a,
+                          1e-6 * FrobeniusNorm(a)));
+}
+
+TEST(RandomizedSvdTest, TopValuesCloseOnNoisyInput) {
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 100,
+                                             .cols = 30,
+                                             .rank = 5,
+                                             .decay = 0.7,
+                                             .top_singular_value = 40.0,
+                                             .noise_stddev = 0.3,
+                                             .seed = 2});
+  auto fast = RandomizedSvd(a, 6);
+  auto exact = ComputeSvd(a);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(exact.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    // Rayleigh-Ritz underestimates; with 2 power iterations the top of
+    // the spectrum is within a fraction of a percent.
+    EXPECT_LE(fast->singular_values[i],
+              exact->singular_values[i] * (1.0 + 1e-9));
+    EXPECT_GE(fast->singular_values[i],
+              exact->singular_values[i] * 0.99);
+  }
+}
+
+TEST(RandomizedSvdTest, FactorsAreOrthonormal) {
+  const Matrix a = GenerateGaussian(50, 24, 1.0, 3);
+  auto fast = RandomizedSvd(a, 8);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->u.cols(), 8u);
+  EXPECT_EQ(fast->v.cols(), 8u);
+  EXPECT_TRUE(HasOrthonormalColumns(fast->u, 1e-8));
+  EXPECT_TRUE(HasOrthonormalColumns(fast->v, 1e-8));
+}
+
+TEST(RandomizedSvdTest, RankClampedToDimensions) {
+  const Matrix a = GenerateGaussian(5, 12, 1.0, 4);
+  auto fast = RandomizedSvd(a, 20);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LE(fast->singular_values.size(), 5u);
+}
+
+TEST(RandomizedSvdTest, DeterministicPerSeed) {
+  const Matrix a = GenerateGaussian(30, 12, 1.0, 5);
+  RandomizedSvdOptions options;
+  options.seed = 77;
+  auto r1 = RandomizedSvd(a, 4, options);
+  auto r2 = RandomizedSvd(a, 4, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r1->v == r2->v);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,87 @@
+#include "linalg/row_basis.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(RowBasisTest, DetectsRank) {
+  RowBasisBuilder builder(3, 3);
+  const double r1[] = {1.0, 0.0, 0.0};
+  const double r2[] = {0.0, 1.0, 0.0};
+  const double r3[] = {1.0, 1.0, 0.0};  // dependent
+  EXPECT_TRUE(builder.Offer(r1));
+  EXPECT_TRUE(builder.Offer(r2));
+  EXPECT_FALSE(builder.Offer(r3));
+  EXPECT_EQ(builder.rank(), 2u);
+  EXPECT_FALSE(builder.overflowed());
+}
+
+TEST(RowBasisTest, SkipsZeroRows) {
+  RowBasisBuilder builder(2, 2);
+  const double z[] = {0.0, 0.0};
+  EXPECT_FALSE(builder.Offer(z));
+  EXPECT_EQ(builder.rank(), 0u);
+}
+
+TEST(RowBasisTest, SelectedRowsAreOriginals) {
+  RowBasisBuilder builder(3, 3);
+  const double r1[] = {2.0, 0.0, 1.0};
+  const double r2[] = {0.0, 3.0, 0.0};
+  builder.Offer(r1);
+  builder.Offer(r2);
+  const Matrix& q = builder.selected_rows();
+  ASSERT_EQ(q.rows(), 2u);
+  EXPECT_EQ(q(0, 0), 2.0);
+  EXPECT_EQ(q(1, 1), 3.0);
+}
+
+TEST(RowBasisTest, BasisIsOrthonormalAndSpansSelection) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 40, .cols = 10, .rank = 4, .noise_stddev = 0.0, .seed = 3});
+  RowBasisBuilder builder(10, 10);
+  for (size_t i = 0; i < a.rows(); ++i) builder.Offer(a.Row(i));
+  EXPECT_EQ(builder.rank(), 4u);
+  const Matrix& v = builder.orthonormal_basis();
+  // V V^T = I on the basis rows.
+  const Matrix vvt = MultiplyTransposeB(v, v);
+  EXPECT_TRUE(AlmostEqual(vvt, Matrix::Identity(4), 1e-9));
+  // Every original row projects onto span(V) with no residual.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    std::vector<double> residual(a.Row(i).begin(), a.Row(i).end());
+    const auto coeffs = MatVec(v, a.Row(i));
+    for (size_t j = 0; j < v.rows(); ++j) {
+      Axpy(-coeffs[j], v.Row(j), residual);
+    }
+    EXPECT_NEAR(Norm2(residual), 0.0, 1e-7);
+  }
+}
+
+TEST(RowBasisTest, OverflowDetection) {
+  RowBasisBuilder builder(4, 2);
+  const double r1[] = {1.0, 0.0, 0.0, 0.0};
+  const double r2[] = {0.0, 1.0, 0.0, 0.0};
+  const double r3[] = {0.0, 0.0, 1.0, 0.0};
+  EXPECT_TRUE(builder.Offer(r1));
+  EXPECT_TRUE(builder.Offer(r2));
+  EXPECT_FALSE(builder.Offer(r3));
+  EXPECT_TRUE(builder.overflowed());
+  EXPECT_EQ(builder.rank(), 2u);
+}
+
+TEST(RowBasisTest, FullRankRandomInput) {
+  const Matrix a = GenerateGaussian(6, 6, 1.0, 7);
+  RowBasisBuilder builder(6, 6);
+  size_t added = 0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    if (builder.Offer(a.Row(i))) ++added;
+  }
+  EXPECT_EQ(added, 6u);
+  EXPECT_FALSE(builder.overflowed());
+}
+
+}  // namespace
+}  // namespace distsketch

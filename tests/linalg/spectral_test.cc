@@ -1,0 +1,80 @@
+#include "linalg/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+Matrix RandomSymmetric(size_t n, uint64_t seed) {
+  const Matrix g = GenerateGaussian(n, n, 1.0, seed);
+  Matrix s = Add(g, Transpose(g));
+  s.Scale(0.5);
+  return s;
+}
+
+TEST(SpectralTest, EmptyIsZero) {
+  EXPECT_EQ(SymmetricSpectralNorm(Matrix()), 0.0);
+  EXPECT_EQ(SpectralNorm(Matrix()), 0.0);
+  EXPECT_EQ(SymmetricSpectralNormExact(Matrix()), 0.0);
+}
+
+TEST(SpectralTest, DiagonalKnown) {
+  const double diag[] = {1.0, -9.0, 4.0};
+  const Matrix x = Matrix::Diagonal(diag);
+  // Largest |eigenvalue| is 9 even though it is negative.
+  EXPECT_NEAR(SymmetricSpectralNorm(x), 9.0, 1e-8);
+  EXPECT_NEAR(SymmetricSpectralNormExact(x), 9.0, 1e-10);
+}
+
+TEST(SpectralTest, PowerIterationMatchesExactOnRandomSymmetric) {
+  for (uint64_t seed : {1u, 5u, 9u, 13u}) {
+    const Matrix x = RandomSymmetric(16, seed);
+    const double fast = SymmetricSpectralNorm(x);
+    const double exact = SymmetricSpectralNormExact(x);
+    EXPECT_NEAR(fast, exact, 1e-6 * std::max(1.0, exact)) << seed;
+  }
+}
+
+TEST(SpectralTest, GeneralNormMatchesTopSingularValue) {
+  for (uint64_t seed : {2u, 4u}) {
+    const Matrix a = GenerateGaussian(20, 8, 1.0, seed);
+    auto svals = SingularValues(a);
+    ASSERT_TRUE(svals.ok());
+    EXPECT_NEAR(SpectralNorm(a), (*svals)[0],
+                1e-6 * std::max(1.0, (*svals)[0]));
+  }
+}
+
+TEST(SpectralTest, ZeroMatrix) {
+  EXPECT_EQ(SymmetricSpectralNorm(Matrix(5, 5)), 0.0);
+  EXPECT_EQ(SpectralNorm(Matrix(5, 3)), 0.0);
+}
+
+TEST(SpectralTest, ScaleEquivariance) {
+  const Matrix x = RandomSymmetric(10, 21);
+  Matrix x2 = x;
+  x2.Scale(3.0);
+  EXPECT_NEAR(SymmetricSpectralNorm(x2), 3.0 * SymmetricSpectralNorm(x),
+              1e-6 * SymmetricSpectralNorm(x2));
+}
+
+TEST(SpectralTest, SubmultiplicativeWithVectors) {
+  // ||X v|| <= ||X|| ||v|| for a few random probes.
+  const Matrix x = RandomSymmetric(12, 31);
+  const double norm = SymmetricSpectralNormExact(x);
+  Rng rng(99);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<double> v(12);
+    for (auto& c : v) c = rng.NextGaussian();
+    const auto xv = MatVec(x, v);
+    EXPECT_LE(Norm2(xv), norm * Norm2(v) * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace distsketch

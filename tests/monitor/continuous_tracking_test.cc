@@ -1,0 +1,115 @@
+#include "monitor/continuous_tracking.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(TrackingTest, Validation) {
+  EXPECT_FALSE(TrackingServer::Create(8, {.eps = 0.0}, 0, 4).ok());
+  EXPECT_FALSE(TrackingServer::Create(8, {.eps = 1.5}, 0, 4).ok());
+  EXPECT_FALSE(TrackingServer::Create(8, {.eps = 0.2, .k = 0}, 0, 4).ok());
+  EXPECT_FALSE(TrackingServer::Create(8, {.eps = 0.2}, 0, 0).ok());
+  EXPECT_FALSE(RunTrackingSimulation(Matrix(), 4, {}, 10).ok());
+}
+
+class TrackingPayloadTest : public ::testing::TestWithParam<SyncPayload> {};
+
+TEST_P(TrackingPayloadTest, ErrorBoundedAtAllCheckpoints) {
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 800,
+                                             .cols = 16,
+                                             .rank = 4,
+                                             .decay = 0.7,
+                                             .top_singular_value = 30.0,
+                                             .noise_stddev = 0.4,
+                                             .seed = 1});
+  TrackingOptions options;
+  options.eps = 0.25;
+  options.k = 3;
+  options.payload = GetParam();
+  auto result = RunTrackingSimulation(a, 4, options, 50);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->checkpoints, 10u);
+  EXPECT_GT(result->num_syncs, 0u);
+  // The continuous guarantee: at every checkpoint, coverr <= eps * mass
+  // (SVS payload certified with randomized slack).
+  const double slack =
+      GetParam() == SyncPayload::kSvsCompressed ? 2.0 : 1.0;
+  EXPECT_LE(result->worst_error_ratio, slack * options.eps)
+      << "worst ratio " << result->worst_error_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, TrackingPayloadTest,
+                         ::testing::Values(SyncPayload::kDeltaSketch,
+                                           SyncPayload::kSvsCompressed));
+
+TEST(TrackingTest, SvsPayloadSavesWordsOnLowRankStreams) {
+  // The paper's §1.5 open question, answered empirically: compressing
+  // sync payloads with Decomp+SVS cuts monitoring communication on
+  // streams with decaying spectra.
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 1600,
+                                             .cols = 24,
+                                             .rank = 4,
+                                             .decay = 0.6,
+                                             .top_singular_value = 40.0,
+                                             .noise_stddev = 0.2,
+                                             .seed = 2});
+  TrackingOptions plain;
+  plain.eps = 0.25;
+  plain.k = 3;
+  plain.payload = SyncPayload::kDeltaSketch;
+  TrackingOptions compressed = plain;
+  compressed.payload = SyncPayload::kSvsCompressed;
+
+  auto plain_result = RunTrackingSimulation(a, 4, plain, 200);
+  auto compressed_result = RunTrackingSimulation(a, 4, compressed, 200);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(compressed_result.ok());
+  EXPECT_LT(compressed_result->total_words, plain_result->total_words);
+}
+
+TEST(TrackingTest, SyncCadenceSlowsAsMassGrows) {
+  // The sync condition is relative to the global mass, so a stationary
+  // stream triggers syncs at a harmonic (logarithmic) rate: the second
+  // half of the stream must sync less than the first half.
+  const Matrix a = GenerateGaussian(2000, 12, 1.0, 3);
+  TrackingOptions options;
+  options.eps = 0.3;
+  auto first = RunTrackingSimulation(a.RowRange(0, 1000), 4, options, 1000);
+  auto whole = RunTrackingSimulation(a, 4, options, 2000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(whole.ok());
+  const uint64_t second_half_syncs = whole->num_syncs - first->num_syncs;
+  EXPECT_LT(second_half_syncs, first->num_syncs);
+}
+
+TEST(TrackingTest, CoordinatorEstimateValidFromColdStart) {
+  // Even with a handful of rows the estimate must be within budget (cold
+  // start syncs immediately).
+  const Matrix a = GenerateGaussian(12, 6, 1.0, 4);
+  TrackingOptions options;
+  options.eps = 0.3;
+  auto result = RunTrackingSimulation(a, 3, options, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->checkpoints, 12u);
+  EXPECT_LE(result->worst_error_ratio, options.eps);
+}
+
+TEST(TrackingServerTest, MassAccounting) {
+  auto server = TrackingServer::Create(4, {.eps = 0.2}, 0, 2);
+  ASSERT_TRUE(server.ok());
+  const double row[] = {1.0, 0.0, 0.0, 0.0};
+  const bool wants_sync = server->Append(row);
+  EXPECT_TRUE(wants_sync);  // cold start: no broadcast yet
+  EXPECT_DOUBLE_EQ(server->unsynced_mass(), 1.0);
+  auto payload = server->TakeSyncPayload(0.0);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_DOUBLE_EQ(server->unsynced_mass(), 0.0);
+  EXPECT_DOUBLE_EQ(server->synced_mass(), 1.0);
+}
+
+}  // namespace
+}  // namespace distsketch

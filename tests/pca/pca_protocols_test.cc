@@ -1,0 +1,167 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "pca/distributed_power_iteration.h"
+#include "pca/fd_pca.h"
+#include "pca/pca_quality.h"
+#include "pca/sketch_and_solve.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+Cluster MakeCluster(const Matrix& a, size_t s, double eps) {
+  auto cluster = Cluster::Create(
+      PartitionRows(a, s, PartitionScheme::kRoundRobin), eps);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+Matrix PcaWorkload(uint64_t seed = 1) {
+  return GenerateLowRankPlusNoise({.rows = 200,
+                                   .cols = 20,
+                                   .rank = 5,
+                                   .decay = 0.6,
+                                   .top_singular_value = 50.0,
+                                   .noise_stddev = 0.5,
+                                   .seed = seed});
+}
+
+TEST(FdPcaTest, AchievesOnePlusEps) {
+  const Matrix a = PcaWorkload(1);
+  const double eps = 0.3;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  FdPcaProtocol protocol({.k = 3, .eps = eps});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->components.cols(), 3u);
+  EXPECT_TRUE(HasOrthonormalColumns(result->components, 1e-8));
+  const PcaQualityReport report = EvaluatePcaQuality(a, result->components);
+  EXPECT_LE(report.ratio, 1.0 + eps);
+}
+
+TEST(FdPcaTest, RejectsZeroK) {
+  const Matrix a = PcaWorkload(2);
+  Cluster cluster = MakeCluster(a, 2, 0.3);
+  FdPcaProtocol protocol({.k = 0, .eps = 0.3});
+  EXPECT_FALSE(protocol.Run(cluster).ok());
+}
+
+TEST(PowerIterationPcaTest, AchievesOnePlusEpsWithRefine) {
+  const Matrix a = PcaWorkload(3);
+  const double eps = 0.25;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  PowerIterationPcaOptions options;
+  options.k = 3;
+  options.eps = eps;
+  DistributedPowerIterationPca protocol(options);
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  const PcaQualityReport report = EvaluatePcaQuality(a, result->components);
+  EXPECT_LE(report.ratio, 1.0 + eps) << report.projection_error;
+  EXPECT_TRUE(HasOrthonormalColumns(result->components, 1e-8));
+}
+
+TEST(PowerIterationPcaTest, WithoutRefineStillReasonable) {
+  const Matrix a = PcaWorkload(4);
+  Cluster cluster = MakeCluster(a, 4, 0.25);
+  PowerIterationPcaOptions options;
+  options.k = 3;
+  options.eps = 0.25;
+  options.refine = false;
+  DistributedPowerIterationPca protocol(options);
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  const PcaQualityReport report = EvaluatePcaQuality(a, result->components);
+  EXPECT_LE(report.ratio, 1.5);
+}
+
+TEST(PowerIterationPcaTest, ValidatesOptions) {
+  const Matrix a = PcaWorkload(5);
+  Cluster cluster = MakeCluster(a, 2, 0.25);
+  DistributedPowerIterationPca bad_k({.k = 0, .eps = 0.25});
+  EXPECT_FALSE(bad_k.Run(cluster).ok());
+  DistributedPowerIterationPca bad_eps({.k = 2, .eps = 0.0});
+  EXPECT_FALSE(bad_eps.Run(cluster).ok());
+}
+
+class SketchAndSolveModeTest : public ::testing::TestWithParam<SolveMode> {};
+
+TEST_P(SketchAndSolveModeTest, AchievesOnePlusOEps) {
+  const Matrix a = PcaWorkload(6);
+  const double eps = 0.25;
+  const size_t k = 3;
+  Cluster cluster = MakeCluster(a, 4, eps);
+  SketchAndSolveOptions options;
+  options.k = k;
+  options.eps = eps;
+  options.mode = GetParam();
+  options.seed = 77;
+  SketchAndSolvePca protocol(options);
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->components.cols(), k);
+  EXPECT_TRUE(HasOrthonormalColumns(result->components, 1e-8));
+  const PcaQualityReport report = EvaluatePcaQuality(a, result->components);
+  // Lemma 8: 1 + O(eps); certify at 1 + 3 eps.
+  EXPECT_LE(report.ratio, 1.0 + 3.0 * eps) << report.projection_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SketchAndSolveModeTest,
+                         ::testing::Values(SolveMode::kCollect,
+                                           SolveMode::kDistributedSolve,
+                                           SolveMode::kAuto));
+
+TEST(SketchAndSolveTest, CollectBeatsFdPcaCommAtLargeS) {
+  // Theorem 9 vs the O(skd/eps) baseline: at large s and small eps, the
+  // sketch-and-solve cost is lower.
+  const size_t s = 24;
+  const double eps = 0.2;
+  const size_t k = 2;
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 720,
+                                             .cols = 24,
+                                             .rank = 4,
+                                             .noise_stddev = 0.3,
+                                             .seed = 7});
+  Cluster cluster = MakeCluster(a, s, eps);
+  FdPcaProtocol baseline({.k = k, .eps = eps});
+  SketchAndSolvePca ours({.k = k, .eps = eps, .mode = SolveMode::kCollect,
+                          .seed = 99});
+  auto base_result = baseline.Run(cluster);
+  auto our_result = ours.Run(cluster);
+  ASSERT_TRUE(base_result.ok());
+  ASSERT_TRUE(our_result.ok());
+  EXPECT_LT(our_result->comm.total_words, base_result->comm.total_words);
+}
+
+TEST(SketchAndSolveTest, RejectsZeroK) {
+  const Matrix a = PcaWorkload(8);
+  Cluster cluster = MakeCluster(a, 2, 0.3);
+  SketchAndSolvePca protocol({.k = 0, .eps = 0.3});
+  EXPECT_FALSE(protocol.Run(cluster).ok());
+}
+
+TEST(SketchAndSolveTest, ClusteredWorkloadRecoversClusterSubspace) {
+  // PCA on well-separated clusters: the k-dim PC subspace captures the
+  // between-cluster variance, so projection error is near the
+  // within-cluster noise floor.
+  const ClusteredData data = GenerateClusteredGaussian({.rows = 300,
+                                                        .cols = 16,
+                                                        .num_clusters = 4,
+                                                        .center_scale = 30.0,
+                                                        .within_stddev = 1.0,
+                                                        .seed = 9});
+  Cluster cluster = MakeCluster(data.data, 5, 0.25);
+  SketchAndSolvePca protocol({.k = 4, .eps = 0.25, .seed = 111});
+  auto result = protocol.Run(cluster);
+  ASSERT_TRUE(result.ok());
+  const PcaQualityReport report =
+      EvaluatePcaQuality(data.data, result->components);
+  EXPECT_LE(report.ratio, 1.5);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,59 @@
+#include "pca/pca_quality.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(PcaQualityTest, ExactTopKScoresRatioOne) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 60, .cols = 12, .rank = 5, .noise_stddev = 0.2, .seed = 1});
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const Matrix v = svd->TopRightSingularVectors(3);
+  const PcaQualityReport report = EvaluatePcaQuality(a, v);
+  EXPECT_NEAR(report.ratio, 1.0, 1e-9);
+  EXPECT_NEAR(report.projection_error, report.optimal_error,
+              1e-8 * SquaredFrobeniusNorm(a));
+}
+
+TEST(PcaQualityTest, EmptyComponentsGiveTotalError) {
+  const Matrix a = GenerateGaussian(20, 6, 1.0, 2);
+  const PcaQualityReport report = EvaluatePcaQuality(a, Matrix(6, 0));
+  EXPECT_DOUBLE_EQ(report.projection_error, SquaredFrobeniusNorm(a));
+}
+
+TEST(PcaQualityTest, RandomSubspaceIsWorseThanOptimal) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 80, .cols = 16, .rank = 4, .noise_stddev = 0.1, .seed = 3});
+  auto junk = OrthonormalizeColumns(GenerateGaussian(16, 4, 1.0, 99));
+  ASSERT_TRUE(junk.ok());
+  const PcaQualityReport report = EvaluatePcaQuality(a, *junk);
+  EXPECT_GT(report.ratio, 1.5);
+}
+
+TEST(PcaQualityTest, ZeroOptimalErrorExactRecovery) {
+  // Rank-2 matrix, k = 2: optimal error 0; exact PCs give ratio 1.
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 30, .cols = 8, .rank = 2, .noise_stddev = 0.0, .seed = 4});
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const PcaQualityReport good =
+      EvaluatePcaQuality(a, svd->TopRightSingularVectors(2));
+  EXPECT_DOUBLE_EQ(good.ratio, 1.0);
+  // A bad subspace with zero optimal error gives infinite ratio.
+  auto junk = OrthonormalizeColumns(GenerateGaussian(8, 2, 1.0, 98));
+  ASSERT_TRUE(junk.ok());
+  const PcaQualityReport bad = EvaluatePcaQuality(a, *junk);
+  EXPECT_TRUE(std::isinf(bad.ratio));
+}
+
+}  // namespace
+}  // namespace distsketch

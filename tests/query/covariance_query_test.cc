@@ -1,0 +1,130 @@
+#include "query/covariance_query.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "sketch/error_metrics.h"
+#include "sketch/frequent_directions.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+class CovarianceQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = GenerateLowRankPlusNoise({.rows = 400,
+                                   .cols = 16,
+                                   .rank = 4,
+                                   .decay = 0.7,
+                                   .top_singular_value = 30.0,
+                                   .noise_stddev = 0.3,
+                                   .seed = 1});
+    auto fd = FrequentDirections::FromEpsK(16, eps_, k_);
+    ASSERT_TRUE(fd.ok());
+    fd->AppendRows(a_);
+    sketch_ = fd->Sketch();
+    budget_ = SketchErrorBudget(a_, eps_, k_);
+  }
+
+  const double eps_ = 0.25;
+  const size_t k_ = 3;
+  Matrix a_;
+  Matrix sketch_;
+  double budget_ = 0.0;
+};
+
+TEST_F(CovarianceQueryTest, QuadraticFormWithinBound) {
+  CovarianceQueryEngine engine(sketch_, budget_);
+  Rng rng(2);
+  for (int t = 0; t < 25; ++t) {
+    std::vector<double> x(16);
+    for (auto& v : x) v = rng.NextGaussian();
+    const double estimated = engine.QuadraticForm(x);
+    const double truth = SquaredNorm2(MatVec(a_, x));
+    EXPECT_LE(std::abs(estimated - truth),
+              engine.QuadraticFormErrorBound(x) * (1.0 + 1e-9));
+  }
+}
+
+TEST_F(CovarianceQueryTest, DirectionEnergyOrdersTopDirections) {
+  CovarianceQueryEngine engine(sketch_, budget_);
+  auto pcs = engine.PrincipalComponents(3);
+  ASSERT_TRUE(pcs.ok());
+  std::vector<double> v0(16), v2(16);
+  for (size_t i = 0; i < 16; ++i) {
+    v0[i] = (*pcs)(i, 0);
+    v2[i] = (*pcs)(i, 2);
+  }
+  EXPECT_GT(engine.DirectionEnergy(v0), engine.DirectionEnergy(v2));
+}
+
+TEST_F(CovarianceQueryTest, ResidualScoreSeparatesInOutOfSubspace) {
+  CovarianceQueryEngine engine(sketch_, budget_);
+  // A data row (in-subspace-ish) vs a random direction.
+  auto in_score = engine.ResidualScore(a_.Row(0), k_);
+  ASSERT_TRUE(in_score.ok());
+  Rng rng(3);
+  std::vector<double> random_dir(16);
+  for (auto& v : random_dir) v = rng.NextGaussian();
+  auto out_score = engine.ResidualScore(random_dir, k_);
+  ASSERT_TRUE(out_score.ok());
+  EXPECT_LT(*in_score, *out_score);
+  // Zero vector scores zero.
+  const std::vector<double> zero(16, 0.0);
+  auto zero_score = engine.ResidualScore(zero, k_);
+  ASSERT_TRUE(zero_score.ok());
+  EXPECT_EQ(*zero_score, 0.0);
+}
+
+TEST_F(CovarianceQueryTest, RidgeSolveValidation) {
+  CovarianceQueryEngine engine(sketch_, budget_);
+  const std::vector<double> atb(16, 1.0);
+  EXPECT_FALSE(engine.RidgeSolve(atb, 0.0).ok());
+  const std::vector<double> wrong_size(5, 1.0);
+  EXPECT_FALSE(engine.RidgeSolve(wrong_size, 1.0).ok());
+}
+
+TEST_F(CovarianceQueryTest, RidgeSolveTracksExactSolution) {
+  // Ground truth: w* = (A^T A + lambda I)^{-1} A^T b for a planted model.
+  Rng rng(4);
+  std::vector<double> w_true(16);
+  for (auto& v : w_true) v = rng.NextGaussian();
+  std::vector<double> b = MatVec(a_, w_true);
+  for (auto& v : b) v += 0.1 * rng.NextGaussian();
+  const std::vector<double> atb = MatTVec(a_, b);
+
+  const double lambda = 50.0;
+  Matrix exact_system = Gram(a_);
+  for (size_t i = 0; i < 16; ++i) exact_system(i, i) += lambda;
+  auto chol = CholeskyFactor::Factorize(exact_system);
+  ASSERT_TRUE(chol.ok());
+  const std::vector<double> w_exact = chol->Solve(atb);
+
+  CovarianceQueryEngine engine(sketch_, budget_);
+  auto w_sketch = engine.RidgeSolve(atb, lambda);
+  ASSERT_TRUE(w_sketch.ok());
+
+  double diff2 = 0.0, norm2 = 0.0;
+  for (size_t i = 0; i < 16; ++i) {
+    diff2 += ((*w_sketch)[i] - w_exact[i]) * ((*w_sketch)[i] - w_exact[i]);
+    norm2 += w_exact[i] * w_exact[i];
+  }
+  const double rel = std::sqrt(diff2 / norm2);
+  // The analytic bound is coverr/lambda (* a condition factor); require
+  // the empirical error to be well within the engine's stated bound.
+  EXPECT_LE(rel, engine.RidgeRelativeErrorBound(lambda) * 2.0 + 1e-9);
+}
+
+TEST_F(CovarianceQueryTest, LargerLambdaTightensRidgeBound) {
+  CovarianceQueryEngine engine(sketch_, budget_);
+  EXPECT_LT(engine.RidgeRelativeErrorBound(100.0),
+            engine.RidgeRelativeErrorBound(10.0));
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,131 @@
+#include "query/distributed_ridge.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+// Builds [X | y] with y = X w* + noise and returns (data, w*).
+std::pair<Matrix, std::vector<double>> MakeRegression(size_t n, size_t d,
+                                                      uint64_t seed) {
+  const Matrix x = GenerateLowRankPlusNoise({.rows = n,
+                                             .cols = d,
+                                             .rank = d / 2,
+                                             .decay = 0.8,
+                                             .top_singular_value = 10.0,
+                                             .noise_stddev = 0.2,
+                                             .seed = seed});
+  Rng rng(seed + 1);
+  std::vector<double> w(d);
+  for (auto& v : w) v = rng.NextGaussian();
+  Matrix data(n, d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    double y = 0.1 * rng.NextGaussian();
+    for (size_t j = 0; j < d; ++j) {
+      data(i, j) = x(i, j);
+      y += x(i, j) * w[j];
+    }
+    data(i, d) = y;
+  }
+  return {std::move(data), std::move(w)};
+}
+
+std::vector<double> ExactRidge(const Matrix& data, double lambda) {
+  const size_t d = data.cols() - 1;
+  Matrix x(data.rows(), d);
+  std::vector<double> y(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) x(i, j) = data(i, j);
+    y[i] = data(i, d);
+  }
+  Matrix system = Gram(x);
+  for (size_t i = 0; i < d; ++i) system(i, i) += lambda;
+  auto chol = CholeskyFactor::Factorize(system);
+  DS_CHECK(chol.ok());
+  return chol->Solve(MatTVec(x, y));
+}
+
+TEST(DistributedRidgeTest, Validation) {
+  auto [data, w] = MakeRegression(50, 8, 1);
+  auto cluster = Cluster::Create(
+      PartitionRows(data, 4, PartitionScheme::kRoundRobin), 0.2);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_FALSE(DistributedRidge(*cluster, {.lambda = 0.0}).ok());
+}
+
+TEST(DistributedRidgeTest, MatchesExactRidgeWithinBound) {
+  auto [data, w_true] = MakeRegression(600, 12, 2);
+  const double lambda = 20.0;
+  auto cluster = Cluster::Create(
+      PartitionRows(data, 6, PartitionScheme::kRoundRobin), 0.1);
+  ASSERT_TRUE(cluster.ok());
+  auto result = DistributedRidge(
+      *cluster, {.lambda = lambda, .eps = 0.1, .k = 6, .seed = 3});
+  ASSERT_TRUE(result.ok());
+  const std::vector<double> w_exact = ExactRidge(data, lambda);
+  double diff2 = 0.0, norm2 = 0.0;
+  for (size_t i = 0; i < w_exact.size(); ++i) {
+    diff2 += (result->weights[i] - w_exact[i]) *
+             (result->weights[i] - w_exact[i]);
+    norm2 += w_exact[i] * w_exact[i];
+  }
+  EXPECT_LE(std::sqrt(diff2 / norm2),
+            std::max(0.05, result->relative_error_bound * 2.0));
+}
+
+TEST(DistributedRidgeTest, PredictionsAreAccurate) {
+  // The end metric: predictions from the sketch-fit weights track the
+  // planted model.
+  auto [data, w_true] = MakeRegression(800, 10, 4);
+  auto cluster = Cluster::Create(
+      PartitionRows(data, 8, PartitionScheme::kContiguous), 0.15);
+  ASSERT_TRUE(cluster.ok());
+  auto result = DistributedRidge(
+      *cluster, {.lambda = 5.0, .eps = 0.15, .k = 5, .seed = 5});
+  ASSERT_TRUE(result.ok());
+  // R^2-style check on the training data.
+  double ss_res = 0.0, ss_tot = 0.0, mean = 0.0;
+  const size_t d = 10;
+  for (size_t i = 0; i < data.rows(); ++i) mean += data(i, d);
+  mean /= static_cast<double>(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double pred = 0.0;
+    for (size_t j = 0; j < d; ++j) pred += data(i, j) * result->weights[j];
+    ss_res += (data(i, d) - pred) * (data(i, d) - pred);
+    ss_tot += (data(i, d) - mean) * (data(i, d) - mean);
+  }
+  EXPECT_GT(1.0 - ss_res / ss_tot, 0.9);
+}
+
+TEST(DistributedRidgeTest, CommunicationBeatsCentralizing) {
+  auto [data, w_true] = MakeRegression(4000, 16, 6);
+  auto cluster = Cluster::Create(
+      PartitionRows(data, 8, PartitionScheme::kRoundRobin), 0.2);
+  ASSERT_TRUE(cluster.ok());
+  auto result = DistributedRidge(
+      *cluster, {.lambda = 10.0, .eps = 0.2, .k = 6, .seed = 7});
+  ASSERT_TRUE(result.ok());
+  const uint64_t centralize_words = 4000ull * 17ull;
+  EXPECT_LT(result->comm.total_words, centralize_words / 4);
+}
+
+TEST(DistributedRidgeTest, AllZeroFeaturesGiveZeroWeights) {
+  Matrix data(40, 5);  // 4 zero features + zero target
+  auto cluster = Cluster::Create(
+      PartitionRows(data, 4, PartitionScheme::kRoundRobin), 0.2);
+  ASSERT_TRUE(cluster.ok());
+  auto result = DistributedRidge(*cluster, {.lambda = 1.0, .k = 2});
+  ASSERT_TRUE(result.ok());
+  for (const double w : result->weights) EXPECT_EQ(w, 0.0);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,151 @@
+#include "sketch/adaptive_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+Matrix Workload(uint64_t seed) {
+  return GenerateLowRankPlusNoise({.rows = 150,
+                                   .cols = 16,
+                                   .rank = 4,
+                                   .decay = 0.7,
+                                   .top_singular_value = 60.0,
+                                   .noise_stddev = 0.4,
+                                   .seed = seed});
+}
+
+TEST(AdaptiveLocalSketchTest, CreateValidation) {
+  EXPECT_FALSE(AdaptiveLocalSketch::Create(0, 0.1, 2, 1).ok());
+  EXPECT_FALSE(AdaptiveLocalSketch::Create(8, 0.1, 0, 1).ok());
+  EXPECT_FALSE(AdaptiveLocalSketch::Create(8, 0.0, 2, 1).ok());
+  EXPECT_FALSE(AdaptiveLocalSketch::Create(8, 1.5, 2, 1).ok());
+  EXPECT_TRUE(AdaptiveLocalSketch::Create(8, 0.3, 2, 1).ok());
+}
+
+TEST(AdaptiveLocalSketchTest, PhaseOrderingEnforced) {
+  auto local = AdaptiveLocalSketch::Create(8, 0.3, 2, 1);
+  ASSERT_TRUE(local.ok());
+  auto q = local->CompressWithGlobalTailMass(1.0, 1, 0.1);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptiveLocalSketchTest, TailMassIdempotent) {
+  auto local = AdaptiveLocalSketch::Create(16, 0.4, 3, 2);
+  ASSERT_TRUE(local.ok());
+  local->AppendRows(Workload(3));
+  const double m1 = local->FinishAndReportTailMass();
+  const double m2 = local->FinishAndReportTailMass();
+  EXPECT_DOUBLE_EQ(m1, m2);
+  EXPECT_GT(m1, 0.0);
+  EXPECT_LE(local->head().rows(), 3u);
+}
+
+TEST(AdaptiveLocalSketchTest, EmptyServerYieldsEmptySketch) {
+  auto local = AdaptiveLocalSketch::Create(8, 0.3, 2, 4);
+  ASSERT_TRUE(local.ok());
+  EXPECT_DOUBLE_EQ(local->FinishAndReportTailMass(), 0.0);
+  auto q = local->CompressWithGlobalTailMass(0.0, 4, 0.1);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows(), 0u);
+}
+
+// Theorem 7 single-machine sweep: Q is a (3 eps, k)-sketch.
+class AdaptiveGuaranteeTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(AdaptiveGuaranteeTest, ThreeEpsGuarantee) {
+  const auto [eps, k] = GetParam();
+  const Matrix a = Workload(5);
+  int good = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    auto q = AdaptiveSketch(a, eps, k, 500 + t);
+    ASSERT_TRUE(q.ok());
+    if (IsEpsKSketch(a, *q, 3.0 * eps, k)) ++good;
+  }
+  EXPECT_GE(good, trials - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptiveGuaranteeTest,
+    ::testing::Combine(::testing::Values(0.2, 0.4),
+                       ::testing::Values(2, 4)));
+
+TEST(AdaptiveSketchTest, FrobeniusNormBound) {
+  // ||Q||_F^2 = ||A||_F^2 + O(||A - [A]_k||_F^2) (Theorem 7).
+  const Matrix a = Workload(6);
+  auto q = AdaptiveSketch(a, 0.3, 3, 7);
+  ASSERT_TRUE(q.ok());
+  const double budget =
+      SquaredFrobeniusNorm(a) + 8.0 * OptimalTailEnergy(a, 3);
+  EXPECT_LE(SquaredFrobeniusNorm(*q), budget);
+}
+
+TEST(AdaptiveSketchTest, DistributedCompositionMatchesTheorem7) {
+  // Full multi-server pipeline by hand: the concatenated Q must be a
+  // (3 eps, k)-sketch of the union.
+  const double eps = 0.3;
+  const size_t k = 3;
+  const size_t s = 4;
+  const Matrix a = Workload(8);
+  const auto parts = PartitionRows(a, s, PartitionScheme::kRoundRobin);
+
+  std::vector<AdaptiveLocalSketch> locals;
+  double global_tail = 0.0;
+  for (size_t i = 0; i < s; ++i) {
+    auto local = AdaptiveLocalSketch::Create(16, eps, k, 900 + i);
+    ASSERT_TRUE(local.ok());
+    local->AppendRows(parts[i]);
+    global_tail += local->FinishAndReportTailMass();
+    locals.push_back(std::move(*local));
+  }
+  Matrix q(0, 16);
+  for (size_t i = 0; i < s; ++i) {
+    auto q_i = locals[i].CompressWithGlobalTailMass(global_tail, s, 0.1);
+    ASSERT_TRUE(q_i.ok());
+    q.AppendRows(*q_i);
+  }
+  EXPECT_TRUE(IsEpsKSketch(a, q, 3.0 * eps, k))
+      << "coverr=" << CovarianceError(a, q)
+      << " budget=" << SketchErrorBudget(a, 3.0 * eps, k);
+}
+
+TEST(AdaptiveSketchTest, LinearFunctionAlsoWorks) {
+  const Matrix a = Workload(9);
+  auto local = AdaptiveLocalSketch::Create(16, 0.3, 3, 10);
+  ASSERT_TRUE(local.ok());
+  local->AppendRows(a);
+  const double tail = local->FinishAndReportTailMass();
+  auto q = local->CompressWithGlobalTailMass(
+      tail, 1, 0.1, SamplingFunctionKind::kLinear);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(IsEpsKSketch(a, *q, 3.0 * 0.3, 3));
+}
+
+TEST(RecompressSketchTest, OptimalSizeAndGuaranteeKept) {
+  const double eps = 0.3;
+  const size_t k = 3;
+  const Matrix a = Workload(11);
+  auto q = AdaptiveSketch(a, eps, k, 12);
+  ASSERT_TRUE(q.ok());
+  auto compressed = RecompressSketch(*q, eps, k);
+  ASSERT_TRUE(compressed.ok());
+  // Optimal row count: k + ceil(k/eps) = 3 + 10.
+  EXPECT_LE(compressed->rows(), 13u);
+  // Guarantee survives with an O(1) blowup (we certify at 6 eps).
+  EXPECT_TRUE(IsEpsKSketch(a, *compressed, 6.0 * eps, k));
+}
+
+TEST(RecompressSketchTest, EmptyInputFails) {
+  EXPECT_FALSE(RecompressSketch(Matrix(), 0.3, 2).ok());
+}
+
+}  // namespace
+}  // namespace distsketch

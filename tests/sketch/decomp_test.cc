@@ -1,0 +1,102 @@
+#include "sketch/decomp.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "sketch/frequent_directions.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(DecompTest, EmptyInputFails) { EXPECT_FALSE(Decomp(Matrix(), 2).ok()); }
+
+TEST(DecompTest, GramSplitsExactly) {
+  // Lemma 6: B^T B = T^T T + R^T R.
+  const Matrix b = GenerateGaussian(20, 8, 1.0, 1);
+  for (size_t k : {1u, 3u, 7u}) {
+    auto d = Decomp(b, k);
+    ASSERT_TRUE(d.ok());
+    Matrix sum(8, 8);
+    if (d->head.rows() > 0) sum = Add(sum, Gram(d->head));
+    if (d->tail.rows() > 0) sum = Add(sum, Gram(d->tail));
+    EXPECT_TRUE(AlmostEqual(sum, Gram(b), 1e-7 * SquaredFrobeniusNorm(b)))
+        << "k=" << k;
+  }
+}
+
+TEST(DecompTest, TailMassIsRankKTailEnergy) {
+  // ||R||_F^2 = ||B - [B]_k||_F^2.
+  const Matrix b = GenerateZipfSpectrum(
+      {.rows = 30, .cols = 10, .alpha = 1.0, .seed = 2});
+  for (size_t k : {0u, 2u, 5u}) {
+    auto d = Decomp(b, k);
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR(SquaredFrobeniusNorm(d->tail), OptimalTailEnergy(b, k),
+                1e-7 * SquaredFrobeniusNorm(b))
+        << "k=" << k;
+  }
+}
+
+TEST(DecompTest, HeadHasAtMostKRows) {
+  const Matrix b = GenerateGaussian(12, 6, 1.0, 3);
+  auto d = Decomp(b, 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(d->head.rows(), 4u);
+  EXPECT_LE(d->tail.rows(), 6u);
+}
+
+TEST(DecompTest, KLargerThanRankGivesEmptyTail) {
+  const Matrix b = GenerateLowRankPlusNoise(
+      {.rows = 20, .cols = 8, .rank = 2, .noise_stddev = 0.0, .seed = 4});
+  auto d = Decomp(b, 5);
+  ASSERT_TRUE(d.ok());
+  // Rank 2 matrix: tail rows past the rank are numerically zero and
+  // dropped.
+  EXPECT_EQ(d->tail.rows(), 0u);
+  EXPECT_NEAR(SquaredFrobeniusNorm(d->head), SquaredFrobeniusNorm(b),
+              1e-7 * SquaredFrobeniusNorm(b));
+}
+
+TEST(DecompTest, KZeroPutsEverythingInTail) {
+  const Matrix b = GenerateGaussian(10, 5, 1.0, 5);
+  auto d = Decomp(b, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->head.rows(), 0u);
+  EXPECT_NEAR(SquaredFrobeniusNorm(d->tail), SquaredFrobeniusNorm(b),
+              1e-8 * SquaredFrobeniusNorm(b));
+}
+
+TEST(DecompTest, HeadRowsAreOrthogonal) {
+  const Matrix b = GenerateGaussian(15, 6, 1.0, 6);
+  auto d = Decomp(b, 3);
+  ASSERT_TRUE(d.ok());
+  const Matrix cross = MultiplyTransposeB(d->head, d->head);
+  for (size_t i = 0; i < cross.rows(); ++i) {
+    for (size_t j = 0; j < cross.cols(); ++j) {
+      if (i != j) {
+        EXPECT_NEAR(cross(i, j), 0.0, 1e-7 * SquaredFrobeniusNorm(b));
+      }
+    }
+  }
+}
+
+TEST(DecompTest, Lemma5TailMassBoundViaFd) {
+  // Lemma 5: for B = FD(A, eps, k), ||B - [B]_k||_F^2 <=
+  // (1 + eps) ||A - [A]_k||_F^2. Verified through Decomp's tail.
+  const double eps = 0.5;
+  const size_t k = 3;
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 120, .cols = 16, .rank = 4, .noise_stddev = 0.4, .seed = 7});
+  auto fd = FrequentDirections::FromEpsK(16, eps, k);
+  ASSERT_TRUE(fd.ok());
+  fd->AppendRows(a);
+  auto d = Decomp(fd->Sketch(), k);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(SquaredFrobeniusNorm(d->tail),
+            (1.0 + eps) * OptimalTailEnergy(a, k) * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace distsketch

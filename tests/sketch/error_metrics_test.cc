@@ -1,0 +1,116 @@
+#include "sketch/error_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "sketch/frequent_directions.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(ErrorMetricsTest, IdenticalMatricesHaveZeroCoverr) {
+  const Matrix a = GenerateGaussian(20, 6, 1.0, 1);
+  EXPECT_NEAR(CovarianceError(a, a), 0.0, 1e-9);
+}
+
+TEST(ErrorMetricsTest, EmptySketchGivesGramNorm) {
+  const Matrix a = GenerateGaussian(20, 6, 1.0, 2);
+  auto svals = SingularValues(a);
+  ASSERT_TRUE(svals.ok());
+  const double expect = (*svals)[0] * (*svals)[0];
+  EXPECT_NEAR(CovarianceError(a, Matrix(0, 6)), expect, 1e-6 * expect);
+}
+
+TEST(ErrorMetricsTest, ExactAndPowerIterationAgree) {
+  const Matrix a = GenerateGaussian(15, 8, 1.0, 3);
+  const Matrix b = GenerateGaussian(10, 8, 1.0, 4);
+  const double fast = CovarianceError(a, b, /*exact=*/false);
+  const double exact = CovarianceError(a, b, /*exact=*/true);
+  EXPECT_NEAR(fast, exact, 1e-6 * std::max(1.0, exact));
+}
+
+TEST(ErrorMetricsTest, RowOrderInvariance) {
+  // coverr depends only on A^T A, so shuffling rows changes nothing.
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix shuffled{{5, 6}, {1, 2}, {3, 4}};
+  const Matrix b{{1, 1}, {2, 2}};
+  EXPECT_NEAR(CovarianceError(a, b), CovarianceError(shuffled, b), 1e-10);
+}
+
+TEST(ErrorMetricsTest, ProjectionErrorZeroForPerfectBasis) {
+  // A has rank 2; projecting onto its own top-2 right vectors is lossless.
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 30, .cols = 8, .rank = 2, .noise_stddev = 0.0, .seed = 5});
+  EXPECT_NEAR(ProjectionError(a, a, 2), 0.0,
+              1e-8 * SquaredFrobeniusNorm(a));
+}
+
+TEST(ErrorMetricsTest, ProjectionErrorTotalForEmptyOrZeroK) {
+  const Matrix a = GenerateGaussian(10, 5, 1.0, 6);
+  const double total = SquaredFrobeniusNorm(a);
+  EXPECT_DOUBLE_EQ(ProjectionError(a, Matrix(0, 5), 3), total);
+  EXPECT_DOUBLE_EQ(ProjectionError(a, a, 0), total);
+}
+
+TEST(ErrorMetricsTest, ProjectionAtLeastOptimal) {
+  const Matrix a = GenerateGaussian(25, 10, 1.0, 7);
+  const Matrix b = GenerateGaussian(8, 10, 1.0, 8);
+  for (size_t k : {1u, 3u, 5u}) {
+    EXPECT_GE(ProjectionError(a, b, k),
+              OptimalTailEnergy(a, k) - 1e-8 * SquaredFrobeniusNorm(a));
+  }
+}
+
+TEST(ErrorMetricsTest, OptimalTailEnergyMatchesSvd) {
+  const Matrix a = GenerateGaussian(20, 9, 1.0, 9);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (size_t k : {0u, 2u, 5u, 9u}) {
+    EXPECT_NEAR(OptimalTailEnergy(a, k), svd->TailEnergy(k),
+                1e-8 * SquaredFrobeniusNorm(a));
+  }
+}
+
+TEST(ErrorMetricsTest, SketchErrorBudgetDefinitions) {
+  const Matrix a = GenerateGaussian(20, 6, 1.0, 10);
+  EXPECT_DOUBLE_EQ(SketchErrorBudget(a, 0.2, 0),
+                   0.2 * SquaredFrobeniusNorm(a));
+  EXPECT_DOUBLE_EQ(SketchErrorBudget(a, 0.2, 2),
+                   0.2 * OptimalTailEnergy(a, 2) / 2.0);
+}
+
+// Lemma 1: ||A - pi_B^k(A)||_F^2 <= ||A - [A]_k||_F^2 + 2k * coverr(A,B).
+class Lemma1Test : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Lemma1Test, HoldsForFdSketches) {
+  const size_t k = GetParam();
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 80, .cols = 16, .rank = 5, .noise_stddev = 0.3, .seed = 11});
+  auto fd = FrequentDirections::FromEpsK(16, 0.5, k);
+  ASSERT_TRUE(fd.ok());
+  fd->AppendRows(a);
+  const Matrix b = fd->Sketch();
+  const double lhs = ProjectionError(a, b, k);
+  const double rhs = OptimalTailEnergy(a, k) +
+                     2.0 * static_cast<double>(k) * CovarianceError(a, b);
+  EXPECT_LE(lhs, rhs * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, Lemma1Test, ::testing::Values(1, 2, 4, 8));
+
+TEST(ErrorMetricsTest, IsEpsKSketchAcceptsGoodRejectsBad) {
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 60, .cols = 12, .rank = 3, .noise_stddev = 0.2, .seed = 12});
+  auto fd = FrequentDirections::FromEpsK(12, 0.3, 3);
+  ASSERT_TRUE(fd.ok());
+  fd->AppendRows(a);
+  EXPECT_TRUE(IsEpsKSketch(a, fd->Sketch(), 0.3, 3));
+  // A junk sketch fails.
+  const Matrix junk = GenerateGaussian(4, 12, 10.0, 13);
+  EXPECT_FALSE(IsEpsKSketch(a, junk, 0.3, 3));
+}
+
+}  // namespace
+}  // namespace distsketch

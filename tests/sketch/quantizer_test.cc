@@ -1,0 +1,98 @@
+#include "sketch/quantizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "sketch/frequent_directions.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(QuantizerTest, RejectsNonPositivePrecision) {
+  EXPECT_FALSE(QuantizeMatrix(Matrix(2, 2), 0.0).ok());
+  EXPECT_FALSE(QuantizeMatrix(Matrix(2, 2), -1.0).ok());
+}
+
+TEST(QuantizerTest, RoundsToMultiples) {
+  const Matrix a{{0.26, -0.74, 1.0}};
+  auto q = QuantizeMatrix(a, 0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->matrix(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(q->matrix(0, 1), -0.5);
+  EXPECT_DOUBLE_EQ(q->matrix(0, 2), 1.0);
+}
+
+TEST(QuantizerTest, MaxErrorAtMostHalfPrecision) {
+  const Matrix a = GenerateGaussian(30, 10, 3.0, 1);
+  for (double precision : {1.0, 0.1, 0.001}) {
+    auto q = QuantizeMatrix(a, precision);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(q->max_error, precision / 2.0 + 1e-15);
+    EXPECT_TRUE(AlmostEqual(q->matrix, a, precision / 2.0 + 1e-15));
+  }
+}
+
+TEST(QuantizerTest, BitAccountingIsLogOfDynamicRange) {
+  const Matrix a{{1000.0, -1000.0}};
+  auto coarse = QuantizeMatrix(a, 1.0);
+  auto fine = QuantizeMatrix(a, 0.001);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  // Finer precision -> more bits; the difference should be ~log2(1000).
+  EXPECT_GT(fine->bits_per_entry, coarse->bits_per_entry);
+  EXPECT_NEAR(static_cast<double>(fine->bits_per_entry -
+                                  coarse->bits_per_entry),
+              std::log2(1000.0), 2.0);
+  EXPECT_EQ(coarse->total_bits, coarse->bits_per_entry * 2);
+}
+
+TEST(QuantizerTest, SketchRoundingPrecisionScalesLikePaper) {
+  // eps / (nd)^2: doubling n*d divides the precision by 4.
+  const double p1 = SketchRoundingPrecision(100, 10, 0.1);
+  const double p2 = SketchRoundingPrecision(200, 10, 0.1);
+  EXPECT_NEAR(p1 / p2, 4.0, 1e-9);
+  EXPECT_GT(p1, 0.0);
+}
+
+TEST(QuantizerTest, RoundingPreservesSketchGuarantee) {
+  // The §3.3 claim: rounding at poly^{-1}(nd/eps) precision leaves the
+  // (eps,k) guarantee intact (with slack).
+  const double eps = 0.3;
+  const size_t k = 3;
+  const Matrix a = GenerateLowRankPlusNoise(
+      {.rows = 100, .cols = 12, .rank = 4, .noise_stddev = 0.3, .seed = 2});
+  auto fd = FrequentDirections::FromEpsK(12, eps, k);
+  ASSERT_TRUE(fd.ok());
+  fd->AppendRows(a);
+  const Matrix b = fd->Sketch();
+  const double precision = SketchRoundingPrecision(100, 12, eps);
+  auto q = QuantizeMatrix(b, precision);
+  ASSERT_TRUE(q.ok());
+  // Rounded sketch still certifies at the same budget (tiny perturbation).
+  EXPECT_TRUE(IsEpsKSketch(a, q->matrix, eps, k));
+  // And the perturbation is within the analytic bound.
+  const double perturbation =
+      CovarianceError(b, q->matrix);
+  EXPECT_LE(perturbation, RoundingCoverrBound(b, precision) + 1e-12);
+}
+
+TEST(QuantizerTest, CoverrBoundIsZeroForEmpty) {
+  EXPECT_EQ(RoundingCoverrBound(Matrix(), 0.1), 0.0);
+}
+
+TEST(QuantizerTest, IntegerInputAtUnitPrecisionIsLossless) {
+  Matrix a = GenerateSignMatrix(10, 6, 3);
+  auto q = QuantizeMatrix(a, 1.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->matrix == a);
+  EXPECT_EQ(q->max_error, 0.0);
+  // +-1 entries need 2 bits (sign + 1 magnitude bit) within slack.
+  EXPECT_LE(q->bits_per_entry, 3u);
+}
+
+}  // namespace
+}  // namespace distsketch

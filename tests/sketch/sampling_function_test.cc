@@ -1,0 +1,135 @@
+#include "sketch/sampling_function.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace distsketch {
+namespace {
+
+SamplingFunctionParams BaseParams() {
+  SamplingFunctionParams p;
+  p.num_servers = 16;
+  p.alpha = 0.1;
+  p.total_frobenius = 100.0;
+  p.dim = 64;
+  p.delta = 0.1;
+  return p;
+}
+
+TEST(SamplingFunctionTest, ValidationRejectsBadParams) {
+  auto bad = BaseParams();
+  bad.alpha = 0.0;
+  EXPECT_FALSE(
+      MakeSamplingFunction(SamplingFunctionKind::kLinear, bad).ok());
+  bad = BaseParams();
+  bad.num_servers = 0;
+  EXPECT_FALSE(
+      MakeSamplingFunction(SamplingFunctionKind::kLinear, bad).ok());
+  bad = BaseParams();
+  bad.total_frobenius = -1.0;
+  EXPECT_FALSE(
+      MakeSamplingFunction(SamplingFunctionKind::kQuadratic, bad).ok());
+  bad = BaseParams();
+  bad.delta = 1.5;
+  EXPECT_FALSE(
+      MakeSamplingFunction(SamplingFunctionKind::kQuadratic, bad).ok());
+  bad = BaseParams();
+  bad.dim = 0;
+  EXPECT_FALSE(
+      MakeSamplingFunction(SamplingFunctionKind::kLinear, bad).ok());
+}
+
+TEST(LinearSamplingFunctionTest, MatchesTheorem5Formula) {
+  const auto p = BaseParams();
+  const LinearSamplingFunction g(p);
+  const double expected_beta =
+      std::sqrt(16.0) * std::log(64.0 / 0.1) / (0.1 * 100.0);
+  EXPECT_NEAR(g.beta(), expected_beta, 1e-12);
+  EXPECT_NEAR(g.Probability(1.0), std::min(expected_beta, 1.0), 1e-12);
+  // Clamped at 1.
+  EXPECT_DOUBLE_EQ(g.Probability(1e9), 1.0);
+  // Zero at zero.
+  EXPECT_DOUBLE_EQ(g.Probability(0.0), 0.0);
+}
+
+TEST(LinearSamplingFunctionTest, MonotoneNonDecreasing) {
+  const LinearSamplingFunction g(BaseParams());
+  double prev = 0.0;
+  for (double x = 0.0; x < 10.0; x += 0.1) {
+    const double v = g.Probability(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(QuadraticSamplingFunctionTest, MatchesTheorem6Formula) {
+  const auto p = BaseParams();
+  const QuadraticSamplingFunction g(p);
+  const double log_term = std::log(64.0 / 0.1);
+  EXPECT_NEAR(g.b(), 16.0 * log_term / (0.01 * 10000.0), 1e-12);
+  EXPECT_NEAR(g.threshold(), 0.1 * 100.0 / 16.0, 1e-12);
+}
+
+TEST(QuadraticSamplingFunctionTest, DropsBelowThreshold) {
+  const QuadraticSamplingFunction g(BaseParams());
+  // threshold = alpha*F/s = 0.625.
+  EXPECT_DOUBLE_EQ(g.Probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.Probability(0.6), 0.0);
+  EXPECT_GT(g.Probability(0.7), 0.0);
+}
+
+TEST(QuadraticSamplingFunctionTest, QuadraticGrowthThenClamp) {
+  const QuadraticSamplingFunction g(BaseParams());
+  const double x1 = 1.0, x2 = 2.0;
+  const double p1 = g.Probability(x1);
+  const double p2 = g.Probability(x2);
+  if (p2 < 1.0) {
+    EXPECT_NEAR(p2 / p1, 4.0, 1e-9);  // g ~ x^2
+  }
+  EXPECT_DOUBLE_EQ(g.Probability(1e12), 1.0);
+}
+
+TEST(SamplingFunctionTest, QuadraticCheaperThanLinearInExpectation) {
+  // Theorem 6's point: sum_j g_quad(sigma_j^2) <= sum_j g_lin(sigma_j^2)
+  // for any spectrum (g_quad(x) <= sqrt-scaled linear bound).
+  const auto p = BaseParams();
+  const LinearSamplingFunction lin(p);
+  const QuadraticSamplingFunction quad(p);
+  // Flat spectrum summing to total_frobenius.
+  const size_t count = 50;
+  const double each = p.total_frobenius / count;
+  double cost_lin = 0.0, cost_quad = 0.0;
+  for (size_t j = 0; j < count; ++j) {
+    cost_lin += lin.Probability(each);
+    cost_quad += quad.Probability(each);
+  }
+  EXPECT_LE(cost_quad, cost_lin * (1.0 + 1e-12));
+}
+
+TEST(SamplingFunctionTest, FactoryProducesRightKind) {
+  auto lin = MakeSamplingFunction(SamplingFunctionKind::kLinear,
+                                  BaseParams());
+  auto quad = MakeSamplingFunction(SamplingFunctionKind::kQuadratic,
+                                   BaseParams());
+  ASSERT_TRUE(lin.ok());
+  ASSERT_TRUE(quad.ok());
+  EXPECT_STREQ((*lin)->Name(), "linear");
+  EXPECT_STREQ((*quad)->Name(), "quadratic");
+}
+
+TEST(SamplingFunctionTest, LogTermFlooredForTinyDim) {
+  // d=1, delta=0.9 would make log(d/delta) negative; the floor keeps the
+  // probability valid.
+  auto p = BaseParams();
+  p.dim = 1;
+  p.delta = 0.9;
+  const LinearSamplingFunction g(p);
+  EXPECT_GT(g.beta(), 0.0);
+  EXPECT_GE(g.Probability(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,138 @@
+#include "sketch/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+TEST(SlidingWindowTest, Validation) {
+  EXPECT_FALSE(SlidingWindowSketch::Create(0, 10, 0.2).ok());
+  EXPECT_FALSE(SlidingWindowSketch::Create(4, 0, 0.2).ok());
+  EXPECT_FALSE(SlidingWindowSketch::Create(4, 10, 0.0).ok());
+  EXPECT_FALSE(SlidingWindowSketch::Create(4, 10, 1.0).ok());
+  auto sw = SlidingWindowSketch::Create(4, 10, 0.2);
+  ASSERT_TRUE(sw.ok());
+  const double bad_row[] = {1.0, 2.0};
+  EXPECT_FALSE(sw->Append(bad_row).ok());
+}
+
+TEST(SlidingWindowTest, QueryBeforeWindowFullCoversPrefix) {
+  auto sw = SlidingWindowSketch::Create(6, 100, 0.3);
+  ASSERT_TRUE(sw.ok());
+  const Matrix a = GenerateGaussian(20, 6, 1.0, 1);
+  for (size_t i = 0; i < a.rows(); ++i) ASSERT_TRUE(sw->Append(a.Row(i)).ok());
+  auto q = sw->Query();
+  ASSERT_TRUE(q.ok());
+  // 20 rows < window: the sketch covers the whole prefix within the FD
+  // budget (eps/2 * ||A||_F^2 each for blocks and merge).
+  EXPECT_LE(CovarianceError(a, *q),
+            0.3 * SquaredFrobeniusNorm(a) * (1.0 + 1e-9));
+}
+
+// The [34]-style guarantee: coverr(window, query) <= eps * W * R^2.
+class SlidingWindowGuaranteeTest : public ::testing::TestWithParam<double> {
+};
+
+TEST_P(SlidingWindowGuaranteeTest, WindowErrorBounded) {
+  const double eps = GetParam();
+  const size_t window = 256;
+  const size_t d = 12;
+  auto sw = SlidingWindowSketch::Create(d, window, eps);
+  ASSERT_TRUE(sw.ok());
+  // Non-stationary stream: the covariance direction rotates midway, so a
+  // whole-stream sketch would be badly wrong for the window.
+  const Matrix phase1 = GenerateLowRankPlusNoise({.rows = 600,
+                                                  .cols = d,
+                                                  .rank = 2,
+                                                  .top_singular_value = 9.0,
+                                                  .noise_stddev = 0.1,
+                                                  .seed = 2});
+  const Matrix phase2 = GenerateLowRankPlusNoise({.rows = 600,
+                                                  .cols = d,
+                                                  .rank = 2,
+                                                  .top_singular_value = 9.0,
+                                                  .noise_stddev = 0.1,
+                                                  .seed = 99});
+  const Matrix stream = ConcatRows(phase1, phase2);
+  for (size_t i = 0; i < stream.rows(); ++i) {
+    ASSERT_TRUE(sw->Append(stream.Row(i)).ok());
+    if ((i + 1) % 128 == 0 && i + 1 >= window) {
+      auto q = sw->Query();
+      ASSERT_TRUE(q.ok());
+      const Matrix window_rows = stream.RowRange(i + 1 - window, i + 1);
+      const double budget = eps * static_cast<double>(window) *
+                            sw->max_row_norm() * sw->max_row_norm();
+      EXPECT_LE(CovarianceError(window_rows, *q), budget)
+          << "at row " << i + 1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, SlidingWindowGuaranteeTest,
+                         ::testing::Values(0.1, 0.2, 0.4));
+
+TEST(SlidingWindowTest, ForgetsOldPhase) {
+  // After the stream switches subspace, a window-sized lag later the
+  // query must reflect the new phase, not the old one.
+  const size_t d = 10;
+  const size_t window = 200;
+  auto sw = SlidingWindowSketch::Create(d, window, 0.2);
+  ASSERT_TRUE(sw.ok());
+  const Matrix old_phase = GenerateLowRankPlusNoise(
+      {.rows = 800, .cols = d, .rank = 2, .top_singular_value = 10.0,
+       .noise_stddev = 0.05, .seed = 3});
+  const Matrix new_phase = GenerateLowRankPlusNoise(
+      {.rows = 400, .cols = d, .rank = 2, .top_singular_value = 10.0,
+       .noise_stddev = 0.05, .seed = 77});
+  for (size_t i = 0; i < old_phase.rows(); ++i) {
+    ASSERT_TRUE(sw->Append(old_phase.Row(i)).ok());
+  }
+  for (size_t i = 0; i < new_phase.rows(); ++i) {
+    ASSERT_TRUE(sw->Append(new_phase.Row(i)).ok());
+  }
+  auto q = sw->Query();
+  ASSERT_TRUE(q.ok());
+  const Matrix last_window =
+      new_phase.RowRange(new_phase.rows() - window, new_phase.rows());
+  const double err_new = CovarianceError(last_window, *q);
+  const double err_old =
+      CovarianceError(old_phase.RowRange(0, window), *q);
+  EXPECT_LT(err_new, 0.3 * err_old);
+}
+
+TEST(SlidingWindowTest, SpaceIsBounded) {
+  auto sw = SlidingWindowSketch::Create(8, 128, 0.25);
+  ASSERT_TRUE(sw.ok());
+  const Matrix stream = GenerateGaussian(4000, 8, 1.0, 4);
+  size_t max_blocks = 0;
+  for (size_t i = 0; i < stream.rows(); ++i) {
+    ASSERT_TRUE(sw->Append(stream.Row(i)).ok());
+    max_blocks = std::max(max_blocks, sw->num_blocks());
+  }
+  // ceil(W/B) + O(1) blocks with B = floor(eps*W/2) = 16 -> ~9 blocks.
+  EXPECT_LE(max_blocks, 10u);
+  EXPECT_EQ(sw->rows_seen(), 4000u);
+}
+
+TEST(SlidingWindowTest, TinyWindowDegradesToPerRowBlocks) {
+  // eps*W/2 < 1: block size clamps to one row and everything still works.
+  auto sw = SlidingWindowSketch::Create(4, 4, 0.2);
+  ASSERT_TRUE(sw.ok());
+  const Matrix stream = GenerateGaussian(20, 4, 1.0, 5);
+  for (size_t i = 0; i < stream.rows(); ++i) {
+    ASSERT_TRUE(sw->Append(stream.Row(i)).ok());
+  }
+  auto q = sw->Query();
+  ASSERT_TRUE(q.ok());
+  const Matrix window_rows = stream.RowRange(16, 20);
+  const double budget =
+      0.2 * 4.0 * sw->max_row_norm() * sw->max_row_norm();
+  EXPECT_LE(CovarianceError(window_rows, *q), budget * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace distsketch

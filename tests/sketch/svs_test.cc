@@ -1,0 +1,164 @@
+#include "sketch/svs.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+// A sampling function that keeps everything: SVS degenerates to agg(A).
+class KeepAll : public SamplingFunction {
+ public:
+  double Probability(double) const override { return 1.0; }
+  const char* Name() const override { return "keep_all"; }
+};
+
+// Keeps nothing.
+class KeepNone : public SamplingFunction {
+ public:
+  double Probability(double) const override { return 0.0; }
+  const char* Name() const override { return "keep_none"; }
+};
+
+// Constant probability p.
+class KeepP : public SamplingFunction {
+ public:
+  explicit KeepP(double p) : p_(p) {}
+  double Probability(double) const override { return p_; }
+  const char* Name() const override { return "keep_p"; }
+
+ private:
+  double p_;
+};
+
+TEST(SvsTest, EmptyInputFails) {
+  KeepAll g;
+  EXPECT_FALSE(Svs(Matrix(), g, 1).ok());
+}
+
+TEST(SvsTest, KeepAllIsExact) {
+  const Matrix a = GenerateGaussian(20, 6, 1.0, 1);
+  KeepAll g;
+  auto r = Svs(a, g, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sampled, 6u);
+  EXPECT_DOUBLE_EQ(r->expected_sampled, 6.0);
+  // With p = 1 the rescaling is 1: B^T B = A^T A exactly.
+  EXPECT_NEAR(CovarianceError(a, r->sketch), 0.0,
+              1e-7 * SquaredFrobeniusNorm(a));
+}
+
+TEST(SvsTest, KeepNoneIsEmpty) {
+  const Matrix a = GenerateGaussian(10, 4, 1.0, 3);
+  KeepNone g;
+  auto r = Svs(a, g, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sketch.rows(), 0u);
+  EXPECT_EQ(r->sampled, 0u);
+  EXPECT_DOUBLE_EQ(r->expected_sampled, 0.0);
+}
+
+TEST(SvsTest, UnbiasedInExpectation) {
+  // Claim 3: E[B^T B] = A^T A for any g. Monte-Carlo check at p = 0.5.
+  const Matrix a = GenerateGaussian(15, 4, 1.0, 5);
+  const Matrix target = Gram(a);
+  KeepP g(0.5);
+  Matrix mean(4, 4);
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    auto r = Svs(a, g, 10000 + t);
+    ASSERT_TRUE(r.ok());
+    if (r->sketch.rows() > 0) mean = Add(mean, Gram(r->sketch));
+  }
+  mean.Scale(1.0 / trials);
+  EXPECT_TRUE(AlmostEqual(mean, target, 0.12 * FrobeniusNorm(target)));
+}
+
+TEST(SvsTest, SampledCountConcentratesAroundExpectation) {
+  const Matrix a = GenerateGaussian(40, 16, 1.0, 6);
+  KeepP g(0.25);
+  double total_sampled = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    auto r = Svs(a, g, 20000 + t);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->expected_sampled, 4.0);
+    total_sampled += static_cast<double>(r->sampled);
+  }
+  EXPECT_NEAR(total_sampled / trials, 4.0, 0.5);
+}
+
+TEST(SvsTest, RowsAreScaledRightSingularVectors) {
+  // With p = 1, rows of the output are exactly the aggregated form.
+  const Matrix a = GenerateGaussian(12, 5, 1.0, 7);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  KeepAll g;
+  auto r = Svs(a, g, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AlmostEqual(r->sketch, svd->AggregatedForm(), 1e-9));
+}
+
+TEST(SvsTest, AggregatedFormPathSkipsSvd) {
+  const Matrix a = GenerateGaussian(18, 6, 1.0, 9);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  KeepP g(0.7);
+  auto direct = SvsOnAggregatedForm(svd->AggregatedForm(), g, 31);
+  auto via_svd = Svs(a, g, 31);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_svd.ok());
+  // Same seed, same candidates in the same order -> identical sketches.
+  EXPECT_EQ(direct->sampled, via_svd->sampled);
+  EXPECT_TRUE(AlmostEqual(direct->sketch, via_svd->sketch, 1e-9));
+}
+
+TEST(SvsTest, DeterministicPerSeed) {
+  const Matrix a = GenerateGaussian(10, 4, 1.0, 11);
+  KeepP g(0.5);
+  auto r1 = Svs(a, g, 77);
+  auto r2 = Svs(a, g, 77);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r1->sketch == r2->sketch);
+}
+
+// Theorem 6 end-to-end at a single "server": with the quadratic function
+// at alpha, coverr <= 4 alpha ||A||_F^2 w.h.p. and ||B||_F <= 2 ||A||_F.
+class SvsTheorem6Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvsTheorem6Test, ErrorAndNormBounds) {
+  const double alpha = GetParam();
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 80, .cols = 24, .alpha = 0.8, .seed = 13});
+  SamplingFunctionParams params;
+  params.num_servers = 1;
+  params.alpha = alpha;
+  params.total_frobenius = SquaredFrobeniusNorm(a);
+  params.dim = 24;
+  params.delta = 0.05;
+  const QuadraticSamplingFunction g(params);
+  int error_ok = 0, norm_ok = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto r = Svs(a, g, 40000 + t);
+    ASSERT_TRUE(r.ok());
+    if (CovarianceError(a, r->sketch) <=
+        4.0 * alpha * params.total_frobenius) {
+      ++error_ok;
+    }
+    if (FrobeniusNorm(r->sketch) <= 2.0 * FrobeniusNorm(a)) ++norm_ok;
+  }
+  EXPECT_GE(error_ok, 9);
+  EXPECT_GE(norm_ok, 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SvsTheorem6Test,
+                         ::testing::Values(0.05, 0.1, 0.25));
+
+}  // namespace
+}  // namespace distsketch

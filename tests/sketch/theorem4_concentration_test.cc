@@ -1,0 +1,142 @@
+// Numerical verification of the building blocks of Theorem 4 (the Matrix
+// Bernstein analysis of SVS): Claims 3, 4, 5 and the resulting
+// concentration, checked by Monte Carlo over the actual sampling
+// procedure rather than re-deriving the algebra.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/spectral.h"
+#include "linalg/svd.h"
+#include "sketch/error_metrics.h"
+#include "sketch/svs.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+// Fixed sampling probability p, like the proofs use a generic g.
+class ConstG : public SamplingFunction {
+ public:
+  explicit ConstG(double p) : p_(p) {}
+  double Probability(double) const override { return p_; }
+  const char* Name() const override { return "const"; }
+
+ private:
+  double p_;
+};
+
+class Theorem4Test : public ::testing::TestWithParam<double> {};
+
+// Claim 3: E[B^T B] = A^T A, at the matrix level.
+TEST_P(Theorem4Test, Claim3Unbiasedness) {
+  const double p = GetParam();
+  const Matrix a = GenerateGaussian(20, 5, 1.0, 1);
+  const Matrix target = Gram(a);
+  const ConstG g(p);
+  Matrix mean(5, 5);
+  const int trials = 800;
+  for (int t = 0; t < trials; ++t) {
+    auto r = Svs(a, g, 5000 + t);
+    ASSERT_TRUE(r.ok());
+    if (r->sketch.rows() > 0) mean = Add(mean, Gram(r->sketch));
+  }
+  mean.Scale(1.0 / trials);
+  // Monte-Carlo noise scales like 1/sqrt(trials); allow a generous band.
+  EXPECT_TRUE(AlmostEqual(mean, target, 0.2 * FrobeniusNorm(target)))
+      << "p=" << p;
+}
+
+// Claim 4: lambda_max(B^T B - A^T A) <= max_j sigma_j^2 / g(sigma_j^2),
+// for every realization (an almost-sure bound, so check every trial).
+TEST_P(Theorem4Test, Claim4AlmostSureBound) {
+  const double p = GetParam();
+  const Matrix a = GenerateGaussian(15, 4, 1.0, 2);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const double sigma_max2 =
+      svd->singular_values[0] * svd->singular_values[0];
+  const double bound = sigma_max2 / p;
+  const ConstG g(p);
+  const Matrix gram_a = Gram(a);
+  for (int t = 0; t < 50; ++t) {
+    auto r = Svs(a, g, 6000 + t);
+    ASSERT_TRUE(r.ok());
+    const Matrix gram_b =
+        r->sketch.rows() > 0 ? Gram(r->sketch) : Matrix(4, 4);
+    // lambda_max of (B^T B - A^T A): bounded by the Claim 4 quantity.
+    auto eig = ComputeSymmetricEigen(Subtract(gram_b, gram_a));
+    ASSERT_TRUE(eig.ok());
+    EXPECT_LE(eig->eigenvalues[0], bound * (1.0 + 1e-9));
+  }
+}
+
+// Claim 5: || E[(B^T B - A^T A)^2] ||_2 = max_j sigma_j^4 (1-g)/g.
+TEST_P(Theorem4Test, Claim5VarianceFormula) {
+  const double p = GetParam();
+  const Matrix a = GenerateGaussian(18, 4, 1.0, 3);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  double expected = 0.0;
+  for (const double s : svd->singular_values) {
+    expected = std::max(expected, s * s * s * s * (1.0 - p) / p);
+  }
+  const ConstG g(p);
+  const Matrix gram_a = Gram(a);
+  Matrix second_moment(4, 4);
+  const int trials = 1500;
+  for (int t = 0; t < trials; ++t) {
+    auto r = Svs(a, g, 7000 + t);
+    ASSERT_TRUE(r.ok());
+    const Matrix diff = Subtract(
+        r->sketch.rows() > 0 ? Gram(r->sketch) : Matrix(4, 4), gram_a);
+    second_moment = Add(second_moment, Multiply(diff, diff));
+  }
+  second_moment.Scale(1.0 / trials);
+  const double measured = SymmetricSpectralNormExact(second_moment);
+  EXPECT_NEAR(measured, expected, 0.25 * expected) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, Theorem4Test,
+                         ::testing::Values(0.3, 0.5, 0.8));
+
+// The concentration itself: across servers, deviations behave like the
+// Bernstein tail — the observed error at the Theorem 6 operating point
+// stays below the analytic t with the predicted probability.
+TEST(Theorem4ConcentrationTest, DistributedDeviationsConcentrate) {
+  const size_t s = 8;
+  const double alpha = 0.15;
+  const Matrix a = GenerateZipfSpectrum(
+      {.rows = 400, .cols = 16, .alpha = 0.9, .seed = 4});
+  SamplingFunctionParams params;
+  params.num_servers = s;
+  params.alpha = alpha;
+  params.total_frobenius = SquaredFrobeniusNorm(a);
+  params.dim = 16;
+  params.delta = 0.1;
+  const QuadraticSamplingFunction g(params);
+
+  const size_t rows_per = a.rows() / s;
+  int within = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Matrix b(0, 16);
+    for (size_t i = 0; i < s; ++i) {
+      const Matrix local = a.RowRange(i * rows_per, (i + 1) * rows_per);
+      auto r = Svs(local, g, 9000 + 31 * t + i);
+      ASSERT_TRUE(r.ok());
+      b.AppendRows(r->sketch);
+    }
+    if (CovarianceError(a, b) <= 4.0 * alpha * params.total_frobenius) {
+      ++within;
+    }
+  }
+  // Theorem 6: failure probability <= delta = 0.1; allow 2 failures in 20.
+  EXPECT_GE(within, 18);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,166 @@
+#include "workload/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace distsketch {
+namespace {
+
+TEST(GeneratorsTest, LowRankPlusNoiseShapeAndSpectrum) {
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 60,
+                                             .cols = 20,
+                                             .rank = 4,
+                                             .decay = 0.5,
+                                             .top_singular_value = 50.0,
+                                             .noise_stddev = 0.0,
+                                             .seed = 1});
+  EXPECT_EQ(a.rows(), 60u);
+  EXPECT_EQ(a.cols(), 20u);
+  auto svals = SingularValues(a);
+  ASSERT_TRUE(svals.ok());
+  EXPECT_NEAR((*svals)[0], 50.0, 1e-6);
+  EXPECT_NEAR((*svals)[1], 25.0, 1e-6);
+  EXPECT_NEAR((*svals)[3], 6.25, 1e-6);
+  EXPECT_NEAR((*svals)[4], 0.0, 1e-6);
+}
+
+TEST(GeneratorsTest, NoiseRaisesTail) {
+  const Matrix clean = GenerateLowRankPlusNoise(
+      {.rows = 60, .cols = 20, .rank = 4, .noise_stddev = 0.0, .seed = 2});
+  const Matrix noisy = GenerateLowRankPlusNoise(
+      {.rows = 60, .cols = 20, .rank = 4, .noise_stddev = 0.5, .seed = 2});
+  auto sc = SingularValues(clean);
+  auto sn = SingularValues(noisy);
+  ASSERT_TRUE(sc.ok());
+  ASSERT_TRUE(sn.ok());
+  EXPECT_LT((*sc)[10], 1e-6);
+  EXPECT_GT((*sn)[10], 0.1);
+}
+
+TEST(GeneratorsTest, DeterministicForSeed) {
+  const Matrix a = GenerateLowRankPlusNoise({.seed = 7});
+  const Matrix b = GenerateLowRankPlusNoise({.seed = 7});
+  EXPECT_TRUE(a == b);
+  const Matrix c = GenerateLowRankPlusNoise({.seed = 8});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GeneratorsTest, ZipfSpectrumFollowsPowerLaw) {
+  const Matrix a = GenerateZipfSpectrum({.rows = 50,
+                                         .cols = 16,
+                                         .alpha = 1.0,
+                                         .top_singular_value = 32.0,
+                                         .seed = 3});
+  auto svals = SingularValues(a);
+  ASSERT_TRUE(svals.ok());
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR((*svals)[i], 32.0 / static_cast<double>(i + 1), 1e-6);
+  }
+}
+
+TEST(GeneratorsTest, SignMatrixEntriesAndMass) {
+  const Matrix a = GenerateSignMatrix(30, 10, 4);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a.data()[i] == 1.0 || a.data()[i] == -1.0);
+  }
+  // ||A||_F^2 = rows * cols exactly (the lower-bound instance property).
+  EXPECT_DOUBLE_EQ(SquaredFrobeniusNorm(a), 300.0);
+}
+
+TEST(GeneratorsTest, SparseDensity) {
+  const Matrix a = GenerateSparse(
+      {.rows = 200, .cols = 50, .density = 0.1, .seed = 5});
+  size_t nonzeros = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] != 0.0) ++nonzeros;
+  }
+  const double observed =
+      static_cast<double>(nonzeros) / static_cast<double>(a.size());
+  EXPECT_NEAR(observed, 0.1, 0.02);
+}
+
+TEST(GeneratorsTest, ClusteredDataHasLabelsAndVariance) {
+  const ClusteredData data = GenerateClusteredGaussian({.rows = 200,
+                                                        .cols = 12,
+                                                        .num_clusters = 3,
+                                                        .center_scale = 20.0,
+                                                        .within_stddev = 0.5,
+                                                        .seed = 6});
+  EXPECT_EQ(data.data.rows(), 200u);
+  EXPECT_EQ(data.labels.size(), 200u);
+  for (size_t l : data.labels) EXPECT_LT(l, 3u);
+  // Between-cluster variance dominates: top singular values well above
+  // the within-cluster scale.
+  auto svals = SingularValues(data.data);
+  ASSERT_TRUE(svals.ok());
+  EXPECT_GT((*svals)[0], 10.0 * (*svals)[5]);
+}
+
+TEST(GeneratorsTest, RandomOrthonormalIsOrthonormal) {
+  const Matrix q = RandomOrthonormal(8, 9);
+  EXPECT_TRUE(HasOrthonormalColumns(q, 1e-10));
+  EXPECT_EQ(q.rows(), 8u);
+  EXPECT_EQ(q.cols(), 8u);
+}
+
+TEST(GeneratorsTest, QuantizeToIntegersRoundsAndClamps) {
+  Matrix a{{1.4, -2.6, 100.0}};
+  QuantizeToIntegers(a, 10.0);
+  EXPECT_EQ(a(0, 0), 1.0);
+  EXPECT_EQ(a(0, 1), -3.0);
+  EXPECT_EQ(a(0, 2), 10.0);
+}
+
+TEST(GeneratorsTest, DocumentTermCountsAndShape) {
+  const Matrix docs = GenerateDocumentTerm({.docs = 200,
+                                            .vocab = 40,
+                                            .topics = 3,
+                                            .length = 60,
+                                            .zipf_alpha = 1.1,
+                                            .seed = 11});
+  EXPECT_EQ(docs.rows(), 200u);
+  EXPECT_EQ(docs.cols(), 40u);
+  // Entries are non-negative integers (word counts).
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_GE(docs.data()[i], 0.0);
+    EXPECT_EQ(docs.data()[i], std::floor(docs.data()[i]));
+  }
+  // Document lengths are in [length/2, 3*length/2].
+  for (size_t i = 0; i < docs.rows(); ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < docs.cols(); ++j) total += docs(i, j);
+    EXPECT_GE(total, 30.0);
+    EXPECT_LE(total, 90.0);
+  }
+}
+
+TEST(GeneratorsTest, DocumentTermHasLowEffectiveRank) {
+  // 3 topics => the spectrum concentrates in a few directions.
+  const Matrix docs = GenerateDocumentTerm({.docs = 300,
+                                            .vocab = 40,
+                                            .topics = 3,
+                                            .length = 80,
+                                            .seed = 12});
+  auto svals = SingularValues(docs);
+  ASSERT_TRUE(svals.ok());
+  double head = 0.0, total = 0.0;
+  for (size_t i = 0; i < svals->size(); ++i) {
+    const double e = (*svals)[i] * (*svals)[i];
+    if (i < 4) head += e;
+    total += e;
+  }
+  EXPECT_GT(head / total, 0.8);
+}
+
+TEST(GeneratorsTest, GaussianMomentsRoughlyCorrect) {
+  const Matrix a = GenerateGaussian(100, 100, 2.0, 10);
+  const double mean_sq = SquaredFrobeniusNorm(a) / 10000.0;
+  EXPECT_NEAR(mean_sq, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,91 @@
+#include "workload/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "workload/generators.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+namespace {
+
+class PartitionSchemeTest : public ::testing::TestWithParam<PartitionScheme> {
+};
+
+TEST_P(PartitionSchemeTest, ConservesRowsAndCovariance) {
+  const Matrix a = GenerateGaussian(53, 7, 1.0, 1);
+  const auto parts = PartitionRows(a, 5, GetParam(), /*seed=*/11);
+  ASSERT_EQ(parts.size(), 5u);
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.rows();
+    EXPECT_EQ(p.cols(), 7u);
+  }
+  EXPECT_EQ(total, 53u);
+  // Covariance is partition-invariant: sum of local Grams = global Gram.
+  Matrix sum(7, 7);
+  for (const auto& p : parts) {
+    if (p.rows() > 0) sum = Add(sum, Gram(p));
+  }
+  EXPECT_TRUE(AlmostEqual(sum, Gram(a), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PartitionSchemeTest,
+                         ::testing::Values(PartitionScheme::kRoundRobin,
+                                           PartitionScheme::kContiguous,
+                                           PartitionScheme::kSkewed,
+                                           PartitionScheme::kRandom));
+
+TEST(PartitionTest, ContiguousPreservesOrder) {
+  const Matrix a{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const auto parts = PartitionRows(a, 2, PartitionScheme::kContiguous);
+  EXPECT_EQ(parts[0](0, 0), 1.0);
+  EXPECT_EQ(parts[0](1, 0), 2.0);
+  EXPECT_EQ(parts[1](0, 0), 3.0);
+  const Matrix back = UnpartitionRows(parts);
+  EXPECT_TRUE(back == a);
+}
+
+TEST(PartitionTest, RoundRobinInterleaves) {
+  const Matrix a{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const auto parts = PartitionRows(a, 2, PartitionScheme::kRoundRobin);
+  EXPECT_EQ(parts[0](0, 0), 1.0);
+  EXPECT_EQ(parts[0](1, 0), 3.0);
+  EXPECT_EQ(parts[1](0, 0), 2.0);
+}
+
+TEST(PartitionTest, SkewedFirstServerLargest) {
+  const Matrix a = GenerateGaussian(64, 3, 1.0, 2);
+  const auto parts = PartitionRows(a, 4, PartitionScheme::kSkewed);
+  EXPECT_GE(parts[0].rows(), parts[1].rows());
+  EXPECT_GE(parts[1].rows(), parts[2].rows());
+}
+
+TEST(PartitionTest, MoreServersThanRows) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const auto parts = PartitionRows(a, 5, PartitionScheme::kContiguous);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.rows();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(RowStreamTest, SinglePassSemantics) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  RowStream stream(a);
+  EXPECT_EQ(stream.dim(), 2u);
+  EXPECT_EQ(stream.total(), 3u);
+  size_t count = 0;
+  double first = 0.0;
+  while (stream.HasNext()) {
+    auto row = stream.Next();
+    if (count == 0) first = row[0];
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(first, 1.0);
+  EXPECT_EQ(stream.consumed(), 3u);
+  EXPECT_FALSE(stream.HasNext());
+}
+
+}  // namespace
+}  // namespace distsketch
