@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_arbitrary_partition"
+  "../bench/bench_ext_arbitrary_partition.pdb"
+  "CMakeFiles/bench_ext_arbitrary_partition.dir/bench_ext_arbitrary_partition.cc.o"
+  "CMakeFiles/bench_ext_arbitrary_partition.dir/bench_ext_arbitrary_partition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_arbitrary_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_fast_fd"
+  "../bench/bench_ext_fast_fd.pdb"
+  "CMakeFiles/bench_ext_fast_fd.dir/bench_ext_fast_fd.cc.o"
+  "CMakeFiles/bench_ext_fast_fd.dir/bench_ext_fast_fd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fast_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

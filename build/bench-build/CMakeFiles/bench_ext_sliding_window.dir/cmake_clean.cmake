@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_sliding_window"
+  "../bench/bench_ext_sliding_window.pdb"
+  "CMakeFiles/bench_ext_sliding_window.dir/bench_ext_sliding_window.cc.o"
+  "CMakeFiles/bench_ext_sliding_window.dir/bench_ext_sliding_window.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sliding_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

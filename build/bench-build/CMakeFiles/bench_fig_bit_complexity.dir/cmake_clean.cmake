@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_bit_complexity"
+  "../bench/bench_fig_bit_complexity.pdb"
+  "CMakeFiles/bench_fig_bit_complexity.dir/bench_fig_bit_complexity.cc.o"
+  "CMakeFiles/bench_fig_bit_complexity.dir/bench_fig_bit_complexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_bit_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_sampling_functions"
+  "../bench/bench_fig_sampling_functions.pdb"
+  "CMakeFiles/bench_fig_sampling_functions.dir/bench_fig_sampling_functions.cc.o"
+  "CMakeFiles/bench_fig_sampling_functions.dir/bench_fig_sampling_functions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_sampling_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_sketch"
+  "../bench/bench_table1_sketch.pdb"
+  "CMakeFiles/bench_table1_sketch.dir/bench_table1_sketch.cc.o"
+  "CMakeFiles/bench_table1_sketch.dir/bench_table1_sketch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_pca"
+  "../bench/bench_table2_pca.pdb"
+  "CMakeFiles/bench_table2_pca.dir/bench_table2_pca.cc.o"
+  "CMakeFiles/bench_table2_pca.dir/bench_table2_pca.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_pca_demo.dir/distributed_pca_demo.cpp.o"
+  "CMakeFiles/distributed_pca_demo.dir/distributed_pca_demo.cpp.o.d"
+  "distributed_pca_demo"
+  "distributed_pca_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_pca_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridge_regression.dir/ridge_regression.cpp.o"
+  "CMakeFiles/ridge_regression.dir/ridge_regression.cpp.o.d"
+  "ridge_regression"
+  "ridge_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridge_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_telemetry.dir/streaming_telemetry.cpp.o"
+  "CMakeFiles/streaming_telemetry.dir/streaming_telemetry.cpp.o.d"
+  "streaming_telemetry"
+  "streaming_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_common.dir/cost_model.cc.o"
+  "CMakeFiles/ds_common.dir/cost_model.cc.o.d"
+  "CMakeFiles/ds_common.dir/rng.cc.o"
+  "CMakeFiles/ds_common.dir/rng.cc.o.d"
+  "CMakeFiles/ds_common.dir/status.cc.o"
+  "CMakeFiles/ds_common.dir/status.cc.o.d"
+  "libds_common.a"
+  "libds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/adaptive_sketch_protocol.cc" "src/dist/CMakeFiles/ds_dist.dir/adaptive_sketch_protocol.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/adaptive_sketch_protocol.cc.o.d"
+  "/root/repo/src/dist/additive_cluster.cc" "src/dist/CMakeFiles/ds_dist.dir/additive_cluster.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/additive_cluster.cc.o.d"
+  "/root/repo/src/dist/cluster.cc" "src/dist/CMakeFiles/ds_dist.dir/cluster.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/cluster.cc.o.d"
+  "/root/repo/src/dist/comm_log.cc" "src/dist/CMakeFiles/ds_dist.dir/comm_log.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/comm_log.cc.o.d"
+  "/root/repo/src/dist/exact_gram_protocol.cc" "src/dist/CMakeFiles/ds_dist.dir/exact_gram_protocol.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/exact_gram_protocol.cc.o.d"
+  "/root/repo/src/dist/fd_merge_protocol.cc" "src/dist/CMakeFiles/ds_dist.dir/fd_merge_protocol.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/fd_merge_protocol.cc.o.d"
+  "/root/repo/src/dist/low_rank_exact_protocol.cc" "src/dist/CMakeFiles/ds_dist.dir/low_rank_exact_protocol.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/low_rank_exact_protocol.cc.o.d"
+  "/root/repo/src/dist/protocol_planner.cc" "src/dist/CMakeFiles/ds_dist.dir/protocol_planner.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/protocol_planner.cc.o.d"
+  "/root/repo/src/dist/row_sampling_protocol.cc" "src/dist/CMakeFiles/ds_dist.dir/row_sampling_protocol.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/row_sampling_protocol.cc.o.d"
+  "/root/repo/src/dist/svs_protocol.cc" "src/dist/CMakeFiles/ds_dist.dir/svs_protocol.cc.o" "gcc" "src/dist/CMakeFiles/ds_dist.dir/svs_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sketch/CMakeFiles/ds_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ds_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

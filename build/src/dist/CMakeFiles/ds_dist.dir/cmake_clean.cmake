@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_dist.dir/adaptive_sketch_protocol.cc.o"
+  "CMakeFiles/ds_dist.dir/adaptive_sketch_protocol.cc.o.d"
+  "CMakeFiles/ds_dist.dir/additive_cluster.cc.o"
+  "CMakeFiles/ds_dist.dir/additive_cluster.cc.o.d"
+  "CMakeFiles/ds_dist.dir/cluster.cc.o"
+  "CMakeFiles/ds_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/ds_dist.dir/comm_log.cc.o"
+  "CMakeFiles/ds_dist.dir/comm_log.cc.o.d"
+  "CMakeFiles/ds_dist.dir/exact_gram_protocol.cc.o"
+  "CMakeFiles/ds_dist.dir/exact_gram_protocol.cc.o.d"
+  "CMakeFiles/ds_dist.dir/fd_merge_protocol.cc.o"
+  "CMakeFiles/ds_dist.dir/fd_merge_protocol.cc.o.d"
+  "CMakeFiles/ds_dist.dir/low_rank_exact_protocol.cc.o"
+  "CMakeFiles/ds_dist.dir/low_rank_exact_protocol.cc.o.d"
+  "CMakeFiles/ds_dist.dir/protocol_planner.cc.o"
+  "CMakeFiles/ds_dist.dir/protocol_planner.cc.o.d"
+  "CMakeFiles/ds_dist.dir/row_sampling_protocol.cc.o"
+  "CMakeFiles/ds_dist.dir/row_sampling_protocol.cc.o.d"
+  "CMakeFiles/ds_dist.dir/svs_protocol.cc.o"
+  "CMakeFiles/ds_dist.dir/svs_protocol.cc.o.d"
+  "libds_dist.a"
+  "libds_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

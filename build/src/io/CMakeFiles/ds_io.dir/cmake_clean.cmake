@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_io.dir/matrix_io.cc.o"
+  "CMakeFiles/ds_io.dir/matrix_io.cc.o.d"
+  "libds_io.a"
+  "libds_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

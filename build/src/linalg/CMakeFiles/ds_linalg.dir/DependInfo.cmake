@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cc" "src/linalg/CMakeFiles/ds_linalg.dir/blas.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/blas.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/ds_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/csr_matrix.cc" "src/linalg/CMakeFiles/ds_linalg.dir/csr_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/linalg/eigen_sym.cc" "src/linalg/CMakeFiles/ds_linalg.dir/eigen_sym.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/eigen_sym.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/ds_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/pinv.cc" "src/linalg/CMakeFiles/ds_linalg.dir/pinv.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/pinv.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/linalg/CMakeFiles/ds_linalg.dir/qr.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/qr.cc.o.d"
+  "/root/repo/src/linalg/randomized_svd.cc" "src/linalg/CMakeFiles/ds_linalg.dir/randomized_svd.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/randomized_svd.cc.o.d"
+  "/root/repo/src/linalg/row_basis.cc" "src/linalg/CMakeFiles/ds_linalg.dir/row_basis.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/row_basis.cc.o.d"
+  "/root/repo/src/linalg/spectral.cc" "src/linalg/CMakeFiles/ds_linalg.dir/spectral.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/spectral.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/linalg/CMakeFiles/ds_linalg.dir/svd.cc.o" "gcc" "src/linalg/CMakeFiles/ds_linalg.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

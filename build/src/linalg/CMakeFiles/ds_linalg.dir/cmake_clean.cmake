@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_linalg.dir/blas.cc.o"
+  "CMakeFiles/ds_linalg.dir/blas.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/ds_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/csr_matrix.cc.o"
+  "CMakeFiles/ds_linalg.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/eigen_sym.cc.o"
+  "CMakeFiles/ds_linalg.dir/eigen_sym.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/matrix.cc.o"
+  "CMakeFiles/ds_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/pinv.cc.o"
+  "CMakeFiles/ds_linalg.dir/pinv.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/qr.cc.o"
+  "CMakeFiles/ds_linalg.dir/qr.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/randomized_svd.cc.o"
+  "CMakeFiles/ds_linalg.dir/randomized_svd.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/row_basis.cc.o"
+  "CMakeFiles/ds_linalg.dir/row_basis.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/spectral.cc.o"
+  "CMakeFiles/ds_linalg.dir/spectral.cc.o.d"
+  "CMakeFiles/ds_linalg.dir/svd.cc.o"
+  "CMakeFiles/ds_linalg.dir/svd.cc.o.d"
+  "libds_linalg.a"
+  "libds_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_monitor.dir/continuous_tracking.cc.o"
+  "CMakeFiles/ds_monitor.dir/continuous_tracking.cc.o.d"
+  "libds_monitor.a"
+  "libds_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

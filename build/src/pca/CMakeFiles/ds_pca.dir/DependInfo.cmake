@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pca/distributed_power_iteration.cc" "src/pca/CMakeFiles/ds_pca.dir/distributed_power_iteration.cc.o" "gcc" "src/pca/CMakeFiles/ds_pca.dir/distributed_power_iteration.cc.o.d"
+  "/root/repo/src/pca/fd_pca.cc" "src/pca/CMakeFiles/ds_pca.dir/fd_pca.cc.o" "gcc" "src/pca/CMakeFiles/ds_pca.dir/fd_pca.cc.o.d"
+  "/root/repo/src/pca/pca_quality.cc" "src/pca/CMakeFiles/ds_pca.dir/pca_quality.cc.o" "gcc" "src/pca/CMakeFiles/ds_pca.dir/pca_quality.cc.o.d"
+  "/root/repo/src/pca/sketch_and_solve.cc" "src/pca/CMakeFiles/ds_pca.dir/sketch_and_solve.cc.o" "gcc" "src/pca/CMakeFiles/ds_pca.dir/sketch_and_solve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/ds_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ds_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ds_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_pca.dir/distributed_power_iteration.cc.o"
+  "CMakeFiles/ds_pca.dir/distributed_power_iteration.cc.o.d"
+  "CMakeFiles/ds_pca.dir/fd_pca.cc.o"
+  "CMakeFiles/ds_pca.dir/fd_pca.cc.o.d"
+  "CMakeFiles/ds_pca.dir/pca_quality.cc.o"
+  "CMakeFiles/ds_pca.dir/pca_quality.cc.o.d"
+  "CMakeFiles/ds_pca.dir/sketch_and_solve.cc.o"
+  "CMakeFiles/ds_pca.dir/sketch_and_solve.cc.o.d"
+  "libds_pca.a"
+  "libds_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

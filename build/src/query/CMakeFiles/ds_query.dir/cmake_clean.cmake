@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_query.dir/covariance_query.cc.o"
+  "CMakeFiles/ds_query.dir/covariance_query.cc.o.d"
+  "CMakeFiles/ds_query.dir/distributed_ridge.cc.o"
+  "CMakeFiles/ds_query.dir/distributed_ridge.cc.o.d"
+  "libds_query.a"
+  "libds_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/adaptive_sketch.cc" "src/sketch/CMakeFiles/ds_sketch.dir/adaptive_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/adaptive_sketch.cc.o.d"
+  "/root/repo/src/sketch/countsketch.cc" "src/sketch/CMakeFiles/ds_sketch.dir/countsketch.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/countsketch.cc.o.d"
+  "/root/repo/src/sketch/decomp.cc" "src/sketch/CMakeFiles/ds_sketch.dir/decomp.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/decomp.cc.o.d"
+  "/root/repo/src/sketch/error_metrics.cc" "src/sketch/CMakeFiles/ds_sketch.dir/error_metrics.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/error_metrics.cc.o.d"
+  "/root/repo/src/sketch/fast_frequent_directions.cc" "src/sketch/CMakeFiles/ds_sketch.dir/fast_frequent_directions.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/fast_frequent_directions.cc.o.d"
+  "/root/repo/src/sketch/frequent_directions.cc" "src/sketch/CMakeFiles/ds_sketch.dir/frequent_directions.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/frequent_directions.cc.o.d"
+  "/root/repo/src/sketch/quantizer.cc" "src/sketch/CMakeFiles/ds_sketch.dir/quantizer.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/quantizer.cc.o.d"
+  "/root/repo/src/sketch/row_sampling.cc" "src/sketch/CMakeFiles/ds_sketch.dir/row_sampling.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/row_sampling.cc.o.d"
+  "/root/repo/src/sketch/sampling_function.cc" "src/sketch/CMakeFiles/ds_sketch.dir/sampling_function.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/sampling_function.cc.o.d"
+  "/root/repo/src/sketch/sliding_window.cc" "src/sketch/CMakeFiles/ds_sketch.dir/sliding_window.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/sliding_window.cc.o.d"
+  "/root/repo/src/sketch/svs.cc" "src/sketch/CMakeFiles/ds_sketch.dir/svs.cc.o" "gcc" "src/sketch/CMakeFiles/ds_sketch.dir/svs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ds_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

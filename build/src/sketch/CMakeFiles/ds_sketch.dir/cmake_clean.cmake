@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sketch.dir/adaptive_sketch.cc.o"
+  "CMakeFiles/ds_sketch.dir/adaptive_sketch.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/countsketch.cc.o"
+  "CMakeFiles/ds_sketch.dir/countsketch.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/decomp.cc.o"
+  "CMakeFiles/ds_sketch.dir/decomp.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/error_metrics.cc.o"
+  "CMakeFiles/ds_sketch.dir/error_metrics.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/fast_frequent_directions.cc.o"
+  "CMakeFiles/ds_sketch.dir/fast_frequent_directions.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/frequent_directions.cc.o"
+  "CMakeFiles/ds_sketch.dir/frequent_directions.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/quantizer.cc.o"
+  "CMakeFiles/ds_sketch.dir/quantizer.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/row_sampling.cc.o"
+  "CMakeFiles/ds_sketch.dir/row_sampling.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/sampling_function.cc.o"
+  "CMakeFiles/ds_sketch.dir/sampling_function.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/sliding_window.cc.o"
+  "CMakeFiles/ds_sketch.dir/sliding_window.cc.o.d"
+  "CMakeFiles/ds_sketch.dir/svs.cc.o"
+  "CMakeFiles/ds_sketch.dir/svs.cc.o.d"
+  "libds_sketch.a"
+  "libds_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_workload.dir/generators.cc.o"
+  "CMakeFiles/ds_workload.dir/generators.cc.o.d"
+  "CMakeFiles/ds_workload.dir/partition.cc.o"
+  "CMakeFiles/ds_workload.dir/partition.cc.o.d"
+  "libds_workload.a"
+  "libds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

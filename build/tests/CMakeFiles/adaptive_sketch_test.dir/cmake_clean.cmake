@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_sketch_test.dir/sketch/adaptive_sketch_test.cc.o"
+  "CMakeFiles/adaptive_sketch_test.dir/sketch/adaptive_sketch_test.cc.o.d"
+  "adaptive_sketch_test"
+  "adaptive_sketch_test.pdb"
+  "adaptive_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

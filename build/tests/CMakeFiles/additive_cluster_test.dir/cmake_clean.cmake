@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additive_cluster_test.dir/dist/additive_cluster_test.cc.o"
+  "CMakeFiles/additive_cluster_test.dir/dist/additive_cluster_test.cc.o.d"
+  "additive_cluster_test"
+  "additive_cluster_test.pdb"
+  "additive_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additive_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_log_test.dir/dist/comm_log_test.cc.o"
+  "CMakeFiles/comm_log_test.dir/dist/comm_log_test.cc.o.d"
+  "comm_log_test"
+  "comm_log_test.pdb"
+  "comm_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

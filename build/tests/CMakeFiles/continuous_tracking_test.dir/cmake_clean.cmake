@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_tracking_test.dir/monitor/continuous_tracking_test.cc.o"
+  "CMakeFiles/continuous_tracking_test.dir/monitor/continuous_tracking_test.cc.o.d"
+  "continuous_tracking_test"
+  "continuous_tracking_test.pdb"
+  "continuous_tracking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_tracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countsketch_test.dir/sketch/countsketch_test.cc.o"
+  "CMakeFiles/countsketch_test.dir/sketch/countsketch_test.cc.o.d"
+  "countsketch_test"
+  "countsketch_test.pdb"
+  "countsketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countsketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covariance_query_test.dir/query/covariance_query_test.cc.o"
+  "CMakeFiles/covariance_query_test.dir/query/covariance_query_test.cc.o.d"
+  "covariance_query_test"
+  "covariance_query_test.pdb"
+  "covariance_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covariance_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_ridge_test.dir/query/distributed_ridge_test.cc.o"
+  "CMakeFiles/distributed_ridge_test.dir/query/distributed_ridge_test.cc.o.d"
+  "distributed_ridge_test"
+  "distributed_ridge_test.pdb"
+  "distributed_ridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_ridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

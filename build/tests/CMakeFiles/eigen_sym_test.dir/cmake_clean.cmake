@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_sym_test.dir/linalg/eigen_sym_test.cc.o"
+  "CMakeFiles/eigen_sym_test.dir/linalg/eigen_sym_test.cc.o.d"
+  "eigen_sym_test"
+  "eigen_sym_test.pdb"
+  "eigen_sym_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_sym_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_metrics_test.dir/sketch/error_metrics_test.cc.o"
+  "CMakeFiles/error_metrics_test.dir/sketch/error_metrics_test.cc.o.d"
+  "error_metrics_test"
+  "error_metrics_test.pdb"
+  "error_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

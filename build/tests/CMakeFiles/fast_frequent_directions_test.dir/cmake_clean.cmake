@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_frequent_directions_test.dir/sketch/fast_frequent_directions_test.cc.o"
+  "CMakeFiles/fast_frequent_directions_test.dir/sketch/fast_frequent_directions_test.cc.o.d"
+  "fast_frequent_directions_test"
+  "fast_frequent_directions_test.pdb"
+  "fast_frequent_directions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_frequent_directions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

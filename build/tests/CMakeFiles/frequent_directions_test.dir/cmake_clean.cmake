@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequent_directions_test.dir/sketch/frequent_directions_test.cc.o"
+  "CMakeFiles/frequent_directions_test.dir/sketch/frequent_directions_test.cc.o.d"
+  "frequent_directions_test"
+  "frequent_directions_test.pdb"
+  "frequent_directions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequent_directions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

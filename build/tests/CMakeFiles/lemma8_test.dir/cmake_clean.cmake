@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma8_test.dir/pca/lemma8_test.cc.o"
+  "CMakeFiles/lemma8_test.dir/pca/lemma8_test.cc.o.d"
+  "lemma8_test"
+  "lemma8_test.pdb"
+  "lemma8_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_rank_exact_test.dir/dist/low_rank_exact_test.cc.o"
+  "CMakeFiles/low_rank_exact_test.dir/dist/low_rank_exact_test.cc.o.d"
+  "low_rank_exact_test"
+  "low_rank_exact_test.pdb"
+  "low_rank_exact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_rank_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerical_stability_test.dir/linalg/numerical_stability_test.cc.o"
+  "CMakeFiles/numerical_stability_test.dir/linalg/numerical_stability_test.cc.o.d"
+  "numerical_stability_test"
+  "numerical_stability_test.pdb"
+  "numerical_stability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerical_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

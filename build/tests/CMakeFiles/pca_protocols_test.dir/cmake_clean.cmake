@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_protocols_test.dir/pca/pca_protocols_test.cc.o"
+  "CMakeFiles/pca_protocols_test.dir/pca/pca_protocols_test.cc.o.d"
+  "pca_protocols_test"
+  "pca_protocols_test.pdb"
+  "pca_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_quality_test.dir/pca/pca_quality_test.cc.o"
+  "CMakeFiles/pca_quality_test.dir/pca/pca_quality_test.cc.o.d"
+  "pca_quality_test"
+  "pca_quality_test.pdb"
+  "pca_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinv_test.dir/linalg/pinv_test.cc.o"
+  "CMakeFiles/pinv_test.dir/linalg/pinv_test.cc.o.d"
+  "pinv_test"
+  "pinv_test.pdb"
+  "pinv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

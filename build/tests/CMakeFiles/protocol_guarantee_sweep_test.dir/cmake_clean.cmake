@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_guarantee_sweep_test.dir/dist/protocol_guarantee_sweep_test.cc.o"
+  "CMakeFiles/protocol_guarantee_sweep_test.dir/dist/protocol_guarantee_sweep_test.cc.o.d"
+  "protocol_guarantee_sweep_test"
+  "protocol_guarantee_sweep_test.pdb"
+  "protocol_guarantee_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_guarantee_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_planner_test.dir/dist/protocol_planner_test.cc.o"
+  "CMakeFiles/protocol_planner_test.dir/dist/protocol_planner_test.cc.o.d"
+  "protocol_planner_test"
+  "protocol_planner_test.pdb"
+  "protocol_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/rng_test.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/rng_test.dir/common/rng_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pca/CMakeFiles/ds_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ds_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ds_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/ds_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ds_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ds_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ds_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_basis_test.dir/linalg/row_basis_test.cc.o"
+  "CMakeFiles/row_basis_test.dir/linalg/row_basis_test.cc.o.d"
+  "row_basis_test"
+  "row_basis_test.pdb"
+  "row_basis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_basis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

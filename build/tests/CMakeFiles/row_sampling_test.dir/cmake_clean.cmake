@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_sampling_test.dir/sketch/row_sampling_test.cc.o"
+  "CMakeFiles/row_sampling_test.dir/sketch/row_sampling_test.cc.o.d"
+  "row_sampling_test"
+  "row_sampling_test.pdb"
+  "row_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

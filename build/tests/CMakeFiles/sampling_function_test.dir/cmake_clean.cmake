@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_function_test.dir/sketch/sampling_function_test.cc.o"
+  "CMakeFiles/sampling_function_test.dir/sketch/sampling_function_test.cc.o.d"
+  "sampling_function_test"
+  "sampling_function_test.pdb"
+  "sampling_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

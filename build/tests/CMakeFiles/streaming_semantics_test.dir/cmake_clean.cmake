@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_semantics_test.dir/dist/streaming_semantics_test.cc.o"
+  "CMakeFiles/streaming_semantics_test.dir/dist/streaming_semantics_test.cc.o.d"
+  "streaming_semantics_test"
+  "streaming_semantics_test.pdb"
+  "streaming_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svs_test.dir/sketch/svs_test.cc.o"
+  "CMakeFiles/svs_test.dir/sketch/svs_test.cc.o.d"
+  "svs_test"
+  "svs_test.pdb"
+  "svs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

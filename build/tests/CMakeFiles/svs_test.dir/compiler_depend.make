@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for svs_test.
+# This may be replaced when dependencies are built.

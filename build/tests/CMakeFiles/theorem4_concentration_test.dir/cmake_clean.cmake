@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem4_concentration_test.dir/sketch/theorem4_concentration_test.cc.o"
+  "CMakeFiles/theorem4_concentration_test.dir/sketch/theorem4_concentration_test.cc.o.d"
+  "theorem4_concentration_test"
+  "theorem4_concentration_test.pdb"
+  "theorem4_concentration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem4_concentration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
