@@ -1,0 +1,41 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace distsketch {
+
+double BackoffPolicy::DelayForRetry(int retry) const {
+  DS_CHECK(retry >= 1);
+  const double raw =
+      base_delay * std::pow(multiplier, static_cast<double>(retry - 1));
+  return std::min(max_delay, raw);
+}
+
+double BackoffPolicy::DelayForRetry(int retry, Rng& rng) const {
+  const double delay = DelayForRetry(retry);
+  if (jitter <= 0.0) return delay;
+  return delay * (1.0 - jitter + 2.0 * jitter * rng.NextDouble());
+}
+
+Status ValidateBackoffPolicy(const BackoffPolicy& policy) {
+  if (policy.base_delay <= 0.0) {
+    return Status::InvalidArgument("BackoffPolicy: base_delay must be > 0");
+  }
+  if (policy.multiplier < 1.0) {
+    return Status::InvalidArgument("BackoffPolicy: multiplier must be >= 1");
+  }
+  if (policy.max_delay < policy.base_delay) {
+    return Status::InvalidArgument(
+        "BackoffPolicy: max_delay must be >= base_delay");
+  }
+  if (policy.jitter < 0.0 || policy.jitter >= 1.0) {
+    return Status::InvalidArgument("BackoffPolicy: jitter must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace distsketch

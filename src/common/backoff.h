@@ -1,0 +1,40 @@
+#ifndef DISTSKETCH_COMMON_BACKOFF_H_
+#define DISTSKETCH_COMMON_BACKOFF_H_
+
+#include "common/status.h"
+
+namespace distsketch {
+
+class Rng;
+
+/// Retry schedule for unreliable transfers: capped exponential backoff
+/// with optional multiplicative jitter. Delays are in *virtual* time
+/// units (the fault simulation runs on a SimClock, not wall clock), so
+/// the schedule is fully deterministic given the caller's seeded Rng.
+struct BackoffPolicy {
+  /// Delay before the first retry.
+  double base_delay = 1.0;
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+  /// Ceiling on any single delay.
+  double max_delay = 64.0;
+  /// Jitter fraction in [0, 1): the delay is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter] (mean-preserving).
+  double jitter = 0.0;
+
+  /// Deterministic delay before retry number `retry` (1-based):
+  /// min(max_delay, base_delay * multiplier^(retry-1)), no jitter.
+  double DelayForRetry(int retry) const;
+
+  /// Jittered delay; consumes one uniform draw iff jitter > 0, so a
+  /// jitter-free policy leaves the RNG stream untouched.
+  double DelayForRetry(int retry, Rng& rng) const;
+};
+
+/// Rejects non-positive base delays, multipliers < 1, max_delay <
+/// base_delay, or jitter outside [0, 1).
+Status ValidateBackoffPolicy(const BackoffPolicy& policy);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_COMMON_BACKOFF_H_

@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NumericalError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ enum class StatusCode : uint8_t {
   kInternal = 5,
   kNumericalError = 6,
   kUnimplemented = 7,
+  kUnavailable = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -63,6 +65,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "linalg/blas.h"
 #include "sketch/adaptive_sketch.h"
 #include "sketch/quantizer.h"
 #include "workload/row_stream.h"
@@ -15,6 +16,8 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
+  const bool ft = cluster.fault_mode();
+  SketchProtocolResult result;
 
   // Pass: stream local rows through FD; then split head/tail.
   std::vector<AdaptiveLocalSketch> locals;
@@ -29,39 +32,71 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
     locals.push_back(std::move(local));
   }
 
-  // Round 1: tail masses.
+  // Round 1: tail masses (fault-tolerant runs prepend the 1-word full
+  // Frobenius mass report that funds honest bound widening on loss).
   log.BeginRound();
   double global_tail_mass = 0.0;
+  std::vector<double> masses(s, 0.0);
+  std::vector<bool> active(s, false);
   for (size_t i = 0; i < s; ++i) {
-    global_tail_mass += locals[i].FinishAndReportTailMass();
-    log.Record(static_cast<int>(i), kCoordinator, "tail_mass", 1);
+    const int id = static_cast<int>(i);
+    bool mass_reported = false;
+    if (ft) {
+      masses[i] = SquaredFrobeniusNorm(cluster.server(i).local_rows());
+      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+        result.degraded.RecordLoss(id, masses[i], false);
+        continue;
+      }
+      mass_reported = true;
+    }
+    const double tail = locals[i].FinishAndReportTailMass();
+    if (cluster.Send(id, kCoordinator, "tail_mass", 1).delivered) {
+      active[i] = true;
+      global_tail_mass += tail;
+    } else {
+      result.degraded.RecordLoss(id, masses[i], mass_reported);
+    }
   }
 
   // Round 2: broadcast the global tail mass (fixes g everywhere).
   log.BeginRound();
-  log.RecordBroadcast(s, "global_tail_mass", 1);
+  for (size_t i = 0; i < s; ++i) {
+    if (!active[i]) continue;
+    if (!cluster.Send(kCoordinator, static_cast<int>(i), "global_tail_mass",
+                      1)
+             .delivered) {
+      active[i] = false;
+      result.degraded.RecordLoss(static_cast<int>(i), masses[i], ft);
+    }
+  }
 
   // Round 3: local Q^(i) = [T^(i); W^(i)] to the coordinator.
   log.BeginRound();
-  SketchProtocolResult result;
   result.sketch.SetZero(0, d);
   for (size_t i = 0; i < s; ++i) {
+    if (!active[i]) continue;
+    const int id = static_cast<int>(i);
     DS_ASSIGN_OR_RETURN(Matrix q_i,
                         locals[i].CompressWithGlobalTailMass(
                             global_tail_mass, s, options_.delta,
                             options_.kind));
     if (q_i.rows() == 0) continue;
+    SendOutcome sent;
     if (options_.quantize) {
       const double precision =
           SketchRoundingPrecision(cluster.total_rows(), d, options_.eps);
       DS_ASSIGN_OR_RETURN(QuantizeResult qr, QuantizeMatrix(q_i, precision));
-      log.Record(static_cast<int>(i), kCoordinator, "local_q_sketch_q",
-                 cluster.cost_model().BitsToWords(qr.total_bits),
-                 qr.total_bits);
+      sent = cluster.Send(id, kCoordinator, "local_q_sketch_q",
+                          cluster.cost_model().BitsToWords(qr.total_bits),
+                          qr.total_bits);
       q_i = std::move(qr.matrix);
     } else {
-      log.Record(static_cast<int>(i), kCoordinator, "local_q_sketch",
-                 cluster.cost_model().MatrixWords(q_i.rows(), d));
+      sent = cluster.Send(id, kCoordinator, "local_q_sketch",
+                          cluster.cost_model().MatrixWords(q_i.rows(), d));
+    }
+    if (!sent.delivered) {
+      result.degraded.RecordLoss(id, masses[i], ft);
+      continue;
     }
     result.sketch.AppendRows(q_i);
   }

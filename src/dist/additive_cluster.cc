@@ -33,6 +33,19 @@ StatusOr<AdditiveCluster> AdditiveCluster::Create(std::vector<Matrix> shares,
   return AdditiveCluster(std::move(shares), rows, dim, cost_model);
 }
 
+SendOutcome AdditiveCluster::Send(int from, int to, std::string tag,
+                                  uint64_t words, uint64_t bits) {
+  if (faults_) {
+    return faults_->Send(log_, from, to, std::move(tag), words, bits);
+  }
+  log_.Record(from, to, std::move(tag), words, bits);
+  SendOutcome out;
+  out.delivered = true;
+  out.attempts = 1;
+  out.wire_words = words;
+  return out;
+}
+
 Matrix AdditiveCluster::AssembleGroundTruth() const {
   Matrix sum(rows_, dim_);
   for (const auto& share : shares_) sum = Add(sum, share);
@@ -66,9 +79,18 @@ StatusOr<AdditiveSketchResult> RunAdditiveCountSketch(
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
 
-  // Round 1: the shared seed.
+  // Round 1: the shared seed. A server that never receives it cannot
+  // contribute, and in the additive model a missing share is fatal (the
+  // cross terms of A^T A are unbounded by any local quantity).
   log.BeginRound();
-  log.RecordBroadcast(s, "countsketch_seed", 1);
+  for (size_t i = 0; i < s; ++i) {
+    if (!cluster.Send(kCoordinator, static_cast<int>(i), "countsketch_seed", 1)
+             .delivered) {
+      return Status::Unavailable(
+          "RunAdditiveCountSketch: share " + std::to_string(i) +
+          " permanently lost; the additive sum is unrecoverable");
+    }
+  }
 
   // Round 2: each server compresses its share with the SAME S and sends
   // the m-by-d result; the coordinator sums (linearity of S).
@@ -85,8 +107,13 @@ StatusOr<AdditiveSketchResult> RunAdditiveCountSketch(
     for (size_t r = 0; r < share.rows(); ++r) {
       local.Absorb(r, share.Row(r));
     }
-    log.Record(static_cast<int>(i), kCoordinator, "compressed_share",
-               cluster.cost_model().MatrixWords(m, d));
+    if (!cluster.Send(static_cast<int>(i), kCoordinator, "compressed_share",
+                      cluster.cost_model().MatrixWords(m, d))
+             .delivered) {
+      return Status::Unavailable(
+          "RunAdditiveCountSketch: share " + std::to_string(i) +
+          " permanently lost; the additive sum is unrecoverable");
+    }
     total = Add(total, local.compressed());
   }
 
@@ -105,8 +132,13 @@ StatusOr<AdditiveSketchResult> RunAdditiveExact(AdditiveCluster& cluster) {
 
   Matrix sum(cluster.rows(), d);
   for (size_t i = 0; i < s; ++i) {
-    log.Record(static_cast<int>(i), kCoordinator, "raw_share",
-               cluster.cost_model().MatrixWords(cluster.rows(), d));
+    if (!cluster.Send(static_cast<int>(i), kCoordinator, "raw_share",
+                      cluster.cost_model().MatrixWords(cluster.rows(), d))
+             .delivered) {
+      return Status::Unavailable(
+          "RunAdditiveExact: share " + std::to_string(i) +
+          " permanently lost; the additive sum is unrecoverable");
+    }
     sum = Add(sum, cluster.share(i));
   }
   DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,

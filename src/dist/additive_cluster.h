@@ -2,11 +2,15 @@
 #define DISTSKETCH_DIST_ADDITIVE_CLUSTER_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cost_model.h"
 #include "common/status.h"
 #include "dist/comm_log.h"
+#include "dist/fault_injection.h"
 #include "linalg/matrix.h"
 
 namespace distsketch {
@@ -32,7 +36,29 @@ class AdditiveCluster {
 
   CommLog& log() { return log_; }
   const CostModel& cost_model() const { return cost_model_; }
-  void ResetLog() { log_ = CommLog(cost_model_.bits_per_word()); }
+  void ResetLog() {
+    log_ = CommLog(cost_model_.bits_per_word());
+    if (faults_) faults_->Reset();
+  }
+
+  /// Fault simulation, mirroring Cluster (see fault_injection.h). Note
+  /// that in the arbitrary partition model a permanently lost share
+  /// makes the sum A unrecoverable — the additive protocols return
+  /// Unavailable instead of degrading, because no finite widening of the
+  /// error bound covers the missing cross terms.
+  void InstallFaultPlan(FaultConfig config) {
+    faults_.emplace(std::move(config));
+  }
+  void ClearFaultPlan() { faults_.reset(); }
+  bool fault_mode() const { return faults_ && faults_->config().CanFault(); }
+  FaultInjector* faults() { return faults_ ? &*faults_ : nullptr; }
+  const FaultInjector* faults() const { return faults_ ? &*faults_ : nullptr; }
+  bool ServerLost(int i) const { return faults_ && faults_->IsLost(i); }
+
+  /// Routes one logical transfer through the fault simulation (or
+  /// directly into the log when no plan is installed).
+  SendOutcome Send(int from, int to, std::string tag, uint64_t words,
+                   uint64_t bits = 0);
 
   /// The assembled A = sum_i A^(i) (test/bench oracle).
   Matrix AssembleGroundTruth() const;
@@ -51,6 +77,7 @@ class AdditiveCluster {
   size_t dim_;
   CostModel cost_model_;
   CommLog log_;
+  std::optional<FaultInjector> faults_;
 };
 
 /// Splits `a` into `s` random additive shares (s-1 i.i.d. Gaussian

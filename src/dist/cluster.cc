@@ -36,6 +36,19 @@ StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
   return Cluster(std::move(servers), dim, total_rows, cost_model);
 }
 
+SendOutcome Cluster::Send(int from, int to, std::string tag, uint64_t words,
+                          uint64_t bits) {
+  if (faults_) {
+    return faults_->Send(log_, from, to, std::move(tag), words, bits);
+  }
+  log_.Record(from, to, std::move(tag), words, bits);
+  SendOutcome out;
+  out.delivered = true;
+  out.attempts = 1;
+  out.wire_words = words;
+  return out;
+}
+
 Matrix Cluster::AssembleGroundTruth() const {
   Matrix out;
   out.SetZero(0, dim_);

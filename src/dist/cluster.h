@@ -2,11 +2,15 @@
 #define DISTSKETCH_DIST_CLUSTER_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cost_model.h"
 #include "common/status.h"
 #include "dist/comm_log.h"
+#include "dist/fault_injection.h"
 #include "linalg/matrix.h"
 #include "workload/row_stream.h"
 
@@ -60,8 +64,39 @@ class Cluster {
   const CostModel& cost_model() const { return cost_model_; }
 
   /// Resets the communication log (between protocol runs on the same
-  /// data).
-  void ResetLog() { log_ = CommLog(cost_model_.bits_per_word()); }
+  /// data). Also rewinds the fault simulation, if installed, so every
+  /// run replays the identical fault schedule.
+  void ResetLog() {
+    log_ = CommLog(cost_model_.bits_per_word());
+    if (faults_) faults_->Reset();
+  }
+
+  /// Installs a deterministic fault plan: every subsequent transfer runs
+  /// through the simulated faulty network (see fault_injection.h).
+  void InstallFaultPlan(FaultConfig config) {
+    faults_.emplace(std::move(config));
+  }
+  /// Removes the fault plan; transfers become ideal again.
+  void ClearFaultPlan() { faults_.reset(); }
+
+  /// True iff a plan is installed that can actually perturb a run.
+  /// Protocols consult this to decide whether to send the extra
+  /// mass-accounting messages of degraded mode, so an all-zero plan (or
+  /// none) reproduces the ideal-network wire format exactly.
+  bool fault_mode() const { return faults_ && faults_->config().CanFault(); }
+
+  FaultInjector* faults() { return faults_ ? &*faults_ : nullptr; }
+  const FaultInjector* faults() const { return faults_ ? &*faults_ : nullptr; }
+
+  /// True iff the fault simulation has declared server `i` lost.
+  bool ServerLost(int i) const { return faults_ && faults_->IsLost(i); }
+
+  /// Routes one logical transfer: through the fault simulation when a
+  /// plan is installed, directly into the log otherwise. Protocols must
+  /// use this (not log().Record) for every payload so faults and retry
+  /// accounting apply uniformly.
+  SendOutcome Send(int from, int to, std::string tag, uint64_t words,
+                   uint64_t bits = 0);
 
   /// Reassembles the full input [A^(1); ...; A^(s)] (test/bench oracle —
   /// a real coordinator never sees this).
@@ -81,6 +116,7 @@ class Cluster {
   size_t total_rows_;
   CostModel cost_model_;
   CommLog log_;
+  std::optional<FaultInjector> faults_;
 };
 
 }  // namespace distsketch

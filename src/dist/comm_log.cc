@@ -25,12 +25,24 @@ void CommLog::RecordBroadcast(size_t num_servers, std::string tag,
   }
 }
 
+void CommLog::RecordDetailed(MessageRecord rec) {
+  if (rec.bits == 0) rec.bits = rec.words * bits_per_word_;
+  rec.round = round_;
+  messages_.push_back(std::move(rec));
+}
+
 CommStats CommLog::Stats() const {
   CommStats s;
   for (const auto& m : messages_) {
     s.total_words += m.words;
     s.total_bits += m.bits;
     ++s.num_messages;
+    if (m.attempt == 0 && !m.duplicate) {
+      s.first_attempt_words += m.words;
+    } else {
+      s.retransmit_words += m.words;
+      ++s.num_retransmits;
+    }
   }
   s.num_rounds = round_;
   return s;

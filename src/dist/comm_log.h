@@ -22,14 +22,34 @@ struct MessageRecord {
   uint64_t bits = 0;
   /// Communication round the message belongs to.
   int round = 0;
+  /// Wire attempt index of the logical message this record meters:
+  /// 0 = first attempt, >0 = retransmit after an injected fault.
+  int attempt = 0;
+  /// True if the payload was cut short on the wire (words below the
+  /// full payload size; the receiver discards and NAKs).
+  bool truncated = false;
+  /// True for a network-duplicated copy of an already delivered message.
+  bool duplicate = false;
+  /// Virtual send time (0 when no fault simulation is installed).
+  double time = 0.0;
 };
 
-/// Aggregate communication statistics for one protocol run.
+/// Aggregate communication statistics for one protocol run. Under fault
+/// injection the invariant first_attempt_words + retransmit_words ==
+/// total_words holds exactly (every metered word is one or the other);
+/// without faults retransmit_words is 0.
 struct CommStats {
   uint64_t total_words = 0;
   uint64_t total_bits = 0;
   uint64_t num_messages = 0;
   int num_rounds = 0;
+  /// Words metered by the first wire attempt of each logical message.
+  uint64_t first_attempt_words = 0;
+  /// Words metered by retries after drops/truncations/timeouts plus
+  /// network-duplicated deliveries.
+  uint64_t retransmit_words = 0;
+  /// Number of metered records that were retransmits or duplicates.
+  uint64_t num_retransmits = 0;
 };
 
 /// Meters every transfer of a protocol run (the quantity the paper
@@ -54,6 +74,11 @@ class CommLog {
   /// point-to-point copies of the payload).
   void RecordBroadcast(size_t num_servers, std::string tag, uint64_t words,
                        uint64_t bits = 0);
+
+  /// Meters a fully specified record (fault simulation path: attempt,
+  /// truncation/duplication flags and virtual time are caller-set; the
+  /// round stamp and default bits are filled in here).
+  void RecordDetailed(MessageRecord rec);
 
   /// Aggregate stats so far.
   CommStats Stats() const;

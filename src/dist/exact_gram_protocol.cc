@@ -12,23 +12,38 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
+  const bool ft = cluster.fault_mode();
   log.BeginRound();
 
+  SketchProtocolResult result;
   Matrix total_gram(d, d);
   for (size_t i = 0; i < s; ++i) {
+    const int id = static_cast<int>(i);
     const Matrix& local = cluster.server(i).local_rows();
+    double local_mass = 0.0;
+    bool mass_reported = false;
+    if (ft) {
+      local_mass = SquaredFrobeniusNorm(local);
+      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+        result.degraded.RecordLoss(id, local_mass, false);
+        continue;
+      }
+      mass_reported = true;
+    }
     const Matrix gram =
         local.rows() > 0 ? Gram(local) : Matrix(d, d);
     // Symmetric payload: upper triangle only.
-    log.Record(static_cast<int>(i), kCoordinator, "local_gram",
-               d * (d + 1) / 2);
+    if (!cluster.Send(id, kCoordinator, "local_gram", d * (d + 1) / 2)
+             .delivered) {
+      result.degraded.RecordLoss(id, local_mass, mass_reported);
+      continue;
+    }
     total_gram = Add(total_gram, gram);
   }
 
   // Coordinator: B = sqrt(Lambda) V^T from the eigendecomposition.
   DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
                       ComputeSymmetricEigen(total_gram));
-  SketchProtocolResult result;
   result.sketch.SetZero(0, d);
   std::vector<double> row(d);
   for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {

@@ -1,0 +1,241 @@
+#include "dist/fault_injection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace distsketch {
+
+bool ServerFaultProfile::CanFault() const {
+  return drop_prob > 0.0 || duplicate_prob > 0.0 || truncate_prob > 0.0 ||
+         transient_fail_prob > 0.0 || die_at_time != kNeverDies;
+}
+
+const ServerFaultProfile& FaultConfig::ProfileFor(int server) const {
+  auto it = per_server.find(server);
+  return it == per_server.end() ? default_profile : it->second;
+}
+
+bool FaultConfig::CanFault() const {
+  if (default_profile.CanFault()) return true;
+  for (const auto& [id, profile] : per_server) {
+    if (profile.CanFault()) return true;
+  }
+  return false;
+}
+
+std::string_view FaultEventKindToString(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kDelivered:
+      return "delivered";
+    case FaultEventKind::kDropped:
+      return "dropped";
+    case FaultEventKind::kTruncated:
+      return "truncated";
+    case FaultEventKind::kDuplicated:
+      return "duplicated";
+    case FaultEventKind::kStalled:
+      return "stalled";
+    case FaultEventKind::kDead:
+      return "dead";
+    case FaultEventKind::kBackoff:
+      return "backoff";
+    case FaultEventKind::kGaveUp:
+      return "gave_up";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  DS_CHECK(config_.max_retries >= 0);
+  DS_CHECK(config_.timeout >= 0.0);
+}
+
+void FaultInjector::Reset() {
+  clock_.Reset();
+  rng_ = Rng(config_.seed);
+  events_.clear();
+  lost_.clear();
+}
+
+bool FaultInjector::IsLost(int server) const {
+  return std::find(lost_.begin(), lost_.end(), server) != lost_.end();
+}
+
+void FaultInjector::AddEvent(FaultEventKind kind, int from, int to,
+                             std::string_view tag, int attempt,
+                             uint64_t words) {
+  FaultEvent e;
+  e.time = clock_.Now();
+  e.kind = kind;
+  e.from = from;
+  e.to = to;
+  e.tag = std::string(tag);
+  e.attempt = attempt;
+  e.words = words;
+  events_.push_back(std::move(e));
+}
+
+void FaultInjector::MeterAttempt(CommLog& log, int from, int to,
+                                 std::string_view tag, uint64_t words,
+                                 uint64_t bits, int attempt, bool truncated,
+                                 bool duplicate) {
+  MessageRecord rec;
+  rec.from = from;
+  rec.to = to;
+  rec.tag = std::string(tag);
+  rec.words = words;
+  rec.bits = bits;
+  rec.attempt = attempt;
+  rec.truncated = truncated;
+  rec.duplicate = duplicate;
+  rec.time = clock_.Now();
+  log.RecordDetailed(std::move(rec));
+}
+
+SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
+                                std::string tag, uint64_t words,
+                                uint64_t bits) {
+  SendOutcome out;
+  // The fault domain is the server endpoint of the channel; the
+  // coordinator itself never fails in the paper's model.
+  const int server = (from == kCoordinator) ? to : from;
+  if (IsLost(server)) {
+    out.server_lost = true;
+    return out;
+  }
+  const ServerFaultProfile& profile = config_.ProfileFor(server);
+
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      const double delay = config_.backoff.DelayForRetry(attempt, rng_);
+      clock_.Advance(delay);
+      AddEvent(FaultEventKind::kBackoff, from, to, tag, attempt, 0);
+    }
+    ++out.attempts;
+
+    if (clock_.Expired(profile.die_at_time)) {
+      // Dead peer: the attempt reaches nothing; the sender only learns
+      // by timing out. Dead servers never recover, so stop retrying.
+      AddEvent(FaultEventKind::kDead, from, to, tag, attempt, 0);
+      clock_.Advance(config_.timeout);
+      break;
+    }
+    if (rng_.NextBernoulli(profile.transient_fail_prob)) {
+      // Stall: nothing reaches the wire; the peer burns the timeout.
+      AddEvent(FaultEventKind::kStalled, from, to, tag, attempt, 0);
+      clock_.Advance(config_.timeout);
+      continue;
+    }
+    if (rng_.NextBernoulli(profile.drop_prob)) {
+      // Whole payload lost in flight: the words crossed the wire and are
+      // metered, but never acked.
+      MeterAttempt(log, from, to, tag, words, bits, attempt,
+                   /*truncated=*/false, /*duplicate=*/false);
+      out.wire_words += words;
+      AddEvent(FaultEventKind::kDropped, from, to, tag, attempt, words);
+      clock_.Advance(config_.timeout);
+      continue;
+    }
+    if (words > 1 && rng_.NextBernoulli(profile.truncate_prob)) {
+      // Truncation: a strict prefix crosses the wire; the receiver
+      // detects the short payload and NAKs.
+      const uint64_t prefix = 1 + rng_.NextUint64Below(words - 1);
+      const uint64_t prefix_bits =
+          bits == 0 ? 0 : std::max<uint64_t>(1, bits * prefix / words);
+      MeterAttempt(log, from, to, tag, prefix, prefix_bits, attempt,
+                   /*truncated=*/true, /*duplicate=*/false);
+      out.wire_words += prefix;
+      AddEvent(FaultEventKind::kTruncated, from, to, tag, attempt, prefix);
+      clock_.Advance(profile.latency);
+      continue;
+    }
+
+    // Clean delivery.
+    double latency = profile.latency;
+    if (profile.latency_jitter > 0.0) {
+      latency *= 1.0 + profile.latency_jitter * rng_.NextDouble();
+    }
+    MeterAttempt(log, from, to, tag, words, bits, attempt,
+                 /*truncated=*/false, /*duplicate=*/false);
+    out.wire_words += words;
+    clock_.Advance(latency);
+    AddEvent(FaultEventKind::kDelivered, from, to, tag, attempt, words);
+    if (rng_.NextBernoulli(profile.duplicate_prob)) {
+      // The network delivers a second copy; the receiver deduplicates,
+      // so only the accounting sees it.
+      MeterAttempt(log, from, to, tag, words, bits, attempt,
+                   /*truncated=*/false, /*duplicate=*/true);
+      out.wire_words += words;
+      AddEvent(FaultEventKind::kDuplicated, from, to, tag, attempt, words);
+    }
+    out.delivered = true;
+    return out;
+  }
+
+  AddEvent(FaultEventKind::kGaveUp, from, to, tag, out.attempts - 1, 0);
+  lost_.push_back(server);
+  out.server_lost = true;
+  return out;
+}
+
+namespace {
+
+inline void FnvMix(uint64_t& h, uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+inline void FnvMixString(uint64_t& h, const std::string& s) {
+  FnvMix(h, s.size());
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t out;
+  static_assert(sizeof(out) == sizeof(d));
+  __builtin_memcpy(&out, &d, sizeof(out));
+  return out;
+}
+
+}  // namespace
+
+uint64_t TranscriptDigest(const CommLog& log, const FaultInjector* injector) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const MessageRecord& m : log.messages()) {
+    FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(m.from)));
+    FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(m.to)));
+    FnvMixString(h, m.tag);
+    FnvMix(h, m.words);
+    FnvMix(h, m.bits);
+    FnvMix(h, static_cast<uint64_t>(m.round));
+    FnvMix(h, static_cast<uint64_t>(m.attempt));
+    FnvMix(h, (m.truncated ? 2u : 0u) | (m.duplicate ? 1u : 0u));
+    FnvMix(h, DoubleBits(m.time));
+  }
+  if (injector != nullptr) {
+    for (const FaultEvent& e : injector->events()) {
+      FnvMix(h, DoubleBits(e.time));
+      FnvMix(h, static_cast<uint64_t>(e.kind));
+      FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(e.from)));
+      FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(e.to)));
+      FnvMixString(h, e.tag);
+      FnvMix(h, static_cast<uint64_t>(e.attempt));
+      FnvMix(h, e.words);
+    }
+    for (int id : injector->lost_servers()) {
+      FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(id)));
+    }
+  }
+  return h;
+}
+
+}  // namespace distsketch

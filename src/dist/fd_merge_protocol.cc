@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "linalg/blas.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/quantizer.h"
 #include "workload/row_stream.h"
@@ -22,32 +23,52 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
   const size_t d = cluster.dim();
   CommLog& log = cluster.log();
+  const bool ft = cluster.fault_mode();
   log.BeginRound();
 
+  SketchProtocolResult result;
   DS_ASSIGN_OR_RETURN(FrequentDirections merged, MakeFd(d, options_));
   for (size_t i = 0; i < cluster.num_servers(); ++i) {
+    const int id = static_cast<int>(i);
+    double local_mass = 0.0;
+    bool mass_reported = false;
+    if (ft) {
+      // Fault-tolerant runs prepend a 1-word mass report so the
+      // coordinator can widen its bound honestly if this server is lost.
+      local_mass = SquaredFrobeniusNorm(cluster.server(i).local_rows());
+      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+        result.degraded.RecordLoss(id, local_mass, false);
+        continue;
+      }
+      mass_reported = true;
+    }
+
     DS_ASSIGN_OR_RETURN(FrequentDirections local, MakeFd(d, options_));
     RowStream stream = cluster.server(i).OpenStream();
     while (stream.HasNext()) local.Append(stream.Next());
     Matrix sketch = local.Sketch();
 
+    SendOutcome sent;
     if (options_.quantize && sketch.rows() > 0) {
       const double precision = SketchRoundingPrecision(
           cluster.total_rows(), d, options_.eps);
       DS_ASSIGN_OR_RETURN(QuantizeResult q,
                           QuantizeMatrix(sketch, precision));
-      log.Record(static_cast<int>(i), kCoordinator, "local_sketch_q",
-                 cluster.cost_model().BitsToWords(q.total_bits),
-                 q.total_bits);
+      sent = cluster.Send(id, kCoordinator, "local_sketch_q",
+                          cluster.cost_model().BitsToWords(q.total_bits),
+                          q.total_bits);
       sketch = std::move(q.matrix);
     } else {
-      log.Record(static_cast<int>(i), kCoordinator, "local_sketch",
-                 cluster.cost_model().MatrixWords(sketch.rows(), d));
+      sent = cluster.Send(id, kCoordinator, "local_sketch",
+                          cluster.cost_model().MatrixWords(sketch.rows(), d));
+    }
+    if (!sent.delivered) {
+      result.degraded.RecordLoss(id, local_mass, mass_reported);
+      continue;
     }
     merged.AppendRows(sketch);
   }
 
-  SketchProtocolResult result;
   result.sketch = merged.Sketch();
   result.comm = log.Stats();
   result.sketch_rows = result.sketch.rows();

@@ -20,10 +20,23 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
   const size_t s = cluster.num_servers();
   const size_t max_rank = std::min(2 * options_.k, d);
   CommLog& log = cluster.log();
+  const bool ft = cluster.fault_mode();
   log.BeginRound();
 
+  SketchProtocolResult result;
   Matrix total_cov(d, d);
   for (size_t i = 0; i < s; ++i) {
+    const int id = static_cast<int>(i);
+    double local_mass = 0.0;
+    bool mass_reported = false;
+    if (ft) {
+      local_mass = SquaredFrobeniusNorm(cluster.server(i).local_rows());
+      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+        result.degraded.RecordLoss(id, local_mass, false);
+        continue;
+      }
+      mass_reported = true;
+    }
     // One pass: row basis Q, orthonormal side basis V, projected moment
     // Z = V (A^T A so far) V^T.
     RowBasisBuilder builder(d, max_rank);
@@ -67,11 +80,17 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
     const Matrix qvt = MultiplyTransposeB(q, builder.orthonormal_basis());
     const Matrix g = Multiply(Multiply(qvt, z), Transpose(qvt));
 
-    // Wire: the basis rows (original input entries) plus the m-by-m Gram.
-    log.Record(static_cast<int>(i), kCoordinator, "row_basis",
-               cluster.cost_model().MatrixWords(m, d));
-    log.Record(static_cast<int>(i), kCoordinator, "projected_gram",
-               cluster.cost_model().MatrixWords(m, m));
+    // Wire: the basis rows (original input entries) plus the m-by-m
+    // Gram. Both must arrive; losing either discards the contribution.
+    if (!cluster.Send(id, kCoordinator, "row_basis",
+                      cluster.cost_model().MatrixWords(m, d))
+             .delivered ||
+        !cluster.Send(id, kCoordinator, "projected_gram",
+                      cluster.cost_model().MatrixWords(m, m))
+             .delivered) {
+      result.degraded.RecordLoss(id, local_mass, mass_reported);
+      continue;
+    }
 
     // Coordinator side: A^(i)T A^(i) = Q^+ G Q^{+T}.
     DS_ASSIGN_OR_RETURN(Matrix q_pinv, PseudoInverse(q));
@@ -83,7 +102,6 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
   // Coordinator output: exact covariance square root.
   DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
                       ComputeSymmetricEigen(total_cov));
-  SketchProtocolResult result;
   result.sketch.SetZero(0, d);
   std::vector<double> row(d);
   for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {

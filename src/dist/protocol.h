@@ -1,7 +1,9 @@
 #ifndef DISTSKETCH_DIST_PROTOCOL_H_
 #define DISTSKETCH_DIST_PROTOCOL_H_
 
+#include <limits>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "dist/cluster.h"
@@ -9,6 +11,46 @@
 #include "linalg/matrix.h"
 
 namespace distsketch {
+
+/// Coordinator-side accounting of servers permanently lost to the fault
+/// simulation. The coordinator merges the surviving s' < s local
+/// sketches and widens its reported covariance-error bound: dropping
+/// server set L changes the Gram by sum_{i in L} A^(i)T A^(i), so
+///   ||A^T A - B^T B||_2 <= base_bound(A_surviving)
+///                          + sum_{i in L} ||A^(i)||_F^2,
+/// and base_bound is monotone in the input mass, so the full-input base
+/// bound plus the lost Frobenius mass is an honest certificate. The mass
+/// terms come from the 1-word "local_mass" reports each server prepends
+/// in fault mode; a server lost before even that report leaves the bound
+/// unknown (mass_known = false, BoundWidening() = infinity).
+struct DegradedModeInfo {
+  /// Ids of permanently lost servers, in loss order.
+  std::vector<int> lost_servers;
+  /// Sum of ||A^(i)||_F^2 over lost servers whose mass report reached
+  /// the coordinator.
+  double lost_mass = 0.0;
+  /// False iff some lost server never reported its local mass.
+  bool mass_known = true;
+
+  bool degraded() const { return !lost_servers.empty(); }
+
+  /// Additive widening of the protocol's covariance-error bound
+  /// (infinity when the lost mass is unknown).
+  double BoundWidening() const {
+    if (!degraded()) return 0.0;
+    if (!mass_known) return std::numeric_limits<double>::infinity();
+    return lost_mass;
+  }
+
+  void RecordLoss(int server, double frobenius_mass, bool mass_reported) {
+    lost_servers.push_back(server);
+    if (mass_reported) {
+      lost_mass += frobenius_mass;
+    } else {
+      mass_known = false;
+    }
+  }
+};
 
 /// Output of a distributed covariance-sketch protocol run.
 struct SketchProtocolResult {
@@ -18,6 +60,9 @@ struct SketchProtocolResult {
   CommStats comm;
   /// Number of rows in `sketch` (convenience for tables).
   size_t sketch_rows = 0;
+  /// Degraded-mode accounting; empty (degraded() == false) on an ideal
+  /// or fully recovered run.
+  DegradedModeInfo degraded;
 };
 
 /// A distributed protocol that leaves a covariance sketch of the

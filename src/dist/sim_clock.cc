@@ -1,0 +1,16 @@
+#include "dist/sim_clock.h"
+
+#include "common/logging.h"
+
+namespace distsketch {
+
+void SimClock::Advance(double dt) {
+  DS_CHECK(dt >= 0.0);
+  now_ += dt;
+}
+
+void SimClock::AdvanceTo(double t) {
+  if (t > now_) now_ = t;
+}
+
+}  // namespace distsketch

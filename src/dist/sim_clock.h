@@ -1,0 +1,37 @@
+#ifndef DISTSKETCH_DIST_SIM_CLOCK_H_
+#define DISTSKETCH_DIST_SIM_CLOCK_H_
+
+namespace distsketch {
+
+/// Virtual-time clock of the fault simulation. The simulated network
+/// charges latency, timeouts, and backoff delays against this clock
+/// instead of wall time, which is what makes chaos runs deterministic:
+/// the schedule of transient outages and server deaths is a pure
+/// function of (fault config, seed), never of host speed.
+///
+/// Time is a dimensionless double ("ticks"); configs choose the scale.
+class SimClock {
+ public:
+  /// Current virtual time, starting at 0.
+  double Now() const { return now_; }
+
+  /// Moves time forward by `dt` >= 0.
+  void Advance(double dt);
+
+  /// Moves time forward to `t`; no-op if `t` is in the past (virtual
+  /// time is monotone, it never rewinds).
+  void AdvanceTo(double t);
+
+  /// True iff `deadline` has passed.
+  bool Expired(double deadline) const { return now_ >= deadline; }
+
+  /// Rewinds to t = 0 (only for starting a fresh simulation run).
+  void Reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_SIM_CLOCK_H_

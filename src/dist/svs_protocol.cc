@@ -1,6 +1,7 @@
 #include "dist/svs_protocol.h"
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "linalg/blas.h"
@@ -13,24 +14,43 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
+  SketchProtocolResult result;
 
-  // Round 1: local Frobenius masses.
+  // Round 1: local Frobenius masses. The coordinator's global mass (and
+  // therefore the shared sampling function) is built from the reports
+  // that actually arrive; a server lost here never participates and its
+  // mass is unknown.
   log.BeginRound();
   double global_mass = 0.0;
+  std::vector<double> masses(s, 0.0);
+  std::vector<bool> active(s, false);
   for (size_t i = 0; i < s; ++i) {
-    global_mass += SquaredFrobeniusNorm(cluster.server(i).local_rows());
-    log.Record(static_cast<int>(i), kCoordinator, "local_mass", 1);
+    masses[i] = SquaredFrobeniusNorm(cluster.server(i).local_rows());
+    if (cluster.Send(static_cast<int>(i), kCoordinator, "local_mass", 1)
+            .delivered) {
+      active[i] = true;
+      global_mass += masses[i];
+    } else {
+      result.degraded.RecordLoss(static_cast<int>(i), masses[i], false);
+    }
   }
-  SketchProtocolResult result;
   result.sketch.SetZero(0, d);
   if (global_mass <= 0.0) {
     result.comm = log.Stats();
     return result;
   }
 
-  // Round 2: broadcast the global mass (fixes g on every server).
+  // Round 2: broadcast the global mass (fixes g on every server). A
+  // server the broadcast cannot reach is lost with known mass.
   log.BeginRound();
-  log.RecordBroadcast(s, "global_mass", 1);
+  for (size_t i = 0; i < s; ++i) {
+    if (!active[i]) continue;
+    if (!cluster.Send(kCoordinator, static_cast<int>(i), "global_mass", 1)
+             .delivered) {
+      active[i] = false;
+      result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
+    }
+  }
 
   SamplingFunctionParams params;
   params.num_servers = s;
@@ -44,14 +64,20 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   // Round 3: local SVS, sampled rows to the coordinator.
   log.BeginRound();
   for (size_t i = 0; i < s; ++i) {
+    if (!active[i]) continue;
     const Matrix& local = cluster.server(i).local_rows();
     if (local.rows() == 0) continue;
     DS_ASSIGN_OR_RETURN(
         SvsResult svs,
         Svs(local, *g, Rng::DeriveSeed(options_.seed, i)));
     if (svs.sketch.rows() > 0) {
-      log.Record(static_cast<int>(i), kCoordinator, "svs_rows",
-                 cluster.cost_model().MatrixWords(svs.sketch.rows(), d));
+      if (!cluster.Send(static_cast<int>(i), kCoordinator, "svs_rows",
+                        cluster.cost_model().MatrixWords(svs.sketch.rows(),
+                                                         d))
+               .delivered) {
+        result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
+        continue;
+      }
       result.sketch.AppendRows(svs.sketch);
     }
   }

@@ -1,0 +1,69 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distsketch {
+namespace {
+
+TEST(BackoffPolicyTest, ExponentialScheduleWithCap) {
+  BackoffPolicy policy{.base_delay = 1.0, .multiplier = 2.0,
+                       .max_delay = 64.0};
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(2), 2.0);
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(3), 4.0);
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(7), 64.0);
+  // Capped from retry 8 onward (2^7 = 128 > 64).
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(8), 64.0);
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(20), 64.0);
+}
+
+TEST(BackoffPolicyTest, UnitMultiplierIsConstantDelay) {
+  BackoffPolicy policy{.base_delay = 0.5, .multiplier = 1.0,
+                       .max_delay = 8.0};
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.DelayForRetry(5), 0.5);
+}
+
+TEST(BackoffPolicyTest, JitterFreePolicyLeavesRngUntouched) {
+  BackoffPolicy policy;  // jitter = 0
+  Rng rng(7);
+  Rng untouched(7);
+  const double d = policy.DelayForRetry(3, rng);
+  EXPECT_DOUBLE_EQ(d, policy.DelayForRetry(3));
+  // The stream was not consumed.
+  EXPECT_EQ(rng.NextUint64(), untouched.NextUint64());
+}
+
+TEST(BackoffPolicyTest, JitterStaysWithinBandAndIsDeterministic) {
+  BackoffPolicy policy{.base_delay = 2.0, .multiplier = 2.0,
+                       .max_delay = 64.0, .jitter = 0.25};
+  Rng rng_a(11);
+  Rng rng_b(11);
+  for (int retry = 1; retry <= 6; ++retry) {
+    const double nominal = policy.DelayForRetry(retry);
+    const double jittered = policy.DelayForRetry(retry, rng_a);
+    EXPECT_GE(jittered, nominal * 0.75);
+    EXPECT_LE(jittered, nominal * 1.25);
+    // Same seed, same draw order: identical jittered schedule.
+    EXPECT_DOUBLE_EQ(jittered, policy.DelayForRetry(retry, rng_b));
+  }
+}
+
+TEST(BackoffPolicyTest, ValidationRejectsBadPolicies) {
+  EXPECT_TRUE(ValidateBackoffPolicy(BackoffPolicy{}).ok());
+  EXPECT_FALSE(
+      ValidateBackoffPolicy({.base_delay = 0.0}).ok());
+  EXPECT_FALSE(
+      ValidateBackoffPolicy({.base_delay = -1.0}).ok());
+  EXPECT_FALSE(
+      ValidateBackoffPolicy({.multiplier = 0.5}).ok());
+  EXPECT_FALSE(
+      ValidateBackoffPolicy({.base_delay = 10.0, .max_delay = 1.0}).ok());
+  EXPECT_FALSE(ValidateBackoffPolicy({.jitter = 1.0}).ok());
+  EXPECT_FALSE(ValidateBackoffPolicy({.jitter = -0.1}).ok());
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -23,7 +23,17 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(StatusTest, FaultLayerCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::Unavailable("server 3 lost").ToString(),
+            "Unavailable: server 3 lost");
+  EXPECT_EQ(Status::DeadlineExceeded("timeout").ToString(),
+            "DeadlineExceeded: timeout");
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {

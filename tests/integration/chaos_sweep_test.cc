@@ -1,0 +1,358 @@
+// Chaos sweep: every distributed protocol runs against a grid of fault
+// configurations and injector seeds, asserting the three properties the
+// fault layer promises:
+//   (a) determinism — identical (data, config, seed) gives a
+//       byte-identical transcript digest and sketch;
+//   (b) honesty — the measured covariance error stays within the
+//       protocol's budget widened by the lost servers' Frobenius mass
+//       (whenever that mass reached the coordinator);
+//   (c) accounting — first-attempt words and retransmitted words
+//       partition the metered total exactly.
+// With every fault probability at zero the layer must vanish: sketches
+// and word counts match a run with no fault plan installed at all.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/adaptive_sketch_protocol.h"
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "dist/low_rank_exact_protocol.h"
+#include "dist/svs_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+constexpr size_t kServers = 4;
+constexpr int kSeedsPerConfig = 10;
+
+struct ProtocolCase {
+  std::string name;
+  Matrix data;
+  std::shared_ptr<SketchProtocol> protocol;
+  // Error budget of the fault-free guarantee, evaluated on the full
+  // input (monotone in the input mass, so it also covers the surviving
+  // subset). Chosen with slack: the sweep certifies the fault layer's
+  // widening, not the tightness of each theorem.
+  double base_budget = 0.0;
+};
+
+Matrix NoisyWorkload(uint64_t seed) {
+  return GenerateLowRankPlusNoise({.rows = 120,
+                                   .cols = 12,
+                                   .rank = 4,
+                                   .decay = 0.7,
+                                   .top_singular_value = 30.0,
+                                   .noise_stddev = 0.4,
+                                   .seed = seed});
+}
+
+std::vector<ProtocolCase> AllProtocolCases() {
+  std::vector<ProtocolCase> cases;
+  {
+    ProtocolCase c;
+    c.name = "fd_merge";
+    c.data = NoisyWorkload(2);
+    c.protocol = std::make_shared<FdMergeProtocol>(
+        FdMergeOptions{.eps = 0.4, .k = 3});
+    c.base_budget = SketchErrorBudget(c.data, 2.0 * 0.4, 3);
+    cases.push_back(std::move(c));
+  }
+  {
+    ProtocolCase c;
+    c.name = "svs";
+    c.data = NoisyWorkload(3);
+    c.protocol = std::make_shared<SvsProtocol>(
+        SvsProtocolOptions{.alpha = 0.15, .delta = 0.05, .seed = 13});
+    c.base_budget = 6.0 * 0.15 * SquaredFrobeniusNorm(c.data);
+    cases.push_back(std::move(c));
+  }
+  {
+    ProtocolCase c;
+    c.name = "adaptive_sketch";
+    c.data = NoisyWorkload(4);
+    c.protocol = std::make_shared<AdaptiveSketchProtocol>(
+        AdaptiveSketchOptions{.eps = 0.3, .k = 3, .delta = 0.1, .seed = 19});
+    c.base_budget = SketchErrorBudget(c.data, 4.0 * 0.3, 3);
+    cases.push_back(std::move(c));
+  }
+  {
+    ProtocolCase c;
+    c.name = "exact_gram";
+    c.data = NoisyWorkload(5);
+    c.protocol = std::make_shared<ExactGramProtocol>();
+    c.base_budget = 1e-6 * SquaredFrobeniusNorm(c.data);
+    cases.push_back(std::move(c));
+  }
+  {
+    ProtocolCase c;
+    c.name = "low_rank_exact";
+    // Noise-free rank 3 <= 2k: the protocol's exactness precondition.
+    c.data = GenerateLowRankPlusNoise({.rows = 80,
+                                       .cols = 12,
+                                       .rank = 3,
+                                       .noise_stddev = 0.0,
+                                       .seed = 6});
+    c.protocol = std::make_shared<LowRankExactProtocol>(
+        LowRankExactOptions{.k = 2});
+    c.base_budget = 1e-4 * SquaredFrobeniusNorm(c.data);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+struct NamedFaultConfig {
+  std::string name;
+  FaultConfig config;
+};
+
+std::vector<NamedFaultConfig> ChaosConfigs() {
+  std::vector<NamedFaultConfig> configs;
+  {
+    NamedFaultConfig c{.name = "light", .config = {}};
+    c.config.default_profile.drop_prob = 0.1;
+    c.config.default_profile.duplicate_prob = 0.05;
+    c.config.default_profile.truncate_prob = 0.05;
+    c.config.default_profile.transient_fail_prob = 0.05;
+    c.config.default_profile.latency_jitter = 0.1;
+    configs.push_back(std::move(c));
+  }
+  {
+    NamedFaultConfig c{.name = "heavy", .config = {}};
+    c.config.default_profile.drop_prob = 0.3;
+    c.config.default_profile.duplicate_prob = 0.2;
+    c.config.default_profile.truncate_prob = 0.2;
+    c.config.default_profile.transient_fail_prob = 0.2;
+    c.config.max_retries = 6;
+    configs.push_back(std::move(c));
+  }
+  {
+    // Server 1's payloads always truncate, so its multi-word sketch
+    // never arrives — but its 1-word mass report does, exercising the
+    // degraded path with a *known* lost mass.
+    NamedFaultConfig c{.name = "lossy_payload", .config = {}};
+    c.config.per_server[1].truncate_prob = 1.0;
+    c.config.max_retries = 2;
+    configs.push_back(std::move(c));
+  }
+  {
+    // Server 0 is dead from the start: even the mass report is lost, so
+    // the widened bound is unknown (infinite).
+    NamedFaultConfig c{.name = "dead_server", .config = {}};
+    c.config.per_server[0].die_at_time = 0.0;
+    configs.push_back(std::move(c));
+  }
+  {
+    // High drop rate but enough retries that messages almost always get
+    // through: lots of retransmit volume, (usually) no loss.
+    NamedFaultConfig c{.name = "flaky", .config = {}};
+    c.config.default_profile.drop_prob = 0.5;
+    c.config.max_retries = 10;
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+Cluster MakeCaseCluster(const ProtocolCase& c) {
+  auto cluster = Cluster::Create(
+      PartitionRows(c.data, kServers, PartitionScheme::kRoundRobin), 0.1);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+void ExpectAccountingBalances(const Cluster& cluster, const CommStats& stats) {
+  EXPECT_EQ(stats.first_attempt_words + stats.retransmit_words,
+            stats.total_words);
+  uint64_t first = 0;
+  uint64_t retrans = 0;
+  for (const MessageRecord& m : cluster.log().messages()) {
+    if (m.attempt == 0 && !m.duplicate) {
+      first += m.words;
+    } else {
+      retrans += m.words;
+    }
+  }
+  EXPECT_EQ(first, stats.first_attempt_words);
+  EXPECT_EQ(retrans, stats.retransmit_words);
+}
+
+void ExpectBitIdenticalSketches(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ChaosSweepTest, EveryProtocolEveryConfigEverySeed) {
+  for (const ProtocolCase& pc : AllProtocolCases()) {
+    Cluster cluster = MakeCaseCluster(pc);
+    for (const NamedFaultConfig& nc : ChaosConfigs()) {
+      for (int seed = 0; seed < kSeedsPerConfig; ++seed) {
+        SCOPED_TRACE(pc.name + "/" + nc.name + "/seed=" +
+                     std::to_string(seed));
+        FaultConfig config = nc.config;
+        config.seed = 1000 + static_cast<uint64_t>(seed);
+        cluster.InstallFaultPlan(config);
+
+        auto first = pc.protocol->Run(cluster);
+        ASSERT_TRUE(first.ok()) << first.status().ToString();
+        const uint64_t digest_1 =
+            TranscriptDigest(cluster.log(), cluster.faults());
+        const std::vector<int> lost_1 = cluster.faults()->lost_servers();
+
+        // (c) Accounting: every metered word is first-attempt or
+        // retransmit, and the buckets reconcile with the raw trace.
+        ExpectAccountingBalances(cluster, first->comm);
+
+        // Coordinator bookkeeping agrees with the network's loss record.
+        EXPECT_EQ(first->degraded.lost_servers, lost_1);
+
+        // (b) Honesty: measured error within the (widened) budget.
+        const double widening = first->degraded.BoundWidening();
+        if (!first->degraded.degraded()) {
+          EXPECT_DOUBLE_EQ(widening, 0.0);
+        }
+        if (first->degraded.mass_known) {
+          const double err = CovarianceError(pc.data, first->sketch);
+          EXPECT_LE(err, (pc.base_budget + widening) * (1.0 + 1e-9))
+              << "lost=" << first->degraded.lost_servers.size();
+        }
+
+        // (a) Determinism: the second run replays the same schedule.
+        auto second = pc.protocol->Run(cluster);
+        ASSERT_TRUE(second.ok());
+        EXPECT_EQ(digest_1, TranscriptDigest(cluster.log(), cluster.faults()));
+        EXPECT_EQ(lost_1, cluster.faults()->lost_servers());
+        ExpectBitIdenticalSketches(first->sketch, second->sketch);
+        EXPECT_EQ(first->comm.total_words, second->comm.total_words);
+        EXPECT_EQ(first->comm.total_bits, second->comm.total_bits);
+        EXPECT_EQ(first->comm.num_messages, second->comm.num_messages);
+        EXPECT_EQ(first->comm.retransmit_words, second->comm.retransmit_words);
+        EXPECT_EQ(first->degraded.lost_servers,
+                  second->degraded.lost_servers);
+        EXPECT_EQ(first->degraded.lost_mass, second->degraded.lost_mass);
+      }
+    }
+  }
+}
+
+TEST(ChaosSweepTest, LossyPayloadConfigLosesServerOneWithKnownMass) {
+  // The per-server truncation config must actually drive the degraded
+  // path: server 1's sketch payload cannot get through, its mass can.
+  for (const ProtocolCase& pc : AllProtocolCases()) {
+    SCOPED_TRACE(pc.name);
+    Cluster cluster = MakeCaseCluster(pc);
+    FaultConfig config;
+    config.per_server[1].truncate_prob = 1.0;
+    config.max_retries = 2;
+    config.seed = 77;
+    cluster.InstallFaultPlan(config);
+    auto result = pc.protocol->Run(cluster);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->degraded.degraded());
+    EXPECT_EQ(result->degraded.lost_servers, std::vector<int>{1});
+    EXPECT_TRUE(result->degraded.mass_known);
+    EXPECT_GT(result->degraded.BoundWidening(), 0.0);
+    // The lost mass is exactly server 1's local Frobenius mass.
+    EXPECT_DOUBLE_EQ(result->degraded.lost_mass,
+                     SquaredFrobeniusNorm(cluster.server(1).local_rows()));
+  }
+}
+
+TEST(ChaosSweepTest, DeadServerYieldsUnknownMassAndInfiniteWidening) {
+  for (const ProtocolCase& pc : AllProtocolCases()) {
+    SCOPED_TRACE(pc.name);
+    Cluster cluster = MakeCaseCluster(pc);
+    FaultConfig config;
+    config.per_server[0].die_at_time = 0.0;
+    config.seed = 5;
+    cluster.InstallFaultPlan(config);
+    auto result = pc.protocol->Run(cluster);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->degraded.degraded());
+    EXPECT_EQ(result->degraded.lost_servers, std::vector<int>{0});
+    EXPECT_FALSE(result->degraded.mass_known);
+    EXPECT_TRUE(std::isinf(result->degraded.BoundWidening()));
+  }
+}
+
+TEST(ChaosSweepTest, ZeroProbabilityPlanIsBitIdenticalToNoPlan) {
+  for (const ProtocolCase& pc : AllProtocolCases()) {
+    SCOPED_TRACE(pc.name);
+    Cluster cluster = MakeCaseCluster(pc);
+
+    auto ideal = pc.protocol->Run(cluster);
+    ASSERT_TRUE(ideal.ok());
+    std::vector<MessageRecord> ideal_messages = cluster.log().messages();
+
+    cluster.InstallFaultPlan(FaultConfig{});  // all probabilities zero
+    EXPECT_FALSE(cluster.fault_mode());
+    auto zero = pc.protocol->Run(cluster);
+    ASSERT_TRUE(zero.ok());
+
+    ExpectBitIdenticalSketches(ideal->sketch, zero->sketch);
+    EXPECT_EQ(ideal->comm.total_words, zero->comm.total_words);
+    EXPECT_EQ(ideal->comm.total_bits, zero->comm.total_bits);
+    EXPECT_EQ(ideal->comm.num_messages, zero->comm.num_messages);
+    EXPECT_EQ(ideal->comm.num_rounds, zero->comm.num_rounds);
+    EXPECT_EQ(zero->comm.retransmit_words, 0u);
+    EXPECT_FALSE(zero->degraded.degraded());
+
+    // The wire format matches message for message (virtual send times
+    // differ: the injector charges latency, the bare log does not).
+    const std::vector<MessageRecord>& zero_messages =
+        cluster.log().messages();
+    ASSERT_EQ(ideal_messages.size(), zero_messages.size());
+    for (size_t i = 0; i < ideal_messages.size(); ++i) {
+      const MessageRecord& a = ideal_messages[i];
+      const MessageRecord& b = zero_messages[i];
+      EXPECT_EQ(a.from, b.from);
+      EXPECT_EQ(a.to, b.to);
+      EXPECT_EQ(a.tag, b.tag);
+      EXPECT_EQ(a.words, b.words);
+      EXPECT_EQ(a.bits, b.bits);
+      EXPECT_EQ(a.round, b.round);
+      EXPECT_EQ(a.attempt, 0);
+      EXPECT_EQ(b.attempt, 0);
+      EXPECT_FALSE(b.truncated);
+      EXPECT_FALSE(b.duplicate);
+    }
+  }
+}
+
+TEST(ChaosSweepTest, DistinctSeedsProduceDistinctSchedules) {
+  // Not a hard guarantee for any single pair, but across 10 seeds the
+  // heavy config must not collapse to one schedule.
+  const ProtocolCase pc = AllProtocolCases()[0];  // fd_merge
+  Cluster cluster = MakeCaseCluster(pc);
+  FaultConfig config;
+  config.default_profile.drop_prob = 0.3;
+  config.default_profile.transient_fail_prob = 0.2;
+  std::vector<uint64_t> digests;
+  for (int seed = 0; seed < kSeedsPerConfig; ++seed) {
+    config.seed = static_cast<uint64_t>(seed);
+    cluster.InstallFaultPlan(config);
+    auto result = pc.protocol->Run(cluster);
+    ASSERT_TRUE(result.ok());
+    digests.push_back(TranscriptDigest(cluster.log(), cluster.faults()));
+  }
+  bool any_distinct = false;
+  for (size_t i = 1; i < digests.size(); ++i) {
+    if (digests[i] != digests[0]) any_distinct = true;
+  }
+  EXPECT_TRUE(any_distinct);
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -106,6 +106,73 @@ TEST(MatrixIoTest, BinaryRejectsTruncation) {
   EXPECT_FALSE(LoadBinary(path).ok());
 }
 
+TEST(MatrixIoTest, BinaryMissingFileIsNotFound) {
+  auto loaded = LoadBinary(TempPath("does_not_exist.dsmat"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MatrixIoTest, BinaryEmptyFileRejected) {
+  const std::string path = TempPath("empty.dsmat");
+  { std::ofstream out(path, std::ios::binary); }
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixIoTest, BinaryMagicOnlyIsTruncatedHeader) {
+  // Valid magic, then EOF before the shape: the header read must fail
+  // cleanly rather than produce a garbage-shaped matrix.
+  const std::string path = TempPath("magic_only.dsmat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "DSMT";
+  }
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("truncated header"),
+            std::string::npos);
+}
+
+TEST(MatrixIoTest, BinaryPartialShapeIsTruncatedHeader) {
+  const std::string path = TempPath("half_header.dsmat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "DSMT";
+    const uint64_t rows = 3;
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    // cols missing entirely
+  }
+  EXPECT_FALSE(LoadBinary(path).ok());
+}
+
+TEST(MatrixIoTest, BinaryRejectsImplausibleShape) {
+  // A correct header claiming an absurd shape must be rejected before
+  // any allocation is attempted.
+  const std::string path = TempPath("huge.dsmat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "DSMT";
+    const uint64_t rows = 1ULL << 40;
+    const uint64_t cols = 2;
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  }
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("implausible shape"),
+            std::string::npos);
+}
+
+TEST(MatrixIoTest, SaveToUnwritablePathIsNotFound) {
+  const Matrix a = GenerateGaussian(2, 2, 1.0, 5);
+  const std::string bad = TempPath("no_such_dir") + "/out";
+  EXPECT_EQ(SaveCsv(a, bad + ".csv").code(), StatusCode::kNotFound);
+  EXPECT_EQ(SaveBinary(a, bad + ".dsmat").code(), StatusCode::kNotFound);
+}
+
 TEST(MatrixIoTest, CsvPreservesSpecialValues) {
   Matrix a(1, 3);
   a(0, 0) = -0.0;

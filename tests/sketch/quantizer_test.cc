@@ -80,6 +80,61 @@ TEST(QuantizerTest, RoundingPreservesSketchGuarantee) {
   EXPECT_LE(perturbation, RoundingCoverrBound(b, precision) + 1e-12);
 }
 
+TEST(QuantizerTest, AdversarialHalfwayEntriesHitTheLemma7Boundary) {
+  // Worst case of the §3.3 rounding argument: every entry sits exactly
+  // halfway between two multiples of the precision, so each one incurs
+  // the maximal error precision/2 — the boundary of the Lemma 7 rounding
+  // bound — and the analytic coverr bound must still hold with the
+  // error at its extreme point.
+  const uint64_t n = 64;
+  const uint64_t d = 8;
+  const double eps = 0.25;
+  const double p = SketchRoundingPrecision(n, d, eps);
+  Matrix a(6, d);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      const double m = static_cast<double>(i * d + j);
+      const double sign = (j % 2 == 0) ? 1.0 : -1.0;
+      a(i, j) = sign * (m + 0.5) * p;
+    }
+  }
+  auto q = QuantizeMatrix(a, p);
+  ASSERT_TRUE(q.ok());
+  // Every entry's error is the theoretical maximum p/2 (up to the
+  // roundoff of forming (m + 0.5) * p itself).
+  EXPECT_NEAR(q->max_error, p / 2.0, 1e-6 * p);
+  EXPECT_LE(q->max_error, p / 2.0 * (1.0 + 1e-9));
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double rounded = q->matrix.data()[i];
+    // Still a multiple of p.
+    EXPECT_NEAR(std::round(rounded / p) * p, rounded, 1e-9 * p);
+  }
+  // The perturbation of the Gram stays inside the analytic bound even
+  // with every entry at the boundary.
+  EXPECT_LE(CovarianceError(a, q->matrix),
+            RoundingCoverrBound(a, p) + 1e-12);
+  // Bit budget stays O(log(nd/eps)): entries scale with (rows*d)*p, so
+  // the integer quotients need ~log2(rows*d) magnitude bits.
+  EXPECT_LE(q->bits_per_entry,
+            2 + static_cast<uint64_t>(std::ceil(
+                    std::log2(static_cast<double>(a.size()) + 2.0))));
+}
+
+TEST(QuantizerTest, NearBoundaryEntriesRoundToNearestNotHalfway) {
+  // Entries epsilon short of the halfway point must round down (error
+  // just under p/2), confirming the quantizer is a true nearest-multiple
+  // rounder rather than a truncation.
+  const double p = 0.01;
+  Matrix a(1, 2);
+  a(0, 0) = 3.0 * p + 0.499 * p;   // rounds to 3p
+  a(0, 1) = -(5.0 * p + 0.501 * p);  // rounds to -6p
+  auto q = QuantizeMatrix(a, p);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->matrix(0, 0), 3.0 * p, 1e-12);
+  EXPECT_NEAR(q->matrix(0, 1), -6.0 * p, 1e-12);
+  EXPECT_LT(q->max_error, p / 2.0);
+}
+
 TEST(QuantizerTest, CoverrBoundIsZeroForEmpty) {
   EXPECT_EQ(RoundingCoverrBound(Matrix(), 0.1), 0.0);
 }
