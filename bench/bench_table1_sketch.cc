@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "dist/adaptive_sketch_protocol.h"
 #include "dist/exact_gram_protocol.h"
 #include "dist/fd_merge_protocol.h"
@@ -26,15 +27,45 @@
 namespace distsketch {
 namespace {
 
+using bench::BenchJsonWriter;
+using bench::BenchRecord;
 using bench::LogLogSlope;
 using bench::MakeCluster;
 using bench::Section;
+using bench::WallTimer;
 
 struct Row {
   const char* algo;
   uint64_t words;
   double err_over_budget;
 };
+
+BenchJsonWriter& Json() {
+  static BenchJsonWriter writer;
+  return writer;
+}
+
+/// Runs the protocol, meters wall time, and appends a machine-readable
+/// record to BENCH_sketch.json alongside the human-readable table.
+template <typename Protocol>
+StatusOr<SketchProtocolResult> RunLogged(const char* op, Protocol& protocol,
+                                         Cluster& cluster, size_t n, size_t d,
+                                         size_t s) {
+  WallTimer timer;
+  auto result = protocol.Run(cluster);
+  const double ms = timer.ElapsedMs();
+  if (result.ok()) {
+    Json().Add(BenchRecord{.op = op,
+                           .n = n,
+                           .d = d,
+                           .s = s,
+                           .l = result->sketch_rows,
+                           .threads = ThreadPool::GlobalThreads(),
+                           .wall_ms = ms,
+                           .words = result->comm.total_words});
+  }
+  return result;
+}
 
 void PrintRow(const char* algo, size_t s, double eps, uint64_t words,
               double err, double budget) {
@@ -57,25 +88,26 @@ void SweepServersEpsZero() {
     Cluster cluster = MakeCluster(a, s, eps);
 
     FdMergeProtocol fd({.eps = eps, .k = 0});
-    auto fd_result = fd.Run(cluster);
+    auto fd_result = RunLogged("fd_merge", fd, cluster, 4096, 64, s);
     DS_CHECK(fd_result.ok());
     PrintRow("fd_merge", s, eps, fd_result->comm.total_words,
              CovarianceError(a, fd_result->sketch), budget);
 
     RowSamplingProtocol sampling({.eps = eps, .oversample = 2.0, .seed = 3});
-    auto sampling_result = sampling.Run(cluster);
+    auto sampling_result =
+        RunLogged("row_sampling", sampling, cluster, 4096, 64, s);
     DS_CHECK(sampling_result.ok());
     PrintRow("row_sampling", s, eps, sampling_result->comm.total_words,
              CovarianceError(a, sampling_result->sketch), budget);
 
     SvsProtocol svs({.alpha = eps / 4.0, .delta = 0.1, .seed = 5});
-    auto svs_result = svs.Run(cluster);
+    auto svs_result = RunLogged("svs", svs, cluster, 4096, 64, s);
     DS_CHECK(svs_result.ok());
     PrintRow("svs (new)", s, eps, svs_result->comm.total_words,
              CovarianceError(a, svs_result->sketch), budget);
 
     ExactGramProtocol exact;
-    auto exact_result = exact.Run(cluster);
+    auto exact_result = RunLogged("exact_gram", exact, cluster, 4096, 64, s);
     DS_CHECK(exact_result.ok());
     PrintRow("exact_gram", s, eps, exact_result->comm.total_words,
              CovarianceError(a, exact_result->sketch), budget);
@@ -109,19 +141,20 @@ void SweepEps() {
     const double budget = eps * SquaredFrobeniusNorm(a);
 
     FdMergeProtocol fd({.eps = eps, .k = 0});
-    auto fd_result = fd.Run(cluster);
+    auto fd_result = RunLogged("fd_merge", fd, cluster, 4096, 64, s);
     DS_CHECK(fd_result.ok());
     PrintRow("fd_merge", s, eps, fd_result->comm.total_words,
              CovarianceError(a, fd_result->sketch), budget);
 
     RowSamplingProtocol sampling({.eps = eps, .oversample = 2.0, .seed = 7});
-    auto sampling_result = sampling.Run(cluster);
+    auto sampling_result =
+        RunLogged("row_sampling", sampling, cluster, 4096, 64, s);
     DS_CHECK(sampling_result.ok());
     PrintRow("row_sampling", s, eps, sampling_result->comm.total_words,
              CovarianceError(a, sampling_result->sketch), budget);
 
     SvsProtocol svs({.alpha = eps / 4.0, .delta = 0.1, .seed = 9});
-    auto svs_result = svs.Run(cluster);
+    auto svs_result = RunLogged("svs", svs, cluster, 4096, 64, s);
     DS_CHECK(svs_result.ok());
     PrintRow("svs (new)", s, eps, svs_result->comm.total_words,
              CovarianceError(a, svs_result->sketch), budget);
@@ -158,14 +191,15 @@ void SweepServersEpsK() {
     Cluster cluster = MakeCluster(a, s, eps);
 
     FdMergeProtocol fd({.eps = eps, .k = k});
-    auto fd_result = fd.Run(cluster);
+    auto fd_result = RunLogged("fd_merge", fd, cluster, 4096, 64, s);
     DS_CHECK(fd_result.ok());
     PrintRow("fd_merge", s, eps, fd_result->comm.total_words,
              CovarianceError(a, fd_result->sketch), budget);
 
     AdaptiveSketchProtocol adaptive(
         {.eps = eps, .k = k, .delta = 0.1, .seed = 11});
-    auto ad_result = adaptive.Run(cluster);
+    auto ad_result =
+        RunLogged("adaptive_sketch", adaptive, cluster, 4096, 64, s);
     DS_CHECK(ad_result.ok());
     PrintRow("adaptive (new)", s, eps, ad_result->comm.total_words,
              CovarianceError(a, ad_result->sketch), budget);
@@ -195,5 +229,7 @@ int main() {
   distsketch::SweepServersEpsZero();
   distsketch::SweepEps();
   distsketch::SweepServersEpsK();
+  distsketch::Json().Flush();
+  std::printf("\nwrote BENCH_sketch.json\n");
   return 0;
 }

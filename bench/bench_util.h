@@ -1,8 +1,12 @@
 #ifndef DISTSKETCH_BENCH_BENCH_UTIL_H_
 #define DISTSKETCH_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +15,92 @@
 
 namespace distsketch {
 namespace bench {
+
+/// Wall-clock stopwatch for bench loops.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  /// Milliseconds since construction (or the last Reset).
+  double ElapsedMs() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One machine-readable measurement for BENCH_sketch.json.
+struct BenchRecord {
+  std::string op;      // e.g. "fd_merge", "gram_update", "parallel_sketch"
+  size_t n = 0;        // total rows
+  size_t d = 0;        // dimension
+  size_t s = 0;        // servers
+  size_t l = 0;        // sketch size / rows (0 when not applicable)
+  size_t threads = 1;  // global pool size for the run
+  double wall_ms = 0;  // wall-clock time of the measured region
+  uint64_t words = 0;  // metered communication words (0 for local kernels)
+};
+
+/// Accumulates BenchRecords and merges them into a JSON array on Flush
+/// (and at destruction). Merging means: if the target file already holds
+/// an array written by this class — possibly by another bench binary —
+/// the new records are appended to it, so every experiment lands in one
+/// BENCH_sketch.json.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string path = "BENCH_sketch.json")
+      : path_(std::move(path)) {}
+  ~BenchJsonWriter() { Flush(); }
+
+  void Add(const BenchRecord& r) { records_.push_back(r); }
+
+  void Flush() {
+    if (records_.empty()) return;
+    // Load any existing array body (everything between '[' and the final
+    // ']'), so records from earlier runs/binaries survive.
+    std::string body;
+    {
+      std::ifstream in(path_);
+      if (in) {
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string text = ss.str();
+        const size_t open = text.find('[');
+        const size_t close = text.rfind(']');
+        if (open != std::string::npos && close != std::string::npos &&
+            close > open) {
+          body = text.substr(open + 1, close - open - 1);
+          // Trim whitespace so an empty array contributes nothing.
+          while (!body.empty() &&
+                 (body.back() == '\n' || body.back() == ' ')) {
+            body.pop_back();
+          }
+        }
+      }
+    }
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) return;
+    out << "[";
+    bool first = body.empty();
+    if (!first) out << body;
+    for (const BenchRecord& r : records_) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n  {\"op\": \"" << r.op << "\", \"n\": " << r.n
+          << ", \"d\": " << r.d << ", \"s\": " << r.s << ", \"l\": " << r.l
+          << ", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
+          << ", \"words\": " << r.words << "}";
+    }
+    out << "\n]\n";
+    records_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
 
 /// Builds a cluster over a round-robin partition of `a`.
 inline Cluster MakeCluster(const Matrix& a, size_t s, double eps) {

@@ -1,0 +1,126 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace distsketch {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t spawn = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (size_t t = 0; t < spawn; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunBatch() {
+  // Claim indices one at a time under the lock. The per-index work in
+  // distsketch (a whole server's local sketch) dwarfs a mutex hop, so a
+  // finer-grained atomic counter buys nothing here.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (fn_ != nullptr && next_index_ < batch_size_) {
+    const size_t i = next_index_++;
+    ++in_flight_;
+    const std::function<void(size_t)>* fn = fn_;
+    lock.unlock();
+    (*fn)(i);
+    lock.lock();
+    --in_flight_;
+  }
+  if (fn_ != nullptr && next_index_ >= batch_size_ && in_flight_ == 0) {
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_batch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (fn_ != nullptr && batch_id_ != seen_batch);
+      });
+      if (shutdown_) return;
+      seen_batch = batch_id_;
+    }
+    RunBatch();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Serial fast path: no locks, no wakeups — identical cost to a plain
+    // loop, which is what keeps the 1-thread protocol path at parity with
+    // the pre-pool serial code.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    batch_size_ = n;
+    next_index_ = 0;
+    in_flight_ = 0;
+    ++batch_id_;
+  }
+  work_cv_.notify_all();
+  RunBatch();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return next_index_ >= batch_size_ && in_flight_ == 0; });
+    fn_ = nullptr;
+  }
+}
+
+namespace {
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("DS_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(DefaultThreadCount());
+  return pool;
+}
+
+std::mutex& GlobalMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  return *GlobalSlot();
+}
+
+void ThreadPool::SetGlobalThreads(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  GlobalSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+size_t ThreadPool::GlobalThreads() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  return GlobalSlot()->num_threads();
+}
+
+}  // namespace distsketch

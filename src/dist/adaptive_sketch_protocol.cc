@@ -1,9 +1,11 @@
 #include "dist/adaptive_sketch_protocol.h"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "sketch/adaptive_sketch.h"
 #include "sketch/quantizer.h"
@@ -19,18 +21,34 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   const bool ft = cluster.fault_mode();
   SketchProtocolResult result;
 
-  // Pass: stream local rows through FD; then split head/tail.
-  std::vector<AdaptiveLocalSketch> locals;
-  locals.reserve(s);
-  for (size_t i = 0; i < s; ++i) {
-    DS_ASSIGN_OR_RETURN(
-        AdaptiveLocalSketch local,
+  // Validate the options once so the per-server Create calls below (same
+  // parameters, different seeds) cannot fail inside the parallel region.
+  DS_RETURN_IF_ERROR(
+      AdaptiveLocalSketch::Create(d, options_.eps, options_.k, options_.seed)
+          .status());
+
+  // Parallel pass: every server streams its rows through FD, splits
+  // head/tail, and computes the masses it will later report. Each
+  // server's SVS stage draws from its own derived seed, so concurrency
+  // cannot perturb the numbers.
+  struct LocalSlot {
+    std::optional<AdaptiveLocalSketch> sketch;
+    double tail_mass = 0.0;
+    double mass = 0.0;  // full Frobenius mass (fault mode only)
+  };
+  std::vector<LocalSlot> locals = ParallelMap<LocalSlot>(s, [&](size_t i) {
+    LocalSlot slot;
+    auto local =
         AdaptiveLocalSketch::Create(d, options_.eps, options_.k,
-                                    Rng::DeriveSeed(options_.seed, i)));
+                                    Rng::DeriveSeed(options_.seed, i));
+    DS_CHECK(local.ok());
     RowStream stream = cluster.server(i).OpenStream();
-    while (stream.HasNext()) local.Append(stream.Next());
-    locals.push_back(std::move(local));
-  }
+    while (stream.HasNext()) local->Append(stream.Next());
+    slot.tail_mass = local->FinishAndReportTailMass();
+    slot.sketch = std::move(*local);
+    if (ft) slot.mass = SquaredFrobeniusNorm(cluster.server(i).local_rows());
+    return slot;
+  });
 
   // Round 1: tail masses (fault-tolerant runs prepend the 1-word full
   // Frobenius mass report that funds honest bound widening on loss).
@@ -40,19 +58,18 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   std::vector<bool> active(s, false);
   for (size_t i = 0; i < s; ++i) {
     const int id = static_cast<int>(i);
+    masses[i] = locals[i].mass;
     bool mass_reported = false;
     if (ft) {
-      masses[i] = SquaredFrobeniusNorm(cluster.server(i).local_rows());
       if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
         result.degraded.RecordLoss(id, masses[i], false);
         continue;
       }
       mass_reported = true;
     }
-    const double tail = locals[i].FinishAndReportTailMass();
     if (cluster.Send(id, kCoordinator, "tail_mass", 1).delivered) {
       active[i] = true;
-      global_tail_mass += tail;
+      global_tail_mass += locals[i].tail_mass;
     } else {
       result.degraded.RecordLoss(id, masses[i], mass_reported);
     }
@@ -70,16 +87,30 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
     }
   }
 
-  // Round 3: local Q^(i) = [T^(i); W^(i)] to the coordinator.
+  // Round 3: every active server compresses its tail against the global
+  // tail mass concurrently (per-server state, per-server seeds), then
+  // Q^(i) = [T^(i); W^(i)] goes to the coordinator in index order.
   log.BeginRound();
   result.sketch.SetZero(0, d);
+  struct CompressSlot {
+    Status status;
+    Matrix q;
+  };
+  std::vector<CompressSlot> compressed =
+      ParallelMap<CompressSlot>(s, [&](size_t i) {
+        CompressSlot slot;
+        if (!active[i]) return slot;
+        auto q = locals[i].sketch->CompressWithGlobalTailMass(
+            global_tail_mass, s, options_.delta, options_.kind);
+        slot.status = q.status();
+        if (q.ok()) slot.q = std::move(*q);
+        return slot;
+      });
   for (size_t i = 0; i < s; ++i) {
     if (!active[i]) continue;
     const int id = static_cast<int>(i);
-    DS_ASSIGN_OR_RETURN(Matrix q_i,
-                        locals[i].CompressWithGlobalTailMass(
-                            global_tail_mass, s, options_.delta,
-                            options_.kind));
+    if (!compressed[i].status.ok()) return compressed[i].status;
+    Matrix q_i = std::move(compressed[i].q);
     if (q_i.rows() == 0) continue;
     SendOutcome sent;
     if (options_.quantize) {

@@ -1,7 +1,9 @@
 #include "dist/exact_gram_protocol.h"
 
 #include <cmath>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 
@@ -16,29 +18,39 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   log.BeginRound();
 
   SketchProtocolResult result;
+  // Parallel phase: local d-by-d Grams (the O(n_i d^2) hot loop) and, in
+  // fault mode, the local masses.
+  struct LocalGram {
+    Matrix gram;
+    double mass = 0.0;
+  };
+  std::vector<LocalGram> locals = ParallelMap<LocalGram>(s, [&](size_t i) {
+    LocalGram w;
+    const Matrix& local = cluster.server(i).local_rows();
+    w.gram = local.rows() > 0 ? Gram(local) : Matrix(d, d);
+    if (ft) w.mass = SquaredFrobeniusNorm(local);
+    return w;
+  });
+
+  // Serial phase: sends and the coordinator's sum, in server-index order.
   Matrix total_gram(d, d);
   for (size_t i = 0; i < s; ++i) {
     const int id = static_cast<int>(i);
-    const Matrix& local = cluster.server(i).local_rows();
-    double local_mass = 0.0;
     bool mass_reported = false;
     if (ft) {
-      local_mass = SquaredFrobeniusNorm(local);
       if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
-        result.degraded.RecordLoss(id, local_mass, false);
+        result.degraded.RecordLoss(id, locals[i].mass, false);
         continue;
       }
       mass_reported = true;
     }
-    const Matrix gram =
-        local.rows() > 0 ? Gram(local) : Matrix(d, d);
     // Symmetric payload: upper triangle only.
     if (!cluster.Send(id, kCoordinator, "local_gram", d * (d + 1) / 2)
              .delivered) {
-      result.degraded.RecordLoss(id, local_mass, mass_reported);
+      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
       continue;
     }
-    total_gram = Add(total_gram, gram);
+    total_gram = Add(total_gram, locals[i].gram);
   }
 
   // Coordinator: B = sqrt(Lambda) V^T from the eigendecomposition.

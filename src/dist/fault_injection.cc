@@ -47,17 +47,29 @@ std::string_view FaultEventKindToString(FaultEventKind kind) {
   return "unknown";
 }
 
-FaultInjector::FaultInjector(FaultConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+FaultInjector::FaultInjector(FaultConfig config) : config_(std::move(config)) {
   DS_CHECK(config_.max_retries >= 0);
   DS_CHECK(config_.timeout >= 0.0);
 }
 
 void FaultInjector::Reset() {
   clock_.Reset();
-  rng_ = Rng(config_.seed);
+  server_rngs_.clear();
   events_.clear();
   lost_.clear();
+}
+
+Rng& FaultInjector::RngFor(int server) {
+  auto it = server_rngs_.find(server);
+  if (it == server_rngs_.end()) {
+    // Stream ids offset by 1 so server 0 does not collapse onto the root
+    // seed's own stream.
+    const uint64_t stream = static_cast<uint64_t>(server) + 1;
+    it = server_rngs_
+             .emplace(server, Rng(Rng::DeriveSeed(config_.seed, stream)))
+             .first;
+  }
+  return it->second;
 }
 
 bool FaultInjector::IsLost(int server) const {
@@ -107,10 +119,11 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
     return out;
   }
   const ServerFaultProfile& profile = config_.ProfileFor(server);
+  Rng& rng = RngFor(server);
 
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0) {
-      const double delay = config_.backoff.DelayForRetry(attempt, rng_);
+      const double delay = config_.backoff.DelayForRetry(attempt, rng);
       clock_.Advance(delay);
       AddEvent(FaultEventKind::kBackoff, from, to, tag, attempt, 0);
     }
@@ -123,13 +136,13 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
       clock_.Advance(config_.timeout);
       break;
     }
-    if (rng_.NextBernoulli(profile.transient_fail_prob)) {
+    if (rng.NextBernoulli(profile.transient_fail_prob)) {
       // Stall: nothing reaches the wire; the peer burns the timeout.
       AddEvent(FaultEventKind::kStalled, from, to, tag, attempt, 0);
       clock_.Advance(config_.timeout);
       continue;
     }
-    if (rng_.NextBernoulli(profile.drop_prob)) {
+    if (rng.NextBernoulli(profile.drop_prob)) {
       // Whole payload lost in flight: the words crossed the wire and are
       // metered, but never acked.
       MeterAttempt(log, from, to, tag, words, bits, attempt,
@@ -139,10 +152,10 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
       clock_.Advance(config_.timeout);
       continue;
     }
-    if (words > 1 && rng_.NextBernoulli(profile.truncate_prob)) {
+    if (words > 1 && rng.NextBernoulli(profile.truncate_prob)) {
       // Truncation: a strict prefix crosses the wire; the receiver
       // detects the short payload and NAKs.
-      const uint64_t prefix = 1 + rng_.NextUint64Below(words - 1);
+      const uint64_t prefix = 1 + rng.NextUint64Below(words - 1);
       const uint64_t prefix_bits =
           bits == 0 ? 0 : std::max<uint64_t>(1, bits * prefix / words);
       MeterAttempt(log, from, to, tag, prefix, prefix_bits, attempt,
@@ -156,14 +169,14 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
     // Clean delivery.
     double latency = profile.latency;
     if (profile.latency_jitter > 0.0) {
-      latency *= 1.0 + profile.latency_jitter * rng_.NextDouble();
+      latency *= 1.0 + profile.latency_jitter * rng.NextDouble();
     }
     MeterAttempt(log, from, to, tag, words, bits, attempt,
                  /*truncated=*/false, /*duplicate=*/false);
     out.wire_words += words;
     clock_.Advance(latency);
     AddEvent(FaultEventKind::kDelivered, from, to, tag, attempt, words);
-    if (rng_.NextBernoulli(profile.duplicate_prob)) {
+    if (rng.NextBernoulli(profile.duplicate_prob)) {
       // The network delivers a second copy; the receiver deduplicates,
       // so only the accounting sees it.
       MeterAttempt(log, from, to, tag, words, bits, attempt,

@@ -62,8 +62,13 @@ struct FaultConfig {
   double timeout = 8.0;
   /// Backoff schedule between attempts.
   BackoffPolicy backoff;
-  /// Seed of the injector's RNG stream (decorrelated from protocol
-  /// seeds; protocols draw from their own Rng instances).
+  /// Root seed of the injector's RNG streams (decorrelated from protocol
+  /// seeds; protocols draw from their own Rng instances). Each server's
+  /// channel draws from its own stream derived from (seed, server id), so
+  /// one server's fault schedule is independent of how sends to other
+  /// servers interleave with it — the property that lets protocols
+  /// reorder or parallelize per-server computation without perturbing the
+  /// fault plan.
   uint64_t seed = 0;
 
   const ServerFaultProfile& ProfileFor(int server) const;
@@ -155,10 +160,12 @@ class FaultInjector {
   void MeterAttempt(CommLog& log, int from, int to, std::string_view tag,
                     uint64_t words, uint64_t bits, int attempt,
                     bool truncated, bool duplicate);
+  // The per-server fault stream, lazily seeded from (config seed, id).
+  Rng& RngFor(int server);
 
   FaultConfig config_;
   SimClock clock_;
-  Rng rng_;
+  std::map<int, Rng> server_rngs_;
   std::vector<FaultEvent> events_;
   std::vector<int> lost_;
 };

@@ -1,7 +1,9 @@
 #include "dist/fd_merge_protocol.h"
 
 #include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/quantizer.h"
@@ -22,32 +24,52 @@ StatusOr<FrequentDirections> MakeFd(size_t dim, const FdMergeOptions& opt) {
 StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
   const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
   const bool ft = cluster.fault_mode();
   log.BeginRound();
 
   SketchProtocolResult result;
+  // Validates the options once; the per-server sketches below use the
+  // same parameters and therefore cannot fail.
   DS_ASSIGN_OR_RETURN(FrequentDirections merged, MakeFd(d, options_));
-  for (size_t i = 0; i < cluster.num_servers(); ++i) {
+
+  // Parallel phase: every server compresses its local rows concurrently.
+  // This is pure computation — no sends, no shared state — so the result
+  // slots are bit-identical for any thread count. Local masses are
+  // computed alongside (they are only transmitted in fault mode).
+  struct LocalWork {
+    Matrix sketch;
+    double mass = 0.0;
+  };
+  std::vector<LocalWork> locals = ParallelMap<LocalWork>(s, [&](size_t i) {
+    LocalWork w;
+    auto local = MakeFd(d, options_);
+    DS_CHECK(local.ok());
+    RowStream stream = cluster.server(i).OpenStream();
+    while (stream.HasNext()) local->Append(stream.Next());
+    w.sketch = local->Sketch();
+    if (ft) w.mass = SquaredFrobeniusNorm(cluster.server(i).local_rows());
+    return w;
+  });
+
+  // Serial phase: transfers and the coordinator merge run in server-index
+  // order, so the wire transcript and the merged sketch are independent
+  // of the parallel schedule above.
+  for (size_t i = 0; i < s; ++i) {
     const int id = static_cast<int>(i);
-    double local_mass = 0.0;
     bool mass_reported = false;
     if (ft) {
       // Fault-tolerant runs prepend a 1-word mass report so the
       // coordinator can widen its bound honestly if this server is lost.
-      local_mass = SquaredFrobeniusNorm(cluster.server(i).local_rows());
       if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
-        result.degraded.RecordLoss(id, local_mass, false);
+        result.degraded.RecordLoss(id, locals[i].mass, false);
         continue;
       }
       mass_reported = true;
     }
 
-    DS_ASSIGN_OR_RETURN(FrequentDirections local, MakeFd(d, options_));
-    RowStream stream = cluster.server(i).OpenStream();
-    while (stream.HasNext()) local.Append(stream.Next());
-    Matrix sketch = local.Sketch();
-
+    Matrix sketch = std::move(locals[i].sketch);
     SendOutcome sent;
     if (options_.quantize && sketch.rows() > 0) {
       const double precision = SketchRoundingPrecision(
@@ -63,7 +85,7 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
                           cluster.cost_model().MatrixWords(sketch.rows(), d));
     }
     if (!sent.delivered) {
-      result.degraded.RecordLoss(id, local_mass, mass_reported);
+      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
       continue;
     }
     merged.AppendRows(sketch);

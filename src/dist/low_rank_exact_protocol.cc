@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/pinv.h"
@@ -10,6 +11,67 @@
 #include "workload/row_stream.h"
 
 namespace distsketch {
+
+namespace {
+
+// Per-server local computation: one pass over the local rows building the
+// row basis Q, the projected second moment Z in the orthonormal basis V,
+// and finally G = Q A^T A Q^T. Pure function of the server's partition —
+// runs concurrently across servers.
+struct LowRankLocal {
+  bool overflowed = false;
+  Matrix q;     // selected basis rows (m-by-d)
+  Matrix g;     // projected Gram (m-by-m)
+  double mass = 0.0;
+};
+
+LowRankLocal ComputeLowRankLocal(const Server& server, size_t d,
+                                 size_t max_rank, bool want_mass) {
+  LowRankLocal out;
+  RowBasisBuilder builder(d, max_rank);
+  Matrix z(0, 0);
+  RowStream stream = server.OpenStream();
+  while (stream.HasNext()) {
+    auto row = stream.Next();
+    const size_t old_rank = builder.rank();
+    builder.Offer(row);
+    if (builder.overflowed()) {
+      out.overflowed = true;
+      return out;
+    }
+    const size_t rank = builder.rank();
+    if (rank > old_rank) {
+      // Basis grew: pad Z with a zero row/column (exact, since all
+      // previous rows lie in the old span).
+      Matrix grown(rank, rank);
+      for (size_t a = 0; a < old_rank; ++a) {
+        for (size_t b = 0; b < old_rank; ++b) grown(a, b) = z(a, b);
+      }
+      z = std::move(grown);
+    }
+    if (rank == 0) continue;
+    // Z += (V u)(V u)^T.
+    const std::vector<double> coords =
+        MatVec(builder.orthonormal_basis(), row);
+    for (size_t a = 0; a < rank; ++a) {
+      for (size_t b = 0; b < rank; ++b) {
+        z(a, b) += coords[a] * coords[b];
+      }
+    }
+  }
+
+  out.q = builder.selected_rows();
+  if (out.q.rows() > 0) {
+    // G = Q A^T A Q^T = (Q V^T) Z (Q V^T)^T, computed locally.
+    const Matrix qvt =
+        MultiplyTransposeB(out.q, builder.orthonormal_basis());
+    out.g = Multiply(Multiply(qvt, z), Transpose(qvt));
+  }
+  if (want_mass) out.mass = SquaredFrobeniusNorm(server.local_rows());
+  return out;
+}
+
+}  // namespace
 
 StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
@@ -24,61 +86,36 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
   log.BeginRound();
 
   SketchProtocolResult result;
+  // Parallel phase: every server's basis/projected-Gram pass.
+  std::vector<LowRankLocal> locals =
+      ParallelMap<LowRankLocal>(s, [&](size_t i) {
+        return ComputeLowRankLocal(cluster.server(i), d, max_rank, ft);
+      });
+
+  // Serial phase: transfers and the coordinator-side accumulation, in
+  // server-index order. The overflow error is raised at the same point
+  // of the transcript as the old interleaved loop: after this server's
+  // mass report, before any of its payload sends.
   Matrix total_cov(d, d);
   for (size_t i = 0; i < s; ++i) {
     const int id = static_cast<int>(i);
-    double local_mass = 0.0;
     bool mass_reported = false;
     if (ft) {
-      local_mass = SquaredFrobeniusNorm(cluster.server(i).local_rows());
       if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
-        result.degraded.RecordLoss(id, local_mass, false);
+        result.degraded.RecordLoss(id, locals[i].mass, false);
         continue;
       }
       mass_reported = true;
     }
-    // One pass: row basis Q, orthonormal side basis V, projected moment
-    // Z = V (A^T A so far) V^T.
-    RowBasisBuilder builder(d, max_rank);
-    Matrix z(0, 0);
-    RowStream stream = cluster.server(i).OpenStream();
-    while (stream.HasNext()) {
-      auto row = stream.Next();
-      const size_t old_rank = builder.rank();
-      builder.Offer(row);
-      if (builder.overflowed()) {
-        return Status::FailedPrecondition(
-            "LowRankExactProtocol: local rank exceeds 2k; use the rounding "
-            "path (§3.3 case 2)");
-      }
-      const size_t rank = builder.rank();
-      if (rank > old_rank) {
-        // Basis grew: pad Z with a zero row/column (exact, since all
-        // previous rows lie in the old span).
-        Matrix grown(rank, rank);
-        for (size_t a = 0; a < old_rank; ++a) {
-          for (size_t b = 0; b < old_rank; ++b) grown(a, b) = z(a, b);
-        }
-        z = std::move(grown);
-      }
-      if (rank == 0) continue;
-      // Z += (V u)(V u)^T.
-      const std::vector<double> coords =
-          MatVec(builder.orthonormal_basis(), row);
-      for (size_t a = 0; a < rank; ++a) {
-        for (size_t b = 0; b < rank; ++b) {
-          z(a, b) += coords[a] * coords[b];
-        }
-      }
+    if (locals[i].overflowed) {
+      return Status::FailedPrecondition(
+          "LowRankExactProtocol: local rank exceeds 2k; use the rounding "
+          "path (§3.3 case 2)");
     }
 
-    const Matrix& q = builder.selected_rows();
+    const Matrix& q = locals[i].q;
     const size_t m = q.rows();
     if (m == 0) continue;
-
-    // G = Q A^T A Q^T = (Q V^T) Z (Q V^T)^T, computed locally.
-    const Matrix qvt = MultiplyTransposeB(q, builder.orthonormal_basis());
-    const Matrix g = Multiply(Multiply(qvt, z), Transpose(qvt));
 
     // Wire: the basis rows (original input entries) plus the m-by-m
     // Gram. Both must arrive; losing either discards the contribution.
@@ -88,14 +125,14 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
         !cluster.Send(id, kCoordinator, "projected_gram",
                       cluster.cost_model().MatrixWords(m, m))
              .delivered) {
-      result.degraded.RecordLoss(id, local_mass, mass_reported);
+      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
       continue;
     }
 
     // Coordinator side: A^(i)T A^(i) = Q^+ G Q^{+T}.
     DS_ASSIGN_OR_RETURN(Matrix q_pinv, PseudoInverse(q));
     const Matrix local_cov =
-        Multiply(Multiply(q_pinv, g), Transpose(q_pinv));
+        Multiply(Multiply(q_pinv, locals[i].g), Transpose(q_pinv));
     total_cov = Add(total_cov, local_cov);
   }
 

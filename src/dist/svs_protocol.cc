@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "sketch/svs.h"
 
@@ -16,16 +17,18 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   CommLog& log = cluster.log();
   SketchProtocolResult result;
 
-  // Round 1: local Frobenius masses. The coordinator's global mass (and
-  // therefore the shared sampling function) is built from the reports
-  // that actually arrive; a server lost here never participates and its
-  // mass is unknown.
+  // Round 1: local Frobenius masses, computed concurrently (a full scan
+  // of every server's rows), then reported in server-index order. The
+  // coordinator's global mass (and therefore the shared sampling
+  // function) is built from the reports that actually arrive; a server
+  // lost here never participates and its mass is unknown.
   log.BeginRound();
   double global_mass = 0.0;
-  std::vector<double> masses(s, 0.0);
+  std::vector<double> masses = ParallelMap<double>(s, [&](size_t i) {
+    return SquaredFrobeniusNorm(cluster.server(i).local_rows());
+  });
   std::vector<bool> active(s, false);
   for (size_t i = 0; i < s; ++i) {
-    masses[i] = SquaredFrobeniusNorm(cluster.server(i).local_rows());
     if (cluster.Send(static_cast<int>(i), kCoordinator, "local_mass", 1)
             .delivered) {
       active[i] = true;
@@ -61,15 +64,34 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   DS_ASSIGN_OR_RETURN(std::unique_ptr<SamplingFunction> g,
                       MakeSamplingFunction(options_.kind, params));
 
-  // Round 3: local SVS, sampled rows to the coordinator.
+  // Round 3: local SVS runs concurrently — every server's sampling draws
+  // from its own derived seed, so the sketches are independent of the
+  // schedule — then the sampled rows go to the coordinator in index
+  // order. Inactive servers produce an empty slot and send nothing.
   log.BeginRound();
-  for (size_t i = 0; i < s; ++i) {
-    if (!active[i]) continue;
+  struct SvsSlot {
+    bool ran = false;
+    Status status;
+    SvsResult svs;
+  };
+  std::vector<SvsSlot> slots = ParallelMap<SvsSlot>(s, [&](size_t i) {
+    SvsSlot slot;
+    if (!active[i]) return slot;
     const Matrix& local = cluster.server(i).local_rows();
-    if (local.rows() == 0) continue;
-    DS_ASSIGN_OR_RETURN(
-        SvsResult svs,
-        Svs(local, *g, Rng::DeriveSeed(options_.seed, i)));
+    if (local.rows() == 0) return slot;
+    auto svs = Svs(local, *g, Rng::DeriveSeed(options_.seed, i));
+    slot.status = svs.status();
+    if (svs.ok()) {
+      slot.ran = true;
+      slot.svs = std::move(*svs);
+    }
+    return slot;
+  });
+  for (size_t i = 0; i < s; ++i) {
+    if (!active[i] || cluster.server(i).local_rows().rows() == 0) continue;
+    if (!slots[i].status.ok()) return slots[i].status;
+    if (!slots[i].ran) continue;
+    const SvsResult& svs = slots[i].svs;
     if (svs.sketch.rows() > 0) {
       if (!cluster.Send(static_cast<int>(i), kCoordinator, "svs_rows",
                         cluster.cost_model().MatrixWords(svs.sketch.rows(),

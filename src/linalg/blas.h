@@ -40,6 +40,16 @@ Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b);
 /// upper triangle is evaluated then mirrored).
 Matrix Gram(const Matrix& a);
 
+/// SYRK-style accumulating row Gram: C += alpha * A * A^T, with C an
+/// a.rows()-by-a.rows() matrix that must be symmetric on entry (only the
+/// upper triangle is computed; the lower triangle is mirrored). This is
+/// the kernel behind the Gram-based FD shrink, where the l'-by-l' buffer
+/// Gram replaces a d-column SVD.
+void GramUpdate(const Matrix& a, Matrix& c, double alpha = 1.0);
+
+/// The row Gram matrix A A^T (symmetric a.rows()-by-a.rows()).
+Matrix RowGram(const Matrix& a);
+
 /// y = A * x.
 std::vector<double> MatVec(const Matrix& a, std::span<const double> x);
 

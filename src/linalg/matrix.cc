@@ -39,11 +39,14 @@ void Matrix::AppendRow(std::span<const double> row) {
 
 void Matrix::AppendRows(const Matrix& other) {
   if (other.rows() == 0) return;
-  if (rows_ == 0) {
+  if (rows_ == 0 && RowCapacity() == 0) {
     *this = other;
     return;
   }
   DS_CHECK(other.cols() == cols_);
+  // Exact reserve: one allocation instead of the geometric growth
+  // overshoot when merging large row blocks.
+  data_.reserve(data_.size() + other.data_.size());
   data_.insert(data_.end(), other.data_.begin(), other.data_.end());
   rows_ += other.rows_;
 }

@@ -73,6 +73,16 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Reserves storage for `rows` total rows at the current column count,
+  /// so subsequent AppendRow/AppendRows calls up to that size never
+  /// reallocate. No-op while the column count is still 0.
+  void Reserve(size_t rows) { data_.reserve(rows * cols_); }
+
+  /// Rows the current storage can hold without reallocating.
+  size_t RowCapacity() const {
+    return cols_ == 0 ? 0 : data_.capacity() / cols_;
+  }
+
   /// Appends one row (must match cols(); a row appended to an empty matrix
   /// sets the column count).
   void AppendRow(std::span<const double> row);

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "linalg/randomized_svd.h"
+#include "sketch/frequent_directions.h"
 
 namespace distsketch {
 
@@ -15,6 +16,7 @@ FastFrequentDirections::FastFrequentDirections(size_t dim,
   DS_CHECK(dim >= 1);
   DS_CHECK(sketch_size >= 1);
   buffer_.SetZero(0, dim);
+  buffer_.Reserve(2 * sketch_size);
 }
 
 StatusOr<FastFrequentDirections> FastFrequentDirections::FromEpsK(
@@ -42,6 +44,14 @@ void FastFrequentDirections::AppendRows(const Matrix& rows) {
 
 void FastFrequentDirections::Shrink() {
   if (buffer_.rows() <= sketch_size_) return;
+  if (FdUsesGramShrink(dim_, sketch_size_)) {
+    // Gram path: exact spectrum from the 2l-by-2l buffer Gram, never
+    // touching the d dimension — faster than the randomized SVD whenever
+    // d >> l, and deterministic (the seed stream is not consumed).
+    total_shrinkage_ += FdGramShrink(buffer_, sketch_size_);
+    ++shrink_count_;
+    return;
+  }
   // Randomized truncated SVD: we need the top l values (to keep) plus the
   // (l+1)-th (the delta), so ask for l+1 with oversampling.
   RandomizedSvdOptions options;
@@ -59,6 +69,7 @@ void FastFrequentDirections::Shrink() {
 
   const size_t keep = std::min<size_t>(sketch_size_, sigma.size());
   Matrix next(0, dim_);
+  next.Reserve(2 * sketch_size_);
   std::vector<double> scaled_row(dim_);
   for (size_t j = 0; j < keep; ++j) {
     const double s2 = sigma[j] * sigma[j] - delta;

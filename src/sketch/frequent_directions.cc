@@ -1,17 +1,96 @@
 #include "sketch/frequent_directions.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "linalg/blas.h"
+#include "linalg/eigen_sym.h"
 #include "linalg/svd.h"
 
 namespace distsketch {
+
+namespace {
+
+std::atomic<FdShrinkKernel> g_fd_shrink_kernel{FdShrinkKernel::kAuto};
+
+}  // namespace
+
+void SetFdShrinkKernel(FdShrinkKernel kernel) {
+  g_fd_shrink_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+FdShrinkKernel GetFdShrinkKernel() {
+  return g_fd_shrink_kernel.load(std::memory_order_relaxed);
+}
+
+bool FdUsesGramShrink(size_t dim, size_t sketch_size) {
+  switch (GetFdShrinkKernel()) {
+    case FdShrinkKernel::kGramEigen:
+      return true;
+    case FdShrinkKernel::kJacobiSvd:
+      return false;
+    case FdShrinkKernel::kAuto:
+      break;
+  }
+  return dim > 2 * sketch_size;
+}
+
+double FdGramShrink(Matrix& buffer, size_t sketch_size) {
+  const size_t m = buffer.rows();
+  const size_t dim = buffer.cols();
+  DS_CHECK(m > sketch_size);
+
+  // G = B B^T is m-by-m with m <= 2l, so the eigensolve never sees the
+  // d-dimension. lambda_j = sigma_j^2, and the j-th right singular row is
+  // sigma_j v_j^T = u_j^T B / sigma_j scaled back by the shrunk value.
+  const Matrix g = RowGram(buffer);
+  auto eig = ComputeSymmetricEigen(g);
+  DS_CHECK(eig.ok());
+  const auto& lambda = eig->eigenvalues;
+
+  const double delta =
+      (lambda.size() > sketch_size) ? std::max(lambda[sketch_size], 0.0) : 0.0;
+
+  // Keep rows while lambda_j - delta > 0. Guard against eigenvalues that
+  // are numerically zero relative to the spectrum top: dividing by them
+  // would blow up u_j^T B / sigma_j.
+  const double lambda_floor =
+      (lambda.empty() ? 0.0 : std::max(lambda[0], 0.0)) * 1e-30;
+  size_t keep = 0;
+  while (keep < std::min(sketch_size, lambda.size()) &&
+         lambda[keep] - delta > 0.0 && lambda[keep] > lambda_floor) {
+    ++keep;
+  }
+
+  Matrix next(0, dim);
+  next.Reserve(2 * sketch_size);
+  if (keep > 0) {
+    // W = U_keep^T B (keep-by-d), computed in one pass; row j is then
+    // scaled by sqrt((lambda_j - delta) / lambda_j) so its norm becomes
+    // sqrt(lambda_j - delta) — exactly the shrunk singular row.
+    Matrix u_keep(m, keep);
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t j = 0; j < keep; ++j) u_keep(r, j) = eig->eigenvectors(r, j);
+    }
+    Matrix w = MultiplyTransposeA(u_keep, buffer);
+    for (size_t j = 0; j < keep; ++j) {
+      w.ScaleRow(j, std::sqrt((lambda[j] - delta) / lambda[j]));
+    }
+    next.AppendRows(w);
+  }
+  buffer = std::move(next);
+  return delta;
+}
 
 FrequentDirections::FrequentDirections(size_t dim, size_t sketch_size)
     : dim_(dim), sketch_size_(sketch_size) {
   DS_CHECK(dim >= 1);
   DS_CHECK(sketch_size >= 1);
   buffer_.SetZero(0, dim);
+  // The buffer tops out at 2*sketch_size rows; one up-front reservation
+  // removes every per-row reallocation on the append path.
+  buffer_.Reserve(2 * sketch_size);
 }
 
 StatusOr<FrequentDirections> FrequentDirections::FromEpsK(size_t dim,
@@ -56,6 +135,13 @@ void FrequentDirections::Merge(const FrequentDirections& other) {
 
 void FrequentDirections::Shrink() {
   if (buffer_.rows() <= sketch_size_) return;
+
+  if (FdUsesGramShrink(dim_, sketch_size_)) {
+    total_shrinkage_ += FdGramShrink(buffer_, sketch_size_);
+    ++shrink_count_;
+    return;
+  }
+
   auto svd = ComputeSvd(buffer_);
   DS_CHECK(svd.ok());
   auto& sigma = svd->singular_values;
@@ -72,6 +158,7 @@ void FrequentDirections::Shrink() {
   const size_t keep =
       std::min<size_t>(sketch_size_, sigma.size());
   Matrix next(0, dim_);
+  next.Reserve(2 * sketch_size_);
   std::vector<double> scaled_row(dim_);
   for (size_t j = 0; j < keep; ++j) {
     const double s2 = sigma[j] * sigma[j] - delta;

@@ -10,6 +10,39 @@
 
 namespace distsketch {
 
+/// Which numeric kernel the FD shrink step uses.
+///
+/// The shrink needs the spectrum of the 2l-row buffer B. The classic path
+/// runs a one-sided Jacobi SVD over the full l'-by-d buffer; the Gram path
+/// instead eigendecomposes the l'-by-l' Gram G = B B^T and recovers
+/// sigma_j = sqrt(lambda_j) and the scaled right singular vectors as
+/// rows of Sigma^+ U^T B — an O(l'^2 d + l'^3) step that never touches a
+/// d-column Jacobi sweep, so it wins whenever d >> l'. Both kernels leave
+/// B^T B unchanged up to the same delta-subtraction, so the FD guarantee
+/// is identical (see DESIGN.md).
+enum class FdShrinkKernel : int {
+  /// Gram path when d > 2 * sketch_size, Jacobi SVD otherwise (default).
+  kAuto = 0,
+  /// Always the Gram/eigendecomposition path.
+  kGramEigen = 1,
+  /// Always the full Jacobi SVD of the buffer (the pre-optimization path;
+  /// kept selectable for A/B runs).
+  kJacobiSvd = 2,
+};
+
+/// Process-wide shrink-kernel toggle (A/B testing hook; benches sweep it).
+void SetFdShrinkKernel(FdShrinkKernel kernel);
+FdShrinkKernel GetFdShrinkKernel();
+
+/// True iff the current toggle routes a dim-`dim` sketch of size
+/// `sketch_size` through the Gram shrink path.
+bool FdUsesGramShrink(size_t dim, size_t sketch_size);
+
+/// In-place Gram-path shrink: reduces `buffer` (more than `sketch_size`
+/// rows) to at most `sketch_size` rows of sqrt(Sigma^2 - delta I) V^T and
+/// returns the subtracted delta = sigma_{sketch_size+1}^2. Deterministic.
+double FdGramShrink(Matrix& buffer, size_t sketch_size);
+
 /// Frequent Directions streaming covariance sketch (Liberty [27], with the
 /// improved analysis of Ghashami-Phillips [16]; paper Theorem 1).
 ///

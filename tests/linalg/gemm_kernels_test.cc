@@ -1,0 +1,219 @@
+// Correctness of the blocked/register-tiled GEMM kernels against a naive
+// triple-loop reference, on random and adversarial (rank-deficient,
+// badly scaled, odd-shaped) inputs. The blocked kernels accumulate in a
+// different order than the naive loops, so comparisons are tolerance
+// based; the tolerance is scaled by the magnitudes involved.
+
+#include <cmath>
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/matrix.h"
+
+namespace distsketch {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed,
+                    double scale = 1.0) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = scale * rng.NextGaussian();
+  }
+  return m;
+}
+
+// Rank-r matrix: product of two random factors.
+Matrix RankDeficientMatrix(size_t rows, size_t cols, size_t rank,
+                           uint64_t seed) {
+  return Multiply(RandomMatrix(rows, rank, seed),
+                  RandomMatrix(rank, cols, seed + 1));
+}
+
+Matrix NaiveMultiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix NaiveMultiplyTransposeA(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.rows(); ++k) acc += a(k, i) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix NaiveRowGram(const Matrix& a) {
+  Matrix g(a.rows(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.rows(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * a(j, k);
+      g(i, j) = acc;
+    }
+  }
+  return g;
+}
+
+Matrix NaiveGram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.rows(); ++k) acc += a(k, i) * a(k, j);
+      g(i, j) = acc;
+    }
+  }
+  return g;
+}
+
+void ExpectClose(const Matrix& got, const Matrix& want,
+                 const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  const double scale = std::max(1.0, MaxAbs(want));
+  for (size_t i = 0; i < got.rows(); ++i) {
+    for (size_t j = 0; j < got.cols(); ++j) {
+      EXPECT_NEAR(got(i, j), want(i, j), 1e-10 * scale)
+          << what << " at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// Shapes chosen to cover every remainder path of the blocked kernels:
+// exact multiples of the 64-wide k block and the 2/4-way unrolls, one
+// off either side, tiny, and degenerate single-row/column.
+struct Shape {
+  size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {2, 2, 2},    {3, 5, 7},    {4, 64, 4},  {5, 63, 9},
+    {8, 65, 8},  {7, 128, 3},  {16, 130, 16}, {1, 200, 1}, {33, 67, 29},
+};
+
+TEST(GemmKernelsTest, MultiplyMatchesNaiveOnRandomInputs) {
+  for (const Shape& sh : kShapes) {
+    const Matrix a = RandomMatrix(sh.m, sh.k, 100 + sh.m);
+    const Matrix b = RandomMatrix(sh.k, sh.n, 200 + sh.n);
+    ExpectClose(Multiply(a, b), NaiveMultiply(a, b), "Multiply");
+  }
+}
+
+TEST(GemmKernelsTest, MultiplyTransposeAMatchesNaive) {
+  for (const Shape& sh : kShapes) {
+    const Matrix a = RandomMatrix(sh.k, sh.m, 300 + sh.m);
+    const Matrix b = RandomMatrix(sh.k, sh.n, 400 + sh.n);
+    ExpectClose(MultiplyTransposeA(a, b), NaiveMultiplyTransposeA(a, b),
+                "MultiplyTransposeA");
+  }
+}
+
+TEST(GemmKernelsTest, GramMatchesNaiveAndIsSymmetric) {
+  for (const Shape& sh : kShapes) {
+    const Matrix a = RandomMatrix(sh.k, sh.n, 500 + sh.n);
+    const Matrix g = Gram(a);
+    ExpectClose(g, NaiveGram(a), "Gram");
+    for (size_t i = 0; i < g.rows(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        EXPECT_EQ(g(i, j), g(j, i)) << "Gram symmetry (" << i << "," << j
+                                    << ")";
+      }
+    }
+  }
+}
+
+TEST(GemmKernelsTest, RowGramMatchesNaiveAndIsSymmetric) {
+  for (const Shape& sh : kShapes) {
+    const Matrix a = RandomMatrix(sh.m, sh.k, 600 + sh.m);
+    const Matrix g = RowGram(a);
+    ExpectClose(g, NaiveRowGram(a), "RowGram");
+    for (size_t i = 0; i < g.rows(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        EXPECT_EQ(g(i, j), g(j, i)) << "RowGram symmetry (" << i << ","
+                                    << j << ")";
+      }
+    }
+  }
+}
+
+TEST(GemmKernelsTest, GramUpdateAccumulatesWithAlpha) {
+  const Matrix a = RandomMatrix(9, 65, 7);
+  const Matrix b = RandomMatrix(9, 33, 8);
+  // C = 2*A A^T + 0.5*B B^T via two accumulating updates.
+  Matrix c(9, 9);
+  GramUpdate(a, c, 2.0);
+  GramUpdate(b, c, 0.5);
+  Matrix want(9, 9);
+  const Matrix ga = NaiveRowGram(a);
+  const Matrix gb = NaiveRowGram(b);
+  for (size_t i = 0; i < 9; ++i) {
+    for (size_t j = 0; j < 9; ++j) {
+      want(i, j) = 2.0 * ga(i, j) + 0.5 * gb(i, j);
+    }
+  }
+  ExpectClose(c, want, "GramUpdate");
+}
+
+TEST(GemmKernelsTest, RankDeficientInputs) {
+  const Matrix a = RankDeficientMatrix(12, 70, 2, 41);
+  const Matrix b = RankDeficientMatrix(70, 10, 3, 43);
+  ExpectClose(Multiply(a, b), NaiveMultiply(a, b), "Multiply rank-def");
+  ExpectClose(RowGram(a), NaiveRowGram(a), "RowGram rank-def");
+  ExpectClose(Gram(a), NaiveGram(a), "Gram rank-def");
+}
+
+TEST(GemmKernelsTest, BadlyScaledInputs) {
+  // Entries spanning ~16 orders of magnitude; relative tolerance via
+  // MaxAbs scaling must still hold.
+  Matrix a = RandomMatrix(6, 67, 51);
+  Matrix b = RandomMatrix(67, 5, 53);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) *= std::pow(10.0, double(j % 17) - 8.0);
+    }
+  }
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      b(i, j) *= std::pow(10.0, double(i % 13) - 6.0);
+    }
+  }
+  ExpectClose(Multiply(a, b), NaiveMultiply(a, b), "Multiply scaled");
+  // A^T B needs matching row counts: pair `b` with a scaled 67-row mate.
+  Matrix c = RandomMatrix(67, 4, 55);
+  for (size_t i = 0; i < c.rows(); ++i) {
+    for (size_t j = 0; j < c.cols(); ++j) {
+      c(i, j) *= std::pow(10.0, double(i % 11) - 5.0);
+    }
+  }
+  ExpectClose(MultiplyTransposeA(c, b),
+              NaiveMultiplyTransposeA(c, b), "MultiplyTransposeA scaled");
+  ExpectClose(RowGram(a), NaiveRowGram(a), "RowGram scaled");
+}
+
+TEST(GemmKernelsTest, ZeroDimensionEdges) {
+  const Matrix a(0, 5);
+  const Matrix b(5, 0);
+  EXPECT_EQ(Multiply(a, RandomMatrix(5, 3, 61)).rows(), 0u);
+  EXPECT_EQ(Multiply(RandomMatrix(3, 5, 62), b).cols(), 0u);
+  EXPECT_EQ(RowGram(a).rows(), 0u);
+  const Matrix g = Gram(a);
+  EXPECT_EQ(g.rows(), 5u);
+  EXPECT_EQ(MaxAbs(g), 0.0);
+}
+
+}  // namespace
+}  // namespace distsketch
