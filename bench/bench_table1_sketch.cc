@@ -62,7 +62,8 @@ StatusOr<SketchProtocolResult> RunLogged(const char* op, Protocol& protocol,
                            .l = result->sketch_rows,
                            .threads = ThreadPool::GlobalThreads(),
                            .wall_ms = ms,
-                           .words = result->comm.total_words});
+                           .words = result->comm.total_words,
+                           .wire_bytes = result->comm.total_wire_bytes});
   }
   return result;
 }
@@ -220,6 +221,55 @@ void SweepServersEpsK() {
       LogLogSlope(ss, fd_words), LogLogSlope(ss, adaptive_words));
 }
 
+void SweepWireEncoding() {
+  Section(
+      "Wire encoding: quantized vs dense payload bytes  (n=4096, d=64, "
+      "s=16)");
+  const size_t s = 16;
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 4096,
+                                             .cols = 64,
+                                             .rank = 8,
+                                             .decay = 0.7,
+                                             .top_singular_value = 100.0,
+                                             .noise_stddev = 0.5,
+                                             .seed = 4});
+  const auto print = [](const char* algo, const SketchProtocolResult& dense,
+                        const SketchProtocolResult& quant) {
+    std::printf(
+        "  %-16s dense: %llu bytes (%llu bits)  quantized: %llu bytes "
+        "(%llu bits)  ratio=%.2fx\n",
+        algo,
+        static_cast<unsigned long long>(dense.comm.total_wire_bytes),
+        static_cast<unsigned long long>(dense.comm.total_bits),
+        static_cast<unsigned long long>(quant.comm.total_wire_bytes),
+        static_cast<unsigned long long>(quant.comm.total_bits),
+        static_cast<double>(dense.comm.total_wire_bytes) /
+            static_cast<double>(quant.comm.total_wire_bytes));
+  };
+  {
+    const double eps = 0.2;
+    Cluster cluster = MakeCluster(a, s, eps);
+    FdMergeProtocol dense({.eps = eps, .k = 4});
+    FdMergeProtocol quant({.eps = eps, .k = 4, .quantize = true});
+    auto dr = RunLogged("fd_merge_dense_wire", dense, cluster, 4096, 64, s);
+    auto qr = RunLogged("fd_merge_quant_wire", quant, cluster, 4096, 64, s);
+    DS_CHECK(dr.ok() && qr.ok());
+    print("fd_merge", *dr, *qr);
+  }
+  {
+    const double eps = 0.2;
+    Cluster cluster = MakeCluster(a, s, eps);
+    AdaptiveSketchProtocol dense({.eps = eps, .k = 4, .delta = 0.1,
+                                  .seed = 11});
+    AdaptiveSketchProtocol quant({.eps = eps, .k = 4, .delta = 0.1,
+                                  .quantize = true, .seed = 11});
+    auto dr = RunLogged("adaptive_dense_wire", dense, cluster, 4096, 64, s);
+    auto qr = RunLogged("adaptive_quant_wire", quant, cluster, 4096, 64, s);
+    DS_CHECK(dr.ok() && qr.ok());
+    print("adaptive", *dr, *qr);
+  }
+}
+
 }  // namespace
 }  // namespace distsketch
 
@@ -229,6 +279,7 @@ int main() {
   distsketch::SweepServersEpsZero();
   distsketch::SweepEps();
   distsketch::SweepServersEpsK();
+  distsketch::SweepWireEncoding();
   distsketch::Json().Flush();
   std::printf("\nwrote BENCH_sketch.json\n");
   return 0;

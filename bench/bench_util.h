@@ -41,6 +41,9 @@ struct BenchRecord {
   size_t threads = 1;  // global pool size for the run
   double wall_ms = 0;  // wall-clock time of the measured region
   uint64_t words = 0;  // metered communication words (0 for local kernels)
+  // Measured encoded frame bytes that crossed the simulated wire (the
+  // byte-level counterpart of the analytic `words`; 0 for local kernels).
+  uint64_t wire_bytes = 0;
 };
 
 /// Accumulates BenchRecords and merges them into a JSON array on Flush
@@ -91,7 +94,8 @@ class BenchJsonWriter {
       out << "\n  {\"op\": \"" << r.op << "\", \"n\": " << r.n
           << ", \"d\": " << r.d << ", \"s\": " << r.s << ", \"l\": " << r.l
           << ", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
-          << ", \"words\": " << r.words << "}";
+          << ", \"words\": " << r.words
+          << ", \"wire_bytes\": " << r.wire_bytes << "}";
     }
     out << "\n]\n";
     records_.clear();

@@ -61,30 +61,44 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
     masses[i] = locals[i].mass;
     bool mass_reported = false;
     if (ft) {
-      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+      SendOutcome mass_sent = cluster.Send(
+          id, kCoordinator, wire::ScalarMessage("local_mass", masses[i]));
+      if (!mass_sent.delivered) {
         result.degraded.RecordLoss(id, masses[i], false);
         continue;
       }
       mass_reported = true;
     }
-    if (cluster.Send(id, kCoordinator, "tail_mass", 1).delivered) {
+    SendOutcome tail_sent = cluster.Send(
+        id, kCoordinator,
+        wire::ScalarMessage("tail_mass", locals[i].tail_mass));
+    if (tail_sent.delivered) {
       active[i] = true;
-      global_tail_mass += locals[i].tail_mass;
+      DS_ASSIGN_OR_RETURN(const double reported,
+                          wire::DecodeScalarPayload(tail_sent.payload));
+      global_tail_mass += reported;
     } else {
       result.degraded.RecordLoss(id, masses[i], mass_reported);
     }
   }
 
-  // Round 2: broadcast the global tail mass (fixes g everywhere).
+  // Round 2: broadcast the global tail mass (fixes g everywhere). Each
+  // server compresses against the value it decoded off the wire.
   log.BeginRound();
+  std::vector<double> received_tail(s, 0.0);
   for (size_t i = 0; i < s; ++i) {
     if (!active[i]) continue;
-    if (!cluster.Send(kCoordinator, static_cast<int>(i), "global_tail_mass",
-                      1)
-             .delivered) {
+    SendOutcome sent = cluster.Send(
+        kCoordinator, static_cast<int>(i),
+        wire::ScalarMessage("global_tail_mass", global_tail_mass));
+    if (!sent.delivered) {
       active[i] = false;
       result.degraded.RecordLoss(static_cast<int>(i), masses[i], ft);
+      continue;
     }
+    DS_ASSIGN_OR_RETURN(received_tail[i],
+                        wire::DecodeScalarPayload(sent.payload));
+    DS_CHECK(received_tail[i] == global_tail_mass);
   }
 
   // Round 3: every active server compresses its tail against the global
@@ -101,7 +115,7 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
         CompressSlot slot;
         if (!active[i]) return slot;
         auto q = locals[i].sketch->CompressWithGlobalTailMass(
-            global_tail_mass, s, options_.delta, options_.kind);
+            received_tail[i], s, options_.delta, options_.kind);
         slot.status = q.status();
         if (q.ok()) slot.q = std::move(*q);
         return slot;
@@ -110,26 +124,29 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
     if (!active[i]) continue;
     const int id = static_cast<int>(i);
     if (!compressed[i].status.ok()) return compressed[i].status;
-    Matrix q_i = std::move(compressed[i].q);
+    const Matrix& q_i = compressed[i].q;
     if (q_i.rows() == 0) continue;
-    SendOutcome sent;
+    wire::Message msg;
     if (options_.quantize) {
       const double precision =
           SketchRoundingPrecision(cluster.total_rows(), d, options_.eps);
       DS_ASSIGN_OR_RETURN(QuantizeResult qr, QuantizeMatrix(q_i, precision));
-      sent = cluster.Send(id, kCoordinator, "local_q_sketch_q",
-                          cluster.cost_model().BitsToWords(qr.total_bits),
-                          qr.total_bits);
-      q_i = std::move(qr.matrix);
+      DS_ASSIGN_OR_RETURN(
+          msg, wire::QuantizedMessage("local_q_sketch_q", qr,
+                                      cluster.cost_model().bits_per_word()));
+      DS_CHECK(msg.words == cluster.cost_model().BitsToWords(qr.total_bits));
     } else {
-      sent = cluster.Send(id, kCoordinator, "local_q_sketch",
-                          cluster.cost_model().MatrixWords(q_i.rows(), d));
+      msg = wire::DenseMessage("local_q_sketch", q_i);
+      DS_CHECK(msg.words == cluster.cost_model().MatrixWords(q_i.rows(), d));
     }
+    SendOutcome sent = cluster.Send(id, kCoordinator, msg);
     if (!sent.delivered) {
       result.degraded.RecordLoss(id, masses[i], ft);
       continue;
     }
-    result.sketch.AppendRows(q_i);
+    DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
+                        wire::DecodeMessagePayload(sent.payload));
+    result.sketch.AppendRows(received.matrix);
   }
 
   if (options_.recompress && result.sketch.rows() > 0) {

@@ -33,17 +33,12 @@ StatusOr<AdditiveCluster> AdditiveCluster::Create(std::vector<Matrix> shares,
   return AdditiveCluster(std::move(shares), rows, dim, cost_model);
 }
 
-SendOutcome AdditiveCluster::Send(int from, int to, std::string tag,
-                                  uint64_t words, uint64_t bits) {
+SendOutcome AdditiveCluster::Send(int from, int to,
+                                  const wire::Message& msg) {
   if (faults_) {
-    return faults_->Send(log_, from, to, std::move(tag), words, bits);
+    return faults_->Send(log_, from, to, msg);
   }
-  log_.Record(from, to, std::move(tag), words, bits);
-  SendOutcome out;
-  out.delivered = true;
-  out.attempts = 1;
-  out.wire_words = words;
-  return out;
+  return SendOverIdealWire(log_, from, to, msg);
 }
 
 Matrix AdditiveCluster::AssembleGroundTruth() const {
@@ -79,21 +74,28 @@ StatusOr<AdditiveSketchResult> RunAdditiveCountSketch(
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
 
-  // Round 1: the shared seed. A server that never receives it cannot
-  // contribute, and in the additive model a missing share is fatal (the
-  // cross terms of A^T A are unbounded by any local quantity).
+  // Round 1: the shared seed, carried as one encoded word. A server
+  // that never receives it cannot contribute, and in the additive model
+  // a missing share is fatal (the cross terms of A^T A are unbounded by
+  // any local quantity).
   log.BeginRound();
+  std::vector<uint64_t> received_seeds(s, 0);
   for (size_t i = 0; i < s; ++i) {
-    if (!cluster.Send(kCoordinator, static_cast<int>(i), "countsketch_seed", 1)
-             .delivered) {
+    SendOutcome sent =
+        cluster.Send(kCoordinator, static_cast<int>(i),
+                     wire::SeedMessage("countsketch_seed", options.seed));
+    if (!sent.delivered) {
       return Status::Unavailable(
           "RunAdditiveCountSketch: share " + std::to_string(i) +
           " permanently lost; the additive sum is unrecoverable");
     }
+    DS_ASSIGN_OR_RETURN(received_seeds[i],
+                        wire::DecodeSeedPayload(sent.payload));
   }
 
-  // Round 2: each server compresses its share with the SAME S and sends
-  // the m-by-d result; the coordinator sums (linearity of S).
+  // Round 2: each server compresses its share with the SAME S (built
+  // from the seed it decoded off the wire) and sends the m-by-d result;
+  // the coordinator sums what it decodes (linearity of S).
   log.BeginRound();
   DS_ASSIGN_OR_RETURN(CountSketchCompressor reference,
                       CountSketchCompressor::FromEps(
@@ -102,19 +104,23 @@ StatusOr<AdditiveSketchResult> RunAdditiveCountSketch(
   const size_t m = reference.buckets();
   Matrix total(m, d);
   for (size_t i = 0; i < s; ++i) {
-    CountSketchCompressor local(m, d, options.seed);
+    CountSketchCompressor local(m, d, received_seeds[i]);
     const Matrix& share = cluster.share(i);
     for (size_t r = 0; r < share.rows(); ++r) {
       local.Absorb(r, share.Row(r));
     }
-    if (!cluster.Send(static_cast<int>(i), kCoordinator, "compressed_share",
-                      cluster.cost_model().MatrixWords(m, d))
-             .delivered) {
+    wire::Message msg =
+        wire::DenseMessage("compressed_share", local.compressed());
+    DS_CHECK(msg.words == cluster.cost_model().MatrixWords(m, d));
+    SendOutcome sent = cluster.Send(static_cast<int>(i), kCoordinator, msg);
+    if (!sent.delivered) {
       return Status::Unavailable(
           "RunAdditiveCountSketch: share " + std::to_string(i) +
           " permanently lost; the additive sum is unrecoverable");
     }
-    total = Add(total, local.compressed());
+    DS_ASSIGN_OR_RETURN(wire::DecodedMatrix compressed,
+                        wire::DecodeMessagePayload(sent.payload));
+    total = Add(total, compressed.matrix);
   }
 
   AdditiveSketchResult result;
@@ -132,14 +138,18 @@ StatusOr<AdditiveSketchResult> RunAdditiveExact(AdditiveCluster& cluster) {
 
   Matrix sum(cluster.rows(), d);
   for (size_t i = 0; i < s; ++i) {
-    if (!cluster.Send(static_cast<int>(i), kCoordinator, "raw_share",
-                      cluster.cost_model().MatrixWords(cluster.rows(), d))
-             .delivered) {
+    wire::Message msg = wire::DenseMessage("raw_share", cluster.share(i));
+    DS_CHECK(msg.words ==
+             cluster.cost_model().MatrixWords(cluster.rows(), d));
+    SendOutcome sent = cluster.Send(static_cast<int>(i), kCoordinator, msg);
+    if (!sent.delivered) {
       return Status::Unavailable(
           "RunAdditiveExact: share " + std::to_string(i) +
           " permanently lost; the additive sum is unrecoverable");
     }
-    sum = Add(sum, cluster.share(i));
+    DS_ASSIGN_OR_RETURN(wire::DecodedMatrix share,
+                        wire::DecodeMessagePayload(sent.payload));
+    sum = Add(sum, share.matrix);
   }
   DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
                       ComputeSymmetricEigen(Gram(sum)));

@@ -55,10 +55,9 @@ class AdditiveCluster {
   const FaultInjector* faults() const { return faults_ ? &*faults_ : nullptr; }
   bool ServerLost(int i) const { return faults_ && faults_->IsLost(i); }
 
-  /// Routes one logical transfer through the fault simulation (or
-  /// directly into the log when no plan is installed).
-  SendOutcome Send(int from, int to, std::string tag, uint64_t words,
-                   uint64_t bits = 0);
+  /// Routes one logical transfer of encoded bytes through the fault
+  /// simulation (or over the ideal wire when no plan is installed).
+  SendOutcome Send(int from, int to, const wire::Message& msg);
 
   /// The assembled A = sum_i A^(i) (test/bench oracle).
   Matrix AssembleGroundTruth() const;

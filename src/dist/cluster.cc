@@ -36,17 +36,11 @@ StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
   return Cluster(std::move(servers), dim, total_rows, cost_model);
 }
 
-SendOutcome Cluster::Send(int from, int to, std::string tag, uint64_t words,
-                          uint64_t bits) {
+SendOutcome Cluster::Send(int from, int to, const wire::Message& msg) {
   if (faults_) {
-    return faults_->Send(log_, from, to, std::move(tag), words, bits);
+    return faults_->Send(log_, from, to, msg);
   }
-  log_.Record(from, to, std::move(tag), words, bits);
-  SendOutcome out;
-  out.delivered = true;
-  out.attempts = 1;
-  out.wire_words = words;
-  return out;
+  return SendOverIdealWire(log_, from, to, msg);
 }
 
 Matrix Cluster::AssembleGroundTruth() const {

@@ -91,12 +91,13 @@ class Cluster {
   /// True iff the fault simulation has declared server `i` lost.
   bool ServerLost(int i) const { return faults_ && faults_->IsLost(i); }
 
-  /// Routes one logical transfer: through the fault simulation when a
-  /// plan is installed, directly into the log otherwise. Protocols must
-  /// use this (not log().Record) for every payload so faults and retry
-  /// accounting apply uniformly.
-  SendOutcome Send(int from, int to, std::string tag, uint64_t words,
-                   uint64_t bits = 0);
+  /// Routes one logical transfer of encoded bytes: through the fault
+  /// simulation when a plan is installed, over the ideal wire otherwise.
+  /// Either way the message is framed, checksummed, and decoded on the
+  /// receiving side (outcome.payload). Protocols must use this (not
+  /// log().Record) for every payload so faults, retry accounting and
+  /// wire-byte metering apply uniformly.
+  SendOutcome Send(int from, int to, const wire::Message& msg);
 
   /// Reassembles the full input [A^(1); ...; A^(s)] (test/bench oracle —
   /// a real coordinator never sees this).

@@ -7,13 +7,14 @@ namespace distsketch {
 int CommLog::BeginRound() { return ++round_; }
 
 void CommLog::Record(int from, int to, std::string tag, uint64_t words,
-                     uint64_t bits) {
+                     uint64_t bits, uint64_t wire_bytes) {
   MessageRecord rec;
   rec.from = from;
   rec.to = to;
   rec.tag = std::move(tag);
   rec.words = words;
   rec.bits = (bits == 0) ? words * bits_per_word_ : bits;
+  rec.wire_bytes = wire_bytes;
   rec.round = round_;
   messages_.push_back(std::move(rec));
 }
@@ -36,6 +37,7 @@ CommStats CommLog::Stats() const {
   for (const auto& m : messages_) {
     s.total_words += m.words;
     s.total_bits += m.bits;
+    s.total_wire_bytes += m.wire_bytes;
     ++s.num_messages;
     if (m.attempt == 0 && !m.duplicate) {
       s.first_attempt_words += m.words;

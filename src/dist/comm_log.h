@@ -20,6 +20,10 @@ struct MessageRecord {
   uint64_t words = 0;
   /// Exact payload bits (words * bits_per_word unless quantised).
   uint64_t bits = 0;
+  /// Bytes of the encoded frame that crossed the wire for this record
+  /// (header + tag + payload; 0 for records metered without a real
+  /// encoded message, e.g. analytic-only paths).
+  uint64_t wire_bytes = 0;
   /// Communication round the message belongs to.
   int round = 0;
   /// Wire attempt index of the logical message this record meters:
@@ -28,6 +32,9 @@ struct MessageRecord {
   /// True if the payload was cut short on the wire (words below the
   /// full payload size; the receiver discards and NAKs).
   bool truncated = false;
+  /// True if payload bytes were flipped in flight (the receiver detects
+  /// the checksum mismatch, discards and NAKs).
+  bool corrupted = false;
   /// True for a network-duplicated copy of an already delivered message.
   bool duplicate = false;
   /// Virtual send time (0 when no fault simulation is installed).
@@ -41,6 +48,9 @@ struct MessageRecord {
 struct CommStats {
   uint64_t total_words = 0;
   uint64_t total_bits = 0;
+  /// Total encoded frame bytes that crossed the wire (the measured
+  /// counterpart of the analytic `total_words`).
+  uint64_t total_wire_bytes = 0;
   uint64_t num_messages = 0;
   int num_rounds = 0;
   /// Words metered by the first wire attempt of each logical message.
@@ -66,9 +76,10 @@ class CommLog {
 
   /// Meters one message of `words` words. `bits` overrides the default
   /// words*bits_per_word (used by quantised payloads); pass 0 to use the
-  /// default.
+  /// default. `wire_bytes` is the encoded frame size when the caller
+  /// sent real bytes (0 for analytic-only records).
   void Record(int from, int to, std::string tag, uint64_t words,
-              uint64_t bits = 0);
+              uint64_t bits = 0, uint64_t wire_bytes = 0);
 
   /// Meters a coordinator broadcast to `num_servers` servers (s
   /// point-to-point copies of the payload).

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
@@ -38,19 +39,27 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
     const int id = static_cast<int>(i);
     bool mass_reported = false;
     if (ft) {
-      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+      SendOutcome mass_sent = cluster.Send(
+          id, kCoordinator,
+          wire::ScalarMessage("local_mass", locals[i].mass));
+      if (!mass_sent.delivered) {
         result.degraded.RecordLoss(id, locals[i].mass, false);
         continue;
       }
       mass_reported = true;
     }
-    // Symmetric payload: upper triangle only.
-    if (!cluster.Send(id, kCoordinator, "local_gram", d * (d + 1) / 2)
-             .delivered) {
+    // Symmetric payload: upper triangle only, packed as a flat row so
+    // the measured wire words equal the analytic d(d+1)/2.
+    wire::Message msg = wire::SymmetricMessage("local_gram", locals[i].gram);
+    DS_CHECK(msg.words == d * (d + 1) / 2);
+    SendOutcome sent = cluster.Send(id, kCoordinator, msg);
+    if (!sent.delivered) {
       result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
       continue;
     }
-    total_gram = Add(total_gram, locals[i].gram);
+    DS_ASSIGN_OR_RETURN(Matrix received,
+                        wire::DecodeSymmetricPayload(sent.payload, d));
+    total_gram = Add(total_gram, received);
   }
 
   // Coordinator: B = sqrt(Lambda) V^T from the eigendecomposition.

@@ -4,12 +4,14 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "wire/frame.h"
 
 namespace distsketch {
 
 bool ServerFaultProfile::CanFault() const {
   return drop_prob > 0.0 || duplicate_prob > 0.0 || truncate_prob > 0.0 ||
-         transient_fail_prob > 0.0 || die_at_time != kNeverDies;
+         corrupt_prob > 0.0 || transient_fail_prob > 0.0 ||
+         die_at_time != kNeverDies;
 }
 
 const ServerFaultProfile& FaultConfig::ProfileFor(int server) const {
@@ -43,6 +45,8 @@ std::string_view FaultEventKindToString(FaultEventKind kind) {
       return "backoff";
     case FaultEventKind::kGaveUp:
       return "gave_up";
+    case FaultEventKind::kCorrupted:
+      return "corrupted";
   }
   return "unknown";
 }
@@ -92,25 +96,30 @@ void FaultInjector::AddEvent(FaultEventKind kind, int from, int to,
 
 void FaultInjector::MeterAttempt(CommLog& log, int from, int to,
                                  std::string_view tag, uint64_t words,
-                                 uint64_t bits, int attempt, bool truncated,
-                                 bool duplicate) {
+                                 uint64_t bits, uint64_t wire_bytes,
+                                 int attempt, bool truncated, bool duplicate,
+                                 bool corrupted) {
   MessageRecord rec;
   rec.from = from;
   rec.to = to;
   rec.tag = std::string(tag);
   rec.words = words;
   rec.bits = bits;
+  rec.wire_bytes = wire_bytes;
   rec.attempt = attempt;
   rec.truncated = truncated;
   rec.duplicate = duplicate;
+  rec.corrupted = corrupted;
   rec.time = clock_.Now();
   log.RecordDetailed(std::move(rec));
 }
 
 SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
-                                std::string tag, uint64_t words,
-                                uint64_t bits) {
+                                const wire::Message& msg) {
   SendOutcome out;
+  const std::string& tag = msg.tag;
+  const uint64_t words = msg.words;
+  const uint64_t bits = msg.bits;
   // The fault domain is the server endpoint of the channel; the
   // coordinator itself never fails in the paper's model.
   const int server = (from == kCoordinator) ? to : from;
@@ -142,49 +151,97 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
       clock_.Advance(config_.timeout);
       continue;
     }
+
+    // The bytes this attempt puts on the wire: a fresh frame per attempt
+    // (the attempt counter is part of the header).
+    wire::Frame frame;
+    frame.tag = tag;
+    frame.from = from;
+    frame.to = to;
+    frame.attempt = static_cast<uint32_t>(attempt);
+    frame.payload = msg.payload;
+    std::vector<uint8_t> buffer = wire::EncodeFrame(frame);
+
     if (rng.NextBernoulli(profile.drop_prob)) {
       // Whole payload lost in flight: the words crossed the wire and are
       // metered, but never acked.
-      MeterAttempt(log, from, to, tag, words, bits, attempt,
-                   /*truncated=*/false, /*duplicate=*/false);
+      MeterAttempt(log, from, to, tag, words, bits, buffer.size(), attempt,
+                   /*truncated=*/false, /*duplicate=*/false,
+                   /*corrupted=*/false);
       out.wire_words += words;
+      out.wire_bytes += buffer.size();
       AddEvent(FaultEventKind::kDropped, from, to, tag, attempt, words);
       clock_.Advance(config_.timeout);
       continue;
     }
     if (words > 1 && rng.NextBernoulli(profile.truncate_prob)) {
-      // Truncation: a strict prefix crosses the wire; the receiver
-      // detects the short payload and NAKs.
+      // Truncation: a strict byte prefix of the frame crosses the wire.
+      // The word draw keeps the metering identical to the analytic
+      // model; the byte cut is proportional, and the receiver detects
+      // the mangled frame (short header or length mismatch) and NAKs.
       const uint64_t prefix = 1 + rng.NextUint64Below(words - 1);
       const uint64_t prefix_bits =
           bits == 0 ? 0 : std::max<uint64_t>(1, bits * prefix / words);
-      MeterAttempt(log, from, to, tag, prefix, prefix_bits, attempt,
-                   /*truncated=*/true, /*duplicate=*/false);
+      const size_t kept = static_cast<size_t>(std::clamp<uint64_t>(
+          buffer.size() * prefix / words, 1, buffer.size() - 1));
+      buffer.resize(kept);
+      DS_CHECK(!wire::DecodeFrame(buffer.data(), buffer.size()).ok());
+      MeterAttempt(log, from, to, tag, prefix, prefix_bits, kept, attempt,
+                   /*truncated=*/true, /*duplicate=*/false,
+                   /*corrupted=*/false);
       out.wire_words += prefix;
+      out.wire_bytes += kept;
       AddEvent(FaultEventKind::kTruncated, from, to, tag, attempt, prefix);
       clock_.Advance(profile.latency);
       continue;
     }
+    if (!msg.payload.empty() && rng.NextBernoulli(profile.corrupt_prob)) {
+      // Corruption: the full frame crosses the wire with one payload
+      // byte flipped. The receiver's checksum verification catches it.
+      const size_t off = wire::kFrameHeaderBytes + tag.size() +
+                         static_cast<size_t>(rng.NextUint64Below(
+                             msg.payload.size()));
+      buffer[off] ^= static_cast<uint8_t>(1 + rng.NextUint64Below(255));
+      const Status verdict =
+          wire::DecodeFrame(buffer.data(), buffer.size()).status();
+      DS_CHECK(!verdict.ok());
+      MeterAttempt(log, from, to, tag, words, bits, buffer.size(), attempt,
+                   /*truncated=*/false, /*duplicate=*/false,
+                   /*corrupted=*/true);
+      out.wire_words += words;
+      out.wire_bytes += buffer.size();
+      AddEvent(FaultEventKind::kCorrupted, from, to, tag, attempt, words);
+      clock_.Advance(profile.latency);
+      continue;
+    }
 
-    // Clean delivery.
+    // Clean delivery: the receiver parses and checksum-verifies the
+    // frame before acking.
+    auto decoded = wire::DecodeFrame(buffer.data(), buffer.size());
+    DS_CHECK(decoded.ok());
     double latency = profile.latency;
     if (profile.latency_jitter > 0.0) {
       latency *= 1.0 + profile.latency_jitter * rng.NextDouble();
     }
-    MeterAttempt(log, from, to, tag, words, bits, attempt,
-                 /*truncated=*/false, /*duplicate=*/false);
+    MeterAttempt(log, from, to, tag, words, bits, buffer.size(), attempt,
+                 /*truncated=*/false, /*duplicate=*/false,
+                 /*corrupted=*/false);
     out.wire_words += words;
+    out.wire_bytes += buffer.size();
     clock_.Advance(latency);
     AddEvent(FaultEventKind::kDelivered, from, to, tag, attempt, words);
     if (rng.NextBernoulli(profile.duplicate_prob)) {
       // The network delivers a second copy; the receiver deduplicates,
       // so only the accounting sees it.
-      MeterAttempt(log, from, to, tag, words, bits, attempt,
-                   /*truncated=*/false, /*duplicate=*/true);
+      MeterAttempt(log, from, to, tag, words, bits, buffer.size(), attempt,
+                   /*truncated=*/false, /*duplicate=*/true,
+                   /*corrupted=*/false);
       out.wire_words += words;
+      out.wire_bytes += buffer.size();
       AddEvent(FaultEventKind::kDuplicated, from, to, tag, attempt, words);
     }
     out.delivered = true;
+    out.payload = std::move(decoded).value().payload;
     return out;
   }
 
@@ -192,6 +249,15 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
   lost_.push_back(server);
   out.server_lost = true;
   return out;
+}
+
+SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
+                                std::string tag, uint64_t words,
+                                uint64_t bits) {
+  wire::Message msg = wire::ScalarsMessage(
+      std::move(tag), std::vector<double>(words, 0.0));
+  msg.bits = bits;
+  return Send(log, from, to, msg);
 }
 
 namespace {
@@ -229,9 +295,11 @@ uint64_t TranscriptDigest(const CommLog& log, const FaultInjector* injector) {
     FnvMixString(h, m.tag);
     FnvMix(h, m.words);
     FnvMix(h, m.bits);
+    FnvMix(h, m.wire_bytes);
     FnvMix(h, static_cast<uint64_t>(m.round));
     FnvMix(h, static_cast<uint64_t>(m.attempt));
-    FnvMix(h, (m.truncated ? 2u : 0u) | (m.duplicate ? 1u : 0u));
+    FnvMix(h, (m.corrupted ? 4u : 0u) | (m.truncated ? 2u : 0u) |
+                  (m.duplicate ? 1u : 0u));
     FnvMix(h, DoubleBits(m.time));
   }
   if (injector != nullptr) {
@@ -249,6 +317,27 @@ uint64_t TranscriptDigest(const CommLog& log, const FaultInjector* injector) {
     }
   }
   return h;
+}
+
+SendOutcome SendOverIdealWire(CommLog& log, int from, int to,
+                              const wire::Message& msg) {
+  wire::Frame frame;
+  frame.tag = msg.tag;
+  frame.from = from;
+  frame.to = to;
+  frame.attempt = 0;
+  frame.payload = msg.payload;
+  const std::vector<uint8_t> buffer = wire::EncodeFrame(frame);
+  auto decoded = wire::DecodeFrame(buffer.data(), buffer.size());
+  DS_CHECK(decoded.ok());
+  log.Record(from, to, msg.tag, msg.words, msg.bits, buffer.size());
+  SendOutcome out;
+  out.delivered = true;
+  out.attempts = 1;
+  out.wire_words = msg.words;
+  out.wire_bytes = buffer.size();
+  out.payload = std::move(decoded).value().payload;
+  return out;
 }
 
 }  // namespace distsketch

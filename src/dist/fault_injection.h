@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "dist/comm_log.h"
 #include "dist/sim_clock.h"
+#include "wire/message.h"
 
 namespace distsketch {
 
@@ -32,6 +33,10 @@ struct ServerFaultProfile {
   /// Chance an attempt's payload is cut short on the wire; the truncated
   /// prefix is metered, the receiver discards and the sender retries.
   double truncate_prob = 0.0;
+  /// Chance a payload byte is flipped in flight. The full frame crosses
+  /// the wire (and is metered), the receiver's checksum verification
+  /// fails, it discards and NAKs, and the sender retries.
+  double corrupt_prob = 0.0;
   /// Chance an attempt finds the server stalled: nothing reaches the
   /// wire and the peer burns the per-message timeout.
   double transient_fail_prob = 0.0;
@@ -89,6 +94,7 @@ enum class FaultEventKind : uint8_t {
   kDead = 5,
   kBackoff = 6,
   kGaveUp = 7,
+  kCorrupted = 8,
 };
 
 std::string_view FaultEventKindToString(FaultEventKind kind);
@@ -114,8 +120,14 @@ struct SendOutcome {
   int attempts = 0;
   /// Total words metered across all attempts and duplicates.
   uint64_t wire_words = 0;
+  /// Total encoded frame bytes metered across all attempts/duplicates.
+  uint64_t wire_bytes = 0;
   /// True iff the server endpoint is (now) declared permanently lost.
   bool server_lost = false;
+  /// On delivery: the payload bytes the receiver decoded out of the
+  /// verified frame (checksum checked). The receiver-side code decodes
+  /// its matrix/scalar from these bytes, never from sender state.
+  std::vector<uint8_t> payload;
 };
 
 /// The deterministic simulated network: wraps a CommLog and injects the
@@ -137,8 +149,19 @@ class FaultInjector {
   /// every protocol Run replays the identical fault schedule.
   void Reset();
 
-  /// Simulates one logical message of `words` words (`bits` as in
-  /// CommLog::Record), metering every wire attempt into `log`.
+  /// Simulates one logical message, metering every wire attempt into
+  /// `log`. Each attempt encodes the message into a checksummed frame,
+  /// mangles the bytes per the fault draw (truncation cuts the buffer,
+  /// corruption flips a payload byte), and runs the receiver's
+  /// DecodeFrame: only a frame that parses and checksums clean is
+  /// delivered; anything else is discarded and NAKed, and the sender
+  /// retries.
+  SendOutcome Send(CommLog& log, int from, int to, const wire::Message& msg);
+
+  /// Convenience overload for metering-focused callers (tests,
+  /// micro-benchmarks): wraps `words` zero-valued scalars into a real
+  /// dense message (so the byte path is still exercised) with `bits`
+  /// overriding the metered bit count as in CommLog::Record.
   SendOutcome Send(CommLog& log, int from, int to, std::string tag,
                    uint64_t words, uint64_t bits = 0);
 
@@ -158,8 +181,9 @@ class FaultInjector {
   void AddEvent(FaultEventKind kind, int from, int to,
                 std::string_view tag, int attempt, uint64_t words);
   void MeterAttempt(CommLog& log, int from, int to, std::string_view tag,
-                    uint64_t words, uint64_t bits, int attempt,
-                    bool truncated, bool duplicate);
+                    uint64_t words, uint64_t bits, uint64_t wire_bytes,
+                    int attempt, bool truncated, bool duplicate,
+                    bool corrupted);
   // The per-server fault stream, lazily seeded from (config seed, id).
   Rng& RngFor(int server);
 
@@ -171,11 +195,19 @@ class FaultInjector {
 };
 
 /// Order-sensitive FNV-1a digest of a run's transcript: every metered
-/// message (endpoints, tag, words, bits, round, attempt, flags) and every
-/// fault event are folded in. Two runs with identical (data, config,
-/// seed) must produce identical digests — the determinism property the
-/// chaos sweep asserts. `injector` may be null (fault-free run).
+/// message (endpoints, tag, words, bits, wire bytes, round, attempt,
+/// flags) and every fault event are folded in. Two runs with identical
+/// (data, config, seed) must produce identical digests — the determinism
+/// property the chaos sweep asserts. `injector` may be null (fault-free
+/// run).
 uint64_t TranscriptDigest(const CommLog& log, const FaultInjector* injector);
+
+/// Pushes one message over an ideal (fault-free) wire: encodes the
+/// frame, meters it once, and hands the receiver the decoded payload.
+/// The encode/decode round trip still runs — measured wire bytes and the
+/// receiver-side decode path are identical with and without faults.
+SendOutcome SendOverIdealWire(CommLog& log, int from, int to,
+                              const wire::Message& msg);
 
 }  // namespace distsketch
 

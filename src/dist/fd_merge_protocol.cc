@@ -62,33 +62,42 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
     if (ft) {
       // Fault-tolerant runs prepend a 1-word mass report so the
       // coordinator can widen its bound honestly if this server is lost.
-      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+      SendOutcome mass_sent = cluster.Send(
+          id, kCoordinator,
+          wire::ScalarMessage("local_mass", locals[i].mass));
+      if (!mass_sent.delivered) {
         result.degraded.RecordLoss(id, locals[i].mass, false);
         continue;
       }
       mass_reported = true;
     }
 
-    Matrix sketch = std::move(locals[i].sketch);
-    SendOutcome sent;
+    const Matrix& sketch = locals[i].sketch;
+    wire::Message msg;
     if (options_.quantize && sketch.rows() > 0) {
       const double precision = SketchRoundingPrecision(
           cluster.total_rows(), d, options_.eps);
       DS_ASSIGN_OR_RETURN(QuantizeResult q,
                           QuantizeMatrix(sketch, precision));
-      sent = cluster.Send(id, kCoordinator, "local_sketch_q",
-                          cluster.cost_model().BitsToWords(q.total_bits),
-                          q.total_bits);
-      sketch = std::move(q.matrix);
+      DS_ASSIGN_OR_RETURN(
+          msg, wire::QuantizedMessage("local_sketch_q", q,
+                                      cluster.cost_model().bits_per_word()));
+      DS_CHECK(msg.words == cluster.cost_model().BitsToWords(q.total_bits));
     } else {
-      sent = cluster.Send(id, kCoordinator, "local_sketch",
-                          cluster.cost_model().MatrixWords(sketch.rows(), d));
+      msg = wire::DenseMessage("local_sketch", sketch);
+      DS_CHECK(msg.words ==
+               cluster.cost_model().MatrixWords(sketch.rows(), d));
     }
+    SendOutcome sent = cluster.Send(id, kCoordinator, msg);
     if (!sent.delivered) {
       result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
       continue;
     }
-    merged.AppendRows(sketch);
+    // The coordinator merges what it decoded off the wire, not the
+    // sender's in-memory sketch.
+    DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
+                        wire::DecodeMessagePayload(sent.payload));
+    merged.AppendRows(received.matrix);
   }
 
   result.sketch = merged.Sketch();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
@@ -101,7 +102,10 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
     const int id = static_cast<int>(i);
     bool mass_reported = false;
     if (ft) {
-      if (!cluster.Send(id, kCoordinator, "local_mass", 1).delivered) {
+      SendOutcome mass_sent = cluster.Send(
+          id, kCoordinator,
+          wire::ScalarMessage("local_mass", locals[i].mass));
+      if (!mass_sent.delivered) {
         result.degraded.RecordLoss(id, locals[i].mass, false);
         continue;
       }
@@ -113,26 +117,36 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
           "path (§3.3 case 2)");
     }
 
-    const Matrix& q = locals[i].q;
-    const size_t m = q.rows();
+    const size_t m = locals[i].q.rows();
     if (m == 0) continue;
 
     // Wire: the basis rows (original input entries) plus the m-by-m
     // Gram. Both must arrive; losing either discards the contribution.
-    if (!cluster.Send(id, kCoordinator, "row_basis",
-                      cluster.cost_model().MatrixWords(m, d))
-             .delivered ||
-        !cluster.Send(id, kCoordinator, "projected_gram",
-                      cluster.cost_model().MatrixWords(m, m))
-             .delivered) {
+    wire::Message basis_msg = wire::DenseMessage("row_basis", locals[i].q);
+    DS_CHECK(basis_msg.words == cluster.cost_model().MatrixWords(m, d));
+    SendOutcome basis_sent = cluster.Send(id, kCoordinator, basis_msg);
+    if (!basis_sent.delivered) {
+      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
+      continue;
+    }
+    wire::Message gram_msg =
+        wire::DenseMessage("projected_gram", locals[i].g);
+    DS_CHECK(gram_msg.words == cluster.cost_model().MatrixWords(m, m));
+    SendOutcome gram_sent = cluster.Send(id, kCoordinator, gram_msg);
+    if (!gram_sent.delivered) {
       result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
       continue;
     }
 
-    // Coordinator side: A^(i)T A^(i) = Q^+ G Q^{+T}.
-    DS_ASSIGN_OR_RETURN(Matrix q_pinv, PseudoInverse(q));
+    // Coordinator side, from the decoded payloads:
+    // A^(i)T A^(i) = Q^+ G Q^{+T}.
+    DS_ASSIGN_OR_RETURN(wire::DecodedMatrix q_recv,
+                        wire::DecodeMessagePayload(basis_sent.payload));
+    DS_ASSIGN_OR_RETURN(wire::DecodedMatrix g_recv,
+                        wire::DecodeMessagePayload(gram_sent.payload));
+    DS_ASSIGN_OR_RETURN(Matrix q_pinv, PseudoInverse(q_recv.matrix));
     const Matrix local_cov =
-        Multiply(Multiply(q_pinv, locals[i].g), Transpose(q_pinv));
+        Multiply(Multiply(q_pinv, g_recv.matrix), Transpose(q_pinv));
     total_cov = Add(total_cov, local_cov);
   }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "sketch/row_sampling.h"
 #include "workload/row_stream.h"
@@ -30,17 +31,28 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
     while (stream.HasNext()) local.back().Append(stream.Next());
   }
 
-  // Round 1: local masses to the coordinator.
+  // Round 1: local masses to the coordinator (real encoded scalars; the
+  // coordinator accumulates what it decodes).
   log.BeginRound();
+  SketchProtocolResult result;
   double global_mass = 0.0;
   std::vector<double> masses(s);
+  std::vector<bool> active(s, false);
   for (size_t i = 0; i < s; ++i) {
     masses[i] = local[i].total_mass();
-    global_mass += masses[i];
-    log.Record(static_cast<int>(i), kCoordinator, "local_mass", 1);
+    SendOutcome sent =
+        cluster.Send(static_cast<int>(i), kCoordinator,
+                     wire::ScalarMessage("local_mass", masses[i]));
+    if (!sent.delivered) {
+      result.degraded.RecordLoss(static_cast<int>(i), masses[i], false);
+      continue;
+    }
+    active[i] = true;
+    DS_ASSIGN_OR_RETURN(const double reported,
+                        wire::DecodeScalarPayload(sent.payload));
+    global_mass += reported;
   }
 
-  SketchProtocolResult result;
   result.sketch.SetZero(0, d);
   if (global_mass <= 0.0) {
     result.comm = log.Stats();
@@ -50,7 +62,7 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
   // Round 2: coordinator draws the multinomial split of t samples across
   // servers (each of the t global samples independently picks server i
   // with probability mass_i / global_mass) and replies with the count and
-  // the global mass.
+  // the global mass in one two-word payload.
   log.BeginRound();
   Rng coord_rng(Rng::DeriveSeed(options_.seed, 0xC00Dull));
   std::vector<size_t> counts(s, 0);
@@ -58,6 +70,7 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
     double u = coord_rng.NextDouble() * global_mass;
     size_t pick = s - 1;
     for (size_t i = 0; i < s; ++i) {
+      if (!active[i]) continue;
       if (u < masses[i]) {
         pick = i;
         break;
@@ -66,28 +79,55 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
     }
     ++counts[pick];
   }
+  std::vector<double> received_mass(s, 0.0);
+  std::vector<size_t> received_count(s, 0);
   for (size_t i = 0; i < s; ++i) {
-    log.Record(kCoordinator, static_cast<int>(i), "sample_count+mass", 2);
+    if (!active[i]) continue;
+    SendOutcome sent = cluster.Send(
+        kCoordinator, static_cast<int>(i),
+        wire::ScalarsMessage("sample_count+mass",
+                             {static_cast<double>(counts[i]), global_mass}));
+    if (!sent.delivered) {
+      active[i] = false;
+      result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
+      continue;
+    }
+    DS_ASSIGN_OR_RETURN(wire::DecodedMatrix reply,
+                        wire::DecodeMessagePayload(sent.payload));
+    DS_CHECK(reply.matrix.size() == 2);
+    received_count[i] = static_cast<size_t>(reply.matrix.data()[0]);
+    received_mass[i] = reply.matrix.data()[1];
   }
 
-  // Round 3: servers send their first m_i reservoir rows, rescaled with
-  // the global mass so that E[B^T B] = A^T A.
+  // Round 3: servers rescale their first m_i reservoir rows with the
+  // global mass they received (so that E[B^T B] = A^T A) and ship them;
+  // the coordinator appends what it decodes.
   log.BeginRound();
   std::vector<double> scaled(d);
   for (size_t i = 0; i < s; ++i) {
-    size_t sent = 0;
-    for (size_t r = 0; r < t && sent < counts[i]; ++r) {
+    if (!active[i]) continue;
+    Matrix rows(0, d);
+    size_t taken = 0;
+    for (size_t r = 0; r < t && taken < received_count[i]; ++r) {
       if (!local[i].HasSample(r)) continue;
-      const double p = local[i].SampleWeight(r) / global_mass;
+      const double p = local[i].SampleWeight(r) / received_mass[i];
       const double scale = 1.0 / std::sqrt(static_cast<double>(t) * p);
       auto row = local[i].SampleRow(r);
       for (size_t j = 0; j < d; ++j) scaled[j] = scale * row[j];
-      result.sketch.AppendRow(scaled);
-      ++sent;
+      rows.AppendRow(scaled);
+      ++taken;
     }
-    if (sent > 0) {
-      log.Record(static_cast<int>(i), kCoordinator, "sampled_rows",
-                 cluster.cost_model().MatrixWords(sent, d));
+    if (taken > 0) {
+      wire::Message msg = wire::DenseMessage("sampled_rows", rows);
+      DS_CHECK(msg.words == cluster.cost_model().MatrixWords(taken, d));
+      SendOutcome sent = cluster.Send(static_cast<int>(i), kCoordinator, msg);
+      if (!sent.delivered) {
+        result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
+        continue;
+      }
+      DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
+                          wire::DecodeMessagePayload(sent.payload));
+      result.sketch.AppendRows(received.matrix);
     }
   }
 

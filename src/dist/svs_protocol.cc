@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
@@ -29,10 +30,15 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   });
   std::vector<bool> active(s, false);
   for (size_t i = 0; i < s; ++i) {
-    if (cluster.Send(static_cast<int>(i), kCoordinator, "local_mass", 1)
-            .delivered) {
+    SendOutcome sent =
+        cluster.Send(static_cast<int>(i), kCoordinator,
+                     wire::ScalarMessage("local_mass", masses[i]));
+    if (sent.delivered) {
       active[i] = true;
-      global_mass += masses[i];
+      // The coordinator accumulates the mass it decoded off the wire.
+      DS_ASSIGN_OR_RETURN(const double reported,
+                          wire::DecodeScalarPayload(sent.payload));
+      global_mass += reported;
     } else {
       result.degraded.RecordLoss(static_cast<int>(i), masses[i], false);
     }
@@ -48,11 +54,19 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   log.BeginRound();
   for (size_t i = 0; i < s; ++i) {
     if (!active[i]) continue;
-    if (!cluster.Send(kCoordinator, static_cast<int>(i), "global_mass", 1)
-             .delivered) {
+    SendOutcome sent =
+        cluster.Send(kCoordinator, static_cast<int>(i),
+                     wire::ScalarMessage("global_mass", global_mass));
+    if (!sent.delivered) {
       active[i] = false;
       result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
+      continue;
     }
+    // The dense codec is a byte copy, so the broadcast value survives
+    // the wire bit-exactly; every server fixes the same g.
+    DS_ASSIGN_OR_RETURN(const double received,
+                        wire::DecodeScalarPayload(sent.payload));
+    DS_CHECK(received == global_mass);
   }
 
   SamplingFunctionParams params;
@@ -93,14 +107,17 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
     if (!slots[i].ran) continue;
     const SvsResult& svs = slots[i].svs;
     if (svs.sketch.rows() > 0) {
-      if (!cluster.Send(static_cast<int>(i), kCoordinator, "svs_rows",
-                        cluster.cost_model().MatrixWords(svs.sketch.rows(),
-                                                         d))
-               .delivered) {
+      wire::Message msg = wire::DenseMessage("svs_rows", svs.sketch);
+      DS_CHECK(msg.words ==
+               cluster.cost_model().MatrixWords(svs.sketch.rows(), d));
+      SendOutcome sent = cluster.Send(static_cast<int>(i), kCoordinator, msg);
+      if (!sent.delivered) {
         result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
         continue;
       }
-      result.sketch.AppendRows(svs.sketch);
+      DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
+                          wire::DecodeMessagePayload(sent.payload));
+      result.sketch.AppendRows(received.matrix);
     }
   }
 

@@ -4,15 +4,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "wire/codec.h"
+
 namespace distsketch {
-namespace {
-
-constexpr char kMagic[4] = {'D', 'S', 'M', 'T'};
-
-}  // namespace
 
 Status SaveCsv(const Matrix& a, const std::string& path) {
   std::ofstream out(path);
@@ -79,13 +78,12 @@ Status SaveBinary(const Matrix& a, const std::string& path) {
   if (!out) {
     return Status::NotFound("SaveBinary: cannot open " + path);
   }
-  out.write(kMagic, sizeof(kMagic));
-  const uint64_t rows = a.rows();
-  const uint64_t cols = a.cols();
-  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  out.write(reinterpret_cast<const char*>(a.data()),
-            static_cast<std::streamsize>(a.size() * sizeof(double)));
+  // The dsmat blob is the wire codec's dense body: one encoder serves
+  // both the disk format and the message payloads.
+  std::vector<uint8_t> body;
+  wire::AppendDenseBody(a, &body);
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
   out.flush();
   if (!out) {
     return Status::Internal("SaveBinary: write failed for " + path);
@@ -98,30 +96,20 @@ StatusOr<Matrix> LoadBinary(const std::string& path) {
   if (!in) {
     return Status::NotFound("LoadBinary: cannot open " + path);
   }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("LoadBinary: bad magic in " + path);
+  std::vector<uint8_t> body((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  if (!in.eof() && !in) {
+    return Status::Internal("LoadBinary: read failed for " + path);
   }
-  uint64_t rows = 0, cols = 0;
-  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-  if (!in) {
-    return Status::InvalidArgument("LoadBinary: truncated header in " +
+  auto decoded = wire::DecodeDenseBody(body.data(), body.size());
+  if (!decoded.ok()) {
+    // Keep the codec's diagnostic ("bad magic", "truncated header",
+    // "implausible shape", "truncated payload") and add the file name.
+    return Status::InvalidArgument("LoadBinary: " +
+                                   decoded.status().message() + " in " +
                                    path);
   }
-  if (rows > (1ULL << 32) || cols > (1ULL << 24)) {
-    return Status::InvalidArgument("LoadBinary: implausible shape in " +
-                                   path);
-  }
-  Matrix out(rows, cols);
-  in.read(reinterpret_cast<char*>(out.data()),
-          static_cast<std::streamsize>(out.size() * sizeof(double)));
-  if (!in) {
-    return Status::InvalidArgument("LoadBinary: truncated payload in " +
-                                   path);
-  }
-  return out;
+  return std::move(decoded).value();
 }
 
 }  // namespace distsketch

@@ -15,13 +15,23 @@ StatusOr<QuantizeResult> QuantizeMatrix(const Matrix& a, double precision) {
   QuantizeResult out;
   out.precision = precision;
   out.matrix = a;
+  out.quotients.resize(a.size());
+  // Quotients beyond 2^62 cannot be carried as int64 sign+magnitude; the
+  // caller picked a precision absurdly small for the data scale.
+  constexpr double kMaxQuotient = 4.611686018427388e18;  // 2^62
   double max_quotient = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double q = std::round(a.data()[i] / precision);
+    if (std::abs(q) > kMaxQuotient || !std::isfinite(q)) {
+      return Status::InvalidArgument(
+          "QuantizeMatrix: quotient overflows 62-bit magnitude; "
+          "precision too small for data scale");
+    }
     const double rounded = q * precision;
     out.max_error =
         std::max(out.max_error, std::abs(a.data()[i] - rounded));
     out.matrix.data()[i] = rounded;
+    out.quotients[i] = static_cast<int64_t>(q);
     max_quotient = std::max(max_quotient, std::abs(q));
   }
   // Fixed-width encoding: sign bit + ceil(log2(maxq + 1)) magnitude bits.

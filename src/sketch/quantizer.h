@@ -2,6 +2,7 @@
 #define DISTSKETCH_SKETCH_QUANTIZER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "linalg/matrix.h"
@@ -12,10 +13,16 @@ namespace distsketch {
 struct QuantizeResult {
   /// The rounded matrix (each entry an integer multiple of `precision`).
   Matrix matrix;
+  /// The integer quotients q with matrix entry = q * precision, in
+  /// row-major order — the values a fixed-point wire encoding actually
+  /// transmits (see wire/codec.h). Every |q| fits in bits_per_entry - 1
+  /// magnitude bits; QuantizeMatrix validates this.
+  std::vector<int64_t> quotients;
   /// Bits per entry in the fixed-width encoding (sign + magnitude of the
   /// integer quotient).
   uint64_t bits_per_entry = 0;
-  /// Total payload bits = entries * bits_per_entry.
+  /// Total payload bits = entries * bits_per_entry. This is the exact
+  /// length of the encoded bitstream, not an estimate.
   uint64_t total_bits = 0;
   /// The additive precision actually used.
   double precision = 0.0;

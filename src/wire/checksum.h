@@ -1,0 +1,17 @@
+#ifndef DISTSKETCH_WIRE_CHECKSUM_H_
+#define DISTSKETCH_WIRE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace distsketch {
+
+/// 64-bit non-cryptographic checksum of a byte buffer (the XXH64
+/// algorithm). Every wire frame carries the checksum of its payload so
+/// the receiver can detect in-flight corruption; a single flipped bit
+/// anywhere in the payload changes the digest.
+uint64_t Checksum64(const uint8_t* data, size_t size, uint64_t seed = 0);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_WIRE_CHECKSUM_H_

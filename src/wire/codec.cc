@@ -1,0 +1,257 @@
+#include "wire/codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace distsketch {
+namespace wire {
+namespace {
+
+constexpr char kDenseMagic[4] = {'D', 'S', 'M', 'T'};
+constexpr char kQuantMagic[4] = {'D', 'S', 'Q', 'M'};
+constexpr size_t kShapeHeaderBytes = 4 + 8 + 8;
+// Shape sanity limits shared with the dsmat file loader: a header whose
+// dimensions exceed these is corrupt, not merely large.
+constexpr uint64_t kMaxRows = 1ULL << 32;
+constexpr uint64_t kMaxCols = 1ULL << 24;
+
+template <typename T>
+void AppendPod(T v, std::vector<uint8_t>* out) {
+  const size_t base = out->size();
+  out->resize(base + sizeof(T));
+  std::memcpy(out->data() + base, &v, sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+Status ShapeCheck(uint64_t rows, uint64_t cols) {
+  if (rows > kMaxRows || cols > kMaxCols) {
+    return Status::InvalidArgument("matrix codec: implausible shape " +
+                                   std::to_string(rows) + "x" +
+                                   std::to_string(cols));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendDenseBody(const Matrix& a, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kShapeHeaderBytes + a.size() * sizeof(double));
+  out->insert(out->end(), kDenseMagic, kDenseMagic + sizeof(kDenseMagic));
+  AppendPod<uint64_t>(a.rows(), out);
+  AppendPod<uint64_t>(a.cols(), out);
+  const size_t base = out->size();
+  out->resize(base + a.size() * sizeof(double));
+  if (a.size() > 0) {
+    std::memcpy(out->data() + base, a.data(), a.size() * sizeof(double));
+  }
+}
+
+StatusOr<Matrix> DecodeDenseBody(const uint8_t* data, size_t size) {
+  if (size < sizeof(kDenseMagic) ||
+      std::memcmp(data, kDenseMagic, sizeof(kDenseMagic)) != 0) {
+    return Status::InvalidArgument("dense codec: bad magic");
+  }
+  if (size < kShapeHeaderBytes) {
+    return Status::InvalidArgument("dense codec: truncated header");
+  }
+  const uint64_t rows = ReadPod<uint64_t>(data + 4);
+  const uint64_t cols = ReadPod<uint64_t>(data + 12);
+  DS_RETURN_IF_ERROR(ShapeCheck(rows, cols));
+  const uint64_t entries = rows * cols;
+  const size_t want = kShapeHeaderBytes + entries * sizeof(double);
+  if (size < want) {
+    return Status::InvalidArgument("dense codec: truncated payload");
+  }
+  if (size > want) {
+    return Status::InvalidArgument("dense codec: trailing bytes after payload");
+  }
+  Matrix out(rows, cols);
+  if (entries > 0) {
+    std::memcpy(out.data(), data + kShapeHeaderBytes,
+                entries * sizeof(double));
+  }
+  return out;
+}
+
+Status AppendQuantizedBody(const QuantizeResult& q, std::vector<uint8_t>* out) {
+  const uint64_t rows = q.matrix.rows();
+  const uint64_t cols = q.matrix.cols();
+  const uint64_t entries = rows * cols;
+  const uint64_t bpe = q.bits_per_entry;
+  if (bpe < 1 || bpe > 63 || q.quotients.size() != entries ||
+      q.total_bits != bpe * entries) {
+    return Status::Internal("quantized codec: malformed QuantizeResult");
+  }
+  out->insert(out->end(), kQuantMagic, kQuantMagic + sizeof(kQuantMagic));
+  AppendPod<uint64_t>(rows, out);
+  AppendPod<uint64_t>(cols, out);
+  AppendPod<uint64_t>(bpe, out);
+  AppendPod<double>(q.precision, out);
+  const size_t base = out->size();
+  out->resize(base + (q.total_bits + 7) / 8, 0);
+  // Per entry: bit 0 is the sign (1 = negative), bits 1..bpe-1 the
+  // magnitude LSB-first; entries are packed back to back LSB-first into
+  // the byte stream, padding bits zero.
+  uint64_t bit = 0;
+  for (uint64_t i = 0; i < entries; ++i) {
+    const int64_t qv = q.quotients[i];
+    const uint64_t mag =
+        qv < 0 ? static_cast<uint64_t>(-qv) : static_cast<uint64_t>(qv);
+    if (bpe < 64 && (mag >> (bpe - 1)) != 0) {
+      return Status::Internal(
+          "quantized codec: quotient magnitude exceeds bits_per_entry");
+    }
+    const uint64_t word = (qv < 0 ? 1u : 0u) | (mag << 1);
+    for (uint64_t b = 0; b < bpe; ++b, ++bit) {
+      if ((word >> b) & 1) {
+        (*out)[base + bit / 8] |=
+            static_cast<uint8_t>(1u << (bit % 8));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr size_t kQuantHeaderBytes = 4 + 8 + 8 + 8 + 8;
+
+StatusOr<DecodedMatrix> DecodeQuantizedBody(const uint8_t* data, size_t size) {
+  if (size < sizeof(kQuantMagic) ||
+      std::memcmp(data, kQuantMagic, sizeof(kQuantMagic)) != 0) {
+    return Status::InvalidArgument("quantized codec: bad magic");
+  }
+  if (size < kQuantHeaderBytes) {
+    return Status::InvalidArgument("quantized codec: truncated header");
+  }
+  const uint64_t rows = ReadPod<uint64_t>(data + 4);
+  const uint64_t cols = ReadPod<uint64_t>(data + 12);
+  const uint64_t bpe = ReadPod<uint64_t>(data + 20);
+  const double precision = ReadPod<double>(data + 28);
+  DS_RETURN_IF_ERROR(ShapeCheck(rows, cols));
+  if (bpe < 1 || bpe > 63) {
+    return Status::InvalidArgument("quantized codec: bad bits_per_entry " +
+                                   std::to_string(bpe));
+  }
+  if (!(precision > 0.0) || !std::isfinite(precision)) {
+    return Status::InvalidArgument("quantized codec: bad precision");
+  }
+  const uint64_t entries = rows * cols;
+  const uint64_t total_bits = entries * bpe;
+  const size_t want = kQuantHeaderBytes + (total_bits + 7) / 8;
+  if (size < want) {
+    return Status::InvalidArgument("quantized codec: truncated payload");
+  }
+  if (size > want) {
+    return Status::InvalidArgument(
+        "quantized codec: trailing bytes after payload");
+  }
+  const uint8_t* stream = data + kQuantHeaderBytes;
+  DecodedMatrix out;
+  out.encoding = MatrixEncoding::kQuantized;
+  out.quantized_bits = total_bits;
+  out.precision = precision;
+  out.matrix = Matrix(rows, cols);
+  uint64_t bit = 0;
+  for (uint64_t i = 0; i < entries; ++i) {
+    uint64_t word = 0;
+    for (uint64_t b = 0; b < bpe; ++b, ++bit) {
+      if ((stream[bit / 8] >> (bit % 8)) & 1) word |= 1ULL << b;
+    }
+    const bool neg = (word & 1) != 0;
+    const uint64_t mag = word >> 1;
+    double v = static_cast<double>(mag) * precision;
+    out.matrix.data()[i] = neg ? -v : v;
+  }
+  // Any set padding bit means the stream was mangled after the last entry.
+  for (uint64_t pad = total_bits; pad < 8 * (want - kQuantHeaderBytes);
+       ++pad) {
+    if ((stream[pad / 8] >> (pad % 8)) & 1) {
+      return Status::InvalidArgument(
+          "quantized codec: nonzero padding bits");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeDensePayload(const Matrix& a) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(MatrixEncoding::kDense));
+  AppendDenseBody(a, &out);
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> EncodeQuantizedPayload(const QuantizeResult& q) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(MatrixEncoding::kQuantized));
+  DS_RETURN_IF_ERROR(AppendQuantizedBody(q, &out));
+  return out;
+}
+
+StatusOr<DecodedMatrix> DecodeMatrixPayload(const uint8_t* data, size_t size) {
+  if (size < 1) {
+    return Status::InvalidArgument("matrix payload: empty");
+  }
+  switch (data[0]) {
+    case static_cast<uint8_t>(MatrixEncoding::kDense): {
+      DS_ASSIGN_OR_RETURN(Matrix m, DecodeDenseBody(data + 1, size - 1));
+      DecodedMatrix out;
+      out.matrix = std::move(m);
+      out.encoding = MatrixEncoding::kDense;
+      return out;
+    }
+    case static_cast<uint8_t>(MatrixEncoding::kQuantized):
+      return DecodeQuantizedBody(data + 1, size - 1);
+    default:
+      return Status::InvalidArgument(
+          "matrix payload: unknown encoding byte " +
+          std::to_string(static_cast<int>(data[0])));
+  }
+}
+
+Matrix PackUpperTriangle(const Matrix& g) {
+  DS_CHECK(g.rows() == g.cols());
+  const size_t d = g.rows();
+  Matrix packed(1, d * (d + 1) / 2);
+  size_t k = 0;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      packed.data()[k++] = g(i, j);
+    }
+  }
+  return packed;
+}
+
+StatusOr<Matrix> UnpackUpperTriangle(const Matrix& packed, size_t d) {
+  if (packed.size() != d * (d + 1) / 2) {
+    return Status::InvalidArgument(
+        "UnpackUpperTriangle: expected " +
+        std::to_string(d * (d + 1) / 2) + " entries, got " +
+        std::to_string(packed.size()));
+  }
+  Matrix g(d, d);
+  size_t k = 0;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      g(i, j) = packed.data()[k];
+      g(j, i) = packed.data()[k];
+      ++k;
+    }
+  }
+  return g;
+}
+
+}  // namespace wire
+}  // namespace distsketch

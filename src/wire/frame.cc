@@ -1,0 +1,94 @@
+#include "wire/frame.h"
+
+#include <cstring>
+#include <limits>
+
+#include "wire/checksum.h"
+
+namespace distsketch {
+namespace wire {
+namespace {
+
+template <typename T>
+void AppendPod(T v, std::vector<uint8_t>* out) {
+  const size_t base = out->size();
+  out->resize(base + sizeof(T));
+  std::memcpy(out->data() + base, &v, sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+uint32_t WireTagId(const std::string& tag) {
+  uint32_t h = 2166136261u;
+  for (unsigned char c : tag) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + frame.tag.size() + frame.payload.size());
+  AppendPod<uint32_t>(kFrameMagic, &out);
+  AppendPod<uint16_t>(kFrameVersion, &out);
+  AppendPod<uint16_t>(static_cast<uint16_t>(frame.tag.size()), &out);
+  AppendPod<uint32_t>(WireTagId(frame.tag), &out);
+  AppendPod<int32_t>(frame.from, &out);
+  AppendPod<int32_t>(frame.to, &out);
+  AppendPod<uint32_t>(frame.attempt, &out);
+  AppendPod<uint64_t>(frame.payload.size(), &out);
+  AppendPod<uint64_t>(
+      Checksum64(frame.payload.data(), frame.payload.size()), &out);
+  out.insert(out.end(), frame.tag.begin(), frame.tag.end());
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+StatusOr<Frame> DecodeFrame(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("wire frame: truncated header");
+  }
+  if (ReadPod<uint32_t>(data) != kFrameMagic) {
+    return Status::InvalidArgument("wire frame: bad magic");
+  }
+  const uint16_t version = ReadPod<uint16_t>(data + 4);
+  if (version != kFrameVersion) {
+    return Status::InvalidArgument("wire frame: bad version " +
+                                   std::to_string(version));
+  }
+  const uint16_t tag_len = ReadPod<uint16_t>(data + 6);
+  const uint32_t tag_id = ReadPod<uint32_t>(data + 8);
+  Frame frame;
+  frame.from = ReadPod<int32_t>(data + 12);
+  frame.to = ReadPod<int32_t>(data + 16);
+  frame.attempt = ReadPod<uint32_t>(data + 20);
+  const uint64_t payload_len = ReadPod<uint64_t>(data + 24);
+  const uint64_t checksum = ReadPod<uint64_t>(data + 32);
+  if (payload_len > std::numeric_limits<size_t>::max() - kFrameHeaderBytes -
+                        tag_len ||
+      size != kFrameHeaderBytes + tag_len + payload_len) {
+    return Status::InvalidArgument("wire frame: length mismatch");
+  }
+  frame.tag.assign(reinterpret_cast<const char*>(data + kFrameHeaderBytes),
+                   tag_len);
+  if (WireTagId(frame.tag) != tag_id) {
+    return Status::InvalidArgument("wire frame: tag id mismatch");
+  }
+  const uint8_t* payload = data + kFrameHeaderBytes + tag_len;
+  if (Checksum64(payload, payload_len) != checksum) {
+    return Status::InvalidArgument("wire frame: checksum mismatch");
+  }
+  frame.payload.assign(payload, payload + payload_len);
+  return frame;
+}
+
+}  // namespace wire
+}  // namespace distsketch

@@ -1,0 +1,54 @@
+#ifndef DISTSKETCH_WIRE_FRAME_H_
+#define DISTSKETCH_WIRE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distsketch {
+namespace wire {
+
+/// Fixed-size portion of the frame header, before the tag bytes.
+///
+/// Layout (little-endian):
+///   u32 magic "DSWF" | u16 version | u16 tag_len | u32 tag_id |
+///   i32 from | i32 to | u32 attempt |
+///   u64 payload_len | u64 checksum(payload)
+inline constexpr size_t kFrameHeaderBytes = 40;
+inline constexpr uint32_t kFrameMagic = 0x46575344;  // "DSWF" LE
+inline constexpr uint16_t kFrameVersion = 1;
+
+/// FNV-1a 32-bit hash of the tag string; a compact id logged next to the
+/// human-readable tag so tooling can group messages without string
+/// compares.
+uint32_t WireTagId(const std::string& tag);
+
+/// A decoded frame: routing metadata plus the raw payload bytes.
+struct Frame {
+  std::string tag;
+  int from = 0;
+  int to = 0;
+  uint32_t attempt = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serializes header + tag + payload into one contiguous buffer. The
+/// checksum field is Checksum64 over the payload bytes only.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+/// Parses and validates a frame buffer. Rejects, with InvalidArgument:
+/// short buffers ("truncated"), wrong magic ("bad magic"), unknown
+/// version ("bad version"), length mismatches between the header and the
+/// actual buffer size ("length mismatch"), and payload bytes whose
+/// checksum does not match the header ("checksum mismatch"). Any strict
+/// byte-prefix of a valid frame fails one of these checks, which is what
+/// lets a receiver detect fault-injected truncation.
+StatusOr<Frame> DecodeFrame(const uint8_t* data, size_t size);
+
+}  // namespace wire
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_WIRE_FRAME_H_

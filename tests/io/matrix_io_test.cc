@@ -1,11 +1,13 @@
 #include "io/matrix_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "linalg/blas.h"
+#include "wire/codec.h"
 #include "workload/generators.h"
 
 namespace distsketch {
@@ -171,6 +173,46 @@ TEST(MatrixIoTest, SaveToUnwritablePathIsNotFound) {
   const std::string bad = TempPath("no_such_dir") + "/out";
   EXPECT_EQ(SaveCsv(a, bad + ".csv").code(), StatusCode::kNotFound);
   EXPECT_EQ(SaveBinary(a, bad + ".dsmat").code(), StatusCode::kNotFound);
+}
+
+TEST(MatrixIoTest, BinaryTruncationErrorNamesTheFile) {
+  const Matrix a = GenerateGaussian(6, 5, 1.0, 4);
+  const std::string path = TempPath("named_truncation.dsmat");
+  ASSERT_TRUE(SaveBinary(a, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // The message says what went wrong and in which file.
+  EXPECT_NE(loaded.status().message().find("truncated payload"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos);
+}
+
+TEST(MatrixIoTest, BinaryFileIsExactlyTheWireDenseBody) {
+  // One encoder, two callers: the dsmat file and the wire codec's dense
+  // body are byte-identical, so a saved file decodes through the codec
+  // and a codec body loads as a file.
+  const Matrix a = GenerateGaussian(9, 4, 2.0, 6);
+  const std::string path = TempPath("shared_codec.dsmat");
+  ASSERT_TRUE(SaveBinary(a, path).ok());
+  std::string file_bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    file_bytes.assign((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  }
+  std::vector<uint8_t> body;
+  wire::AppendDenseBody(a, &body);
+  ASSERT_EQ(file_bytes.size(), body.size());
+  EXPECT_EQ(std::memcmp(file_bytes.data(), body.data(), body.size()), 0);
 }
 
 TEST(MatrixIoTest, CsvPreservesSpecialValues) {

@@ -1,12 +1,14 @@
 #include "sketch/quantizer.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
 #include "linalg/blas.h"
 #include "sketch/error_metrics.h"
 #include "sketch/frequent_directions.h"
+#include "wire/codec.h"
 #include "workload/generators.h"
 
 namespace distsketch {
@@ -137,6 +139,62 @@ TEST(QuantizerTest, NearBoundaryEntriesRoundToNearestNotHalfway) {
 
 TEST(QuantizerTest, CoverrBoundIsZeroForEmpty) {
   EXPECT_EQ(RoundingCoverrBound(Matrix(), 0.1), 0.0);
+}
+
+TEST(QuantizerTest, QuotientsReconstructTheRoundedMatrix) {
+  const Matrix a = GenerateGaussian(12, 7, 5.0, 9);
+  const double p = 1e-3;
+  auto q = QuantizeMatrix(a, p);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->quotients.size(), a.size());
+  const uint64_t mag_bits = q->bits_per_entry - 1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int64_t quot = q->quotients[i];
+    // Entry = quotient * precision, and every magnitude fits the
+    // advertised per-entry width.
+    EXPECT_EQ(q->matrix.data()[i], static_cast<double>(quot) * p);
+    EXPECT_LT(static_cast<uint64_t>(std::llabs(quot)),
+              uint64_t{1} << mag_bits);
+  }
+}
+
+TEST(QuantizerTest, WireRoundTripCoversZeroNegativeAndMaxMagnitude) {
+  // The satellite-2 contract: quantize -> encode -> decode reproduces
+  // the rounded entries exactly for zeros, negatives and the entry of
+  // maximal magnitude, and total_bits is the real encoded width.
+  const double p = 0.25;
+  Matrix a(2, 3);
+  a(0, 0) = 0.0;
+  a(0, 1) = -0.0;
+  a(0, 2) = -17.38;   // negative, large magnitude
+  a(1, 0) = 17.5;     // max magnitude, exact multiple
+  a(1, 1) = 0.12;     // rounds to zero
+  a(1, 2) = -0.13;    // rounds to -p
+  auto q = QuantizeMatrix(a, p);
+  ASSERT_TRUE(q.ok());
+  auto payload = wire::EncodeQuantizedPayload(*q);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = wire::DecodeMatrixPayload(payload->data(), payload->size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(decoded->matrix.data()[i], q->matrix.data()[i]) << i;
+  }
+  EXPECT_EQ(decoded->matrix(1, 1), 0.0);
+  EXPECT_EQ(decoded->matrix(1, 2), -p);
+  // total_bits is exactly the bitstream length inside the payload:
+  // payload = encoding byte + 36-byte header + ceil(total_bits/8) bytes.
+  EXPECT_EQ(q->total_bits, q->bits_per_entry * a.size());
+  EXPECT_EQ(payload->size(), 1 + 36 + (q->total_bits + 7) / 8);
+  EXPECT_EQ(decoded->quantized_bits, q->total_bits);
+}
+
+TEST(QuantizerTest, OverflowingQuotientIsRejectedNotWrapped) {
+  // A precision far below the data scale would need quotients beyond the
+  // 62-bit magnitude cap; the quantizer must refuse rather than truncate.
+  const Matrix a{{1e12}};
+  auto q = QuantizeMatrix(a, 1e-9);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(QuantizerTest, IntegerInputAtUnitPrecisionIsLossless) {

@@ -1,0 +1,229 @@
+#include "wire/codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "sketch/quantizer.h"
+
+namespace distsketch {
+namespace wire {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.NextUniform(-50.0, 50.0);
+  }
+  return m;
+}
+
+bool BitExactEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return a.size() == 0 ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(DenseCodecTest, RoundTripIsBitExactAcrossShapes) {
+  const size_t shapes[][2] = {{0, 7}, {1, 1}, {1, 13}, {8, 1},
+                              {5, 5}, {17, 3}, {64, 9}};
+  uint64_t seed = 1;
+  for (const auto& shape : shapes) {
+    const Matrix a = RandomMatrix(shape[0], shape[1], seed++);
+    const std::vector<uint8_t> payload = EncodeDensePayload(a);
+    auto decoded = DecodeMatrixPayload(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->encoding, MatrixEncoding::kDense);
+    EXPECT_EQ(decoded->quantized_bits, 0u);
+    EXPECT_TRUE(BitExactEqual(a, decoded->matrix))
+        << shape[0] << "x" << shape[1];
+  }
+}
+
+TEST(DenseCodecTest, SpecialValuesSurviveTheWire) {
+  Matrix a(2, 3);
+  a(0, 0) = 0.0;
+  a(0, 1) = -0.0;
+  a(0, 2) = 1e-308;            // subnormal-adjacent
+  a(1, 0) = -1.7976931348623157e308;  // -DBL_MAX
+  a(1, 1) = 4.9e-324;          // smallest subnormal
+  a(1, 2) = -3.141592653589793;
+  const std::vector<uint8_t> payload = EncodeDensePayload(a);
+  auto decoded = DecodeMatrixPayload(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(BitExactEqual(a, decoded->matrix));
+  // -0.0 round-trips with its sign bit (the codec is a byte copy).
+  EXPECT_TRUE(std::signbit(decoded->matrix(0, 1)));
+}
+
+TEST(DenseCodecTest, RejectsMangledBodies) {
+  const Matrix a = RandomMatrix(3, 4, 99);
+  std::vector<uint8_t> body;
+  AppendDenseBody(a, &body);
+
+  {  // Wrong magic.
+    std::vector<uint8_t> bad = body;
+    bad[0] ^= 0xFF;
+    auto st = DecodeDenseBody(bad.data(), bad.size());
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.status().message().find("bad magic"), std::string::npos);
+  }
+  {  // Shorter than the shape header.
+    auto st = DecodeDenseBody(body.data(), 10);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.status().message().find("truncated header"),
+              std::string::npos);
+  }
+  {  // Every strict prefix past the header loses payload bytes.
+    auto st = DecodeDenseBody(body.data(), body.size() - 1);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.status().message().find("truncated payload"),
+              std::string::npos);
+  }
+  {  // Trailing garbage is rejected, not ignored.
+    std::vector<uint8_t> bad = body;
+    bad.push_back(0);
+    EXPECT_FALSE(DecodeDenseBody(bad.data(), bad.size()).ok());
+  }
+  {  // Implausible shape: rows field beyond the 2^32 cap.
+    std::vector<uint8_t> bad = body;
+    const uint64_t huge = uint64_t{1} << 40;
+    std::memcpy(bad.data() + 4, &huge, sizeof(huge));
+    auto st = DecodeDenseBody(bad.data(), bad.size());
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.status().message().find("implausible shape"),
+              std::string::npos);
+  }
+}
+
+TEST(PayloadDispatchTest, RejectsUnknownEncodingAndEmptyPayloads) {
+  EXPECT_FALSE(DecodeMatrixPayload(nullptr, 0).ok());
+  const uint8_t junk[] = {0x7F, 1, 2, 3};
+  EXPECT_FALSE(DecodeMatrixPayload(junk, sizeof(junk)).ok());
+}
+
+TEST(QuantizedCodecTest, RoundTripMatchesQuantizerExactly) {
+  uint64_t seed = 11;
+  for (const size_t rows : {size_t{1}, size_t{6}, size_t{23}}) {
+    const Matrix a = RandomMatrix(rows, 8, seed++);
+    const double precision = 1e-4;
+    auto q = QuantizeMatrix(a, precision);
+    ASSERT_TRUE(q.ok());
+    auto payload = EncodeQuantizedPayload(*q);
+    ASSERT_TRUE(payload.ok());
+    auto decoded = DecodeMatrixPayload(payload->data(), payload->size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->encoding, MatrixEncoding::kQuantized);
+    EXPECT_EQ(decoded->quantized_bits, q->total_bits);
+    EXPECT_EQ(decoded->precision, precision);
+    // The decoded entries reproduce the sender's rounded matrix, so the
+    // end-to-end error against the original stays within precision / 2.
+    ASSERT_EQ(decoded->matrix.rows(), a.rows());
+    double max_err = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t j = 0; j < a.cols(); ++j) {
+        EXPECT_EQ(decoded->matrix(i, j), q->matrix(i, j));
+        max_err = std::max(max_err, std::abs(decoded->matrix(i, j) - a(i, j)));
+      }
+    }
+    EXPECT_LE(max_err, precision / 2 + 1e-15);
+  }
+}
+
+TEST(QuantizedCodecTest, TotalBitsIsTheExactBitstreamWidth) {
+  const Matrix a = RandomMatrix(9, 5, 77);
+  auto q = QuantizeMatrix(a, 1e-3);
+  ASSERT_TRUE(q.ok());
+  auto payload = EncodeQuantizedPayload(*q);
+  ASSERT_TRUE(payload.ok());
+  // Payload = 1 encoding byte + 36-byte header + the packed bitstream,
+  // which is exactly ceil(total_bits / 8) bytes.
+  const size_t header = 1 + 4 + 8 + 8 + 8 + 8;
+  EXPECT_EQ(payload->size(), header + (q->total_bits + 7) / 8);
+  EXPECT_EQ(q->total_bits, q->bits_per_entry * a.size());
+}
+
+TEST(QuantizedCodecTest, ZeroRowMatrixEncodes) {
+  const Matrix a(0, 6);
+  auto q = QuantizeMatrix(a, 1e-3);
+  ASSERT_TRUE(q.ok());
+  auto payload = EncodeQuantizedPayload(*q);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeMatrixPayload(payload->data(), payload->size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->matrix.rows(), 0u);
+  EXPECT_EQ(decoded->matrix.cols(), 6u);
+}
+
+TEST(QuantizedCodecTest, RejectsMangledBodies) {
+  const Matrix a = RandomMatrix(4, 4, 5);
+  auto q = QuantizeMatrix(a, 1e-4);
+  ASSERT_TRUE(q.ok());
+  auto payload = EncodeQuantizedPayload(*q);
+  ASSERT_TRUE(payload.ok());
+
+  // Truncation anywhere fails decode.
+  for (const size_t cut : {size_t{3}, size_t{20}, payload->size() - 1}) {
+    EXPECT_FALSE(DecodeMatrixPayload(payload->data(), cut).ok()) << cut;
+  }
+  {  // Wrong body magic.
+    std::vector<uint8_t> bad = *payload;
+    bad[1] ^= 0xFF;
+    EXPECT_FALSE(DecodeMatrixPayload(bad.data(), bad.size()).ok());
+  }
+  {  // Trailing garbage.
+    std::vector<uint8_t> bad = *payload;
+    bad.push_back(0xAA);
+    EXPECT_FALSE(DecodeMatrixPayload(bad.data(), bad.size()).ok());
+  }
+  {  // bits_per_entry out of range.
+    std::vector<uint8_t> bad = *payload;
+    const uint64_t bogus = 64;
+    std::memcpy(bad.data() + 1 + 4 + 16, &bogus, sizeof(bogus));
+    EXPECT_FALSE(DecodeMatrixPayload(bad.data(), bad.size()).ok());
+  }
+}
+
+TEST(QuantizedCodecTest, RejectsNonzeroPaddingBits) {
+  // 3 entries at some odd bits_per_entry leaves padding bits in the last
+  // byte; a flipped padding bit must not decode as a clean payload.
+  const Matrix a = RandomMatrix(1, 3, 8);
+  auto q = QuantizeMatrix(a, 1e-4);
+  ASSERT_TRUE(q.ok());
+  auto payload = EncodeQuantizedPayload(*q);
+  ASSERT_TRUE(payload.ok());
+  const uint64_t pad_bits = 8 * ((q->total_bits + 7) / 8) - q->total_bits;
+  if (pad_bits == 0) GTEST_SKIP() << "shape leaves no padding";
+  std::vector<uint8_t> bad = *payload;
+  bad.back() ^= 0x80;  // highest bit of the final byte is padding
+  EXPECT_FALSE(DecodeMatrixPayload(bad.data(), bad.size()).ok());
+}
+
+TEST(UpperTriangleTest, PackUnpackRoundTrip) {
+  const size_t d = 7;
+  Matrix g(d, d);
+  Rng rng(3);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      g(i, j) = rng.NextGaussian();
+      g(j, i) = g(i, j);
+    }
+  }
+  const Matrix packed = PackUpperTriangle(g);
+  EXPECT_EQ(packed.rows(), 1u);
+  EXPECT_EQ(packed.size(), d * (d + 1) / 2);
+  auto back = UnpackUpperTriangle(packed, d);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(BitExactEqual(g, *back));
+  // Size mismatch is rejected.
+  EXPECT_FALSE(UnpackUpperTriangle(packed, d + 1).ok());
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace distsketch

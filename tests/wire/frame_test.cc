@@ -1,0 +1,121 @@
+#include "wire/frame.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wire/checksum.h"
+
+namespace distsketch {
+namespace wire {
+namespace {
+
+Frame TestFrame() {
+  Frame f;
+  f.tag = "local_sketch";
+  f.from = 3;
+  f.to = -1;  // the coordinator
+  f.attempt = 2;
+  f.payload = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  return f;
+}
+
+void ExpectRejects(const std::vector<uint8_t>& buf, const char* substring) {
+  auto decoded = DecodeFrame(buf.data(), buf.size());
+  ASSERT_FALSE(decoded.ok()) << "expected rejection: " << substring;
+  EXPECT_NE(decoded.status().message().find(substring), std::string::npos)
+      << decoded.status().message();
+}
+
+TEST(FrameTest, RoundTripPreservesEverything) {
+  const Frame f = TestFrame();
+  const std::vector<uint8_t> buf = EncodeFrame(f);
+  EXPECT_EQ(buf.size(), kFrameHeaderBytes + f.tag.size() + f.payload.size());
+  auto decoded = DecodeFrame(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->tag, f.tag);
+  EXPECT_EQ(decoded->from, f.from);
+  EXPECT_EQ(decoded->to, f.to);
+  EXPECT_EQ(decoded->attempt, f.attempt);
+  EXPECT_EQ(decoded->payload, f.payload);
+}
+
+TEST(FrameTest, EmptyPayloadAndTagRoundTrip) {
+  Frame f;
+  const std::vector<uint8_t> buf = EncodeFrame(f);
+  EXPECT_EQ(buf.size(), kFrameHeaderBytes);
+  auto decoded = DecodeFrame(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->tag.empty());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(FrameTest, EveryStrictPrefixFailsDecode) {
+  const std::vector<uint8_t> buf = EncodeFrame(TestFrame());
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_FALSE(DecodeFrame(buf.data(), cut).ok()) << "prefix " << cut;
+  }
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  std::vector<uint8_t> buf = EncodeFrame(TestFrame());
+  buf[0] ^= 0x01;
+  ExpectRejects(buf, "bad magic");
+}
+
+TEST(FrameTest, RejectsBadVersion) {
+  std::vector<uint8_t> buf = EncodeFrame(TestFrame());
+  const uint16_t wrong = kFrameVersion + 1;
+  std::memcpy(buf.data() + 4, &wrong, sizeof(wrong));
+  ExpectRejects(buf, "bad version");
+}
+
+TEST(FrameTest, RejectsLengthMismatch) {
+  std::vector<uint8_t> buf = EncodeFrame(TestFrame());
+  buf.push_back(0);  // trailing byte: header length no longer matches
+  ExpectRejects(buf, "length mismatch");
+}
+
+TEST(FrameTest, RejectsTamperedTag) {
+  const Frame f = TestFrame();
+  std::vector<uint8_t> buf = EncodeFrame(f);
+  buf[kFrameHeaderBytes] ^= 0xFF;  // first tag byte
+  ExpectRejects(buf, "tag id mismatch");
+}
+
+TEST(FrameTest, ChecksumCatchesEverySingleBitFlipInPayload) {
+  const Frame f = TestFrame();
+  const std::vector<uint8_t> clean = EncodeFrame(f);
+  const size_t payload_off = kFrameHeaderBytes + f.tag.size();
+  for (size_t i = payload_off; i < clean.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> buf = clean;
+      buf[i] ^= static_cast<uint8_t>(1u << bit);
+      ExpectRejects(buf, "checksum mismatch");
+    }
+  }
+}
+
+TEST(FrameTest, WireTagIdIsStableAndDiscriminates) {
+  EXPECT_EQ(WireTagId("local_sketch"), WireTagId("local_sketch"));
+  EXPECT_NE(WireTagId("local_sketch"), WireTagId("local_mass"));
+  // FNV-1a 32 of the empty string is the offset basis.
+  EXPECT_EQ(WireTagId(""), 0x811C9DC5u);
+}
+
+TEST(ChecksumTest, MatchesXxh64EmptyVectorAndSeparatesInputs) {
+  // Published XXH64 vector: empty input, seed 0.
+  EXPECT_EQ(Checksum64(nullptr, 0), 0xEF46DB3751D8E999ull);
+  const uint8_t a[] = {1, 2, 3, 4};
+  const uint8_t b[] = {1, 2, 3, 5};
+  EXPECT_EQ(Checksum64(a, 4), Checksum64(a, 4));
+  EXPECT_NE(Checksum64(a, 4), Checksum64(b, 4));
+  EXPECT_NE(Checksum64(a, 4), Checksum64(a, 3));
+  EXPECT_NE(Checksum64(a, 4, /*seed=*/1), Checksum64(a, 4, /*seed=*/2));
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace distsketch
