@@ -1,14 +1,24 @@
 // Experiment M1 — google-benchmark microbenchmarks of the computational
 // kernels every protocol sits on: FD append/shrink throughput, SVD,
 // symmetric eigensolve, spectral norm (power iteration), SVS, and Gram.
+//
+// Besides the google-benchmark tables, the binary appends svd-kernel rows
+// (Jacobi vs Gram route vs threaded Jacobi) to BENCH_sketch.json so the
+// dispatch policy's claims live next to the protocol measurements.
+// `--smoke` runs only those rows at tiny sizes for the perf-smoke CTest.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench/bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/qr.h"
 #include "linalg/spectral.h"
+#include "linalg/spectral_kernel.h"
 #include "linalg/svd.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/row_sampling.h"
@@ -101,6 +111,31 @@ void BM_SvsQuadratic(benchmark::State& state) {
 }
 BENCHMARK(BM_SvsQuadratic)->Arg(16)->Arg(32)->Arg(64);
 
+void BM_SpectralKernelGramRoute(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(8 * d, d, 1.0, 9);
+  SpectralKernelOptions options;
+  options.route = SpectralRoute::kGram;
+  SvdWorkspace ws;
+  for (auto _ : state) {
+    auto spec = ComputeSigmaVt(a, options, &ws);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_SpectralKernelGramRoute)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SpectralKernelJacobiRoute(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Matrix a = GenerateGaussian(8 * d, d, 1.0, 9);
+  SpectralKernelOptions options;
+  options.route = SpectralRoute::kJacobi;
+  for (auto _ : state) {
+    auto spec = ComputeSigmaVt(a, options);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_SpectralKernelJacobiRoute)->Arg(16)->Arg(32)->Arg(64);
+
 void BM_RowStreamReservoir(benchmark::State& state) {
   const size_t d = 64;
   const Matrix a = GenerateGaussian(2048, d, 1.0, 8);
@@ -113,7 +148,85 @@ void BM_RowStreamReservoir(benchmark::State& state) {
 }
 BENCHMARK(BM_RowStreamReservoir);
 
+// Times one (route, thread-count) configuration of the spectral kernel:
+// min over `reps` timed runs after one warmup, so a background stall
+// cannot inflate a row.
+double TimeKernelMs(const Matrix& a, SpectralRoute route, size_t threads,
+                    int reps) {
+  ThreadPool::SetGlobalThreads(threads);
+  SpectralKernelOptions options;
+  options.route = route;
+  SvdWorkspace ws;
+  auto warmup = ComputeSigmaVt(a, options, &ws);
+  DS_CHECK(warmup.ok());
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    bench::WallTimer timer;
+    auto spec = ComputeSigmaVt(a, options, &ws);
+    const double ms = timer.ElapsedMs();
+    DS_CHECK(spec.ok());
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// Appends the svd-kernel comparison rows to BENCH_sketch.json: serial
+// Jacobi (the pre-dispatch baseline), the Gram route, and both again on
+// the full global pool. Smoke mode shrinks the instance so the CTest
+// perf-smoke exercises the machinery without measuring a real speedup.
+void EmitSvdKernelRows(bool smoke) {
+  const size_t n = smoke ? 512 : 4096;
+  const size_t d = smoke ? 32 : 64;
+  const int reps = smoke ? 1 : 5;
+  const size_t saved_threads = ThreadPool::GlobalThreads();
+  const size_t pool = saved_threads > 1 ? saved_threads : 8;
+  const Matrix a = GenerateGaussian(n, d, 1.0, 101);
+
+  struct Row {
+    const char* op;
+    SpectralRoute route;
+    size_t threads;
+  };
+  const Row rows[] = {
+      {"svd_jacobi", SpectralRoute::kJacobi, 1},
+      {"svd_jacobi_threaded", SpectralRoute::kJacobi, pool},
+      {"svd_gram_route", SpectralRoute::kGram, 1},
+      {"svd_gram_threaded", SpectralRoute::kGram, pool},
+  };
+  bench::BenchJsonWriter writer;
+  std::printf("svd-kernel rows (n=%zu d=%zu)%s\n", n, d,
+              smoke ? " (smoke sizes)" : "");
+  for (const Row& row : rows) {
+    bench::BenchRecord rec;
+    rec.op = row.op;
+    rec.n = n;
+    rec.d = d;
+    rec.threads = row.threads;
+    rec.wall_ms = TimeKernelMs(a, row.route, row.threads, reps);
+    writer.Add(rec);
+    std::printf("  %-20s threads=%zu  %8.3f ms\n", row.op, row.threads,
+                rec.wall_ms);
+  }
+  ThreadPool::SetGlobalThreads(saved_threads);
+}
+
 }  // namespace
 }  // namespace distsketch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    // CTest perf-smoke entry: only the JSON-emitting kernel rows, tiny.
+    distsketch::EmitSvdKernelRows(/*smoke=*/true);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  distsketch::EmitSvdKernelRows(/*smoke=*/false);
+  return 0;
+}

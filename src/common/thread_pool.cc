@@ -5,6 +5,22 @@
 
 namespace distsketch {
 
+namespace {
+
+// Set while the current thread runs a ParallelFor body (worker or inline).
+// thread_local so concurrent pools/threads cannot observe each other.
+thread_local bool t_in_parallel_region = false;
+
+struct ParallelRegionScope {
+  bool saved = t_in_parallel_region;
+  ParallelRegionScope() { t_in_parallel_region = true; }
+  ~ParallelRegionScope() { t_in_parallel_region = saved; }
+};
+
+}  // namespace
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t spawn = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(spawn);
@@ -32,7 +48,10 @@ void ThreadPool::RunBatch() {
     ++in_flight_;
     const std::function<void(size_t)>* fn = fn_;
     lock.unlock();
-    (*fn)(i);
+    {
+      ParallelRegionScope region;
+      (*fn)(i);
+    }
     lock.lock();
     --in_flight_;
   }
@@ -62,7 +81,10 @@ void ThreadPool::ParallelFor(size_t n,
   if (workers_.empty() || n == 1) {
     // Serial fast path: no locks, no wakeups — identical cost to a plain
     // loop, which is what keeps the 1-thread protocol path at parity with
-    // the pre-pool serial code.
+    // the pre-pool serial code. The region flag is still raised so nested
+    // kernels make the same serial-vs-parallel choice at every pool size —
+    // a precondition for bit-identical results across thread counts.
+    ParallelRegionScope region;
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -60,6 +60,13 @@ class ThreadPool {
   /// Thread count of the global pool.
   static size_t GlobalThreads();
 
+  /// True while the calling thread is executing a ParallelFor body (on any
+  /// pool, including the inline serial path). Kernels that would like to
+  /// parallelise internally (e.g. the spectral kernel's Gram accumulation)
+  /// consult this to fall back to their serial schedule instead of nesting
+  /// a ParallelFor, which the pool does not support.
+  static bool InParallelRegion();
+
  private:
   void WorkerLoop();
   // Claims indices until the current batch is exhausted; returns with

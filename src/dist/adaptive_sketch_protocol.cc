@@ -30,7 +30,9 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   // Parallel pass: every server streams its rows through FD, splits
   // head/tail, and computes the masses it will later report. Each
   // server's SVS stage draws from its own derived seed, so concurrency
-  // cannot perturb the numbers.
+  // cannot perturb the numbers; the FD/Decomp factorizations route
+  // through the spectral kernel, whose nested (serial-schedule) path is
+  // bit-identical to its threaded one.
   struct LocalSlot {
     std::optional<AdaptiveLocalSketch> sketch;
     double tail_mass = 0.0;

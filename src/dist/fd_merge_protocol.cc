@@ -36,8 +36,10 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
 
   // Parallel phase: every server compresses its local rows concurrently.
   // This is pure computation — no sends, no shared state — so the result
-  // slots are bit-identical for any thread count. Local masses are
-  // computed alongside (they are only transmitted in fault mode).
+  // slots are bit-identical for any thread count. (FD's shrinks route
+  // through the spectral kernel, which runs its fixed serial schedule
+  // when nested inside this ParallelMap — same bits either way.) Local
+  // masses are computed alongside (only transmitted in fault mode).
   struct LocalWork {
     Matrix sketch;
     double mass = 0.0;

@@ -82,6 +82,10 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   // from its own derived seed, so the sketches are independent of the
   // schedule — then the sampled rows go to the coordinator in index
   // order. Inactive servers produce an empty slot and send nothing.
+  // Each Svs call routes through the spectral kernel (Gram accumulation +
+  // d-by-d eigensolve for these tall inputs); inside this ParallelMap the
+  // kernel detects the enclosing parallel region and runs its serial
+  // schedule, which produces the same bits as its threaded one.
   log.BeginRound();
   struct SvsSlot {
     bool ran = false;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace distsketch {
 
 double Dot(std::span<const double> x, std::span<const double> y) {
@@ -124,12 +126,15 @@ Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix Gram(const Matrix& a) {
-  Matrix g(a.cols(), a.cols());
+namespace {
+
+// Accumulates sum_{k in [row_begin, row_end)} a_k a_k^T into the upper
+// triangle of g. Pairs of rank-1 updates, branch-free.
+void GramAccumulateRows(const Matrix& a, size_t row_begin, size_t row_end,
+                        Matrix& g) {
   const size_t d = a.cols();
-  // Pairs of rank-1 updates on the upper triangle, branch-free.
-  size_t k = 0;
-  for (; k + 2 <= a.rows(); k += 2) {
+  size_t k = row_begin;
+  for (; k + 2 <= row_end; k += 2) {
     const double* r0 = a.data() + k * d;
     const double* r1 = r0 + d;
     for (size_t i = 0; i < d; ++i) {
@@ -139,7 +144,7 @@ Matrix Gram(const Matrix& a) {
       for (size_t j = i; j < d; ++j) gi[j] += u0 * r0[j] + u1 * r1[j];
     }
   }
-  for (; k < a.rows(); ++k) {
+  for (; k < row_end; ++k) {
     const double* row = a.data() + k * d;
     for (size_t i = 0; i < d; ++i) {
       const double ri = row[i];
@@ -147,10 +152,64 @@ Matrix Gram(const Matrix& a) {
       for (size_t j = i; j < d; ++j) gi[j] += ri * row[j];
     }
   }
-  // Mirror the upper triangle.
+}
+
+void MirrorUpperTriangle(Matrix& g) {
   for (size_t i = 0; i < g.rows(); ++i) {
     for (size_t j = i + 1; j < g.cols(); ++j) g(j, i) = g(i, j);
   }
+}
+
+// Rows per partial Gram in the chunked accumulation. Fixed (never derived
+// from the thread count) so the summation tree — and therefore every bit
+// of the result — is identical at any pool size.
+constexpr size_t kGramChunkRows = 256;
+
+}  // namespace
+
+Matrix Gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  GramAccumulateRows(a, 0, a.rows(), g);
+  MirrorUpperTriangle(g);
+  return g;
+}
+
+void GramParallelInto(const Matrix& a, Matrix& g) {
+  const size_t d = a.cols();
+  const size_t chunks = (a.rows() + kGramChunkRows - 1) / kGramChunkRows;
+  g.SetZero(d, d);
+  if (chunks <= 1) {
+    GramAccumulateRows(a, 0, a.rows(), g);
+    MirrorUpperTriangle(g);
+    return;
+  }
+  // Partial Grams over fixed row chunks, reduced serially in chunk order.
+  // The chunk grid depends only on a.rows(), so both the per-chunk sums
+  // and the reduction order are the same whether 1 or N threads ran the
+  // chunks — the parallel result is bit-identical to the 1-thread result.
+  std::vector<Matrix> partials(chunks);
+  auto run_chunk = [&](size_t c) {
+    const size_t begin = c * kGramChunkRows;
+    const size_t end = std::min(a.rows(), begin + kGramChunkRows);
+    partials[c].SetZero(d, d);
+    GramAccumulateRows(a, begin, end, partials[c]);
+  };
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.num_threads() > 1 && !ThreadPool::InParallelRegion()) {
+    pool.ParallelFor(chunks, run_chunk);
+  } else {
+    for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    const Matrix& p = partials[c];
+    for (size_t i = 0; i < g.size(); ++i) g.data()[i] += p.data()[i];
+  }
+  MirrorUpperTriangle(g);
+}
+
+Matrix GramParallel(const Matrix& a) {
+  Matrix g;
+  GramParallelInto(a, g);
   return g;
 }
 
@@ -219,6 +278,11 @@ Matrix RowGram(const Matrix& a) {
   Matrix c(a.rows(), a.rows());
   GramUpdate(a, c);
   return c;
+}
+
+void RowGramInto(const Matrix& a, Matrix& c) {
+  c.SetZero(a.rows(), a.rows());
+  GramUpdate(a, c);
 }
 
 std::vector<double> MatVec(const Matrix& a, std::span<const double> x) {

@@ -40,6 +40,18 @@ Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b);
 /// upper triangle is evaluated then mirrored).
 Matrix Gram(const Matrix& a);
 
+/// A^T A accumulated as partial Grams over fixed 256-row chunks that run
+/// on the global thread pool and are reduced serially in chunk order.
+/// The chunk grid depends only on the shape, so the result is
+/// bit-identical for every thread count (it differs from `Gram` by the
+/// usual reassociation rounding). Falls back to the serial schedule when
+/// called from inside a ParallelFor body (the pool is not reentrant).
+Matrix GramParallel(const Matrix& a);
+
+/// Workspace-reusing form of GramParallel: resizes `g` to d-by-d
+/// (reusing its storage) and writes A^T A into it.
+void GramParallelInto(const Matrix& a, Matrix& g);
+
 /// SYRK-style accumulating row Gram: C += alpha * A * A^T, with C an
 /// a.rows()-by-a.rows() matrix that must be symmetric on entry (only the
 /// upper triangle is computed; the lower triangle is mirrored). This is
@@ -49,6 +61,10 @@ void GramUpdate(const Matrix& a, Matrix& c, double alpha = 1.0);
 
 /// The row Gram matrix A A^T (symmetric a.rows()-by-a.rows()).
 Matrix RowGram(const Matrix& a);
+
+/// Workspace-reusing form of RowGram: resizes `c` (reusing its storage)
+/// and writes A A^T into it.
+void RowGramInto(const Matrix& a, Matrix& c);
 
 /// y = A * x.
 std::vector<double> MatVec(const Matrix& a, std::span<const double> x);

@@ -2,14 +2,150 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "linalg/blas.h"
 
 namespace distsketch {
+namespace {
 
-StatusOr<SymmetricEigenResult> ComputeSymmetricEigen(
-    const Matrix& x, const EigenSymOptions& options) {
+// Householder reduction of the symmetric matrix held in z to tridiagonal
+// form (EISPACK tred2 with accumulation). On return d holds the diagonal,
+// e the subdiagonal in e[1..n-1], and z the accumulated orthogonal
+// transform Q with A = Q T Q^T.
+void TridiagonalReduce(Matrix& z, std::vector<double>& d,
+                       std::vector<double>& e) {
+  const size_t n = z.rows();
+  for (size_t i = n - 1; i >= 1; --i) {
+    const size_t l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (size_t k = 0; k <= l; ++k) scale += std::abs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          g = e[j] - hh * f;
+          e[j] = g;
+          for (size_t k = 0; k <= j; ++k) {
+            z(j, k) -= f * e[k] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+        for (size_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (size_t j = 0; j < i; ++j) {
+      z(i, j) = 0.0;
+      z(j, i) = 0.0;
+    }
+  }
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e) produced above
+// (EISPACK tql2), rotating the columns of z along so they end up as the
+// eigenvectors of the original matrix. Returns false if an eigenvalue
+// fails to converge within max_iters iterations.
+bool TridiagonalQl(Matrix& z, std::vector<double>& d, std::vector<double>& e,
+                   double eps, int max_iters) {
+  const size_t n = z.rows();
+  if (n == 1) return true;
+  for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= eps * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == max_iters) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Off-diagonal underflowed to zero mid-chase: deflate here
+            // and restart the search for this eigenvalue.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ComputeSymmetricEigenInto(const Matrix& x, SymmetricEigenResult* out,
+                                 EigenSymWorkspace* ws,
+                                 const EigenSymOptions& options) {
   if (x.empty()) {
     return Status::InvalidArgument("ComputeSymmetricEigen: empty input");
   }
@@ -17,78 +153,56 @@ StatusOr<SymmetricEigenResult> ComputeSymmetricEigen(
     return Status::InvalidArgument("ComputeSymmetricEigen: not square");
   }
   const size_t n = x.rows();
+  EigenSymWorkspace local;
+  if (ws == nullptr) ws = &local;
 
   // Work on a symmetrized copy (average the triangles so mild asymmetry
-  // from floating-point Gram computations cannot bias the rotations).
-  Matrix a(n, n);
+  // from floating-point Gram computations cannot bias the reduction); the
+  // copy is overwritten by the accumulated eigenvector matrix.
+  Matrix& z = ws->v;
+  z.SetZero(n, n);
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) a(i, j) = 0.5 * (x(i, j) + x(j, i));
+    for (size_t j = 0; j < n; ++j) z(i, j) = 0.5 * (x(i, j) + x(j, i));
   }
-  Matrix v = Matrix::Identity(n);
-  const double frob = FrobeniusNorm(a);
-  const double stop = options.tol * std::max(frob, 1e-300);
-
-  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
-    // Off-diagonal mass.
-    double off = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
-    }
-    if (std::sqrt(off) <= stop) break;
-
-    for (size_t p = 0; p + 1 < n; ++p) {
-      for (size_t q = p + 1; q < n; ++q) {
-        const double apq = a(p, q);
-        if (std::abs(apq) <= stop / static_cast<double>(n * n)) continue;
-        const double app = a(p, p);
-        const double aqq = a(q, q);
-        const double tau = (aqq - app) / (2.0 * apq);
-        const double t = (tau >= 0.0)
-                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
-                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
-        const double c = 1.0 / std::sqrt(1.0 + t * t);
-        const double s = c * t;
-        // A <- J^T A J applied to rows/cols p and q.
-        for (size_t i = 0; i < n; ++i) {
-          const double aip = a(i, p);
-          const double aiq = a(i, q);
-          a(i, p) = c * aip - s * aiq;
-          a(i, q) = s * aip + c * aiq;
-        }
-        for (size_t j = 0; j < n; ++j) {
-          const double apj = a(p, j);
-          const double aqj = a(q, j);
-          a(p, j) = c * apj - s * aqj;
-          a(q, j) = s * apj + c * aqj;
-        }
-        for (size_t i = 0; i < n; ++i) {
-          const double vip = v(i, p);
-          const double viq = v(i, q);
-          v(i, p) = c * vip - s * viq;
-          v(i, q) = s * vip + c * viq;
-        }
-      }
+  ws->evals.resize(n);
+  ws->off.resize(n);
+  std::vector<double>& d = ws->evals;
+  std::vector<double>& e = ws->off;
+  if (n == 1) {
+    d[0] = z(0, 0);
+    z(0, 0) = 1.0;
+  } else {
+    TridiagonalReduce(z, d, e);
+    // The deflation test is relative to the neighbouring diagonal mass, so
+    // tol acts like a relative eigenvalue tolerance; it is floored at
+    // machine epsilon because the iteration cannot resolve below that.
+    const double eps =
+        std::max(options.tol, std::numeric_limits<double>::epsilon());
+    if (!TridiagonalQl(z, d, e, eps, options.max_sweeps)) {
+      return Status::NumericalError(
+          "ComputeSymmetricEigen: QL iteration failed to converge");
     }
   }
 
-  SymmetricEigenResult out;
-  out.eigenvalues.resize(n);
-  for (size_t i = 0; i < n; ++i) out.eigenvalues[i] = a(i, i);
-
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](size_t i, size_t j) {
-    return out.eigenvalues[i] > out.eigenvalues[j];
-  });
-  SymmetricEigenResult sorted;
-  sorted.eigenvalues.resize(n);
-  sorted.eigenvectors.SetZero(n, n);
+  ws->order.resize(n);
+  std::iota(ws->order.begin(), ws->order.end(), 0);
+  std::stable_sort(ws->order.begin(), ws->order.end(),
+                   [&](size_t i, size_t j) { return d[i] > d[j]; });
+  out->eigenvalues.resize(n);
+  out->eigenvectors.SetZero(n, n);
   for (size_t jj = 0; jj < n; ++jj) {
-    const size_t j = order[jj];
-    sorted.eigenvalues[jj] = out.eigenvalues[j];
-    for (size_t i = 0; i < n; ++i) sorted.eigenvectors(i, jj) = v(i, j);
+    const size_t j = ws->order[jj];
+    out->eigenvalues[jj] = d[j];
+    for (size_t i = 0; i < n; ++i) out->eigenvectors(i, jj) = z(i, j);
   }
-  return sorted;
+  return Status::OK();
+}
+
+StatusOr<SymmetricEigenResult> ComputeSymmetricEigen(
+    const Matrix& x, const EigenSymOptions& options) {
+  SymmetricEigenResult out;
+  DS_RETURN_IF_ERROR(ComputeSymmetricEigenInto(x, &out, nullptr, options));
+  return out;
 }
 
 }  // namespace distsketch

@@ -48,12 +48,30 @@ struct SvdOptions {
 
 /// Computes the reduced SVD of an m-by-d matrix via one-sided Jacobi
 /// (with Householder-QR preprocessing for tall inputs, and via the
-/// transpose for wide inputs). Deterministic; accurate to ~1e-12 relative
-/// for well-scaled inputs.
+/// transpose for wide inputs). The Jacobi sweeps follow a fixed
+/// round-robin pairing schedule whose disjoint column pairs run on the
+/// global thread pool when it is available — results are bit-identical
+/// for any thread count (including 1) because the schedule never changes
+/// and pairs touch disjoint state. Deterministic; accurate to ~1e-12
+/// relative for well-scaled inputs.
 ///
-/// Returns NumericalError if Jacobi fails to converge within
-/// `options.max_sweeps` sweeps, InvalidArgument on an empty input.
+/// If Jacobi exhausts `options.max_sweeps`, it is retried once in place
+/// with doubled sweeps and a mildly relaxed threshold (logged to stderr);
+/// if that also fails the decomposition falls through to a Gram-route
+/// eigensolve of A^T A before any error is surfaced, so NumericalError is
+/// only returned when both Jacobi and the eigensolver give up.
+/// Returns InvalidArgument on an empty input.
 StatusOr<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options = {});
+
+/// Sigma and V only — U is never formed. For tall inputs this skips both
+/// the Q*U reconstruction of the QR path and U's normalization pass, so
+/// it is strictly cheaper than ComputeSvd whenever the left factor is not
+/// needed (every sketch protocol: they consume agg(A) = diag(sigma) V^T).
+/// `sigma` is non-increasing, `v` is d-by-r. Same retry/fallback behaviour
+/// as ComputeSvd. Prefer the dispatching ComputeSigmaVt in
+/// linalg/spectral_kernel.h, which also considers the Gram route.
+Status ComputeSvdSigmaV(const Matrix& a, std::vector<double>* sigma,
+                        Matrix* v, const SvdOptions& options = {});
 
 /// Convenience: singular values only (non-increasing).
 StatusOr<std::vector<double>> SingularValues(const Matrix& a,

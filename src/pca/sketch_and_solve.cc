@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "linalg/svd.h"
+#include "linalg/spectral_kernel.h"
 #include "pca/distributed_power_iteration.h"
 #include "sketch/adaptive_sketch.h"
 #include "workload/row_stream.h"
@@ -106,8 +106,11 @@ StatusOr<PcaResult> SketchAndSolvePca::Run(Cluster& cluster) {
     if (q.rows() == 0) {
       result.components.SetZero(d, 0);
     } else {
-      DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(q));
-      result.components = svd.TopRightSingularVectors(options_.k);
+      // Only the top-k right singular vectors are needed; the spectral
+      // kernel never forms U and takes the Gram route when the collected
+      // sketch is tall.
+      DS_ASSIGN_OR_RETURN(SpectralResult spec, ComputeSigmaVt(q));
+      result.components = spec.TopRightSingularVectors(options_.k);
     }
     result.comm = log.Stats();
     return result;

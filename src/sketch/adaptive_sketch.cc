@@ -50,7 +50,7 @@ double AdaptiveLocalSketch::FinishAndReportTailMass() {
     tail_mass_ = 0.0;
     return tail_mass_;
   }
-  auto decomp = Decomp(b, k_);
+  auto decomp = Decomp(b, k_, &svd_ws_);
   DS_CHECK(decomp.ok());
   head_ = std::move(decomp->head);
   tail_ = std::move(decomp->tail);

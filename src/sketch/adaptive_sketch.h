@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "linalg/spectral_kernel.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/sampling_function.h"
 
@@ -68,6 +69,8 @@ class AdaptiveLocalSketch {
   size_t k_;
   uint64_t seed_;
   FrequentDirections fd_;
+  // Spectral-kernel scratch shared with Decomp (FD keeps its own).
+  SvdWorkspace svd_ws_;
   bool finished_ = false;
   Matrix head_;
   Matrix tail_;

@@ -3,16 +3,19 @@
 #include <algorithm>
 
 #include "linalg/blas.h"
-#include "linalg/svd.h"
+#include "linalg/spectral_kernel.h"
 
 namespace distsketch {
 
-StatusOr<DecompResult> Decomp(const Matrix& b, size_t k) {
+StatusOr<DecompResult> Decomp(const Matrix& b, size_t k, SvdWorkspace* ws) {
   if (b.empty()) {
     return Status::InvalidArgument("Decomp: empty input");
   }
-  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(b));
-  const Matrix agg = svd.AggregatedForm();
+  // Only (Sigma, V) is needed: the spectral kernel picks the Gram route
+  // for tall inputs and never forms U. Decomp's usual input here is an FD
+  // sketch (l rows, l < d), which the kernel routes through Jacobi.
+  DS_ASSIGN_OR_RETURN(SpectralResult spec, ComputeSigmaVt(b, {}, ws));
+  const Matrix agg = spec.AggregatedForm();
   const size_t split = std::min(k, agg.rows());
   DecompResult out;
   out.head = agg.RowRange(0, split);

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "linalg/spectral_kernel.h"
 
 namespace distsketch {
 
@@ -22,8 +23,11 @@ struct DecompResult {
 /// Decomp(B, k) from the paper: splits the spectrum of B at rank k.
 /// The head carries the dominant directions that the adaptive algorithm
 /// (§3.2) transmits verbatim; the tail is what SVS further compresses.
+/// `ws` (optional) is the spectral kernel's scratch arena — callers that
+/// decompose repeatedly keep one alive to avoid reallocation.
 /// Returns InvalidArgument on empty input.
-StatusOr<DecompResult> Decomp(const Matrix& b, size_t k);
+StatusOr<DecompResult> Decomp(const Matrix& b, size_t k,
+                              SvdWorkspace* ws = nullptr);
 
 }  // namespace distsketch
 

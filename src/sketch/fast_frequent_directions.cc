@@ -47,8 +47,9 @@ void FastFrequentDirections::Shrink() {
   if (FdUsesGramShrink(dim_, sketch_size_)) {
     // Gram path: exact spectrum from the 2l-by-2l buffer Gram, never
     // touching the d dimension — faster than the randomized SVD whenever
-    // d >> l, and deterministic (the seed stream is not consumed).
-    total_shrinkage_ += FdGramShrink(buffer_, sketch_size_);
+    // d >> l, and deterministic (the seed stream is not consumed). The
+    // workspace keeps the Gram and eigensolver scratch across shrinks.
+    total_shrinkage_ += FdGramShrink(buffer_, sketch_size_, &svd_ws_);
     ++shrink_count_;
     return;
   }

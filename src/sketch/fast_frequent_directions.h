@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "linalg/spectral_kernel.h"
 
 namespace distsketch {
 
@@ -55,6 +56,8 @@ class FastFrequentDirections {
   size_t sketch_size_;
   uint64_t seed_;
   Matrix buffer_;
+  // Scratch for the Gram shrink path, reused across shrinks.
+  SvdWorkspace svd_ws_;
   double total_shrinkage_ = 0.0;
   uint64_t shrink_count_ = 0;
 };

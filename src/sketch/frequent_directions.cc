@@ -6,7 +6,7 @@
 
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
-#include "linalg/svd.h"
+#include "linalg/spectral_kernel.h"
 
 namespace distsketch {
 
@@ -36,17 +36,23 @@ bool FdUsesGramShrink(size_t dim, size_t sketch_size) {
   return dim > 2 * sketch_size;
 }
 
-double FdGramShrink(Matrix& buffer, size_t sketch_size) {
+double FdGramShrink(Matrix& buffer, size_t sketch_size, SvdWorkspace* ws) {
   const size_t m = buffer.rows();
   const size_t dim = buffer.cols();
   DS_CHECK(m > sketch_size);
+  SvdWorkspace local;
+  if (ws == nullptr) ws = &local;
 
   // G = B B^T is m-by-m with m <= 2l, so the eigensolve never sees the
   // d-dimension. lambda_j = sigma_j^2, and the j-th right singular row is
   // sigma_j v_j^T = u_j^T B / sigma_j scaled back by the shrunk value.
-  const Matrix g = RowGram(buffer);
-  auto eig = ComputeSymmetricEigen(g);
-  DS_CHECK(eig.ok());
+  // All scratch lives in `ws`, so a streaming FD's repeated shrinks stop
+  // paying the allocator.
+  RowGramInto(buffer, ws->gram);
+  const Status eig_status =
+      ComputeSymmetricEigenInto(ws->gram, &ws->eig, &ws->eig_ws);
+  DS_CHECK(eig_status.ok());
+  const SymmetricEigenResult* eig = &ws->eig;
   const auto& lambda = eig->eigenvalues;
 
   const double delta =
@@ -137,14 +143,22 @@ void FrequentDirections::Shrink() {
   if (buffer_.rows() <= sketch_size_) return;
 
   if (FdUsesGramShrink(dim_, sketch_size_)) {
-    total_shrinkage_ += FdGramShrink(buffer_, sketch_size_);
+    total_shrinkage_ += FdGramShrink(buffer_, sketch_size_, &svd_ws_);
     ++shrink_count_;
     return;
   }
 
-  auto svd = ComputeSvd(buffer_);
-  DS_CHECK(svd.ok());
-  auto& sigma = svd->singular_values;
+  // Column-dimension path (d <= 2l): the spectral kernel computes
+  // (Sigma, V) without ever forming U. The shrink consumes sigma^2 = lambda
+  // directly, so the Gram route's squared condition number costs nothing —
+  // it is forced unless the A/B toggle pins the pre-optimization Jacobi.
+  SpectralKernelOptions kopts;
+  kopts.route = GetFdShrinkKernel() == FdShrinkKernel::kJacobiSvd
+                    ? SpectralRoute::kJacobi
+                    : SpectralRoute::kGram;
+  auto spec = ComputeSigmaVt(buffer_, kopts, &svd_ws_);
+  DS_CHECK(spec.ok());
+  auto& sigma = spec->singular_values;
 
   // delta = sigma_{l+1}^2 (the first value that must be zeroed). If the
   // buffer already has rank <= sketch_size the shrink is free.
@@ -164,7 +178,7 @@ void FrequentDirections::Shrink() {
     const double s2 = sigma[j] * sigma[j] - delta;
     if (s2 <= 0.0) break;  // sigma sorted: the rest are zero too.
     const double s = std::sqrt(s2);
-    for (size_t i = 0; i < dim_; ++i) scaled_row[i] = s * svd->v(i, j);
+    for (size_t i = 0; i < dim_; ++i) scaled_row[i] = s * spec->v(i, j);
     next.AppendRow(scaled_row);
   }
   buffer_ = std::move(next);

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "linalg/spectral_kernel.h"
 
 namespace distsketch {
 
@@ -41,7 +42,10 @@ bool FdUsesGramShrink(size_t dim, size_t sketch_size);
 /// In-place Gram-path shrink: reduces `buffer` (more than `sketch_size`
 /// rows) to at most `sketch_size` rows of sqrt(Sigma^2 - delta I) V^T and
 /// returns the subtracted delta = sigma_{sketch_size+1}^2. Deterministic.
-double FdGramShrink(Matrix& buffer, size_t sketch_size);
+/// `ws` (optional) keeps the row-Gram and eigensolver scratch alive
+/// across repeated shrinks.
+double FdGramShrink(Matrix& buffer, size_t sketch_size,
+                    SvdWorkspace* ws = nullptr);
 
 /// Frequent Directions streaming covariance sketch (Liberty [27], with the
 /// improved analysis of Ghashami-Phillips [16]; paper Theorem 1).
@@ -120,6 +124,9 @@ class FrequentDirections {
   size_t dim_;
   size_t sketch_size_;
   Matrix buffer_;
+  // Spectral-kernel scratch reused across every shrink of this sketch
+  // (both the row-Gram path and the column-dimension kernel path).
+  SvdWorkspace svd_ws_;
   double total_shrinkage_ = 0.0;
   uint64_t shrink_count_ = 0;
   uint64_t rows_seen_ = 0;

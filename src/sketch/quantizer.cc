@@ -20,20 +20,32 @@ StatusOr<QuantizeResult> QuantizeMatrix(const Matrix& a, double precision) {
   // caller picked a precision absurdly small for the data scale.
   constexpr double kMaxQuotient = 4.611686018427388e18;  // 2^62
   double max_quotient = 0.0;
+  double max_error = 0.0;
+  bool in_range = true;
+  const double* src = a.data();
+  double* rounded_dst = out.matrix.data();
+  int64_t* quot_dst = out.quotients.data();
   for (size_t i = 0; i < a.size(); ++i) {
-    const double q = std::round(a.data()[i] / precision);
-    if (std::abs(q) > kMaxQuotient || !std::isfinite(q)) {
-      return Status::InvalidArgument(
-          "QuantizeMatrix: quotient overflows 62-bit magnitude; "
-          "precision too small for data scale");
-    }
+    const double q = std::round(src[i] / precision);
+    const double aq = std::abs(q);
+    // Flag-tracked validity instead of a branch per entry: a NaN quotient
+    // compares false and clears the flag too; one check after the loop.
+    in_range &= (aq <= kMaxQuotient);
+    // fmin returns the non-NaN operand, so the clamp keeps the int64 cast
+    // defined even on the entries that just cleared the flag.
+    const double clamped = std::copysign(std::fmin(aq, kMaxQuotient), q);
     const double rounded = q * precision;
-    out.max_error =
-        std::max(out.max_error, std::abs(a.data()[i] - rounded));
-    out.matrix.data()[i] = rounded;
-    out.quotients[i] = static_cast<int64_t>(q);
-    max_quotient = std::max(max_quotient, std::abs(q));
+    max_error = std::max(max_error, std::abs(src[i] - rounded));
+    rounded_dst[i] = rounded;
+    quot_dst[i] = static_cast<int64_t>(clamped);
+    max_quotient = std::max(max_quotient, aq);
   }
+  if (!in_range) {
+    return Status::InvalidArgument(
+        "QuantizeMatrix: quotient overflows 62-bit magnitude; "
+        "precision too small for data scale");
+  }
+  out.max_error = max_error;
   // Fixed-width encoding: sign bit + ceil(log2(maxq + 1)) magnitude bits.
   out.bits_per_entry =
       1 + static_cast<uint64_t>(std::ceil(std::log2(max_quotient + 2.0)));

@@ -5,7 +5,7 @@
 
 #include "common/rng.h"
 #include "linalg/blas.h"
-#include "linalg/svd.h"
+#include "linalg/spectral_kernel.h"
 
 namespace distsketch {
 
@@ -14,8 +14,12 @@ StatusOr<SvsResult> Svs(const Matrix& a, const SamplingFunction& g,
   if (a.empty()) {
     return Status::InvalidArgument("Svs: empty input");
   }
-  DS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(a));
-  return SvsOnAggregatedForm(svd.AggregatedForm(), g, seed);
+  // SVS only consumes agg(A) = Sigma V^T, so the spectral kernel can pick
+  // the cheapest (Sigma, V) route: server inputs are tall (n_i >> d), so
+  // this is normally one Gram accumulation plus a d-by-d eigensolve
+  // instead of Jacobi sweeps over all n_i rows.
+  DS_ASSIGN_OR_RETURN(SpectralResult spec, ComputeSigmaVt(a));
+  return SvsOnAggregatedForm(spec.AggregatedForm(), g, seed);
 }
 
 StatusOr<SvsResult> SvsOnAggregatedForm(const Matrix& agg,

@@ -1,5 +1,6 @@
 #include "wire/codec.h"
 
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -98,24 +99,60 @@ Status AppendQuantizedBody(const QuantizeResult& q, std::vector<uint8_t>* out) {
   AppendPod<uint64_t>(bpe, out);
   AppendPod<double>(q.precision, out);
   const size_t base = out->size();
-  out->resize(base + (q.total_bits + 7) / 8, 0);
+  const size_t payload_bytes = (q.total_bits + 7) / 8;
+  out->resize(base + payload_bytes, 0);
+  uint8_t* bytes = out->data() + base;
   // Per entry: bit 0 is the sign (1 = negative), bits 1..bpe-1 the
   // magnitude LSB-first; entries are packed back to back LSB-first into
-  // the byte stream, padding bits zero.
-  uint64_t bit = 0;
-  for (uint64_t i = 0; i < entries; ++i) {
-    const int64_t qv = q.quotients[i];
+  // the byte stream (entry i occupies stream bits [i*bpe, (i+1)*bpe)),
+  // padding bits zero.
+  auto entry_word = [&](uint64_t idx, uint64_t* word) {
+    const int64_t qv = q.quotients[idx];
     const uint64_t mag =
         qv < 0 ? static_cast<uint64_t>(-qv) : static_cast<uint64_t>(qv);
-    if (bpe < 64 && (mag >> (bpe - 1)) != 0) {
+    if ((mag >> (bpe - 1)) != 0) return false;
+    *word = (qv < 0 ? 1u : 0u) | (mag << 1);
+    return true;
+  };
+  uint64_t bit = 0;
+  uint64_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Batched packing: one unaligned 64-bit load/OR/store per entry (plus
+    // a spill byte when shift + bpe > 64) replaces bpe single-bit RMWs.
+    // LSB-first bits in a little-endian byte stream are exactly the low
+    // bits of a little-endian 64-bit load, so `word << shift` lands each
+    // entry in place. Runs while the full 9-byte window stays inside the
+    // payload; the per-bit loop below finishes the tail.
+    for (; i < entries; ++i) {
+      const uint64_t byte_off = bit >> 3;
+      if (byte_off + 9 > payload_bytes) break;
+      uint64_t word;
+      if (!entry_word(i, &word)) {
+        return Status::Internal(
+            "quantized codec: quotient magnitude exceeds bits_per_entry");
+      }
+      const unsigned shift = static_cast<unsigned>(bit & 7);
+      uint64_t chunk;
+      std::memcpy(&chunk, bytes + byte_off, 8);
+      chunk |= word << shift;
+      std::memcpy(bytes + byte_off, &chunk, 8);
+      if (shift + bpe > 64) {
+        bytes[byte_off + 8] |= static_cast<uint8_t>(word >> (64 - shift));
+      }
+      bit += bpe;
+    }
+  }
+  // Per-bit path: the stream tail, and the whole stream on a big-endian
+  // host (where the 64-bit window trick would scramble byte order).
+  for (; i < entries; ++i) {
+    uint64_t word;
+    if (!entry_word(i, &word)) {
       return Status::Internal(
           "quantized codec: quotient magnitude exceeds bits_per_entry");
     }
-    const uint64_t word = (qv < 0 ? 1u : 0u) | (mag << 1);
     for (uint64_t b = 0; b < bpe; ++b, ++bit) {
       if ((word >> b) & 1) {
-        (*out)[base + bit / 8] |=
-            static_cast<uint8_t>(1u << (bit % 8));
+        bytes[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
       }
     }
   }
@@ -162,8 +199,33 @@ StatusOr<DecodedMatrix> DecodeQuantizedBody(const uint8_t* data, size_t size) {
   out.quantized_bits = total_bits;
   out.precision = precision;
   out.matrix = Matrix(rows, cols);
+  const size_t stream_bytes = want - kQuantHeaderBytes;
+  const uint64_t mask = (~0ULL) >> (64 - bpe);
   uint64_t bit = 0;
-  for (uint64_t i = 0; i < entries; ++i) {
+  uint64_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Batched unpacking, mirror of the batched encoder: one unaligned
+    // 64-bit load (plus the spill byte when shift + bpe > 64) extracts a
+    // whole entry instead of bpe single-bit probes.
+    for (; i < entries; ++i) {
+      const uint64_t byte_off = bit >> 3;
+      if (byte_off + 9 > stream_bytes) break;
+      const unsigned shift = static_cast<unsigned>(bit & 7);
+      uint64_t chunk;
+      std::memcpy(&chunk, stream + byte_off, 8);
+      uint64_t word = chunk >> shift;
+      if (shift + bpe > 64) {
+        word |= static_cast<uint64_t>(stream[byte_off + 8]) << (64 - shift);
+      }
+      word &= mask;
+      const bool neg = (word & 1) != 0;
+      const double v = static_cast<double>(word >> 1) * precision;
+      out.matrix.data()[i] = neg ? -v : v;
+      bit += bpe;
+    }
+  }
+  // Per-bit path: the stream tail, and big-endian hosts.
+  for (; i < entries; ++i) {
     uint64_t word = 0;
     for (uint64_t b = 0; b < bpe; ++b, ++bit) {
       if ((stream[bit / 8] >> (bit % 8)) & 1) word |= 1ULL << b;

@@ -1,0 +1,224 @@
+#include "linalg/spectral_kernel.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+SpectralKernelOptions RouteOptions(SpectralRoute route) {
+  SpectralKernelOptions options;
+  options.route = route;
+  return options;
+}
+
+// Both routes must agree on the spectrum and on the reconstructed
+// covariance V Sigma^2 V^T (the object every protocol guarantee is stated
+// in). Individual eigenvectors may differ by sign or rotate within nearly
+// degenerate pairs, so the covariance — not V itself — is compared.
+void ExpectRoutesAgree(const Matrix& a, double tol) {
+  auto gram = ComputeSigmaVt(a, RouteOptions(SpectralRoute::kGram));
+  auto jacobi = ComputeSigmaVt(a, RouteOptions(SpectralRoute::kJacobi));
+  ASSERT_TRUE(gram.ok());
+  ASSERT_TRUE(jacobi.ok());
+  EXPECT_EQ(gram->route_used, SpectralRoute::kGram);
+  EXPECT_EQ(jacobi->route_used, SpectralRoute::kJacobi);
+  ASSERT_EQ(gram->singular_values.size(), jacobi->singular_values.size());
+
+  const double sigma_max =
+      jacobi->singular_values.empty() ? 0.0 : jacobi->singular_values[0];
+  // Spectrum agreement in the energy scale (sigma^2): near-zero singular
+  // values amplify an eps*lambda_max eigenvalue error to ~1e-8*sigma_max
+  // under the square root, so sigma^2 — not sigma — is where a 1e-8
+  // relative tolerance is meaningful on rank-deficient inputs.
+  for (size_t j = 0; j < gram->singular_values.size(); ++j) {
+    const double sg = gram->singular_values[j];
+    const double sj = jacobi->singular_values[j];
+    EXPECT_NEAR(sg * sg, sj * sj, tol * sigma_max * sigma_max)
+        << "sigma_" << j;
+  }
+  // Gram of the aggregated form is exactly V Sigma^2 V^T.
+  const Matrix cov_gram = Gram(gram->AggregatedForm());
+  const Matrix cov_jacobi = Gram(jacobi->AggregatedForm());
+  EXPECT_TRUE(AlmostEqual(cov_gram, cov_jacobi,
+                          tol * sigma_max * sigma_max));
+}
+
+TEST(SpectralKernelTest, EmptyInputFails) {
+  EXPECT_FALSE(ComputeSigmaVt(Matrix()).ok());
+}
+
+TEST(SpectralKernelTest, RoutesAgreeOnRandomTallMatrices) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Matrix a = GenerateGaussian(120, 24, 1.0, seed);
+    ExpectRoutesAgree(a, 1e-8);
+  }
+}
+
+TEST(SpectralKernelTest, RoutesAgreeOnRankDeficientMatrices) {
+  // rank 5 inside a 60x12 tall matrix.
+  const Matrix a = Multiply(GenerateGaussian(60, 5, 1.0, 7),
+                            GenerateGaussian(5, 12, 1.0, 8));
+  ExpectRoutesAgree(a, 1e-8);
+}
+
+TEST(SpectralKernelTest, RoutesAgreeOnHugeScale) {
+  Matrix a = GenerateGaussian(80, 16, 1.0, 11);
+  a.Scale(1e150);
+  ExpectRoutesAgree(a, 1e-8);
+}
+
+TEST(SpectralKernelTest, RoutesAgreeOnTinyScale) {
+  Matrix a = GenerateGaussian(80, 16, 1.0, 12);
+  a.Scale(1e-150);
+  ExpectRoutesAgree(a, 1e-8);
+}
+
+TEST(SpectralKernelTest, ScaledSpectrumMatchesUnscaled) {
+  // sigma must scale exactly linearly through the extreme-scale guard.
+  const Matrix base = GenerateGaussian(50, 10, 1.0, 13);
+  Matrix scaled = base;
+  scaled.Scale(1e150);
+  auto spec = ComputeSigmaVt(base);
+  auto spec_scaled = ComputeSigmaVt(scaled);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(spec_scaled.ok());
+  for (size_t j = 0; j < spec->singular_values.size(); ++j) {
+    EXPECT_NEAR(spec_scaled->singular_values[j] / 1e150,
+                spec->singular_values[j],
+                1e-10 * spec->singular_values[0]);
+  }
+}
+
+TEST(SpectralKernelTest, AutoPicksGramForTallWellConditioned) {
+  const Matrix a = GenerateGaussian(200, 16, 1.0, 21);
+  auto spec = ComputeSigmaVt(a);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->route_used, SpectralRoute::kGram);
+}
+
+TEST(SpectralKernelTest, AutoPicksJacobiForWide) {
+  const Matrix a = GenerateGaussian(8, 32, 1.0, 22);
+  auto spec = ComputeSigmaVt(a);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->route_used, SpectralRoute::kJacobi);
+  EXPECT_EQ(spec->singular_values.size(), 8u);
+  EXPECT_EQ(spec->v.rows(), 32u);
+  EXPECT_EQ(spec->v.cols(), 8u);
+}
+
+TEST(SpectralKernelTest, ConditioningGuardFallsBackToJacobi) {
+  // Rank-deficient: lambda_min of the Gram is zero, so kAuto must refuse
+  // the Gram route and redo the factorization with Jacobi.
+  const Matrix a = Multiply(GenerateGaussian(40, 3, 1.0, 31),
+                            GenerateGaussian(3, 10, 1.0, 32));
+  auto spec = ComputeSigmaVt(a);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->route_used, SpectralRoute::kJacobi);
+}
+
+TEST(SpectralKernelTest, MatchesComputeSvd) {
+  const Matrix a = GenerateGaussian(64, 12, 1.5, 41);
+  auto spec = ComputeSigmaVt(a, RouteOptions(SpectralRoute::kJacobi));
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(svd.ok());
+  for (size_t j = 0; j < spec->singular_values.size(); ++j) {
+    EXPECT_NEAR(spec->singular_values[j], svd->singular_values[j],
+                1e-10 * svd->singular_values[0]);
+  }
+  EXPECT_TRUE(AlmostEqual(Gram(spec->AggregatedForm()),
+                          Gram(svd->AggregatedForm()),
+                          1e-9 * svd->singular_values[0] *
+                              svd->singular_values[0]));
+}
+
+TEST(SpectralKernelTest, AggregatedFormPreservesGram) {
+  const Matrix a = GenerateGaussian(90, 14, 1.0, 51);
+  auto spec = ComputeSigmaVt(a);
+  ASSERT_TRUE(spec.ok());
+  const Matrix agg = spec->AggregatedForm();
+  const double scale = SquaredFrobeniusNorm(a);
+  EXPECT_TRUE(AlmostEqual(Gram(agg), Gram(a), 1e-10 * scale));
+}
+
+TEST(SpectralKernelTest, WorkspaceReuseIsBitIdentical) {
+  SvdWorkspace ws;
+  for (uint64_t seed = 60; seed < 64; ++seed) {
+    const Matrix a = GenerateGaussian(70, 12, 1.0, seed);
+    auto with_ws = ComputeSigmaVt(a, {}, &ws);
+    auto without = ComputeSigmaVt(a);
+    ASSERT_TRUE(with_ws.ok());
+    ASSERT_TRUE(without.ok());
+    EXPECT_TRUE(with_ws->singular_values == without->singular_values);
+    EXPECT_TRUE(with_ws->v == without->v);
+  }
+}
+
+class ThreadedJacobiDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = ThreadPool::GlobalThreads(); }
+  void TearDown() override { ThreadPool::SetGlobalThreads(saved_threads_); }
+
+ private:
+  size_t saved_threads_ = 1;
+};
+
+TEST_F(ThreadedJacobiDeterminismTest, RepeatedRunsBitIdenticalPerCount) {
+  // 256x64 clears the kernel's m*n >= 16384 threading threshold, so the
+  // round-robin sweeps really do fan out at 2 and 8 threads.
+  const Matrix a = GenerateGaussian(256, 64, 1.0, 77);
+  const SpectralKernelOptions jac = RouteOptions(SpectralRoute::kJacobi);
+  std::vector<double> ref_sigma;
+  Matrix ref_v;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      auto spec = ComputeSigmaVt(a, jac);
+      ASSERT_TRUE(spec.ok());
+      if (ref_sigma.empty()) {
+        ref_sigma = spec->singular_values;
+        ref_v = spec->v;
+        continue;
+      }
+      // Bit-identical across repeats AND across thread counts: the fixed
+      // round-robin schedule rotates disjoint column pairs, so the
+      // arithmetic never depends on who ran which pair.
+      EXPECT_TRUE(spec->singular_values == ref_sigma)
+          << "threads=" << threads << " rep=" << rep;
+      EXPECT_TRUE(spec->v == ref_v)
+          << "threads=" << threads << " rep=" << rep;
+    }
+  }
+}
+
+TEST_F(ThreadedJacobiDeterminismTest, GramRouteBitIdenticalAcrossCounts) {
+  const Matrix a = GenerateGaussian(1024, 32, 1.0, 78);
+  const SpectralKernelOptions gram = RouteOptions(SpectralRoute::kGram);
+  std::vector<double> ref_sigma;
+  Matrix ref_v;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    auto spec = ComputeSigmaVt(a, gram);
+    ASSERT_TRUE(spec.ok());
+    if (ref_sigma.empty()) {
+      ref_sigma = spec->singular_values;
+      ref_v = spec->v;
+      continue;
+    }
+    // The chunked Gram reduces fixed 256-row partials in chunk order, so
+    // the accumulation tree never changes with the pool size.
+    EXPECT_TRUE(spec->singular_values == ref_sigma) << "threads=" << threads;
+    EXPECT_TRUE(spec->v == ref_v) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace distsketch

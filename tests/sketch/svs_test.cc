@@ -35,6 +35,25 @@ class KeepP : public SamplingFunction {
   double p_;
 };
 
+// Row-wise comparison up to sign: each aggregated-form row is sigma_j v_j^T
+// and the sign of a singular vector is arbitrary, so rows produced by
+// different factorization routes (Gram eigensolve vs Jacobi SVD) may be
+// negated relative to each other.
+void ExpectRowsEqualUpToSign(const Matrix& got, const Matrix& want,
+                             double tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (size_t i = 0; i < got.rows(); ++i) {
+    double dot = 0.0;
+    for (size_t j = 0; j < got.cols(); ++j) dot += got(i, j) * want(i, j);
+    const double sign = dot < 0.0 ? -1.0 : 1.0;
+    for (size_t j = 0; j < got.cols(); ++j) {
+      EXPECT_NEAR(sign * got(i, j), want(i, j), tol)
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
 TEST(SvsTest, EmptyInputFails) {
   KeepAll g;
   EXPECT_FALSE(Svs(Matrix(), g, 1).ok());
@@ -93,14 +112,16 @@ TEST(SvsTest, SampledCountConcentratesAroundExpectation) {
 }
 
 TEST(SvsTest, RowsAreScaledRightSingularVectors) {
-  // With p = 1, rows of the output are exactly the aggregated form.
+  // With p = 1, rows of the output are the aggregated form (up to the
+  // arbitrary singular-vector signs — Svs may factorize via the Gram
+  // route while ComputeSvd is Jacobi).
   const Matrix a = GenerateGaussian(12, 5, 1.0, 7);
   auto svd = ComputeSvd(a);
   ASSERT_TRUE(svd.ok());
   KeepAll g;
   auto r = Svs(a, g, 8);
   ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(AlmostEqual(r->sketch, svd->AggregatedForm(), 1e-9));
+  ExpectRowsEqualUpToSign(r->sketch, svd->AggregatedForm(), 1e-8);
 }
 
 TEST(SvsTest, AggregatedFormPathSkipsSvd) {
@@ -112,9 +133,11 @@ TEST(SvsTest, AggregatedFormPathSkipsSvd) {
   auto via_svd = Svs(a, g, 31);
   ASSERT_TRUE(direct.ok());
   ASSERT_TRUE(via_svd.ok());
-  // Same seed, same candidates in the same order -> identical sketches.
+  // Same seed, same candidate energies in the same order -> the same rows
+  // get sampled; values agree up to the arbitrary singular-vector signs
+  // (direct consumes Jacobi's aggregated form, Svs may route via Gram).
   EXPECT_EQ(direct->sampled, via_svd->sampled);
-  EXPECT_TRUE(AlmostEqual(direct->sketch, via_svd->sketch, 1e-9));
+  ExpectRowsEqualUpToSign(via_svd->sketch, direct->sketch, 1e-8);
 }
 
 TEST(SvsTest, DeterministicPerSeed) {
