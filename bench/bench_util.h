@@ -1,6 +1,7 @@
 #ifndef DISTSKETCH_BENCH_BENCH_UTIL_H_
 #define DISTSKETCH_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -49,8 +50,10 @@ struct BenchRecord {
 /// Accumulates BenchRecords and merges them into a JSON array on Flush
 /// (and at destruction). Merging means: if the target file already holds
 /// an array written by this class — possibly by another bench binary —
-/// the new records are appended to it, so every experiment lands in one
-/// BENCH_sketch.json.
+/// the new records are folded into it, so every experiment lands in one
+/// BENCH_sketch.json. Rows are keyed by their configuration
+/// (op, n, d, s, l, threads): re-running a bench updates its existing
+/// rows in place instead of appending duplicates.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string path = "BENCH_sketch.json")
@@ -61,47 +64,103 @@ class BenchJsonWriter {
 
   void Flush() {
     if (records_.empty()) return;
-    // Load any existing array body (everything between '[' and the final
-    // ']'), so records from earlier runs/binaries survive.
-    std::string body;
+    // Load the rows of any existing array, so records from earlier
+    // runs/binaries survive (deduped against the new ones below).
+    std::vector<std::string> rows;
+    std::vector<std::string> keys;
     {
       std::ifstream in(path_);
       if (in) {
         std::stringstream ss;
         ss << in.rdbuf();
-        std::string text = ss.str();
+        const std::string text = ss.str();
         const size_t open = text.find('[');
         const size_t close = text.rfind(']');
         if (open != std::string::npos && close != std::string::npos &&
             close > open) {
-          body = text.substr(open + 1, close - open - 1);
-          // Trim whitespace so an empty array contributes nothing.
-          while (!body.empty() &&
-                 (body.back() == '\n' || body.back() == ' ')) {
-            body.pop_back();
+          size_t pos = open + 1;
+          while (true) {
+            const size_t begin = text.find('{', pos);
+            if (begin == std::string::npos || begin > close) break;
+            const size_t end = text.find('}', begin);
+            if (end == std::string::npos || end > close) break;
+            std::string row = text.substr(begin, end - begin + 1);
+            std::string key = KeyOfRow(row);
+            // Collapse duplicates already in the file (written before
+            // this class deduped): the last row for a config wins.
+            const auto it = std::find(keys.begin(), keys.end(), key);
+            if (it != keys.end()) {
+              rows[static_cast<size_t>(it - keys.begin())] = std::move(row);
+            } else {
+              rows.push_back(std::move(row));
+              keys.push_back(std::move(key));
+            }
+            pos = end + 1;
           }
         }
+      }
+    }
+    for (const BenchRecord& r : records_) {
+      std::string row = RowText(r);
+      std::string key = KeyOfRow(row);
+      const auto it = std::find(keys.begin(), keys.end(), key);
+      if (it != keys.end()) {
+        rows[static_cast<size_t>(it - keys.begin())] = std::move(row);
+      } else {
+        rows.push_back(std::move(row));
+        keys.push_back(std::move(key));
       }
     }
     std::ofstream out(path_, std::ios::trunc);
     if (!out) return;
     out << "[";
-    bool first = body.empty();
-    if (!first) out << body;
-    for (const BenchRecord& r : records_) {
-      if (!first) out << ",";
-      first = false;
-      out << "\n  {\"op\": \"" << r.op << "\", \"n\": " << r.n
-          << ", \"d\": " << r.d << ", \"s\": " << r.s << ", \"l\": " << r.l
-          << ", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
-          << ", \"words\": " << r.words
-          << ", \"wire_bytes\": " << r.wire_bytes << "}";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n  " << rows[i];
     }
     out << "\n]\n";
     records_.clear();
   }
 
  private:
+  static std::string RowText(const BenchRecord& r) {
+    std::ostringstream row;
+    row << "{\"op\": \"" << r.op << "\", \"n\": " << r.n
+        << ", \"d\": " << r.d << ", \"s\": " << r.s << ", \"l\": " << r.l
+        << ", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
+        << ", \"words\": " << r.words
+        << ", \"wire_bytes\": " << r.wire_bytes << "}";
+    return row.str();
+  }
+
+  // Extracts the value of `name` from a serialized row; quoted strings
+  // come back without the quotes.
+  static std::string FieldOfRow(const std::string& row,
+                                const std::string& name) {
+    const std::string tag = "\"" + name + "\": ";
+    size_t pos = row.find(tag);
+    if (pos == std::string::npos) return "";
+    pos += tag.size();
+    size_t end;
+    if (pos < row.size() && row[pos] == '"') {
+      ++pos;
+      end = row.find('"', pos);
+    } else {
+      end = row.find_first_of(",}", pos);
+    }
+    if (end == std::string::npos) return "";
+    return row.substr(pos, end - pos);
+  }
+
+  // The configuration key of a row: everything except the measurements.
+  static std::string KeyOfRow(const std::string& row) {
+    std::string key;
+    for (const char* name : {"op", "n", "d", "s", "l", "threads"}) {
+      key += FieldOfRow(row, name);
+      key += '|';
+    }
+    return key;
+  }
+
   std::string path_;
   std::vector<BenchRecord> records_;
 };

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "telemetry/telemetry.h"
+
 namespace distsketch {
 
 namespace {
@@ -38,10 +40,11 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::RunBatch() {
+void ThreadPool::RunBatch(bool stolen) {
   // Claim indices one at a time under the lock. The per-index work in
   // distsketch (a whole server's local sketch) dwarfs a mutex hop, so a
   // finer-grained atomic counter buys nothing here.
+  uint64_t ran = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (fn_ != nullptr && next_index_ < batch_size_) {
     const size_t i = next_index_++;
@@ -52,8 +55,15 @@ void ThreadPool::RunBatch() {
       ParallelRegionScope region;
       (*fn)(i);
     }
+    ++ran;
     lock.lock();
     --in_flight_;
+  }
+  if (ran > 0) {
+    // Steal accounting: indices claimed by workers vs run inline by the
+    // ParallelFor caller.
+    telemetry::Count(stolen ? "pool.indices.stolen" : "pool.indices.inline",
+                     ran);
   }
   if (fn_ != nullptr && next_index_ >= batch_size_ && in_flight_ == 0) {
     done_cv_.notify_all();
@@ -71,13 +81,20 @@ void ThreadPool::WorkerLoop() {
       if (shutdown_) return;
       seen_batch = batch_id_;
     }
-    RunBatch();
+    RunBatch(/*stolen=*/true);
   }
 }
 
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  if (telemetry::Telemetry::Current()->enabled()) {
+    telemetry::Count("pool.batches");
+    // Queue depth at submission: indices that will wait for a lane.
+    telemetry::Observe("pool.queue_depth",
+                       n > num_threads() ? n - num_threads() : 0);
+    telemetry::Observe("pool.batch_size", n);
+  }
   if (workers_.empty() || n == 1) {
     // Serial fast path: no locks, no wakeups — identical cost to a plain
     // loop, which is what keeps the 1-thread protocol path at parity with
@@ -86,6 +103,7 @@ void ThreadPool::ParallelFor(size_t n,
     // a precondition for bit-identical results across thread counts.
     ParallelRegionScope region;
     for (size_t i = 0; i < n; ++i) fn(i);
+    telemetry::Count("pool.indices.inline", n);
     return;
   }
   {
@@ -97,7 +115,7 @@ void ThreadPool::ParallelFor(size_t n,
     ++batch_id_;
   }
   work_cv_.notify_all();
-  RunBatch();
+  RunBatch(/*stolen=*/false);
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock,

@@ -70,8 +70,9 @@ class ThreadPool {
  private:
   void WorkerLoop();
   // Claims indices until the current batch is exhausted; returns with
-  // pending_ decremented for every index it ran.
-  void RunBatch();
+  // pending_ decremented for every index it ran. `stolen` marks calls
+  // from worker threads (vs the ParallelFor caller) for telemetry.
+  void RunBatch(bool stolen);
 
   std::vector<std::thread> workers_;
 

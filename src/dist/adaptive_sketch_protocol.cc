@@ -6,15 +6,18 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "dist/protocol_telemetry.h"
 #include "linalg/blas.h"
 #include "sketch/adaptive_sketch.h"
 #include "sketch/quantizer.h"
+#include "telemetry/span.h"
 #include "workload/row_stream.h"
 
 namespace distsketch {
 
 StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
+  ProtocolRunScope run_scope(cluster, "adaptive_sketch");
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
@@ -40,6 +43,8 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   };
   std::vector<LocalSlot> locals = ParallelMap<LocalSlot>(s, [&](size_t i) {
     LocalSlot slot;
+    telemetry::Span span("adaptive/local_stream", telemetry::Phase::kCompute);
+    span.SetAttr("server", static_cast<int64_t>(i));
     auto local =
         AdaptiveLocalSketch::Create(d, options_.eps, options_.k,
                                     Rng::DeriveSeed(options_.seed, i));
@@ -116,6 +121,9 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
       ParallelMap<CompressSlot>(s, [&](size_t i) {
         CompressSlot slot;
         if (!active[i]) return slot;
+        telemetry::Span span("adaptive/local_compress",
+                             telemetry::Phase::kCompute);
+        span.SetAttr("server", static_cast<int64_t>(i));
         auto q = locals[i].sketch->CompressWithGlobalTailMass(
             received_tail[i], s, options_.delta, options_.kind);
         slot.status = q.status();
@@ -152,6 +160,8 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   }
 
   if (options_.recompress && result.sketch.rows() > 0) {
+    telemetry::Span span("adaptive/recompress", telemetry::Phase::kCompute);
+    span.SetAttr("rows", static_cast<uint64_t>(result.sketch.rows()));
     DS_ASSIGN_OR_RETURN(
         Matrix compressed,
         RecompressSketch(result.sketch, options_.eps, options_.k));

@@ -1,5 +1,7 @@
 #include "dist/cluster.h"
 
+#include "telemetry/span.h"
+
 namespace distsketch {
 
 StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
@@ -37,10 +39,31 @@ StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
 }
 
 SendOutcome Cluster::Send(int from, int to, const wire::Message& msg) {
-  if (faults_) {
-    return faults_->Send(log_, from, to, msg);
+  // The one instrumentation point every payload transfer funnels
+  // through: the bytes attrs of these comm spans sum to exactly the
+  // CommLog's wire-byte totals (payload + control, respectively).
+  telemetry::Span span("cluster/send", telemetry::Phase::kComm);
+  if (span.active()) {
+    span.SetAttr("from", static_cast<int64_t>(from));
+    span.SetAttr("to", static_cast<int64_t>(to));
+    span.SetAttr("server",
+                 static_cast<int64_t>(from == kCoordinator ? to : from));
+    span.SetAttr("tag", msg.tag);
   }
-  return SendOverIdealWire(log_, from, to, msg);
+  SendOutcome out = faults_ ? faults_->Send(log_, from, to, msg)
+                            : SendOverIdealWire(log_, from, to, msg);
+  if (span.active()) {
+    span.SetAttr("bytes", out.wire_bytes);
+    span.SetAttr("words", out.wire_words);
+    span.SetAttr("attempts", static_cast<int64_t>(out.attempts));
+    if (out.control_bytes > 0) span.SetAttr("control_bytes", out.control_bytes);
+    if (!out.delivered) span.SetAttr("delivered", "false");
+    telemetry::Count("comm.messages");
+    telemetry::Count("comm.wire_bytes", out.wire_bytes);
+    telemetry::Count("comm.control_wire_bytes", out.control_bytes);
+    if (out.attempts > 1) telemetry::Count("comm.retries", out.attempts - 1);
+  }
+  return out;
 }
 
 Matrix Cluster::AssembleGroundTruth() const {

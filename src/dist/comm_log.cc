@@ -35,6 +35,11 @@ void CommLog::RecordDetailed(MessageRecord rec) {
 CommStats CommLog::Stats() const {
   CommStats s;
   for (const auto& m : messages_) {
+    if (m.control) {
+      s.control_wire_bytes += m.wire_bytes;
+      ++s.num_control_messages;
+      continue;
+    }
     s.total_words += m.words;
     s.total_bits += m.bits;
     s.total_wire_bytes += m.wire_bytes;

@@ -37,6 +37,10 @@ struct MessageRecord {
   bool corrupted = false;
   /// True for a network-duplicated copy of an already delivered message.
   bool duplicate = false;
+  /// True for a control frame (e.g. a receiver's NAK) rather than a
+  /// payload transfer. Control records carry words = 0 and are excluded
+  /// from the payload totals; their bytes land in control_wire_bytes.
+  bool control = false;
   /// Virtual send time (0 when no fault simulation is installed).
   double time = 0.0;
 };
@@ -60,6 +64,13 @@ struct CommStats {
   uint64_t retransmit_words = 0;
   /// Number of metered records that were retransmits or duplicates.
   uint64_t num_retransmits = 0;
+  /// Bytes of control frames (NAKs) that crossed the wire. Kept out of
+  /// total_wire_bytes so the payload measured-vs-analytic equivalence is
+  /// unchanged; the grand total on the wire is total_wire_bytes +
+  /// control_wire_bytes.
+  uint64_t control_wire_bytes = 0;
+  /// Number of control-frame records (NAKs).
+  uint64_t num_control_messages = 0;
 };
 
 /// Meters every transfer of a protocol run (the quantity the paper

@@ -5,13 +5,16 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "dist/protocol_telemetry.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
+#include "telemetry/span.h"
 
 namespace distsketch {
 
 StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
+  ProtocolRunScope run_scope(cluster, "exact_gram");
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
@@ -27,6 +30,8 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   };
   std::vector<LocalGram> locals = ParallelMap<LocalGram>(s, [&](size_t i) {
     LocalGram w;
+    telemetry::Span span("exact_gram/local_gram", telemetry::Phase::kCompute);
+    span.SetAttr("server", static_cast<int64_t>(i));
     const Matrix& local = cluster.server(i).local_rows();
     w.gram = local.rows() > 0 ? Gram(local) : Matrix(d, d);
     if (ft) w.mass = SquaredFrobeniusNorm(local);
@@ -63,6 +68,8 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   }
 
   // Coordinator: B = sqrt(Lambda) V^T from the eigendecomposition.
+  telemetry::Span eig_span("exact_gram/coordinator_eig",
+                           telemetry::Phase::kCompute);
   DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
                       ComputeSymmetricEigen(total_gram));
   result.sketch.SetZero(0, d);

@@ -1,9 +1,11 @@
 #include "dist/fault_injection.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/span.h"
 #include "wire/frame.h"
 
 namespace distsketch {
@@ -47,6 +49,8 @@ std::string_view FaultEventKindToString(FaultEventKind kind) {
       return "gave_up";
     case FaultEventKind::kCorrupted:
       return "corrupted";
+    case FaultEventKind::kNak:
+      return "nak";
   }
   return "unknown";
 }
@@ -92,6 +96,16 @@ void FaultInjector::AddEvent(FaultEventKind kind, int from, int to,
   e.attempt = attempt;
   e.words = words;
   events_.push_back(std::move(e));
+
+  // Fault-plan activity surfaces on the enclosing comm span (opened by
+  // Cluster::Send) as instant events plus per-kind counters.
+  if (telemetry::Telemetry::Current()->enabled()) {
+    const std::string_view name = FaultEventKindToString(kind);
+    telemetry::Count(std::string("fault.") + std::string(name));
+    telemetry::AddSpanEvent(std::string("fault/") + std::string(name));
+    telemetry::AddSpanEventAttr("attempt", static_cast<uint64_t>(attempt));
+    if (words > 0) telemetry::AddSpanEventAttr("words", words);
+  }
 }
 
 void FaultInjector::MeterAttempt(CommLog& log, int from, int to,
@@ -114,6 +128,35 @@ void FaultInjector::MeterAttempt(CommLog& log, int from, int to,
   log.RecordDetailed(std::move(rec));
 }
 
+void FaultInjector::MeterNak(CommLog& log, int from, int to,
+                             std::string_view tag, int attempt,
+                             SendOutcome& out) {
+  // The NAK is a real control frame flowing receiver -> sender: empty
+  // payload, the rejected message's tag, the rejected attempt index. It
+  // piggybacks on the round trip the sender is already waiting out, so
+  // no extra virtual latency is charged.
+  wire::Frame nak;
+  nak.tag = "nak";
+  nak.from = to;
+  nak.to = from;
+  nak.attempt = static_cast<uint32_t>(attempt);
+  const std::vector<uint8_t> buffer = wire::EncodeFrame(nak);
+
+  MessageRecord rec;
+  rec.from = to;
+  rec.to = from;
+  rec.tag = std::string(tag);
+  rec.words = 0;
+  rec.bits = 0;
+  rec.wire_bytes = buffer.size();
+  rec.attempt = attempt;
+  rec.control = true;
+  rec.time = clock_.Now();
+  log.RecordDetailed(std::move(rec));
+  out.control_bytes += buffer.size();
+  AddEvent(FaultEventKind::kNak, to, from, tag, attempt, 0);
+}
+
 SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
                                 const wire::Message& msg) {
   SendOutcome out;
@@ -131,7 +174,16 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
   Rng& rng = RngFor(server);
 
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    // Retry attempts get their own retransmit-phase span (nested inside
+    // the enclosing comm span): run reports bucket recovery time
+    // separately from first-attempt transfer time.
+    std::optional<telemetry::Span> retry_span;
     if (attempt > 0) {
+      retry_span.emplace("net/retry", telemetry::Phase::kRetransmit);
+      if (retry_span->active()) {
+        retry_span->SetAttr("attempt", static_cast<int64_t>(attempt));
+        retry_span->SetAttr("tag", tag);
+      }
       const double delay = config_.backoff.DelayForRetry(attempt, rng);
       clock_.Advance(delay);
       AddEvent(FaultEventKind::kBackoff, from, to, tag, attempt, 0);
@@ -193,6 +245,7 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
       out.wire_bytes += kept;
       AddEvent(FaultEventKind::kTruncated, from, to, tag, attempt, prefix);
       clock_.Advance(profile.latency);
+      MeterNak(log, from, to, tag, attempt, out);
       continue;
     }
     if (!msg.payload.empty() && rng.NextBernoulli(profile.corrupt_prob)) {
@@ -212,6 +265,7 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
       out.wire_bytes += buffer.size();
       AddEvent(FaultEventKind::kCorrupted, from, to, tag, attempt, words);
       clock_.Advance(profile.latency);
+      MeterNak(log, from, to, tag, attempt, out);
       continue;
     }
 
@@ -298,8 +352,8 @@ uint64_t TranscriptDigest(const CommLog& log, const FaultInjector* injector) {
     FnvMix(h, m.wire_bytes);
     FnvMix(h, static_cast<uint64_t>(m.round));
     FnvMix(h, static_cast<uint64_t>(m.attempt));
-    FnvMix(h, (m.corrupted ? 4u : 0u) | (m.truncated ? 2u : 0u) |
-                  (m.duplicate ? 1u : 0u));
+    FnvMix(h, (m.control ? 8u : 0u) | (m.corrupted ? 4u : 0u) |
+                  (m.truncated ? 2u : 0u) | (m.duplicate ? 1u : 0u));
     FnvMix(h, DoubleBits(m.time));
   }
   if (injector != nullptr) {

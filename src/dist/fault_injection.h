@@ -95,6 +95,9 @@ enum class FaultEventKind : uint8_t {
   kBackoff = 6,
   kGaveUp = 7,
   kCorrupted = 8,
+  /// The receiver rejected a mangled frame and sent a NAK control frame
+  /// back (metered as a control record, not payload words).
+  kNak = 9,
 };
 
 std::string_view FaultEventKindToString(FaultEventKind kind);
@@ -122,6 +125,9 @@ struct SendOutcome {
   uint64_t wire_words = 0;
   /// Total encoded frame bytes metered across all attempts/duplicates.
   uint64_t wire_bytes = 0;
+  /// Bytes of NAK control frames the receiver sent back (metered in the
+  /// CommLog as control records, separate from payload wire_bytes).
+  uint64_t control_bytes = 0;
   /// True iff the server endpoint is (now) declared permanently lost.
   bool server_lost = false;
   /// On delivery: the payload bytes the receiver decoded out of the
@@ -184,6 +190,10 @@ class FaultInjector {
                     uint64_t words, uint64_t bits, uint64_t wire_bytes,
                     int attempt, bool truncated, bool duplicate,
                     bool corrupted);
+  /// Meters the receiver's NAK for a rejected attempt: a real encoded
+  /// control frame from `to` back to `from`, logged with control=true.
+  void MeterNak(CommLog& log, int from, int to, std::string_view tag,
+                int attempt, SendOutcome& out);
   // The per-server fault stream, lazily seeded from (config seed, id).
   Rng& RngFor(int server);
 

@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "dist/protocol_telemetry.h"
 #include "linalg/blas.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/quantizer.h"
+#include "telemetry/span.h"
 #include "workload/row_stream.h"
 
 namespace distsketch {
@@ -23,6 +25,7 @@ StatusOr<FrequentDirections> MakeFd(size_t dim, const FdMergeOptions& opt) {
 
 StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
+  ProtocolRunScope run_scope(cluster, "fd_merge");
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
@@ -46,6 +49,8 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   };
   std::vector<LocalWork> locals = ParallelMap<LocalWork>(s, [&](size_t i) {
     LocalWork w;
+    telemetry::Span span("fd_merge/local_sketch", telemetry::Phase::kCompute);
+    span.SetAttr("server", static_cast<int64_t>(i));
     auto local = MakeFd(d, options_);
     DS_CHECK(local.ok());
     RowStream stream = cluster.server(i).OpenStream();
@@ -99,6 +104,9 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
     // sender's in-memory sketch.
     DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
                         wire::DecodeMessagePayload(sent.payload));
+    telemetry::Span merge_span("fd_merge/coordinator_merge",
+                               telemetry::Phase::kCompute);
+    merge_span.SetAttr("server", static_cast<int64_t>(i));
     merged.AppendRows(received.matrix);
   }
 

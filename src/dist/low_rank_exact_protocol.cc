@@ -5,10 +5,12 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "dist/protocol_telemetry.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/pinv.h"
 #include "linalg/row_basis.h"
+#include "telemetry/span.h"
 #include "workload/row_stream.h"
 
 namespace distsketch {
@@ -79,6 +81,7 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
   if (options_.k < 1) {
     return Status::InvalidArgument("LowRankExactProtocol: k < 1");
   }
+  ProtocolRunScope run_scope(cluster, "low_rank_exact");
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   const size_t max_rank = std::min(2 * options_.k, d);
@@ -90,6 +93,9 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
   // Parallel phase: every server's basis/projected-Gram pass.
   std::vector<LowRankLocal> locals =
       ParallelMap<LowRankLocal>(s, [&](size_t i) {
+        telemetry::Span span("low_rank/local_basis",
+                             telemetry::Phase::kCompute);
+        span.SetAttr("server", static_cast<int64_t>(i));
         return ComputeLowRankLocal(cluster.server(i), d, max_rank, ft);
       });
 

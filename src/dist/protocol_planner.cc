@@ -1,12 +1,14 @@
 #include "dist/protocol_planner.h"
 
 #include <cmath>
+#include <string>
 
 #include "dist/adaptive_sketch_protocol.h"
 #include "dist/exact_gram_protocol.h"
 #include "dist/fd_merge_protocol.h"
 #include "dist/row_sampling_protocol.h"
 #include "dist/svs_protocol.h"
+#include "telemetry/span.h"
 
 namespace distsketch {
 namespace {
@@ -64,6 +66,19 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
   const size_t s = num_servers;
   const size_t d = dim;
 
+  // The span records the full decision: instance shape, every candidate
+  // cost, and the winner with its rationale.
+  telemetry::Span span("planner/plan", telemetry::Phase::kCompute);
+  if (span.active()) {
+    span.SetAttr("s", static_cast<uint64_t>(s));
+    span.SetAttr("d", static_cast<uint64_t>(d));
+    span.SetAttr("eps", request.eps);
+    span.SetAttr("k", static_cast<uint64_t>(request.k));
+    span.SetAttr("allow_randomized", request.allow_randomized ? "true"
+                                                              : "false");
+  }
+  std::string chosen = "exact_gram";
+
   ProtocolPlan best;
   best.predicted_words = PredictExactGramWords(s, d);
   best.protocol = std::make_unique<ExactGramProtocol>();
@@ -77,6 +92,11 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
     best.predicted_words = fd_words;
     best.protocol = std::make_unique<FdMergeProtocol>(options);
     best.rationale = "fd_merge: deterministic O(s*l*d) beats sd^2";
+    chosen = "fd_merge";
+  }
+  if (span.active()) {
+    span.SetAttr("words.exact_gram", PredictExactGramWords(s, d));
+    span.SetAttr("words.fd_merge", fd_words);
   }
 
   if (request.allow_randomized) {
@@ -91,7 +111,9 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
         best.protocol = std::make_unique<RowSamplingProtocol>(options);
         best.rationale =
             "row_sampling: large eps makes O(s + d/eps^2) cheapest";
+        chosen = "row_sampling";
       }
+      if (span.active()) span.SetAttr("words.row_sampling", sampling_words);
       const double svs_words = PredictSvsWords(s, d, request);
       if (svs_words < best.predicted_words) {
         SvsProtocolOptions options;
@@ -101,7 +123,9 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
         best.predicted_words = svs_words;
         best.protocol = std::make_unique<SvsProtocol>(options);
         best.rationale = "svs: sqrt(s) scaling wins at this (s, d, eps)";
+        chosen = "svs";
       }
+      if (span.active()) span.SetAttr("words.svs", svs_words);
     } else {
       const double adaptive_words = PredictAdaptiveWords(s, d, request);
       if (adaptive_words < best.predicted_words) {
@@ -114,8 +138,17 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
         best.protocol = std::make_unique<AdaptiveSketchProtocol>(options);
         best.rationale =
             "adaptive_sketch: sdk + sqrt(s)kd/eps beats s*k*d/eps";
+        chosen = "adaptive_sketch";
       }
+      if (span.active()) span.SetAttr("words.adaptive", adaptive_words);
     }
+  }
+  if (span.active()) {
+    span.SetAttr("chosen", chosen);
+    span.SetAttr("predicted_words", best.predicted_words);
+    span.SetAttr("rationale", best.rationale);
+    telemetry::Count("planner.plans");
+    telemetry::Count("planner.pick." + chosen);
   }
   return best;
 }

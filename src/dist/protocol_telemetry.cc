@@ -1,0 +1,52 @@
+#include "dist/protocol_telemetry.h"
+
+#include <utility>
+
+namespace distsketch {
+
+ProtocolRunScope::ProtocolRunScope(Cluster& cluster,
+                                   std::string_view protocol) {
+  telemetry::Telemetry* t = telemetry::Telemetry::Current();
+  if (!t->enabled()) return;
+  if (const FaultInjector* faults = cluster.faults()) {
+    const SimClock* clock = &faults->clock();
+    t->SetVirtualTimeSource([clock] { return clock->Now(); });
+    telem_ = t;
+  }
+  span_.emplace(std::string("protocol/") + std::string(protocol),
+                telemetry::Phase::kRun);
+  span_->SetAttr("protocol", protocol);
+  span_->SetAttr("servers", static_cast<uint64_t>(cluster.num_servers()));
+  span_->SetAttr("dim", static_cast<uint64_t>(cluster.dim()));
+  span_->SetAttr("rows", static_cast<uint64_t>(cluster.total_rows()));
+  telemetry::Count("protocol.runs");
+  telemetry::Count(std::string("protocol.runs.") + std::string(protocol));
+}
+
+ProtocolRunScope::~ProtocolRunScope() {
+  // Close the root span while the virtual clock (if any) is still
+  // installed, then hand the context back to wall time.
+  span_.reset();
+  if (telem_ != nullptr) telem_->SetVirtualTimeSource(nullptr);
+}
+
+telemetry::CommTotals ToCommTotals(const CommStats& stats) {
+  telemetry::CommTotals totals;
+  totals.words = stats.total_words;
+  totals.bits = stats.total_bits;
+  totals.wire_bytes = stats.total_wire_bytes;
+  totals.control_wire_bytes = stats.control_wire_bytes;
+  totals.num_messages = stats.num_messages;
+  totals.num_control_messages = stats.num_control_messages;
+  totals.num_retransmits = stats.num_retransmits;
+  return totals;
+}
+
+telemetry::RunReport BuildProtocolRunReport(const telemetry::Telemetry& telem,
+                                            std::string protocol,
+                                            const CommStats& stats) {
+  return telemetry::BuildRunReport(telem, std::move(protocol),
+                                   ToCommTotals(stats));
+}
+
+}  // namespace distsketch

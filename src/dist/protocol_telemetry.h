@@ -1,0 +1,47 @@
+#ifndef DISTSKETCH_DIST_PROTOCOL_TELEMETRY_H_
+#define DISTSKETCH_DIST_PROTOCOL_TELEMETRY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dist/cluster.h"
+#include "telemetry/run_report.h"
+#include "telemetry/span.h"
+
+namespace distsketch {
+
+/// RAII envelope for one protocol run against a cluster. When the
+/// current telemetry context is enabled it (1) opens the run-root span
+/// "protocol/<name>" with cluster-shape attributes, and (2) while a
+/// fault plan is installed, points the telemetry clock at the plan's
+/// SimClock so every span/event timestamp inside the run is virtual time
+/// (reproducible traces). Both are undone, in that order, on
+/// destruction. Inert (two branches) when telemetry is disabled.
+///
+/// Construct it right after Cluster::ResetLog() so the SimClock has been
+/// rewound before the root span stamps its start time.
+class ProtocolRunScope {
+ public:
+  ProtocolRunScope(Cluster& cluster, std::string_view protocol);
+  ~ProtocolRunScope();
+  ProtocolRunScope(const ProtocolRunScope&) = delete;
+  ProtocolRunScope& operator=(const ProtocolRunScope&) = delete;
+
+ private:
+  telemetry::Telemetry* telem_ = nullptr;  // non-null iff virtual time set
+  std::optional<telemetry::Span> span_;
+};
+
+/// Converts a run's CommLog stats into the telemetry run-report totals.
+telemetry::CommTotals ToCommTotals(const CommStats& stats);
+
+/// Builds the structured per-run report for everything recorded in
+/// `telem` during a protocol run with final stats `stats`.
+telemetry::RunReport BuildProtocolRunReport(const telemetry::Telemetry& telem,
+                                            std::string protocol,
+                                            const CommStats& stats);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_PROTOCOL_TELEMETRY_H_

@@ -5,7 +5,9 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "dist/protocol_telemetry.h"
 #include "sketch/row_sampling.h"
+#include "telemetry/span.h"
 #include "workload/row_stream.h"
 
 namespace distsketch {
@@ -15,6 +17,7 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
   if (options_.eps <= 0.0 || options_.oversample <= 0.0) {
     return Status::InvalidArgument("RowSamplingProtocol: bad options");
   }
+  ProtocolRunScope run_scope(cluster, "row_sampling");
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   const size_t t = std::max<size_t>(
@@ -26,6 +29,9 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
   std::vector<RowSamplingSketch> local;
   local.reserve(s);
   for (size_t i = 0; i < s; ++i) {
+    telemetry::Span span("row_sampling/local_reservoir",
+                         telemetry::Phase::kCompute);
+    span.SetAttr("server", static_cast<int64_t>(i));
     local.emplace_back(d, t, Rng::DeriveSeed(options_.seed, i));
     RowStream stream = cluster.server(i).OpenStream();
     while (stream.HasNext()) local.back().Append(stream.Next());

@@ -6,13 +6,16 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "dist/protocol_telemetry.h"
 #include "linalg/blas.h"
 #include "sketch/svs.h"
+#include "telemetry/span.h"
 
 namespace distsketch {
 
 StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
+  ProtocolRunScope run_scope(cluster, "svs");
   const size_t d = cluster.dim();
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
@@ -26,6 +29,8 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   log.BeginRound();
   double global_mass = 0.0;
   std::vector<double> masses = ParallelMap<double>(s, [&](size_t i) {
+    telemetry::Span span("svs/local_mass", telemetry::Phase::kCompute);
+    span.SetAttr("server", static_cast<int64_t>(i));
     return SquaredFrobeniusNorm(cluster.server(i).local_rows());
   });
   std::vector<bool> active(s, false);
@@ -97,6 +102,9 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
     if (!active[i]) return slot;
     const Matrix& local = cluster.server(i).local_rows();
     if (local.rows() == 0) return slot;
+    telemetry::Span span("svs/local_svs", telemetry::Phase::kCompute);
+    span.SetAttr("server", static_cast<int64_t>(i));
+    span.SetAttr("rows", static_cast<uint64_t>(local.rows()));
     auto svs = Svs(local, *g, Rng::DeriveSeed(options_.seed, i));
     slot.status = svs.status();
     if (svs.ok()) {

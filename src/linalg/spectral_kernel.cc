@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/blas.h"
+#include "telemetry/telemetry.h"
 
 namespace distsketch {
 
@@ -82,11 +83,13 @@ StatusOr<SpectralResult> ComputeSigmaVt(const Matrix& a,
       if (lambda_max <= 0.0 ||
           lambda_min <= options.condition_floor * lambda_max) {
         usable = false;
+        telemetry::Count("kernel.route.gram_vetoed");
       }
     }
     if (usable) {
       SpectralResult out;
       out.route_used = SpectralRoute::kGram;
+      telemetry::Count("kernel.route.gram");
       out.singular_values.resize(r);
       for (size_t j = 0; j < r; ++j) {
         out.singular_values[j] =
@@ -111,6 +114,7 @@ StatusOr<SpectralResult> ComputeSigmaVt(const Matrix& a,
 
   SpectralResult out;
   out.route_used = SpectralRoute::kJacobi;
+  telemetry::Count("kernel.route.jacobi");
   DS_RETURN_IF_ERROR(
       ComputeSvdSigmaV(*src, &out.singular_values, &out.v, options.svd));
   if (scale_back != 1.0) {

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "linalg/randomized_svd.h"
 #include "sketch/frequent_directions.h"
+#include "telemetry/span.h"
 
 namespace distsketch {
 
@@ -44,6 +45,10 @@ void FastFrequentDirections::AppendRows(const Matrix& rows) {
 
 void FastFrequentDirections::Shrink() {
   if (buffer_.rows() <= sketch_size_) return;
+  telemetry::Span span("fast_fd/shrink", telemetry::Phase::kShrink);
+  span.SetAttr("l", static_cast<uint64_t>(sketch_size_));
+  span.SetAttr("rows", static_cast<uint64_t>(buffer_.rows()));
+  telemetry::Count("fd.shrinks");
   if (FdUsesGramShrink(dim_, sketch_size_)) {
     // Gram path: exact spectrum from the 2l-by-2l buffer Gram, never
     // touching the d dimension — faster than the randomized SVD whenever

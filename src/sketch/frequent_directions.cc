@@ -7,6 +7,7 @@
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/spectral_kernel.h"
+#include "telemetry/span.h"
 
 namespace distsketch {
 
@@ -141,6 +142,10 @@ void FrequentDirections::Merge(const FrequentDirections& other) {
 
 void FrequentDirections::Shrink() {
   if (buffer_.rows() <= sketch_size_) return;
+  telemetry::Span span("fd/shrink", telemetry::Phase::kShrink);
+  span.SetAttr("l", static_cast<uint64_t>(sketch_size_));
+  span.SetAttr("rows", static_cast<uint64_t>(buffer_.rows()));
+  telemetry::Count("fd.shrinks");
 
   if (FdUsesGramShrink(dim_, sketch_size_)) {
     total_shrinkage_ += FdGramShrink(buffer_, sketch_size_, &svd_ws_);

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "linalg/blas.h"
 #include "linalg/spectral_kernel.h"
+#include "telemetry/span.h"
 
 namespace distsketch {
 
@@ -28,6 +29,8 @@ StatusOr<SvsResult> SvsOnAggregatedForm(const Matrix& agg,
   if (agg.cols() == 0) {
     return Status::InvalidArgument("SvsOnAggregatedForm: empty input");
   }
+  telemetry::Span span("svs/sample_rows", telemetry::Phase::kCompute);
+  span.SetAttr("candidates", static_cast<uint64_t>(agg.rows()));
   Rng rng(seed);
   SvsResult out;
   out.sketch.SetZero(0, agg.cols());
@@ -49,6 +52,7 @@ StatusOr<SvsResult> SvsOnAggregatedForm(const Matrix& agg,
     out.sketch.AppendRow(scaled);
     ++out.sampled;
   }
+  span.SetAttr("sampled", static_cast<uint64_t>(out.sampled));
   return out;
 }
 

@@ -1,0 +1,93 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+
+namespace distsketch {
+namespace telemetry {
+
+size_t ThreadShardId() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % kMaxShards;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  const uint64_t seq = 1 + gauge_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  GaugeCell& cell = shard.gauges[std::string(name)];
+  cell.seq = seq;
+  cell.value = value;
+}
+
+void MetricsRegistry::Observe(std::string_view name, uint64_t value) {
+  const size_t bucket = value == 0
+                            ? 0
+                            : std::min<size_t>(kHistogramBuckets - 1,
+                                               std::bit_width(value));
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  HistogramSnapshot& h = shard.histograms[std::string(name)];
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[bucket];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  // Gauges carry a global sequence number; the chronologically last Set
+  // wins regardless of which shard it landed in.
+  std::map<std::string, GaugeCell> gauge_cells;
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, v] : shard.counters) out.counters[name] += v;
+    for (const auto& [name, cell] : shard.gauges) {
+      GaugeCell& best = gauge_cells[name];
+      if (cell.seq >= best.seq) best = cell;
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      HistogramSnapshot& merged = out.histograms[name];
+      merged.count += h.count;
+      merged.sum += h.sum;
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        merged.buckets[b] += h.buckets[b];
+      }
+    }
+  }
+  for (const auto& [name, cell] : gauge_cells) {
+    out.gauges[name] = cell.value;
+  }
+  return out;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  uint64_t acc = 0;
+  const std::string key(name);
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.counters.find(key);
+    if (it != shard.counters.end()) acc += it->second;
+  }
+  return acc;
+}
+
+void MetricsRegistry::Reset() {
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.clear();
+    shard.gauges.clear();
+    shard.histograms.clear();
+  }
+}
+
+}  // namespace telemetry
+}  // namespace distsketch

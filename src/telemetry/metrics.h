@@ -1,0 +1,107 @@
+#ifndef DISTSKETCH_TELEMETRY_METRICS_H_
+#define DISTSKETCH_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace distsketch {
+namespace telemetry {
+
+/// Number of thread shards a registry keeps. Thread ids are folded into
+/// this range, so two threads may share a shard (the per-shard mutex
+/// keeps that safe); what matters for cost is that concurrent recorders
+/// almost never collide.
+inline constexpr size_t kMaxShards = 64;
+
+/// Dense id of the calling thread, folded into [0, kMaxShards). Assigned
+/// on first use and cached thread-locally; the main thread of a process
+/// gets shard 0.
+size_t ThreadShardId();
+
+/// Fixed-bucket histogram: 64 power-of-two buckets (bucket j counts
+/// observations whose bit width is j, i.e. values in [2^(j-1), 2^j);
+/// bucket 0 counts zeros). The bucket layout is fixed at compile time,
+/// so merging shards is pure integer addition — deterministic in any
+/// merge order.
+inline constexpr size_t kHistogramBuckets = 64;
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time merge of every shard. Keys are sorted (std::map) so
+/// iteration — and therefore every exporter — is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Lock-cheap metrics registry: counters, gauges, and fixed-bucket
+/// histograms. Every recording thread works against its own shard (a
+/// per-shard mutex guards the rare fold-collision), and Snapshot() merges
+/// shards in increasing shard-index order. All recorded quantities are
+/// integers (counter deltas, histogram observations) or last-write gauges
+/// ordered by a global sequence number, so the merged values are
+/// bit-identical for any DS_THREADS — the schedule can change which shard
+/// holds a count, never what the counts add up to.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter.
+  void AddCounter(std::string_view name, uint64_t delta = 1);
+
+  /// Sets the named gauge. Merge semantics: the chronologically last Set
+  /// wins (tracked by a global sequence number, not by shard order).
+  void SetGauge(std::string_view name, double value);
+
+  /// Records one observation into the named histogram.
+  void Observe(std::string_view name, uint64_t value);
+
+  /// Merged view of all shards (shard 0 first, then 1, ...).
+  MetricsSnapshot Snapshot() const;
+
+  /// Convenience: merged value of one counter (0 when never touched).
+  uint64_t CounterValue(std::string_view name) const;
+
+  /// Clears every shard. Not safe concurrently with recording.
+  void Reset();
+
+ private:
+  struct GaugeCell {
+    uint64_t seq = 0;
+    double value = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, uint64_t> counters;
+    std::unordered_map<std::string, GaugeCell> gauges;
+    std::unordered_map<std::string, HistogramSnapshot> histograms;
+  };
+
+  Shard& ShardForThisThread() { return shards_[ThreadShardId()]; }
+
+  std::array<Shard, kMaxShards> shards_;
+  std::atomic<uint64_t> gauge_seq_{0};
+};
+
+}  // namespace telemetry
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_TELEMETRY_METRICS_H_

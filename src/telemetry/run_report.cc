@@ -1,0 +1,183 @@
+#include "telemetry/run_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace distsketch {
+namespace telemetry {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void AppendKey(std::string& out, std::string_view key) {
+  out += '"';
+  AppendEscaped(out, key);
+  out += "\":";
+}
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+RunReport BuildRunReport(const Telemetry& telem, std::string protocol,
+                         const CommTotals& comm) {
+  RunReport report;
+  report.protocol = std::move(protocol);
+  report.comm = comm;
+  for (const SpanRecord& span : telem.Spans()) {
+    if (!span.phase_root) continue;
+    const size_t p = static_cast<size_t>(span.phase);
+    if (p >= kNumPhaseBuckets) {
+      report.run_ns += span.DurationNs();
+      continue;
+    }
+    report.phase_ns[p] += span.DurationNs();
+    ++report.phase_spans[p];
+  }
+  report.metrics = telem.metrics().Snapshot();
+  auto counter = [&](const char* name) -> uint64_t {
+    auto it = report.metrics.counters.find(name);
+    return it == report.metrics.counters.end() ? 0 : it->second;
+  };
+  report.route_gram = counter("kernel.route.gram");
+  report.route_jacobi = counter("kernel.route.jacobi");
+  report.route_gram_vetoed = counter("kernel.route.gram_vetoed");
+  return report;
+}
+
+std::string RunReportJson(const RunReport& report) {
+  std::string out;
+  out.reserve(2048);
+  out += "{";
+  AppendKey(out, "protocol");
+  out += '"';
+  AppendEscaped(out, report.protocol);
+  out += "\",";
+
+  AppendKey(out, "run_ns");
+  out += std::to_string(report.run_ns);
+  out += ',';
+
+  AppendKey(out, "phases");
+  out += '{';
+  for (size_t p = 0; p < report.phase_ns.size(); ++p) {
+    if (p != 0) out += ',';
+    AppendKey(out, PhaseToString(static_cast<Phase>(p)));
+    out += "{\"ns\":";
+    out += std::to_string(report.phase_ns[p]);
+    out += ",\"spans\":";
+    out += std::to_string(report.phase_spans[p]);
+    out += '}';
+  }
+  out += "},";
+
+  AppendKey(out, "comm");
+  out += '{';
+  AppendKey(out, "words");
+  out += std::to_string(report.comm.words);
+  out += ',';
+  AppendKey(out, "bits");
+  out += std::to_string(report.comm.bits);
+  out += ',';
+  AppendKey(out, "wire_bytes");
+  out += std::to_string(report.comm.wire_bytes);
+  out += ',';
+  AppendKey(out, "control_wire_bytes");
+  out += std::to_string(report.comm.control_wire_bytes);
+  out += ',';
+  AppendKey(out, "num_messages");
+  out += std::to_string(report.comm.num_messages);
+  out += ',';
+  AppendKey(out, "num_control_messages");
+  out += std::to_string(report.comm.num_control_messages);
+  out += ',';
+  AppendKey(out, "num_retransmits");
+  out += std::to_string(report.comm.num_retransmits);
+  out += "},";
+
+  AppendKey(out, "kernel_routes");
+  out += "{\"gram\":";
+  out += std::to_string(report.route_gram);
+  out += ",\"jacobi\":";
+  out += std::to_string(report.route_jacobi);
+  out += ",\"gram_vetoed\":";
+  out += std::to_string(report.route_gram_vetoed);
+  out += "},";
+
+  AppendKey(out, "counters");
+  out += '{';
+  {
+    bool first = true;
+    for (const auto& [name, value] : report.metrics.counters) {
+      if (!first) out += ',';
+      first = false;
+      AppendKey(out, name);
+      out += std::to_string(value);
+    }
+  }
+  out += "},";
+
+  AppendKey(out, "gauges");
+  out += '{';
+  {
+    bool first = true;
+    for (const auto& [name, value] : report.metrics.gauges) {
+      if (!first) out += ',';
+      first = false;
+      AppendKey(out, name);
+      out += FormatDouble(value);
+    }
+  }
+  out += "},";
+
+  AppendKey(out, "histograms");
+  out += '{';
+  {
+    bool first = true;
+    for (const auto& [name, h] : report.metrics.histograms) {
+      if (!first) out += ',';
+      first = false;
+      AppendKey(out, name);
+      out += "{\"count\":";
+      out += std::to_string(h.count);
+      out += ",\"sum\":";
+      out += std::to_string(h.sum);
+      out += ",\"mean\":";
+      out += FormatDouble(h.Mean());
+      out += ",\"buckets\":[";
+      // Elide the all-zero tail; bucket j counts values of bit width j.
+      size_t last = 0;
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (h.buckets[b] != 0) last = b + 1;
+      }
+      for (size_t b = 0; b < last; ++b) {
+        if (b != 0) out += ',';
+        out += std::to_string(h.buckets[b]);
+      }
+      out += "]}";
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+bool WriteRunReport(const RunReport& report, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  const std::string json = RunReportJson(report);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(file);
+}
+
+}  // namespace telemetry
+}  // namespace distsketch

@@ -1,0 +1,68 @@
+#ifndef DISTSKETCH_TELEMETRY_RUN_REPORT_H_
+#define DISTSKETCH_TELEMETRY_RUN_REPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace distsketch {
+namespace telemetry {
+
+/// Communication totals for a run, supplied by the caller (the dist
+/// layer converts its CommLog stats; telemetry itself has no dist
+/// dependency). Control bytes are NAK frames and other non-payload
+/// traffic, metered separately from the payload totals.
+struct CommTotals {
+  uint64_t words = 0;
+  uint64_t bits = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t control_wire_bytes = 0;
+  uint64_t num_messages = 0;
+  uint64_t num_control_messages = 0;
+  uint64_t num_retransmits = 0;
+};
+
+/// Structured per-run report: a protocol run broken into the four phase
+/// buckets (ns attributed from phase-root spans only, so nested
+/// same-phase spans never double-count), the run's comm totals, and the
+/// spectral-kernel route counters.
+struct RunReport {
+  std::string protocol;
+  /// Indexed by static_cast<size_t>(Phase); kRun spans land in run_ns.
+  std::array<uint64_t, kNumPhaseBuckets> phase_ns{};
+  std::array<uint64_t, kNumPhaseBuckets> phase_spans{};
+  /// Summed duration of whole-run envelope spans (Phase::kRun).
+  uint64_t run_ns = 0;
+  CommTotals comm;
+  uint64_t route_gram = 0;
+  uint64_t route_jacobi = 0;
+  uint64_t route_gram_vetoed = 0;
+  MetricsSnapshot metrics;
+
+  uint64_t TotalPhaseNs() const {
+    uint64_t acc = 0;
+    for (uint64_t v : phase_ns) acc += v;
+    return acc;
+  }
+};
+
+/// Builds a report from everything recorded in `telem`: phase buckets
+/// from its spans, route counters from its "kernel.route.*" counters,
+/// plus the caller-supplied comm totals.
+RunReport BuildRunReport(const Telemetry& telem, std::string protocol,
+                         const CommTotals& comm);
+
+/// Renders the report as a standalone JSON document (sorted keys,
+/// deterministic for identical runs). Histograms are exported as
+/// {count, sum, mean}; all-zero histogram tails are elided.
+std::string RunReportJson(const RunReport& report);
+
+/// Writes RunReportJson to `path`. Returns false on I/O error.
+bool WriteRunReport(const RunReport& report, const std::string& path);
+
+}  // namespace telemetry
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_TELEMETRY_RUN_REPORT_H_

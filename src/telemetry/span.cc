@@ -1,0 +1,118 @@
+#include "telemetry/span.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace distsketch {
+namespace telemetry {
+
+namespace {
+
+// Innermost-first stack of open spans on this thread. Raw pointers are
+// safe: Span is a scoped stack object, so destruction order matches pop
+// order by construction.
+thread_local std::vector<Span*> open_spans;
+thread_local std::vector<Phase> open_phases;
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+Span::Span(std::string_view name, Phase phase) {
+  Telemetry* t = Telemetry::Current();
+  if (!t->enabled()) return;
+  telem_ = t;
+  rec_.name.assign(name.data(), name.size());
+  rec_.phase = phase;
+  rec_.tid = static_cast<uint32_t>(ThreadShardId());
+  rec_.start_ns = t->NowNs();
+  // A span is a phase root iff no enclosing open span on this thread
+  // already carries the same phase; run reports sum roots only.
+  rec_.phase_root = true;
+  for (Phase open : open_phases) {
+    if (open == phase) {
+      rec_.phase_root = false;
+      break;
+    }
+  }
+  open_spans.push_back(this);
+  open_phases.push_back(phase);
+}
+
+Span::~Span() {
+  if (telem_ == nullptr) return;
+  rec_.end_ns = telem_->NowNs();
+  if (!open_spans.empty() && open_spans.back() == this) {
+    open_spans.pop_back();
+    open_phases.pop_back();
+  }
+  telem_->RecordSpan(std::move(rec_));
+}
+
+void Span::SetAttr(std::string_view key, std::string_view value) {
+  if (telem_ == nullptr) return;
+  rec_.attrs.push_back(
+      {std::string(key), std::string(value), /*quote=*/true});
+}
+
+void Span::SetAttr(std::string_view key, int64_t value) {
+  if (telem_ == nullptr) return;
+  rec_.attrs.push_back(
+      {std::string(key), std::to_string(value), /*quote=*/false});
+}
+
+void Span::SetAttr(std::string_view key, uint64_t value) {
+  if (telem_ == nullptr) return;
+  rec_.attrs.push_back(
+      {std::string(key), std::to_string(value), /*quote=*/false});
+}
+
+void Span::SetAttr(std::string_view key, double value) {
+  if (telem_ == nullptr) return;
+  rec_.attrs.push_back({std::string(key), FormatDouble(value), false});
+}
+
+void Span::AddEvent(std::string_view name) {
+  if (telem_ == nullptr) return;
+  rec_.events.push_back({std::string(name), telem_->NowNs(), {}});
+}
+
+void Span::AddEventAttr(std::string_view key, std::string_view value) {
+  if (telem_ == nullptr || rec_.events.empty()) return;
+  rec_.events.back().attrs.push_back(
+      {std::string(key), std::string(value), /*quote=*/true});
+}
+
+void Span::AddEventAttr(std::string_view key, int64_t value) {
+  if (telem_ == nullptr || rec_.events.empty()) return;
+  rec_.events.back().attrs.push_back(
+      {std::string(key), std::to_string(value), /*quote=*/false});
+}
+
+void Span::AddEventAttr(std::string_view key, uint64_t value) {
+  if (telem_ == nullptr || rec_.events.empty()) return;
+  rec_.events.back().attrs.push_back(
+      {std::string(key), std::to_string(value), /*quote=*/false});
+}
+
+void AddSpanEvent(std::string_view name) {
+  if (open_spans.empty()) return;
+  open_spans.back()->AddEvent(name);
+}
+
+void AddSpanEventAttr(std::string_view key, std::string_view value) {
+  if (open_spans.empty()) return;
+  open_spans.back()->AddEventAttr(key, value);
+}
+
+void AddSpanEventAttr(std::string_view key, uint64_t value) {
+  if (open_spans.empty()) return;
+  open_spans.back()->AddEventAttr(key, value);
+}
+
+}  // namespace telemetry
+}  // namespace distsketch

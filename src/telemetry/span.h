@@ -1,0 +1,75 @@
+#ifndef DISTSKETCH_TELEMETRY_SPAN_H_
+#define DISTSKETCH_TELEMETRY_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace distsketch {
+namespace telemetry {
+
+/// RAII scoped span. Construction stamps start_ns against the current
+/// Telemetry context and pushes onto the calling thread's open-span
+/// stack; destruction stamps end_ns, pops, and records. When the current
+/// context is Disabled() the whole object is inert (one branch at each
+/// end, no clock reads, no allocation).
+///
+/// Span names use '/'-separated lowercase segments:
+/// <subsystem>/<operation>, e.g. "svs/sample_rows", "cluster/send",
+/// "pool/run_batch". Protocol root spans are "protocol/<name>".
+class Span {
+ public:
+  Span(std::string_view name, Phase phase);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value attribute to this span. No-op when inert.
+  void SetAttr(std::string_view key, std::string_view value);
+  void SetAttr(std::string_view key, int64_t value);
+  void SetAttr(std::string_view key, uint64_t value);
+  void SetAttr(std::string_view key, double value);
+
+  /// Attaches an instant event (stamped now) to this span. No-op when
+  /// inert. Returns the event index so callers can add attrs to it.
+  void AddEvent(std::string_view name);
+  void AddEventAttr(std::string_view key, std::string_view value);
+  void AddEventAttr(std::string_view key, int64_t value);
+  void AddEventAttr(std::string_view key, uint64_t value);
+
+  bool active() const { return telem_ != nullptr; }
+
+ private:
+  Telemetry* telem_ = nullptr;  // null when recording is disabled
+  SpanRecord rec_;
+};
+
+/// Attaches an instant event to the innermost open span on this thread
+/// (no-op when telemetry is disabled or no span is open). Used by layers
+/// like FaultInjector that fire inside an enclosing comm span they did
+/// not open themselves.
+void AddSpanEvent(std::string_view name);
+void AddSpanEventAttr(std::string_view key, std::string_view value);
+void AddSpanEventAttr(std::string_view key, uint64_t value);
+
+#define DS_TELEM_CONCAT_INNER(a, b) a##b
+#define DS_TELEM_CONCAT(a, b) DS_TELEM_CONCAT_INNER(a, b)
+
+/// Opens a compute-phase scoped span for the rest of the enclosing block.
+#define TELEM_SPAN(name)                                    \
+  ::distsketch::telemetry::Span DS_TELEM_CONCAT(            \
+      telem_span_, __COUNTER__)(name,                       \
+                                ::distsketch::telemetry::Phase::kCompute)
+
+/// Opens a scoped span attributed to an explicit phase, bound to a local
+/// variable `var` so attributes/events can be attached.
+#define TELEM_SPAN_PHASE(var, name, phase) \
+  ::distsketch::telemetry::Span var(name, phase)
+
+}  // namespace telemetry
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_TELEMETRY_SPAN_H_

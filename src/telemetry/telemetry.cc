@@ -1,0 +1,131 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "telemetry/trace_export.h"
+
+namespace distsketch {
+namespace telemetry {
+
+std::string_view PhaseToString(Phase phase) {
+  switch (phase) {
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kComm:
+      return "comm";
+    case Phase::kRetransmit:
+      return "retransmit";
+    case Phase::kShrink:
+      return "shrink";
+    case Phase::kRun:
+      return "run";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::atomic<Telemetry*>& CurrentSlot() {
+  static std::atomic<Telemetry*> current{nullptr};
+  return current;
+}
+
+// DS_TELEMETRY=1 installs a process-global enabled context at first
+// Current() call; DS_TELEMETRY_TRACE=<prefix> additionally dumps a chrome
+// trace to <prefix><pid>.json at process exit (what the CI chaos job
+// uploads as its artifact).
+Telemetry* EnvGlobalOrNull() {
+  static Telemetry* env_global = []() -> Telemetry* {
+    const char* flag = std::getenv("DS_TELEMETRY");
+    if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') return nullptr;
+    static Telemetry instance;
+    if (const char* prefix = std::getenv("DS_TELEMETRY_TRACE")) {
+      static std::string trace_prefix = prefix;
+      std::atexit([] {
+        WriteChromeTraceForPid(instance, trace_prefix);
+      });
+    }
+    return &instance;
+  }();
+  return env_global;
+}
+
+}  // namespace
+
+Telemetry& Telemetry::Disabled() {
+  static Telemetry inert(false);
+  return inert;
+}
+
+Telemetry* Telemetry::Current() {
+  Telemetry* t = CurrentSlot().load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  Telemetry* from_env = EnvGlobalOrNull();
+  if (from_env == nullptr) from_env = &Disabled();
+  CurrentSlot().store(from_env, std::memory_order_release);
+  return from_env;
+}
+
+void Telemetry::Install(Telemetry* t) {
+  if (t == nullptr) t = &Disabled();
+  CurrentSlot().store(t, std::memory_order_release);
+}
+
+void Telemetry::RecordSpan(SpanRecord rec) {
+  if (!enabled_) return;
+  SpanShard& shard = span_shards_[ThreadShardId()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.spans.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Telemetry::Spans() const {
+  std::vector<SpanRecord> out;
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    const SpanShard& shard = span_shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.spans.begin(), shard.spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+void Telemetry::Reset() {
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    SpanShard& shard = span_shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.spans.clear();
+  }
+  metrics_.Reset();
+}
+
+void Telemetry::SetVirtualTimeSource(std::function<double()> ticks_now) {
+  virtual_ticks_now_ = std::move(ticks_now);
+  has_virtual_.store(static_cast<bool>(virtual_ticks_now_),
+                     std::memory_order_release);
+}
+
+uint64_t Telemetry::NowNs() const {
+  if (has_virtual_.load(std::memory_order_acquire)) {
+    // 1 simulation tick = 1 microsecond on the exported timeline.
+    const double ticks = virtual_ticks_now_();
+    return static_cast<uint64_t>(std::llround(ticks * 1000.0));
+  }
+  return WallNowNs();
+}
+
+uint64_t Telemetry::WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace telemetry
+}  // namespace distsketch

@@ -1,0 +1,185 @@
+#ifndef DISTSKETCH_TELEMETRY_TELEMETRY_H_
+#define DISTSKETCH_TELEMETRY_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace distsketch {
+namespace telemetry {
+
+/// Run-report phase a span is attributed to. The taxonomy mirrors how the
+/// paper's cost accounting splits a protocol run: local computation,
+/// wire transfers, fault-recovery retries, and FD shrink cycles.
+enum class Phase : uint8_t {
+  kCompute = 0,
+  kComm = 1,
+  kRetransmit = 2,
+  kShrink = 3,
+  /// Whole-run envelope spans ("protocol/<name>"). Not a report bucket:
+  /// a run span overlaps every phase, so it is kept out of the phase
+  /// sums and surfaces as the report's run_ns instead.
+  kRun = 4,
+};
+
+/// Number of phases that are run-report buckets (kRun excluded).
+inline constexpr size_t kNumPhaseBuckets = 4;
+
+std::string_view PhaseToString(Phase phase);
+
+/// One key/value span attribute. `value` is pre-stringified; `quote`
+/// records whether exporters should emit it as a JSON string (false for
+/// numbers, which are exported verbatim).
+struct SpanAttr {
+  std::string key;
+  std::string value;
+  bool quote = true;
+};
+
+/// An instant event attached to a span (fault drops, NAKs, backoffs...).
+struct SpanEvent {
+  std::string name;
+  uint64_t ts_ns = 0;
+  std::vector<SpanAttr> attrs;
+};
+
+/// A finished span as stored by the collector.
+struct SpanRecord {
+  std::string name;
+  Phase phase = Phase::kCompute;
+  /// True iff no enclosing span (on the recording thread) shares this
+  /// span's phase. Run reports sum phase_root spans only, so nested
+  /// same-phase spans never double-count wall time.
+  bool phase_root = true;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  /// Thread shard the span was recorded from (chrome-trace tid).
+  uint32_t tid = 0;
+  std::vector<SpanAttr> attrs;
+  std::vector<SpanEvent> events;
+
+  uint64_t DurationNs() const { return end_ns - start_ns; }
+};
+
+/// Telemetry context: a metrics registry plus a span collector with a
+/// pluggable clock. One instance per measured run (benches and tests
+/// build their own); the process-wide current instance is what the
+/// TELEM_* instrumentation records into, and it defaults to the inert
+/// Disabled() sink whose entire cost is one pointer load and one branch.
+///
+/// Clock: spans are stamped from a monotonic wall clock by default. When
+/// a virtual time source is installed (the simulated cluster does this
+/// while a fault plan is active), spans are stamped from virtual ticks
+/// instead (1 tick = 1 microsecond), which is what makes chaos-run traces
+/// reproducible: the trace becomes a pure function of (data, config,
+/// seed), never of host speed.
+class Telemetry {
+ public:
+  /// An enabled, empty context.
+  Telemetry() : Telemetry(true) {}
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// The inert null sink: enabled() is false and every recording call is
+  /// a no-op. Its overhead is measured by bench_telemetry_overhead and
+  /// bounded by the CI baseline check.
+  static Telemetry& Disabled();
+
+  /// The process-wide current context; never null. Defaults to
+  /// Disabled() unless the DS_TELEMETRY=1 environment variable asked for
+  /// a process-global enabled context at first use (see
+  /// InitFromEnvironment).
+  static Telemetry* Current();
+
+  /// Installs `t` as the current context (nullptr restores Disabled()).
+  static void Install(Telemetry* t);
+
+  bool enabled() const { return enabled_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Stores a finished span into the calling thread's shard.
+  void RecordSpan(SpanRecord rec);
+
+  /// All recorded spans: shards merged in index order, then stably
+  /// sorted by (start_ns, tid) so the output is a deterministic timeline.
+  std::vector<SpanRecord> Spans() const;
+
+  /// Drops all spans and metrics. Not safe concurrently with recording.
+  void Reset();
+
+  /// Installs a virtual time source returning the current time in
+  /// simulation ticks (1 tick is exported as 1 microsecond). Must not be
+  /// called while spans are open. Pass nullptr to restore wall time.
+  void SetVirtualTimeSource(std::function<double()> ticks_now);
+  bool has_virtual_time() const {
+    return has_virtual_.load(std::memory_order_acquire);
+  }
+
+  /// Current span timestamp: virtual ticks * 1000 when a virtual source
+  /// is installed, monotonic wall nanoseconds otherwise.
+  uint64_t NowNs() const;
+
+  /// Monotonic wall-clock nanoseconds (ignores any virtual source; used
+  /// by duration histograms that always measure host cost).
+  static uint64_t WallNowNs();
+
+ private:
+  explicit Telemetry(bool enabled) : enabled_(enabled) {}
+
+  struct SpanShard {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> spans;
+  };
+
+  const bool enabled_;
+  MetricsRegistry metrics_;
+  std::array<SpanShard, kMaxShards> span_shards_;
+  std::atomic<bool> has_virtual_{false};
+  std::function<double()> virtual_ticks_now_;
+};
+
+/// RAII installer: makes `t` current for the scope, restores the
+/// previous context on destruction.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(Telemetry& t) : prev_(Telemetry::Current()) {
+    Telemetry::Install(&t);
+  }
+  ~ScopedTelemetry() { Telemetry::Install(prev_); }
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  Telemetry* prev_;
+};
+
+/// Counter/gauge/histogram shorthands against the current context. Cost
+/// when disabled: one pointer load + one branch.
+inline void Count(std::string_view name, uint64_t delta = 1) {
+  Telemetry* t = Telemetry::Current();
+  if (t->enabled()) t->metrics().AddCounter(name, delta);
+}
+
+inline void SetGauge(std::string_view name, double value) {
+  Telemetry* t = Telemetry::Current();
+  if (t->enabled()) t->metrics().SetGauge(name, value);
+}
+
+inline void Observe(std::string_view name, uint64_t value) {
+  Telemetry* t = Telemetry::Current();
+  if (t->enabled()) t->metrics().Observe(name, value);
+}
+
+}  // namespace telemetry
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,140 @@
+#include "telemetry/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace distsketch {
+namespace telemetry {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendArgs(std::string& out, const std::vector<SpanAttr>& attrs,
+                Phase phase) {
+  out += "\"args\":{\"phase\":\"";
+  out += PhaseToString(phase);
+  out += '"';
+  for (const SpanAttr& a : attrs) {
+    out += ",\"";
+    AppendEscaped(out, a.key);
+    out += "\":";
+    if (a.quote) {
+      out += '"';
+      AppendEscaped(out, a.value);
+      out += '"';
+    } else {
+      out += a.value;
+    }
+  }
+  out += '}';
+}
+
+// chrome://tracing timestamps are microseconds (doubles); we emit
+// thousandths-of-a-us precision so wall-clock ns spans keep sub-us detail.
+void AppendMicros(std::string& out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Telemetry& telem) {
+  const std::vector<SpanRecord> spans = telem.Spans();
+  std::string out;
+  out.reserve(256 + 192 * spans.size());
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(span.tid);
+    out += ",\"name\":\"";
+    AppendEscaped(out, span.name);
+    out += "\",\"cat\":\"";
+    out += PhaseToString(span.phase);
+    out += "\",\"ts\":";
+    AppendMicros(out, span.start_ns);
+    out += ",\"dur\":";
+    AppendMicros(out, span.DurationNs());
+    out += ',';
+    AppendArgs(out, span.attrs, span.phase);
+    out += '}';
+    for (const SpanEvent& ev : span.events) {
+      out += ",{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":";
+      out += std::to_string(span.tid);
+      out += ",\"name\":\"";
+      AppendEscaped(out, ev.name);
+      out += "\",\"cat\":\"";
+      out += PhaseToString(span.phase);
+      out += "\",\"ts\":";
+      AppendMicros(out, ev.ts_ns);
+      out += ',';
+      AppendArgs(out, ev.attrs, span.phase);
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const Telemetry& telem, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  const std::string json = ChromeTraceJson(telem);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(file);
+}
+
+bool WriteChromeTraceForPid(const Telemetry& telem, std::string_view prefix) {
+#ifdef _WIN32
+  const int pid = _getpid();
+#else
+  const int pid = static_cast<int>(getpid());
+#endif
+  std::string path(prefix);
+  path += std::to_string(pid);
+  path += ".json";
+  return WriteChromeTrace(telem, path);
+}
+
+}  // namespace telemetry
+}  // namespace distsketch

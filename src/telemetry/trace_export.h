@@ -1,0 +1,29 @@
+#ifndef DISTSKETCH_TELEMETRY_TRACE_EXPORT_H_
+#define DISTSKETCH_TELEMETRY_TRACE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+
+namespace distsketch {
+namespace telemetry {
+
+/// Renders every recorded span as a chrome://tracing "traceEvents" JSON
+/// document: one complete event (ph "X", microsecond ts/dur) per span
+/// with its attributes under args, one instant event (ph "i") per span
+/// event. pid is always 1; tid is the recording thread's shard id.
+std::string ChromeTraceJson(const Telemetry& telem);
+
+/// Writes ChromeTraceJson(telem) to `path`. Returns false on I/O error.
+bool WriteChromeTrace(const Telemetry& telem, const std::string& path);
+
+/// Writes the trace to "<prefix><pid>.json" (used by the DS_TELEMETRY
+/// atexit hook so concurrently-run test binaries never clobber each
+/// other's artifact).
+bool WriteChromeTraceForPid(const Telemetry& telem, std::string_view prefix);
+
+}  // namespace telemetry
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_TELEMETRY_TRACE_EXPORT_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <limits>
 
+#include "telemetry/telemetry.h"
 #include "wire/checksum.h"
 
 namespace distsketch {
@@ -35,6 +36,11 @@ uint32_t WireTagId(const std::string& tag) {
 }
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  // Codec cost is always host time (never the virtual clock): the
+  // histograms answer "how expensive is the codec", not "when did the
+  // simulated transfer happen".
+  const bool telem = telemetry::Telemetry::Current()->enabled();
+  const uint64_t t0 = telem ? telemetry::Telemetry::WallNowNs() : 0;
   std::vector<uint8_t> out;
   out.reserve(kFrameHeaderBytes + frame.tag.size() + frame.payload.size());
   AppendPod<uint32_t>(kFrameMagic, &out);
@@ -49,10 +55,17 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame) {
       Checksum64(frame.payload.data(), frame.payload.size()), &out);
   out.insert(out.end(), frame.tag.begin(), frame.tag.end());
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  if (telem) {
+    telemetry::Observe("wire.encode_ns",
+                       telemetry::Telemetry::WallNowNs() - t0);
+    telemetry::Count("wire.frames_encoded");
+  }
   return out;
 }
 
-StatusOr<Frame> DecodeFrame(const uint8_t* data, size_t size) {
+namespace {
+
+StatusOr<Frame> DecodeFrameImpl(const uint8_t* data, size_t size) {
   if (size < kFrameHeaderBytes) {
     return Status::InvalidArgument("wire frame: truncated header");
   }
@@ -84,10 +97,24 @@ StatusOr<Frame> DecodeFrame(const uint8_t* data, size_t size) {
   }
   const uint8_t* payload = data + kFrameHeaderBytes + tag_len;
   if (Checksum64(payload, payload_len) != checksum) {
+    telemetry::Count("wire.checksum_failure");
     return Status::InvalidArgument("wire frame: checksum mismatch");
   }
   frame.payload.assign(payload, payload + payload_len);
   return frame;
+}
+
+}  // namespace
+
+StatusOr<Frame> DecodeFrame(const uint8_t* data, size_t size) {
+  const bool telem = telemetry::Telemetry::Current()->enabled();
+  if (!telem) return DecodeFrameImpl(data, size);
+  const uint64_t t0 = telemetry::Telemetry::WallNowNs();
+  StatusOr<Frame> result = DecodeFrameImpl(data, size);
+  telemetry::Observe("wire.decode_ns", telemetry::Telemetry::WallNowNs() - t0);
+  telemetry::Count("wire.frames_decoded");
+  if (!result.ok()) telemetry::Count("wire.decode_failure");
+  return result;
 }
 
 }  // namespace wire

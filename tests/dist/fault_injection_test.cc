@@ -164,14 +164,26 @@ TEST(FaultInjectorTest, TruncationMetersStrictPrefixAndRetries) {
       injector.Send(log, 0, kCoordinator, "sketch", words, words * 64);
   EXPECT_FALSE(out.delivered);
   EXPECT_TRUE(out.server_lost);
-  ASSERT_EQ(log.messages().size(), 3u);
+  // 3 truncated payload attempts, each answered by a NAK control record.
+  ASSERT_EQ(log.messages().size(), 6u);
+  size_t truncated_records = 0;
+  size_t nak_records = 0;
   for (const MessageRecord& m : log.messages()) {
+    if (m.control) {
+      ++nak_records;
+      EXPECT_EQ(m.words, 0u);
+      EXPECT_GT(m.wire_bytes, 0u);
+      continue;
+    }
+    ++truncated_records;
     EXPECT_TRUE(m.truncated);
     EXPECT_GE(m.words, 1u);
     EXPECT_LT(m.words, words);  // strict prefix
     EXPECT_GE(m.bits, 1u);
     EXPECT_LT(m.bits, words * 64);
   }
+  EXPECT_EQ(truncated_records, 3u);
+  EXPECT_EQ(nak_records, 3u);
   ExpectAccountingBalances(log);
 }
 

@@ -2,12 +2,55 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "sketch/error_metrics.h"
+#include "telemetry/telemetry.h"
 #include "workload/generators.h"
 #include "workload/partition.h"
 
 namespace distsketch {
 namespace {
+
+// The cheapest candidate the planner could have picked, straight from
+// the public Thm 2/6/7 cost formulas.
+double MinCandidateWords(size_t s, size_t d, const SketchRequest& req) {
+  double best = std::min(PredictExactGramWords(s, d),
+                         PredictFdMergeWords(s, d, req));
+  if (req.allow_randomized) {
+    if (req.k == 0) {
+      best = std::min({best, PredictRowSamplingWords(s, d, req),
+                       PredictSvsWords(s, d, req)});
+    } else {
+      best = std::min(best, PredictAdaptiveWords(s, d, req));
+    }
+  }
+  return best;
+}
+
+// Runs the planner across a sweep and returns the picked protocol names.
+std::vector<std::string> SweepPicks(const std::vector<size_t>& servers,
+                                    size_t d, const SketchRequest& req) {
+  std::vector<std::string> picks;
+  for (size_t s : servers) {
+    auto plan = PlanSketchProtocol(s, d, req);
+    EXPECT_TRUE(plan.ok());
+    // Whatever wins, its predicted cost must be the candidate minimum.
+    EXPECT_DOUBLE_EQ(plan->predicted_words, MinCandidateWords(s, d, req));
+    picks.push_back(std::string(plan->protocol->Name()));
+  }
+  return picks;
+}
+
+const telemetry::SpanAttr* FindAttr(const telemetry::SpanRecord& span,
+                                    std::string_view key) {
+  for (const telemetry::SpanAttr& a : span.attrs) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
 
 TEST(ProtocolPlannerTest, Validation) {
   EXPECT_FALSE(PlanSketchProtocol(0, 8, {}).ok());
@@ -69,6 +112,93 @@ TEST(ProtocolPlannerTest, HugeFleetWeakGuaranteePicksSampling) {
   auto plan = PlanSketchProtocol(512, 64, req);
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan->protocol->Name(), "row_sampling");
+}
+
+TEST(ProtocolPlannerTest, ServerSweepCrossesGramToSvsToSampling) {
+  // Thm 2 vs Thm 6 geometry at (d, eps) = (192, 0.01), k = 0: exact Gram
+  // grows like s*d^2, SVS like sqrt(s)*d/eps, sampling is nearly s-free.
+  // Sweeping s must walk the picks through those three regimes in order,
+  // with each crossover where the cost formulas actually intersect.
+  SketchRequest req;
+  req.eps = 0.01;
+  req.k = 0;
+  const std::vector<size_t> servers = {1, 4, 64, 256, 1024, 4096};
+  const std::vector<std::string> picks = SweepPicks(servers, 192, req);
+  const std::vector<std::string> expected = {
+      "exact_gram", "exact_gram", "exact_gram",
+      "svs",        "row_sampling", "row_sampling"};
+  EXPECT_EQ(picks, expected);
+}
+
+TEST(ProtocolPlannerTest, ServerSweepCrossesFdToAdaptive) {
+  // Thm 2 vs Thm 7 at (d, eps, k) = (64, 0.25, 2): deterministic FD
+  // merge costs s*l*d while adaptive costs s*k*d + sqrt(s)*k*d/eps, so
+  // FD wins small fleets and adaptive wins once sqrt(s) amortizes.
+  SketchRequest req;
+  req.eps = 0.25;
+  req.k = 2;
+  const std::vector<size_t> servers = {1, 4, 16, 64};
+  const std::vector<std::string> picks = SweepPicks(servers, 64, req);
+  const std::vector<std::string> expected = {
+      "fd_merge", "fd_merge", "adaptive_sketch", "adaptive_sketch"};
+  EXPECT_EQ(picks, expected);
+}
+
+TEST(ProtocolPlannerTest, EpsSweepCrossesSamplingToSvs) {
+  // At fixed (s, d) = (256, 192), k = 0: sampling costs d/eps^2 while
+  // SVS costs sqrt(s)*d/eps — coarse eps favors sampling, fine eps
+  // flips to SVS before the deterministic fallbacks.
+  SketchRequest req;
+  req.k = 0;
+  std::vector<std::string> picks;
+  for (double eps : {0.3, 0.1, 0.01}) {
+    req.eps = eps;
+    auto plan = PlanSketchProtocol(256, 192, req);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_DOUBLE_EQ(plan->predicted_words,
+                     MinCandidateWords(256, 192, req));
+    picks.push_back(std::string(plan->protocol->Name()));
+  }
+  const std::vector<std::string> expected = {"row_sampling", "row_sampling",
+                                             "svs"};
+  EXPECT_EQ(picks, expected);
+}
+
+TEST(ProtocolPlannerTest, TelemetryReportsDecisionRationale) {
+  telemetry::Telemetry telem;
+  telemetry::ScopedTelemetry scope(telem);
+
+  SketchRequest req;
+  req.eps = 0.01;
+  req.k = 0;
+  auto plan = PlanSketchProtocol(256, 192, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->protocol->Name(), "svs");
+
+  const std::vector<telemetry::SpanRecord> spans = telem.Spans();
+  const telemetry::SpanRecord* plan_span = nullptr;
+  for (const telemetry::SpanRecord& s : spans) {
+    if (s.name == "planner/plan") plan_span = &s;
+  }
+  ASSERT_NE(plan_span, nullptr);
+
+  // The span carries the full decision: instance, every candidate cost,
+  // the winner, and the human-readable rationale.
+  const telemetry::SpanAttr* chosen = FindAttr(*plan_span, "chosen");
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->value, "svs");
+  const telemetry::SpanAttr* rationale = FindAttr(*plan_span, "rationale");
+  ASSERT_NE(rationale, nullptr);
+  EXPECT_EQ(rationale->value, plan->rationale);
+  for (const char* key : {"s", "d", "eps", "words.exact_gram",
+                          "words.fd_merge", "words.row_sampling",
+                          "words.svs", "predicted_words"}) {
+    EXPECT_NE(FindAttr(*plan_span, key), nullptr) << key;
+  }
+
+  EXPECT_EQ(telem.metrics().CounterValue("planner.plans"), 1u);
+  EXPECT_EQ(telem.metrics().CounterValue("planner.pick.svs"), 1u);
+  EXPECT_EQ(telem.metrics().CounterValue("planner.pick.fd_merge"), 0u);
 }
 
 TEST(ProtocolPlannerTest, CostFormulasAreMonotone) {

@@ -78,6 +78,9 @@ void ExpectMeasuredMatchesAnalytic(const CommLog& log) {
   const CommStats stats = log.Stats();
   EXPECT_EQ(stats.retransmit_words, 0u);
   EXPECT_EQ(stats.first_attempt_words, stats.total_words);
+  // A fault-free wire never sends control frames.
+  EXPECT_EQ(stats.num_control_messages, 0u);
+  EXPECT_EQ(stats.control_wire_bytes, 0u);
 }
 
 TEST(WireEquivalenceTest, ExactGramMeasuredWordsMatchClosedForm) {
@@ -305,10 +308,41 @@ TEST(WireChaosTest, AlwaysCorruptChannelGivesUpAfterRetries) {
   EXPECT_TRUE(out.server_lost);
   EXPECT_EQ(out.attempts, 3);
   EXPECT_TRUE(out.payload.empty());
+  // Every rejected attempt is a corrupted payload record followed by the
+  // receiver's NAK control frame back to the sender.
+  size_t payload_records = 0;
+  size_t nak_records = 0;
+  uint64_t nak_bytes = 0;
   for (const MessageRecord& rec : log.messages()) {
-    EXPECT_TRUE(rec.corrupted);
+    if (rec.control) {
+      ++nak_records;
+      nak_bytes += rec.wire_bytes;
+      EXPECT_EQ(rec.words, 0u);
+      EXPECT_EQ(rec.from, kCoordinator);  // receiver -> sender
+      EXPECT_EQ(rec.to, 0);
+    } else {
+      ++payload_records;
+      EXPECT_TRUE(rec.corrupted);
+    }
   }
-  EXPECT_EQ(log.messages().size(), 3u);
+  EXPECT_EQ(payload_records, 3u);
+  EXPECT_EQ(nak_records, 3u);
+  EXPECT_EQ(out.control_bytes, nak_bytes);
+  // Each NAK is a real encoded empty-payload frame: 40-byte header plus
+  // the 3-byte "nak" tag.
+  EXPECT_EQ(nak_bytes, 3u * (wire::kFrameHeaderBytes + 3u));
+  // Control bytes stay out of the payload stats but are metered: the
+  // measured grand total is the analytic payload bytes plus control.
+  const CommStats stats = log.Stats();
+  EXPECT_EQ(stats.num_messages, 3u);
+  EXPECT_EQ(stats.num_control_messages, 3u);
+  EXPECT_EQ(stats.control_wire_bytes, nak_bytes);
+  EXPECT_EQ(stats.total_wire_bytes, out.wire_bytes);
+  uint64_t grand_total = 0;
+  for (const MessageRecord& rec : log.messages()) {
+    grand_total += rec.wire_bytes;
+  }
+  EXPECT_EQ(grand_total, stats.total_wire_bytes + stats.control_wire_bytes);
 }
 
 TEST(WireEquivalenceTest, IdealWireDeliversDecodablePayload) {

@@ -1,0 +1,121 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace distsketch {
+namespace telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.CounterValue("never.touched"), 0u);
+  reg.AddCounter("a");
+  reg.AddCounter("a", 4);
+  reg.AddCounter("b", 2);
+  EXPECT_EQ(reg.CounterValue("a"), 5u);
+  EXPECT_EQ(reg.CounterValue("b"), 2u);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters.at("a"), 5u);
+  EXPECT_EQ(snap.counters.at("b"), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  reg.SetGauge("g", 1.5);
+  reg.SetGauge("g", -3.0);
+  EXPECT_DOUBLE_EQ(reg.Snapshot().gauges.at("g"), -3.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsArePowersOfTwo) {
+  MetricsRegistry reg;
+  reg.Observe("h", 0);  // bucket 0: zeros
+  reg.Observe("h", 1);  // bucket 1: [1, 2)
+  reg.Observe("h", 2);  // bucket 2: [2, 4)
+  reg.Observe("h", 3);  // bucket 2
+  reg.Observe("h", 4);  // bucket 3: [4, 8)
+  reg.Observe("h", 1023);  // bucket 10
+  reg.Observe("h", 1024);  // bucket 11
+
+  const HistogramSnapshot h = reg.Snapshot().histograms.at("h");
+  EXPECT_EQ(h.count, 7u);
+  EXPECT_EQ(h.sum, 0u + 1 + 2 + 3 + 4 + 1023 + 1024);
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(h.sum) / 7.0);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.buckets[10], 1u);
+  EXPECT_EQ(h.buckets[11], 1u);
+}
+
+TEST(MetricsRegistryTest, HugeObservationsLandInLastBucket) {
+  MetricsRegistry reg;
+  reg.Observe("h", UINT64_MAX);
+  const HistogramSnapshot h = reg.Snapshot().histograms.at("h");
+  EXPECT_EQ(h.buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST(MetricsRegistryTest, ResetClearsEverything) {
+  MetricsRegistry reg;
+  reg.AddCounter("a");
+  reg.SetGauge("g", 1.0);
+  reg.Observe("h", 7);
+  reg.Reset();
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsRegistryTest, ThreadShardIdIsStableAndInRange) {
+  const size_t here = ThreadShardId();
+  EXPECT_LT(here, kMaxShards);
+  EXPECT_EQ(ThreadShardId(), here);  // cached per thread
+}
+
+// The determinism claim: the merged totals are a pure function of what
+// was recorded, never of which threads recorded it or how many there
+// were. Record the same logical workload from 1, 4, and 13 threads and
+// require bit-identical snapshots.
+TEST(MetricsRegistryTest, MergedTotalsIndependentOfThreadCount) {
+  constexpr uint64_t kItems = 900;
+  MetricsSnapshot reference;
+  for (size_t num_threads : {1u, 4u, 13u}) {
+    MetricsRegistry reg;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&reg, t, num_threads] {
+        for (uint64_t i = t; i < kItems; i += num_threads) {
+          reg.AddCounter("items");
+          reg.AddCounter("weighted", i);
+          reg.Observe("size", i % 37);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    const MetricsSnapshot snap = reg.Snapshot();
+    EXPECT_EQ(snap.counters.at("items"), kItems);
+    EXPECT_EQ(snap.counters.at("weighted"), kItems * (kItems - 1) / 2);
+    if (num_threads == 1) {
+      reference = snap;
+      continue;
+    }
+    EXPECT_EQ(snap.counters, reference.counters);
+    const HistogramSnapshot& h = snap.histograms.at("size");
+    const HistogramSnapshot& ref = reference.histograms.at("size");
+    EXPECT_EQ(h.count, ref.count);
+    EXPECT_EQ(h.sum, ref.sum);
+    EXPECT_EQ(h.buckets, ref.buckets);
+  }
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace distsketch

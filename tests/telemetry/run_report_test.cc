@@ -1,0 +1,235 @@
+#include "telemetry/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dist/cluster.h"
+#include "dist/protocol_telemetry.h"
+#include "dist/svs_protocol.h"
+#include "telemetry/span.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace telemetry {
+namespace {
+
+uint64_t AttrU64(const SpanRecord& span, std::string_view key,
+                 uint64_t fallback = 0) {
+  for (const SpanAttr& a : span.attrs) {
+    if (a.key == key) return std::stoull(a.value);
+  }
+  return fallback;
+}
+
+TEST(RunReportTest, PhaseRootSpansBucketWithoutDoubleCounting) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  double ticks = 0.0;
+  telem.SetVirtualTimeSource([&ticks] { return ticks; });
+  {
+    Span run("protocol/fake", Phase::kRun);  // 0..100 ticks
+    {
+      Span compute("fake/compute", Phase::kCompute);  // 0..30
+      {
+        // Nested same-phase span: not a phase root, so it contributes
+        // neither time nor a span count to the bucket.
+        Span inner("fake/inner", Phase::kCompute);  // 0..10, not a root
+        ticks = 10.0;
+      }
+      ticks = 30.0;
+    }
+    {
+      Span comm("fake/comm", Phase::kComm);  // 30..60
+      ticks = 60.0;
+    }
+    {
+      Span shrink("fake/shrink", Phase::kShrink);  // 60..100
+      ticks = 100.0;
+    }
+  }
+  telem.SetVirtualTimeSource(nullptr);
+  telem.metrics().AddCounter("kernel.route.gram", 2);
+  telem.metrics().AddCounter("kernel.route.jacobi", 1);
+
+  CommTotals comm;
+  comm.wire_bytes = 555;
+  const RunReport report = BuildRunReport(telem, "fake", comm);
+  EXPECT_EQ(report.protocol, "fake");
+  EXPECT_EQ(report.run_ns, 100'000u);  // kRun is not a phase bucket
+  EXPECT_EQ(report.phase_ns[static_cast<size_t>(Phase::kCompute)], 30'000u);
+  EXPECT_EQ(report.phase_ns[static_cast<size_t>(Phase::kComm)], 30'000u);
+  EXPECT_EQ(report.phase_ns[static_cast<size_t>(Phase::kRetransmit)], 0u);
+  EXPECT_EQ(report.phase_ns[static_cast<size_t>(Phase::kShrink)], 40'000u);
+  EXPECT_EQ(report.phase_spans[static_cast<size_t>(Phase::kCompute)], 1u);
+  EXPECT_EQ(report.TotalPhaseNs(), 100'000u);
+  EXPECT_EQ(report.comm.wire_bytes, 555u);
+  EXPECT_EQ(report.route_gram, 2u);
+  EXPECT_EQ(report.route_jacobi, 1u);
+  EXPECT_EQ(report.route_gram_vetoed, 0u);
+
+  const std::string json = RunReportJson(report);
+  EXPECT_NE(json.find("\"protocol\""), std::string::npos);
+  EXPECT_NE(json.find("\"fake\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire_bytes\":555"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+Cluster MakeSvsCluster(size_t servers) {
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 480,
+                                             .cols = 24,
+                                             .rank = 5,
+                                             .decay = 0.7,
+                                             .top_singular_value = 40.0,
+                                             .noise_stddev = 0.4,
+                                             .seed = 11});
+  auto cluster = Cluster::Create(
+      PartitionRows(a, servers, PartitionScheme::kRoundRobin), 0.3);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+// The PR acceptance criterion: one SVS run at s = 16 with telemetry
+// enabled must produce (a) comm spans whose byte attributes sum to
+// exactly the CommLog's wire totals, per server and overall, and (b) a
+// chrome://tracing-loadable JSON trace containing them.
+TEST(RunReportTest, SvsCommSpansSumToCommLogWireBytes) {
+  constexpr size_t kServers = 16;
+  Cluster cluster = MakeSvsCluster(kServers);
+
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  auto result =
+      SvsProtocol({.alpha = 0.15, .delta = 0.05, .seed = 7}).Run(cluster);
+  ASSERT_TRUE(result.ok());
+  const CommStats stats = cluster.log().Stats();
+  ASSERT_GT(stats.total_wire_bytes, 0u);
+
+  // Sum the bytes attrs of every comm span, grouped by server.
+  uint64_t span_bytes = 0;
+  uint64_t span_control_bytes = 0;
+  std::map<uint64_t, uint64_t> span_bytes_by_server;
+  for (const SpanRecord& rec : telem.Spans()) {
+    if (rec.name != "cluster/send") continue;
+    EXPECT_EQ(rec.phase, Phase::kComm);
+    const uint64_t bytes = AttrU64(rec, "bytes");
+    span_bytes += bytes;
+    span_control_bytes += AttrU64(rec, "control_bytes");
+    span_bytes_by_server[AttrU64(rec, "server")] += bytes;
+  }
+  EXPECT_EQ(span_bytes, stats.total_wire_bytes);
+  EXPECT_EQ(span_control_bytes, stats.control_wire_bytes);
+  EXPECT_EQ(telem.metrics().CounterValue("comm.wire_bytes"),
+            stats.total_wire_bytes);
+  EXPECT_EQ(telem.metrics().CounterValue("comm.messages"),
+            stats.num_messages);
+
+  // Per-server span sums reconstruct the per-server ledger totals.
+  std::map<uint64_t, uint64_t> log_bytes_by_server;
+  for (const MessageRecord& m : cluster.log().messages()) {
+    if (m.control) continue;
+    const int server = m.from == kCoordinator ? m.to : m.from;
+    log_bytes_by_server[static_cast<uint64_t>(server)] += m.wire_bytes;
+  }
+  EXPECT_EQ(span_bytes_by_server, log_bytes_by_server);
+  EXPECT_EQ(span_bytes_by_server.size(), kServers);
+
+  // The trace is a loadable chrome://tracing document carrying the run.
+  const std::string trace = ChromeTraceJson(telem);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"protocol/svs\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cluster/send\""), std::string::npos);
+  EXPECT_NE(trace.find("\"svs/local_svs\""), std::string::npos);
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '{'),
+            std::count(trace.begin(), trace.end(), '}'));
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '['),
+            std::count(trace.begin(), trace.end(), ']'));
+
+  // And the structured run report agrees with the ledger.
+  const RunReport report =
+      BuildProtocolRunReport(telem, "svs", result->comm);
+  EXPECT_EQ(report.comm.wire_bytes, stats.total_wire_bytes);
+  EXPECT_EQ(report.comm.words, stats.total_words);
+  EXPECT_GT(report.run_ns, 0u);
+  EXPECT_GT(report.phase_spans[static_cast<size_t>(Phase::kComm)], 0u);
+}
+
+// Chaos runs stamp spans from SimClock virtual time, so the recorded
+// timeline must be a pure function of (data, config, seed) — identical
+// across repeated runs even though host timing and thread scheduling
+// differ. tids are scheduling-dependent, so compare the timeline with
+// tid ignored.
+TEST(RunReportTest, ChaosRunTimelineIsReproducible) {
+  using Key = std::tuple<std::string, uint64_t, uint64_t, size_t>;
+  std::vector<Key> timelines[2];
+  uint64_t wire_bytes[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    Cluster cluster = MakeSvsCluster(8);
+    FaultConfig config;
+    config.default_profile.drop_prob = 0.2;
+    config.default_profile.duplicate_prob = 0.1;
+    config.default_profile.truncate_prob = 0.1;
+    config.seed = 23;
+    cluster.InstallFaultPlan(config);
+
+    Telemetry telem;
+    ScopedTelemetry scope(telem);
+    auto result =
+        SvsProtocol({.alpha = 0.15, .delta = 0.05, .seed = 7}).Run(cluster);
+    ASSERT_TRUE(result.ok());
+    wire_bytes[run] = result->comm.total_wire_bytes;
+    for (const SpanRecord& rec : telem.Spans()) {
+      timelines[run].emplace_back(rec.name, rec.start_ns, rec.end_ns,
+                                  rec.events.size());
+    }
+    std::sort(timelines[run].begin(), timelines[run].end());
+  }
+  EXPECT_EQ(wire_bytes[0], wire_bytes[1]);
+  ASSERT_GT(timelines[0].size(), 0u);
+  EXPECT_EQ(timelines[0], timelines[1]);
+}
+
+// Retransmit attempts under a lossy plan surface as kRetransmit spans
+// and fault events, and they land in the report's retransmit bucket.
+TEST(RunReportTest, LossyRunAttributesRetransmitPhase) {
+  Cluster cluster = MakeSvsCluster(8);
+  FaultConfig config;
+  config.default_profile.drop_prob = 0.4;
+  config.seed = 31;
+  cluster.InstallFaultPlan(config);
+
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  auto result =
+      SvsProtocol({.alpha = 0.15, .delta = 0.05, .seed = 7}).Run(cluster);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->comm.retransmit_words, 0u);
+
+  const RunReport report =
+      BuildProtocolRunReport(telem, "svs", result->comm);
+  EXPECT_GT(report.phase_spans[static_cast<size_t>(Phase::kRetransmit)], 0u);
+  EXPECT_GT(report.comm.num_retransmits, 0u);
+  EXPECT_GT(telem.metrics().CounterValue("fault.dropped"), 0u);
+
+  // Fault events ride on the enclosing comm spans as instants.
+  bool saw_drop_event = false;
+  for (const SpanRecord& rec : telem.Spans()) {
+    for (const SpanEvent& ev : rec.events) {
+      if (ev.name == "fault/dropped") saw_drop_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_drop_event);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace distsketch

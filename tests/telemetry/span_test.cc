@@ -1,0 +1,202 @@
+#include "telemetry/span.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
+
+namespace distsketch {
+namespace telemetry {
+namespace {
+
+const SpanAttr* FindAttr(const SpanRecord& span, std::string_view key) {
+  for (const SpanAttr& a : span.attrs) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+TEST(SpanTest, InertAgainstDisabledContext) {
+  ASSERT_FALSE(Telemetry::Current()->enabled());
+  Span span("test/inert", Phase::kCompute);
+  EXPECT_FALSE(span.active());
+  span.SetAttr("k", "v");  // all no-ops
+  span.AddEvent("e");
+  Count("test.noop");
+  Observe("test.noop_h", 3);
+}
+
+TEST(SpanTest, RecordsNamePhaseAttrsAndDuration) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  {
+    Span span("test/outer", Phase::kComm);
+    EXPECT_TRUE(span.active());
+    span.SetAttr("str", "hello");
+    span.SetAttr("count", static_cast<uint64_t>(42));
+    span.SetAttr("signed", static_cast<int64_t>(-7));
+    span.SetAttr("ratio", 0.5);
+    span.AddEvent("tick");
+    span.AddEventAttr("detail", "x");
+  }
+  const std::vector<SpanRecord> spans = telem.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanRecord& rec = spans[0];
+  EXPECT_EQ(rec.name, "test/outer");
+  EXPECT_EQ(rec.phase, Phase::kComm);
+  EXPECT_TRUE(rec.phase_root);
+  EXPECT_GE(rec.end_ns, rec.start_ns);
+
+  const SpanAttr* str = FindAttr(rec, "str");
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->value, "hello");
+  EXPECT_TRUE(str->quote);
+  const SpanAttr* count = FindAttr(rec, "count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->value, "42");
+  EXPECT_FALSE(count->quote);
+  ASSERT_NE(FindAttr(rec, "signed"), nullptr);
+  EXPECT_EQ(FindAttr(rec, "signed")->value, "-7");
+
+  ASSERT_EQ(rec.events.size(), 1u);
+  EXPECT_EQ(rec.events[0].name, "tick");
+  ASSERT_EQ(rec.events[0].attrs.size(), 1u);
+  EXPECT_EQ(rec.events[0].attrs[0].key, "detail");
+}
+
+TEST(SpanTest, NestedSamePhaseSpanIsNotPhaseRoot) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  {
+    Span outer("test/outer", Phase::kCompute);
+    {
+      Span inner_same("test/inner_same", Phase::kCompute);
+      Span inner_other("test/inner_other", Phase::kShrink);
+      {
+        // Two levels down but still sharing kCompute with the root.
+        Span deep("test/deep", Phase::kCompute);
+      }
+    }
+  }
+  bool checked = false;
+  for (const SpanRecord& rec : telem.Spans()) {
+    if (rec.name == "test/outer" || rec.name == "test/inner_other") {
+      EXPECT_TRUE(rec.phase_root) << rec.name;
+    } else {
+      EXPECT_FALSE(rec.phase_root) << rec.name;
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(SpanTest, FreeFunctionEventTargetsInnermostOpenSpan) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  AddSpanEvent("dropped/no_open_span");  // no-op, must not crash
+  {
+    Span outer("test/outer", Phase::kComm);
+    {
+      Span inner("test/inner", Phase::kRetransmit);
+      AddSpanEvent("fault/drop");
+      AddSpanEventAttr("attempt", static_cast<uint64_t>(2));
+    }
+  }
+  for (const SpanRecord& rec : telem.Spans()) {
+    if (rec.name == "test/inner") {
+      ASSERT_EQ(rec.events.size(), 1u);
+      EXPECT_EQ(rec.events[0].name, "fault/drop");
+    } else {
+      EXPECT_TRUE(rec.events.empty());
+    }
+  }
+}
+
+TEST(SpanTest, TelemSpanMacroOpensComputeSpan) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  {
+    TELEM_SPAN("test/macro");
+    TELEM_SPAN_PHASE(shrink_span, "test/macro_phase", Phase::kShrink);
+    shrink_span.SetAttr("l", static_cast<uint64_t>(8));
+  }
+  const std::vector<SpanRecord> spans = telem.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "test/macro");
+  EXPECT_EQ(spans[0].phase, Phase::kCompute);
+  EXPECT_EQ(spans[1].name, "test/macro_phase");
+  EXPECT_EQ(spans[1].phase, Phase::kShrink);
+}
+
+TEST(SpanTest, VirtualTimeSourceStampsTicksAsMicroseconds) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  double now_ticks = 3.0;
+  telem.SetVirtualTimeSource([&now_ticks] { return now_ticks; });
+  ASSERT_TRUE(telem.has_virtual_time());
+  {
+    Span span("test/virtual", Phase::kComm);
+    now_ticks = 7.5;
+  }
+  telem.SetVirtualTimeSource(nullptr);
+  EXPECT_FALSE(telem.has_virtual_time());
+
+  const std::vector<SpanRecord> spans = telem.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_ns, 3000u);  // 1 tick = 1 us
+  EXPECT_EQ(spans[0].end_ns, 7500u);
+}
+
+TEST(SpanTest, ChromeTraceExportsCompleteAndInstantEvents) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  double now_ticks = 0.0;
+  telem.SetVirtualTimeSource([&now_ticks] { return now_ticks; });
+  {
+    Span span("test/traced", Phase::kComm);
+    span.SetAttr("bytes", static_cast<uint64_t>(128));
+    span.SetAttr("tag", "gram");
+    now_ticks = 2.0;
+    span.AddEvent("fault/drop");
+    now_ticks = 5.0;
+  }
+  telem.SetVirtualTimeSource(nullptr);
+
+  const std::string json = ChromeTraceJson(telem);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test/traced\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // complete
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant
+  EXPECT_NE(json.find("\"cat\":\"comm\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);  // 5 ticks
+  EXPECT_NE(json.find("\"bytes\":128"), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":\"gram\""), std::string::npos);
+  // Balanced object/array brackets (structural well-formedness).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SpanTest, SpansSortedByStartTime) {
+  Telemetry telem;
+  ScopedTelemetry scope(telem);
+  double now_ticks = 10.0;
+  telem.SetVirtualTimeSource([&now_ticks] { return now_ticks; });
+  { Span a("test/late", Phase::kCompute); }
+  now_ticks = 1.0;
+  { Span b("test/early", Phase::kCompute); }
+  telem.SetVirtualTimeSource(nullptr);
+  const std::vector<SpanRecord> spans = telem.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "test/early");
+  EXPECT_EQ(spans[1].name, "test/late");
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace distsketch
