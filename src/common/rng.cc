@@ -108,6 +108,23 @@ uint64_t Rng::NextZipf(uint64_t n, double alpha) {
   return lo + 1;
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.spare_gaussian = spare_gaussian_;
+  state.has_spare_gaussian = has_spare_gaussian_;
+  return state;
+}
+
+Rng Rng::FromState(const RngState& state) {
+  Rng rng(0);
+  for (size_t i = 0; i < 4; ++i) rng.s_[i] = state.s[i];
+  if ((rng.s_[0] | rng.s_[1] | rng.s_[2] | rng.s_[3]) == 0) rng.s_[0] = 1;
+  rng.spare_gaussian_ = state.spare_gaussian;
+  rng.has_spare_gaussian_ = state.has_spare_gaussian;
+  return rng;
+}
+
 uint64_t Rng::DeriveSeed(uint64_t seed, uint64_t stream) {
   uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
   (void)SplitMix64(sm);

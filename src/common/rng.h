@@ -1,10 +1,23 @@
 #ifndef DISTSKETCH_COMMON_RNG_H_
 #define DISTSKETCH_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace distsketch {
+
+/// Full restartable state of an Rng stream: the four xoshiro words plus
+/// the Box-Muller spare. Restoring this state resumes the stream at the
+/// exact position it was captured — every subsequent draw is bit-identical
+/// to the uninterrupted generator. The Zipf CDF cache is deliberately not
+/// part of the state: it is a pure function of the (n, alpha) arguments
+/// and is rebuilt on demand without consuming the stream.
+struct RngState {
+  std::array<uint64_t, 4> s{};
+  double spare_gaussian = 0.0;
+  bool has_spare_gaussian = false;
+};
 
 /// Deterministic pseudo-random number generator (xoshiro256++).
 ///
@@ -42,6 +55,13 @@ class Rng {
   /// by inverse-CDF over precomputed weights. Intended for modest n
   /// (workload generation), not high-throughput sampling.
   uint64_t NextZipf(uint64_t n, double alpha);
+
+  /// Captures the stream position (see RngState). Cheap; never advances
+  /// the stream.
+  RngState SaveState() const;
+
+  /// Rebuilds a generator resuming exactly where `state` was captured.
+  static Rng FromState(const RngState& state);
 
   /// Deterministically derives a new seed for a child component. Mixing is
   /// SplitMix64 over (current seed, stream id), so sibling components get

@@ -1,0 +1,43 @@
+#include "dist/checkpoint.h"
+
+#include <utility>
+#include <vector>
+
+#include "store/sketch_store.h"
+
+namespace distsketch {
+
+Status SaveCheckpoint(const CheckpointConfig& config,
+                      const wire::CoordinatorCheckpoint& checkpoint) {
+  if (!config.enabled()) return Status::OK();
+  return config.store->Put(config.key,
+                           wire::EncodeCoordinatorCheckpoint(checkpoint));
+}
+
+StatusOr<std::optional<wire::CoordinatorCheckpoint>> LoadCheckpoint(
+    const CheckpointConfig& config, uint64_t protocol_id,
+    uint64_t servers_total) {
+  std::optional<wire::CoordinatorCheckpoint> none;
+  if (!config.enabled() || !config.resume) return none;
+  if (!config.store->Contains(config.key)) return none;
+  DS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                      config.store->Get(config.key));
+  DS_ASSIGN_OR_RETURN(
+      wire::CoordinatorCheckpoint checkpoint,
+      wire::DecodeCoordinatorCheckpoint(blob.data(), blob.size()));
+  if (checkpoint.protocol_id != protocol_id) {
+    return Status::InvalidArgument(
+        "LoadCheckpoint: entry '" + config.key +
+        "' belongs to another protocol (id " +
+        std::to_string(checkpoint.protocol_id) + ")");
+  }
+  if (checkpoint.servers_total != servers_total) {
+    return Status::InvalidArgument(
+        "LoadCheckpoint: entry '" + config.key + "' was taken with " +
+        std::to_string(checkpoint.servers_total) + " servers, cluster has " +
+        std::to_string(servers_total));
+  }
+  return std::optional<wire::CoordinatorCheckpoint>(std::move(checkpoint));
+}
+
+}  // namespace distsketch

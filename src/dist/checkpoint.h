@@ -1,0 +1,59 @@
+#ifndef DISTSKETCH_DIST_CHECKPOINT_H_
+#define DISTSKETCH_DIST_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "wire/sketch_serde.h"
+
+namespace distsketch {
+
+class SketchStore;
+
+/// Protocol ids recorded in coordinator checkpoints (frozen; never
+/// renumber).
+inline constexpr uint64_t kCheckpointProtocolFdMerge = 1;
+inline constexpr uint64_t kCheckpointProtocolSvs = 2;
+
+/// Coordinator checkpointing configuration, carried inside a protocol's
+/// options struct. With a store attached, the coordinator saves its
+/// progress (done bitmap + partial sketch, as a v1 coordinator
+/// checkpoint blob) after every server it folds in, each save an atomic
+/// file replace. A restarted coordinator re-runs the protocol with
+/// `resume = true` and picks up exactly where the last checkpoint left
+/// off: already-folded servers are skipped, so the merge transcript —
+/// and with it the sketch bytes — match an uninterrupted run.
+struct CheckpointConfig {
+  /// Store checkpoints go to; nullptr disables checkpointing.
+  SketchStore* store = nullptr;
+  /// Store entry name the protocol saves under / resumes from.
+  std::string key = "checkpoint";
+  /// When true, Run() loads `key` (if present) before starting and
+  /// skips the servers already folded in.
+  bool resume = false;
+  /// Crash-simulation hook for tests: stop the run (result.halted =
+  /// true) after this many servers have been processed in this run, as
+  /// if the coordinator died between two checkpoints.
+  size_t halt_after_servers = SIZE_MAX;
+
+  bool enabled() const { return store != nullptr; }
+};
+
+/// Saves `checkpoint` under config.key. No-op when config is disabled.
+Status SaveCheckpoint(const CheckpointConfig& config,
+                      const wire::CoordinatorCheckpoint& checkpoint);
+
+/// Loads the checkpoint under config.key. Returns nullopt when config
+/// is disabled, resume is off, or no entry exists yet; an error when
+/// the entry exists but is corrupt, belongs to a different protocol, or
+/// was taken against a different cluster size.
+StatusOr<std::optional<wire::CoordinatorCheckpoint>> LoadCheckpoint(
+    const CheckpointConfig& config, uint64_t protocol_id,
+    uint64_t servers_total);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_DIST_CHECKPOINT_H_

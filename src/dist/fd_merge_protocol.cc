@@ -1,5 +1,6 @@
 #include "dist/fd_merge_protocol.h"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "sketch/frequent_directions.h"
 #include "sketch/quantizer.h"
 #include "telemetry/span.h"
+#include "wire/sketch_serde.h"
 #include "workload/row_stream.h"
 
 namespace distsketch {
@@ -37,6 +39,24 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   // same parameters and therefore cannot fail.
   DS_ASSIGN_OR_RETURN(FrequentDirections merged, MakeFd(d, options_));
 
+  // Checkpoint restore: the done bitmap marks servers already folded
+  // into the saved partial sketch; this run skips them, so the merge
+  // order over the full run sequence matches an uninterrupted run.
+  std::vector<uint8_t> done(s, 0);
+  DS_ASSIGN_OR_RETURN(
+      std::optional<wire::CoordinatorCheckpoint> restored,
+      LoadCheckpoint(options_.checkpoint, kCheckpointProtocolFdMerge, s));
+  if (restored.has_value()) {
+    done = restored->done;
+    if (!restored->sketch_blob.empty()) {
+      DS_ASSIGN_OR_RETURN(
+          wire::CompactSketch compact,
+          wire::CompactSketch::Wrap(restored->sketch_blob.data(),
+                                    restored->sketch_blob.size()));
+      DS_ASSIGN_OR_RETURN(merged, compact.ToFrequentDirections());
+    }
+  }
+
   // Parallel phase: every server compresses its local rows concurrently.
   // This is pure computation — no sends, no shared state — so the result
   // slots are bit-identical for any thread count. (FD's shrinks route
@@ -49,6 +69,7 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   };
   std::vector<LocalWork> locals = ParallelMap<LocalWork>(s, [&](size_t i) {
     LocalWork w;
+    if (done[i]) return w;  // already in the restored coordinator state
     telemetry::Span span("fd_merge/local_sketch", telemetry::Phase::kCompute);
     span.SetAttr("server", static_cast<int64_t>(i));
     auto local = MakeFd(d, options_);
@@ -62,8 +83,10 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
 
   // Serial phase: transfers and the coordinator merge run in server-index
   // order, so the wire transcript and the merged sketch are independent
-  // of the parallel schedule above.
-  for (size_t i = 0; i < s; ++i) {
+  // of the parallel schedule above. Returns whether the server's sketch
+  // reached the coordinator (lost servers stay un-done and are retried
+  // by a resumed run).
+  auto process = [&](size_t i) -> StatusOr<bool> {
     const int id = static_cast<int>(i);
     bool mass_reported = false;
     if (ft) {
@@ -74,7 +97,7 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
           wire::ScalarMessage("local_mass", locals[i].mass));
       if (!mass_sent.delivered) {
         result.degraded.RecordLoss(id, locals[i].mass, false);
-        continue;
+        return false;
       }
       mass_reported = true;
     }
@@ -98,7 +121,7 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
     SendOutcome sent = cluster.Send(id, kCoordinator, msg);
     if (!sent.delivered) {
       result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
-      continue;
+      return false;
     }
     // The coordinator merges what it decoded off the wire, not the
     // sender's in-memory sketch.
@@ -108,6 +131,30 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
                                telemetry::Phase::kCompute);
     merge_span.SetAttr("server", static_cast<int64_t>(i));
     merged.AppendRows(received.matrix);
+    return true;
+  };
+
+  size_t processed = 0;
+  for (size_t i = 0; i < s; ++i) {
+    if (done[i]) continue;
+    DS_ASSIGN_OR_RETURN(const bool folded, process(i));
+    if (folded) done[i] = 1;
+    ++processed;
+    if (options_.checkpoint.enabled()) {
+      // Checkpoint the pre-finalization buffer: the final Sketch() call
+      // below is the only step a resumed run repeats, exactly as an
+      // uninterrupted run performs it once at the end.
+      wire::CoordinatorCheckpoint checkpoint;
+      checkpoint.protocol_id = kCheckpointProtocolFdMerge;
+      checkpoint.servers_total = s;
+      checkpoint.done = done;
+      checkpoint.sketch_blob = wire::SerializeSketch(merged);
+      DS_RETURN_IF_ERROR(SaveCheckpoint(options_.checkpoint, checkpoint));
+    }
+    if (processed >= options_.checkpoint.halt_after_servers) {
+      result.halted = true;
+      break;
+    }
   }
 
   result.sketch = merged.Sketch();

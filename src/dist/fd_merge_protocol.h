@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "dist/checkpoint.h"
 #include "dist/protocol.h"
 
 namespace distsketch {
@@ -17,6 +18,11 @@ struct FdMergeOptions {
   /// When true, local sketches are rounded per §3.3 before transmission
   /// and metered in exact bits (the word-complexity version of Thm 2).
   bool quantize = false;
+  /// Coordinator checkpoint/restart hook (dist/checkpoint.h). Servers
+  /// already folded into a resumed checkpoint are skipped, so the merge
+  /// order — and the sketch bytes — match an uninterrupted run; lost
+  /// servers are never marked done and are retried on resume.
+  CheckpointConfig checkpoint;
 };
 
 /// The deterministic protocol of Theorem 2: each server streams its local

@@ -63,6 +63,11 @@ struct SketchProtocolResult {
   /// Degraded-mode accounting; empty (degraded() == false) on an ideal
   /// or fully recovered run.
   DegradedModeInfo degraded;
+  /// True iff the run stopped early at a checkpoint boundary (the
+  /// CheckpointConfig::halt_after_servers crash-simulation hook). The
+  /// sketch is then the partial coordinator state; re-running with
+  /// resume = true continues from the stored checkpoint.
+  bool halted = false;
 };
 
 /// A distributed protocol that leaves a covariance sketch of the

@@ -1,6 +1,7 @@
 #include "dist/svs_protocol.h"
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/logging.h"
@@ -10,8 +11,19 @@
 #include "linalg/blas.h"
 #include "sketch/svs.h"
 #include "telemetry/span.h"
+#include "wire/sketch_serde.h"
 
 namespace distsketch {
+
+namespace {
+
+// Per-server round-1/2 outcome codes stored in checkpoint extra row 1.
+// Values are frozen (they live in v1 checkpoint blobs).
+constexpr uint8_t kServerLostMassUnknown = 0;  // lost in round 1
+constexpr uint8_t kServerActive = 1;
+constexpr uint8_t kServerLostMassKnown = 2;  // lost in round 2
+
+}  // namespace
 
 StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
@@ -20,58 +32,99 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   const size_t s = cluster.num_servers();
   CommLog& log = cluster.log();
   SketchProtocolResult result;
-
-  // Round 1: local Frobenius masses, computed concurrently (a full scan
-  // of every server's rows), then reported in server-index order. The
-  // coordinator's global mass (and therefore the shared sampling
-  // function) is built from the reports that actually arrive; a server
-  // lost here never participates and its mass is unknown.
-  log.BeginRound();
-  double global_mass = 0.0;
-  std::vector<double> masses = ParallelMap<double>(s, [&](size_t i) {
-    telemetry::Span span("svs/local_mass", telemetry::Phase::kCompute);
-    span.SetAttr("server", static_cast<int64_t>(i));
-    return SquaredFrobeniusNorm(cluster.server(i).local_rows());
-  });
-  std::vector<bool> active(s, false);
-  for (size_t i = 0; i < s; ++i) {
-    SendOutcome sent =
-        cluster.Send(static_cast<int>(i), kCoordinator,
-                     wire::ScalarMessage("local_mass", masses[i]));
-    if (sent.delivered) {
-      active[i] = true;
-      // The coordinator accumulates the mass it decoded off the wire.
-      DS_ASSIGN_OR_RETURN(const double reported,
-                          wire::DecodeScalarPayload(sent.payload));
-      global_mass += reported;
-    } else {
-      result.degraded.RecordLoss(static_cast<int>(i), masses[i], false);
-    }
-  }
   result.sketch.SetZero(0, d);
-  if (global_mass <= 0.0) {
-    result.comm = log.Stats();
-    return result;
-  }
 
-  // Round 2: broadcast the global mass (fixes g on every server). A
-  // server the broadcast cannot reach is lost with known mass.
-  log.BeginRound();
-  for (size_t i = 0; i < s; ++i) {
-    if (!active[i]) continue;
-    SendOutcome sent =
-        cluster.Send(kCoordinator, static_cast<int>(i),
-                     wire::ScalarMessage("global_mass", global_mass));
-    if (!sent.delivered) {
-      active[i] = false;
-      result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
-      continue;
+  double global_mass = 0.0;
+  std::vector<double> masses(s, 0.0);
+  std::vector<uint8_t> server_state(s, kServerActive);
+  std::vector<uint8_t> done(s, 0);
+
+  DS_ASSIGN_OR_RETURN(
+      std::optional<wire::CoordinatorCheckpoint> restored,
+      LoadCheckpoint(options_.checkpoint, kCheckpointProtocolSvs, s));
+  if (restored.has_value()) {
+    // Rounds 1 and 2 already ran before the checkpoint: restore the
+    // broadcast mass, the per-server outcomes, and the partial sketch,
+    // and go straight to round 3 for the servers not yet folded in.
+    if (restored->extra.rows() != 2 || restored->extra.cols() != s) {
+      return Status::InvalidArgument(
+          "svs checkpoint: malformed per-server state matrix");
     }
-    // The dense codec is a byte copy, so the broadcast value survives
-    // the wire bit-exactly; every server fixes the same g.
-    DS_ASSIGN_OR_RETURN(const double received,
-                        wire::DecodeScalarPayload(sent.payload));
-    DS_CHECK(received == global_mass);
+    done = restored->done;
+    global_mass = restored->global_scalar;
+    for (size_t i = 0; i < s; ++i) {
+      masses[i] = restored->extra(0, i);
+      server_state[i] = static_cast<uint8_t>(restored->extra(1, i));
+      if (server_state[i] == kServerLostMassUnknown) {
+        result.degraded.RecordLoss(static_cast<int>(i), 0.0, false);
+      } else if (server_state[i] == kServerLostMassKnown) {
+        result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
+      }
+    }
+    if (!restored->sketch_blob.empty()) {
+      DS_ASSIGN_OR_RETURN(
+          wire::CompactSketch compact,
+          wire::CompactSketch::Wrap(restored->sketch_blob.data(),
+                                    restored->sketch_blob.size()));
+      DS_ASSIGN_OR_RETURN(wire::SvsSketchState partial,
+                          compact.ToSvsState());
+      result.sketch = std::move(partial.sketch);
+    }
+    if (global_mass <= 0.0) {
+      result.comm = log.Stats();
+      return result;
+    }
+  } else {
+    // Round 1: local Frobenius masses, computed concurrently (a full
+    // scan of every server's rows), then reported in server-index
+    // order. The coordinator's global mass (and therefore the shared
+    // sampling function) is built from the reports that actually
+    // arrive; a server lost here never participates and its mass is
+    // unknown.
+    log.BeginRound();
+    masses = ParallelMap<double>(s, [&](size_t i) {
+      telemetry::Span span("svs/local_mass", telemetry::Phase::kCompute);
+      span.SetAttr("server", static_cast<int64_t>(i));
+      return SquaredFrobeniusNorm(cluster.server(i).local_rows());
+    });
+    for (size_t i = 0; i < s; ++i) {
+      SendOutcome sent =
+          cluster.Send(static_cast<int>(i), kCoordinator,
+                       wire::ScalarMessage("local_mass", masses[i]));
+      if (sent.delivered) {
+        // The coordinator accumulates the mass it decoded off the wire.
+        DS_ASSIGN_OR_RETURN(const double reported,
+                            wire::DecodeScalarPayload(sent.payload));
+        global_mass += reported;
+      } else {
+        server_state[i] = kServerLostMassUnknown;
+        result.degraded.RecordLoss(static_cast<int>(i), masses[i], false);
+      }
+    }
+    if (global_mass <= 0.0) {
+      result.comm = log.Stats();
+      return result;
+    }
+
+    // Round 2: broadcast the global mass (fixes g on every server). A
+    // server the broadcast cannot reach is lost with known mass.
+    log.BeginRound();
+    for (size_t i = 0; i < s; ++i) {
+      if (server_state[i] != kServerActive) continue;
+      SendOutcome sent =
+          cluster.Send(kCoordinator, static_cast<int>(i),
+                       wire::ScalarMessage("global_mass", global_mass));
+      if (!sent.delivered) {
+        server_state[i] = kServerLostMassKnown;
+        result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
+        continue;
+      }
+      // The dense codec is a byte copy, so the broadcast value survives
+      // the wire bit-exactly; every server fixes the same g.
+      DS_ASSIGN_OR_RETURN(const double received,
+                          wire::DecodeScalarPayload(sent.payload));
+      DS_CHECK(received == global_mass);
+    }
   }
 
   SamplingFunctionParams params;
@@ -86,7 +139,9 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   // Round 3: local SVS runs concurrently — every server's sampling draws
   // from its own derived seed, so the sketches are independent of the
   // schedule — then the sampled rows go to the coordinator in index
-  // order. Inactive servers produce an empty slot and send nothing.
+  // order. Inactive and already-checkpointed servers produce an empty
+  // slot and send nothing; because the per-server seed depends only on
+  // options_.seed and the index, a resumed run redraws the same rows.
   // Each Svs call routes through the spectral kernel (Gram accumulation +
   // d-by-d eigensolve for these tall inputs); inside this ParallelMap the
   // kernel detects the enclosing parallel region and runs its serial
@@ -99,7 +154,7 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
   };
   std::vector<SvsSlot> slots = ParallelMap<SvsSlot>(s, [&](size_t i) {
     SvsSlot slot;
-    if (!active[i]) return slot;
+    if (done[i] || server_state[i] != kServerActive) return slot;
     const Matrix& local = cluster.server(i).local_rows();
     if (local.rows() == 0) return slot;
     telemetry::Span span("svs/local_svs", telemetry::Phase::kCompute);
@@ -113,23 +168,49 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
     }
     return slot;
   });
+  size_t processed = 0;
   for (size_t i = 0; i < s; ++i) {
-    if (!active[i] || cluster.server(i).local_rows().rows() == 0) continue;
-    if (!slots[i].status.ok()) return slots[i].status;
-    if (!slots[i].ran) continue;
-    const SvsResult& svs = slots[i].svs;
-    if (svs.sketch.rows() > 0) {
+    if (done[i] || server_state[i] != kServerActive) continue;
+    const bool has_rows = cluster.server(i).local_rows().rows() > 0;
+    if (has_rows && !slots[i].status.ok()) return slots[i].status;
+    if (has_rows && slots[i].ran && slots[i].svs.sketch.rows() > 0) {
+      const SvsResult& svs = slots[i].svs;
       wire::Message msg = wire::DenseMessage("svs_rows", svs.sketch);
       DS_CHECK(msg.words ==
                cluster.cost_model().MatrixWords(svs.sketch.rows(), d));
       SendOutcome sent = cluster.Send(static_cast<int>(i), kCoordinator, msg);
       if (!sent.delivered) {
+        // A round-3 loss keeps state kServerActive and stays un-done:
+        // a resumed run retries the send with the same derived seed.
         result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
         continue;
       }
       DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
                           wire::DecodeMessagePayload(sent.payload));
       result.sketch.AppendRows(received.matrix);
+    }
+    done[i] = 1;  // delivered, or nothing to send
+    ++processed;
+    if (options_.checkpoint.enabled()) {
+      wire::CoordinatorCheckpoint checkpoint;
+      checkpoint.protocol_id = kCheckpointProtocolSvs;
+      checkpoint.servers_total = s;
+      checkpoint.done = done;
+      checkpoint.global_scalar = global_mass;
+      checkpoint.extra.SetZero(2, s);
+      for (size_t j = 0; j < s; ++j) {
+        checkpoint.extra(0, j) = masses[j];
+        checkpoint.extra(1, j) = static_cast<double>(server_state[j]);
+      }
+      wire::SvsSketchState partial;
+      partial.sketch = result.sketch;
+      partial.seed = options_.seed;
+      checkpoint.sketch_blob = wire::SerializeSketchState(partial);
+      DS_RETURN_IF_ERROR(SaveCheckpoint(options_.checkpoint, checkpoint));
+    }
+    if (processed >= options_.checkpoint.halt_after_servers) {
+      result.halted = true;
+      break;
     }
   }
 

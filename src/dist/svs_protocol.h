@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "dist/checkpoint.h"
 #include "dist/protocol.h"
 #include "sketch/sampling_function.h"
 
@@ -17,6 +18,13 @@ struct SvsProtocolOptions {
   /// sqrt(log d) cheaper) or linear (Thm 5).
   SamplingFunctionKind kind = SamplingFunctionKind::kQuadratic;
   uint64_t seed = 42;
+  /// Coordinator checkpoint/restart hook (dist/checkpoint.h). A resumed
+  /// run restores the broadcast global mass and per-server round-1/2
+  /// outcomes from the checkpoint (skipping those rounds), re-derives
+  /// each remaining server's sampling seed, and skips servers whose
+  /// rows already reached the coordinator — so the appended sketch rows
+  /// match an uninterrupted run bit-for-bit.
+  CheckpointConfig checkpoint;
 };
 
 /// The randomized covariance-sketch protocol of §3.1 (Algorithms 1+2):

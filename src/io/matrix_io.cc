@@ -3,15 +3,66 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "wire/codec.h"
 
 namespace distsketch {
+
+Status WriteFileAtomic(const std::string& path, const uint8_t* data,
+                       size_t size) {
+  // The temp file must live in the destination directory: rename(2) is
+  // only atomic within one filesystem.
+  const std::filesystem::path target(path);
+  std::filesystem::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::NotFound("WriteFileAtomic: cannot open " +
+                              tmp.string());
+    }
+    if (size > 0) {
+      out.write(reinterpret_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+    }
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::Internal("WriteFileAtomic: write failed for " +
+                              tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    return Status::Internal("WriteFileAtomic: rename to " + path +
+                            " failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("ReadFileBytes: cannot open " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (!in.eof() && !in) {
+    return Status::Internal("ReadFileBytes: read failed for " + path);
+  }
+  return bytes;
+}
 
 Status SaveCsv(const Matrix& a, const std::string& path) {
   std::ofstream out(path);

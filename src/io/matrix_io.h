@@ -1,12 +1,25 @@
 #ifndef DISTSKETCH_IO_MATRIX_IO_H_
 #define DISTSKETCH_IO_MATRIX_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "linalg/matrix.h"
 
 namespace distsketch {
+
+/// Writes `size` bytes to `path` atomically: the bytes go to a
+/// same-directory temporary file first, which is then renamed over the
+/// destination. Readers never observe a partially written file — they
+/// see either the old contents or the new ones — which is what makes a
+/// checkpoint store crash-safe.
+Status WriteFileAtomic(const std::string& path, const uint8_t* data,
+                       size_t size);
+
+/// Reads an entire file as raw bytes. NotFound if it cannot be opened.
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
 
 /// Writes `a` as comma-separated values, one row per line, full double
 /// precision (%.17g).

@@ -31,6 +31,52 @@ StatusOr<AdaptiveLocalSketch> AdaptiveLocalSketch::Create(size_t dim,
   return AdaptiveLocalSketch(dim, eps, k, seed, std::move(fd));
 }
 
+StatusOr<AdaptiveLocalSketch> AdaptiveLocalSketch::FromState(
+    AdaptiveSketchState state) {
+  if (state.dim < 1) {
+    return Status::InvalidArgument("AdaptiveLocalSketch::FromState: dim < 1");
+  }
+  if (state.k < 1) {
+    return Status::InvalidArgument("AdaptiveLocalSketch::FromState: k < 1");
+  }
+  if (state.eps <= 0.0 || state.eps >= 1.0) {
+    return Status::InvalidArgument(
+        "AdaptiveLocalSketch::FromState: eps not in (0,1)");
+  }
+  if (state.fd.dim != state.dim) {
+    return Status::InvalidArgument(
+        "AdaptiveLocalSketch::FromState: nested FD dim mismatch");
+  }
+  if ((state.head.rows() > 0 && state.head.cols() != state.dim) ||
+      (state.tail.rows() > 0 && state.tail.cols() != state.dim)) {
+    return Status::InvalidArgument(
+        "AdaptiveLocalSketch::FromState: head/tail column count != dim");
+  }
+  DS_ASSIGN_OR_RETURN(FrequentDirections fd,
+                      FrequentDirections::FromState(std::move(state.fd)));
+  AdaptiveLocalSketch local(state.dim, state.eps, state.k, state.seed,
+                            std::move(fd));
+  local.finished_ = state.finished;
+  local.head_ = std::move(state.head);
+  local.tail_ = std::move(state.tail);
+  local.tail_mass_ = state.tail_mass;
+  return local;
+}
+
+AdaptiveSketchState AdaptiveLocalSketch::ExportState() const {
+  AdaptiveSketchState state;
+  state.dim = dim_;
+  state.eps = eps_;
+  state.k = k_;
+  state.seed = seed_;
+  state.fd = fd_.ExportState();
+  state.finished = finished_;
+  state.head = head_;
+  state.tail = tail_;
+  state.tail_mass = tail_mass_;
+  return state;
+}
+
 void AdaptiveLocalSketch::Append(std::span<const double> row) {
   DS_CHECK(!finished_);
   fd_.Append(row);

@@ -12,6 +12,24 @@
 
 namespace distsketch {
 
+/// Complete logical state of an AdaptiveLocalSketch: the protocol
+/// parameters, the nested FD state, and the phase-2 outputs (head, tail,
+/// tail mass) if the sketch has been finished. Phase 3 consumes only
+/// (seed, head, tail, tail_mass) plus coordinator broadcasts, so a
+/// restored sketch resumes the protocol exactly where it stopped.
+/// Frozen as format v1 (wire/sketch_serde.h, DESIGN.md §11).
+struct AdaptiveSketchState {
+  size_t dim = 0;
+  double eps = 0.0;
+  size_t k = 0;
+  uint64_t seed = 0;
+  FdSketchState fd;
+  bool finished = false;
+  Matrix head;
+  Matrix tail;
+  double tail_mass = 0.0;
+};
+
 /// Per-server state of the randomized (eps, k)-sketch of §3.2 (Theorem 7).
 ///
 /// The pipeline on server i is:
@@ -30,6 +48,13 @@ class AdaptiveLocalSketch {
   /// `seed` drives the SVS sampling on this server.
   static StatusOr<AdaptiveLocalSketch> Create(size_t dim, double eps,
                                               size_t k, uint64_t seed);
+
+  /// Rebuilds a sketch from captured state (checkpoint restore / compact
+  /// form conversion). Validates parameter and shape invariants.
+  static StatusOr<AdaptiveLocalSketch> FromState(AdaptiveSketchState state);
+
+  /// Captures the full logical state (see AdaptiveSketchState).
+  AdaptiveSketchState ExportState() const;
 
   /// Phase 1: processes one local input row (single pass, O(dk/eps)
   /// working space).
@@ -59,6 +84,11 @@ class AdaptiveLocalSketch {
   size_t dim() const { return dim_; }
   double eps() const { return eps_; }
   size_t k() const { return k_; }
+  uint64_t seed() const { return seed_; }
+  /// True once FinishAndReportTailMass() has run (phases 2-3 available).
+  bool finished() const { return finished_; }
+  /// The local tail mass ||R^(i)||_F^2 (valid once finished()).
+  double tail_mass() const { return tail_mass_; }
 
  private:
   AdaptiveLocalSketch(size_t dim, double eps, size_t k, uint64_t seed,

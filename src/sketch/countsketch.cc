@@ -1,6 +1,7 @@
 #include "sketch/countsketch.h"
 
 #include <cmath>
+#include <utility>
 
 namespace distsketch {
 namespace {
@@ -33,6 +34,26 @@ StatusOr<CountSketchCompressor> CountSketchCompressor::FromEps(
   const size_t m = std::max<size_t>(
       1, static_cast<size_t>(std::ceil(oversample / (eps * eps))));
   return CountSketchCompressor(m, dim, seed);
+}
+
+StatusOr<CountSketchCompressor> CountSketchCompressor::FromState(
+    CountSketchState state) {
+  if (state.compressed.rows() < 1 || state.compressed.cols() < 1) {
+    return Status::InvalidArgument(
+        "CountSketchCompressor::FromState: compressed matrix must be "
+        "non-empty");
+  }
+  CountSketchCompressor compressor(state.compressed.rows(),
+                                   state.compressed.cols(), state.seed);
+  compressor.compressed_ = std::move(state.compressed);
+  return compressor;
+}
+
+CountSketchState CountSketchCompressor::ExportState() const {
+  CountSketchState state;
+  state.seed = seed_;
+  state.compressed = compressed_;
+  return state;
 }
 
 void CountSketchCompressor::Hash(uint64_t row_index, size_t* bucket,

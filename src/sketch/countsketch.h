@@ -9,6 +9,16 @@
 
 namespace distsketch {
 
+/// Complete logical state of a CountSketchCompressor: the seed (which
+/// fixes the hash family) and the running compressed matrix. Absorb is a
+/// pure hash-plus-add, so restore-and-continue is bit-identical to an
+/// uninterrupted run. Frozen as format v1 (wire/sketch_serde.h,
+/// DESIGN.md §11).
+struct CountSketchState {
+  uint64_t seed = 0;
+  Matrix compressed;
+};
+
 /// Streaming CountSketch row compressor: C = S A, where S is the m-by-n
 /// CountSketch matrix (one +-1 entry per column, position and sign
 /// derived by hashing the global row index with a shared seed).
@@ -37,6 +47,13 @@ class CountSketchCompressor {
   static StatusOr<CountSketchCompressor> FromEps(size_t dim, double eps,
                                                  uint64_t seed,
                                                  double oversample = 4.0);
+
+  /// Rebuilds a compressor from captured state (checkpoint restore /
+  /// compact form conversion).
+  static StatusOr<CountSketchCompressor> FromState(CountSketchState state);
+
+  /// Captures the full logical state (see CountSketchState).
+  CountSketchState ExportState() const;
 
   /// Absorbs one row with its *global* index (the index selects the
   /// bucket and sign, so all holders of additive shares of row i must

@@ -33,6 +33,41 @@ StatusOr<FastFrequentDirections> FastFrequentDirections::FromEpsK(
   return FastFrequentDirections(dim, sketch_size, seed);
 }
 
+StatusOr<FastFrequentDirections> FastFrequentDirections::FromState(
+    FastFdState state) {
+  if (state.dim < 1 || state.sketch_size < 1) {
+    return Status::InvalidArgument(
+        "FastFrequentDirections::FromState: dim and sketch_size must be >= 1");
+  }
+  if (state.buffer.rows() > 0 && state.buffer.cols() != state.dim) {
+    return Status::InvalidArgument(
+        "FastFrequentDirections::FromState: buffer column count != dim");
+  }
+  if (state.buffer.rows() > 2 * state.sketch_size) {
+    return Status::InvalidArgument(
+        "FastFrequentDirections::FromState: buffer exceeds 2*sketch_size "
+        "rows");
+  }
+  FastFrequentDirections fd(state.dim, state.sketch_size, state.seed);
+  if (state.buffer.rows() > 0) {
+    fd.buffer_.AppendRows(state.buffer);
+  }
+  fd.total_shrinkage_ = state.total_shrinkage;
+  fd.shrink_count_ = state.shrink_count;
+  return fd;
+}
+
+FastFdState FastFrequentDirections::ExportState() const {
+  FastFdState state;
+  state.dim = dim_;
+  state.sketch_size = sketch_size_;
+  state.seed = seed_;
+  state.buffer = buffer_;
+  state.total_shrinkage = total_shrinkage_;
+  state.shrink_count = shrink_count_;
+  return state;
+}
+
 void FastFrequentDirections::Append(std::span<const double> row) {
   DS_CHECK(row.size() == dim_);
   buffer_.AppendRow(row);

@@ -10,6 +10,20 @@
 
 namespace distsketch {
 
+/// Complete logical state of a FastFrequentDirections sketch. The shrink
+/// RNG position is implied by (seed, shrink_count): each shrink derives
+/// its own stream via Rng::DeriveSeed(seed, shrink_count), so restoring
+/// these two fields resumes the randomized SVD seed schedule exactly.
+/// Frozen as format v1 (wire/sketch_serde.h, DESIGN.md §11).
+struct FastFdState {
+  size_t dim = 0;
+  size_t sketch_size = 0;
+  uint64_t seed = 0;
+  Matrix buffer;
+  double total_shrinkage = 0.0;
+  uint64_t shrink_count = 0;
+};
+
 /// Fast Frequent Directions (Ghashami, Liberty & Phillips, KDD'16 [15] —
 /// cited in the paper's §2 as the O(nnz(A) k/eps)-time variant).
 ///
@@ -33,6 +47,13 @@ class FastFrequentDirections {
   static StatusOr<FastFrequentDirections> FromEpsK(size_t dim, double eps,
                                                    size_t k, uint64_t seed);
 
+  /// Rebuilds a sketch from captured state (checkpoint restore / compact
+  /// form conversion). Validates the shape invariants.
+  static StatusOr<FastFrequentDirections> FromState(FastFdState state);
+
+  /// Captures the full logical state (see FastFdState).
+  FastFdState ExportState() const;
+
   /// Processes one input row.
   void Append(std::span<const double> row);
 
@@ -45,6 +66,7 @@ class FastFrequentDirections {
 
   size_t dim() const { return dim_; }
   size_t sketch_size() const { return sketch_size_; }
+  uint64_t seed() const { return seed_; }
   /// Total spectral mass subtracted by shrinks so far.
   double total_shrinkage() const { return total_shrinkage_; }
   uint64_t shrink_count() const { return shrink_count_; }

@@ -124,6 +124,41 @@ StatusOr<FrequentDirections> FrequentDirections::FromEps(size_t dim,
   return FrequentDirections(dim, sketch_size);
 }
 
+StatusOr<FrequentDirections> FrequentDirections::FromState(
+    FdSketchState state) {
+  if (state.dim < 1 || state.sketch_size < 1) {
+    return Status::InvalidArgument(
+        "FrequentDirections::FromState: dim and sketch_size must be >= 1");
+  }
+  if (state.buffer.rows() > 0 && state.buffer.cols() != state.dim) {
+    return Status::InvalidArgument(
+        "FrequentDirections::FromState: buffer column count != dim");
+  }
+  if (state.buffer.rows() > 2 * state.sketch_size) {
+    return Status::InvalidArgument(
+        "FrequentDirections::FromState: buffer exceeds 2*sketch_size rows");
+  }
+  FrequentDirections fd(state.dim, state.sketch_size);
+  if (state.buffer.rows() > 0) {
+    fd.buffer_.AppendRows(state.buffer);
+  }
+  fd.total_shrinkage_ = state.total_shrinkage;
+  fd.shrink_count_ = state.shrink_count;
+  fd.rows_seen_ = state.rows_seen;
+  return fd;
+}
+
+FdSketchState FrequentDirections::ExportState() const {
+  FdSketchState state;
+  state.dim = dim_;
+  state.sketch_size = sketch_size_;
+  state.buffer = buffer_;
+  state.total_shrinkage = total_shrinkage_;
+  state.shrink_count = shrink_count_;
+  state.rows_seen = rows_seen_;
+  return state;
+}
+
 void FrequentDirections::Append(std::span<const double> row) {
   DS_CHECK(row.size() == dim_);
   buffer_.AppendRow(row);

@@ -47,6 +47,22 @@ bool FdUsesGramShrink(size_t dim, size_t sketch_size);
 double FdGramShrink(Matrix& buffer, size_t sketch_size,
                     SvdWorkspace* ws = nullptr);
 
+/// Complete logical state of a FrequentDirections sketch. Capturing this
+/// state, restoring it, and continuing the stream is bit-identical to an
+/// uninterrupted run: the buffer holds every number the sketch depends
+/// on, and the counters resume cost accounting where it stopped. The wire
+/// form of this struct is frozen as format v1 (wire/sketch_serde.h,
+/// DESIGN.md §11).
+struct FdSketchState {
+  size_t dim = 0;
+  size_t sketch_size = 0;
+  /// The working buffer B (up to 2*sketch_size rows by dim columns).
+  Matrix buffer;
+  double total_shrinkage = 0.0;
+  uint64_t shrink_count = 0;
+  uint64_t rows_seen = 0;
+};
+
 /// Frequent Directions streaming covariance sketch (Liberty [27], with the
 /// improved analysis of Ghashami-Phillips [16]; paper Theorem 1).
 ///
@@ -79,6 +95,15 @@ class FrequentDirections {
   /// Sizes the sketch for the (eps, 0) guarantee: sketch_size =
   /// ceil(1/eps) + 1, giving covariance error at most eps * ||A||_F^2.
   static StatusOr<FrequentDirections> FromEps(size_t dim, double eps);
+
+  /// Rebuilds a sketch from captured state (checkpoint restore / compact
+  /// form conversion). Validates the shape invariants: buffer column
+  /// count equals dim, buffer rows <= 2 * sketch_size.
+  static StatusOr<FrequentDirections> FromState(FdSketchState state);
+
+  /// Captures the full logical state (see FdSketchState). Scratch space
+  /// (the spectral-kernel workspace) is not state and is rebuilt lazily.
+  FdSketchState ExportState() const;
 
   /// Processes one input row.
   void Append(std::span<const double> row);

@@ -11,6 +11,27 @@
 
 namespace distsketch {
 
+/// Complete logical state of a RowSamplingSketch: parameters, the exact
+/// RNG stream position, every reservoir's candidate row (a zero row plus
+/// present=0 when the reservoir is still empty), its weight, and the
+/// running total mass. Restoring this state and continuing the stream is
+/// bit-identical to an uninterrupted run because the Bernoulli draws
+/// resume at the captured RNG position. Frozen as format v1
+/// (wire/sketch_serde.h, DESIGN.md §11).
+struct RowSamplingState {
+  size_t dim = 0;
+  size_t num_samples = 0;
+  RngState rng;
+  /// num_samples-by-dim: row r is reservoir r's candidate (zeros if the
+  /// reservoir is empty; see `present`).
+  Matrix reservoir;
+  /// present[r] != 0 iff reservoir r holds a candidate row.
+  std::vector<uint8_t> present;
+  /// Squared-norm weight of each candidate.
+  std::vector<double> weights;
+  double total_mass = 0.0;
+};
+
 /// Squared-norm row sampling covariance sketch (Drineas-Kannan-Mahoney
 /// [10]; the "Sampling" row of Table 1).
 ///
@@ -33,6 +54,13 @@ class RowSamplingSketch {
   static StatusOr<RowSamplingSketch> FromEps(size_t dim, double eps,
                                              uint64_t seed,
                                              double oversample = 1.0);
+
+  /// Rebuilds a sketch from captured state (checkpoint restore / compact
+  /// form conversion). Validates shape invariants.
+  static StatusOr<RowSamplingSketch> FromState(const RowSamplingState& state);
+
+  /// Captures the full logical state (see RowSamplingState).
+  RowSamplingState ExportState() const;
 
   /// Processes one input row.
   void Append(std::span<const double> row);

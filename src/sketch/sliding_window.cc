@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "linalg/blas.h"
 
@@ -41,6 +42,78 @@ StatusOr<SlidingWindowSketch> SlidingWindowSketch::Create(size_t dim,
                       FrequentDirections::FromEps(dim, eps / 2.0));
   return SlidingWindowSketch(dim, window, eps, block_rows,
                              std::move(active));
+}
+
+StatusOr<SlidingWindowSketch> SlidingWindowSketch::FromState(
+    SlidingWindowState state) {
+  if (state.dim < 1 || state.window < 1) {
+    return Status::InvalidArgument(
+        "SlidingWindowSketch::FromState: dim and window must be >= 1");
+  }
+  if (state.eps <= 0.0 || state.eps >= 1.0) {
+    return Status::InvalidArgument(
+        "SlidingWindowSketch::FromState: eps not in (0,1)");
+  }
+  if (state.block_rows < 1) {
+    return Status::InvalidArgument(
+        "SlidingWindowSketch::FromState: block_rows must be >= 1");
+  }
+  if (state.active.dim != state.dim) {
+    return Status::InvalidArgument(
+        "SlidingWindowSketch::FromState: active FD dim mismatch");
+  }
+  uint64_t prev_end = 0;
+  for (const SlidingWindowBlockState& block : state.blocks) {
+    if (block.sketch.rows() > 0 && block.sketch.cols() != state.dim) {
+      return Status::InvalidArgument(
+          "SlidingWindowSketch::FromState: block column count != dim");
+    }
+    if (block.end <= block.begin || block.begin < prev_end) {
+      return Status::InvalidArgument(
+          "SlidingWindowSketch::FromState: block ranges not increasing");
+    }
+    prev_end = block.end;
+  }
+  if (state.active_begin < prev_end || state.rows_seen < state.active_begin) {
+    return Status::InvalidArgument(
+        "SlidingWindowSketch::FromState: stream counters inconsistent");
+  }
+  DS_ASSIGN_OR_RETURN(FrequentDirections active,
+                      FrequentDirections::FromState(std::move(state.active)));
+  SlidingWindowSketch sketch(state.dim, state.window, state.eps,
+                             state.block_rows, std::move(active));
+  for (SlidingWindowBlockState& block : state.blocks) {
+    Block b;
+    b.sketch = std::move(block.sketch);
+    b.begin = block.begin;
+    b.end = block.end;
+    sketch.blocks_.push_back(std::move(b));
+  }
+  sketch.active_begin_ = state.active_begin;
+  sketch.rows_seen_ = state.rows_seen;
+  sketch.max_row_norm_ = state.max_row_norm;
+  return sketch;
+}
+
+SlidingWindowState SlidingWindowSketch::ExportState() const {
+  SlidingWindowState state;
+  state.dim = dim_;
+  state.window = window_;
+  state.eps = eps_;
+  state.block_rows = block_rows_;
+  state.blocks.reserve(blocks_.size());
+  for (const Block& block : blocks_) {
+    SlidingWindowBlockState b;
+    b.sketch = block.sketch;
+    b.begin = block.begin;
+    b.end = block.end;
+    state.blocks.push_back(std::move(b));
+  }
+  state.active = active_.ExportState();
+  state.active_begin = active_begin_;
+  state.rows_seen = rows_seen_;
+  state.max_row_norm = max_row_norm_;
+  return state;
 }
 
 void SlidingWindowSketch::EvictExpired() {

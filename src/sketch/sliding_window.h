@@ -4,12 +4,38 @@
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <vector>
 
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "sketch/frequent_directions.h"
 
 namespace distsketch {
+
+/// One retained block of a sliding-window sketch: the block's finished FD
+/// sketch matrix and its [begin, end) stream-index range.
+struct SlidingWindowBlockState {
+  Matrix sketch;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// Complete logical state of a SlidingWindowSketch: parameters, every
+/// retained block, and the active (partial-block) FD state. Restoring
+/// this state and continuing the stream is bit-identical to an
+/// uninterrupted run. Frozen as format v1 (wire/sketch_serde.h,
+/// DESIGN.md §11).
+struct SlidingWindowState {
+  size_t dim = 0;
+  size_t window = 0;
+  double eps = 0.0;
+  size_t block_rows = 0;
+  std::vector<SlidingWindowBlockState> blocks;
+  FdSketchState active;
+  uint64_t active_begin = 0;
+  uint64_t rows_seen = 0;
+  double max_row_norm = 0.0;
+};
 
 /// Covariance sketching over a sequence-based sliding window — the
 /// Logarithmic-Method construction of Wei et al., SIGMOD'16 [34] (cited
@@ -34,6 +60,14 @@ class SlidingWindowSketch {
   /// rows at accuracy `eps`.
   static StatusOr<SlidingWindowSketch> Create(size_t dim, size_t window,
                                               double eps);
+
+  /// Rebuilds a sketch from captured state (checkpoint restore / compact
+  /// form conversion). Validates parameter, shape, and block-ordering
+  /// invariants.
+  static StatusOr<SlidingWindowSketch> FromState(SlidingWindowState state);
+
+  /// Captures the full logical state (see SlidingWindowState).
+  SlidingWindowState ExportState() const;
 
   /// Processes one stream row.
   Status Append(std::span<const double> row);

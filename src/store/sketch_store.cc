@@ -1,0 +1,137 @@
+#include "store/sketch_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "io/matrix_io.h"
+#include "telemetry/span.h"
+#include "telemetry/telemetry.h"
+#include "wire/frame.h"
+
+namespace distsketch {
+
+namespace {
+
+constexpr char kEntrySuffix[] = ".dss";
+
+Status NameCheck(const std::string& name) {
+  if (!SketchStore::ValidName(name)) {
+    return Status::InvalidArgument("SketchStore: invalid entry name '" +
+                                   name + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool SketchStore::ValidName(const std::string& name) {
+  if (name.empty() || name[0] == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+StatusOr<SketchStore> SketchStore::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("SketchStore::Open: cannot create " + dir +
+                            ": " + ec.message());
+  }
+  if (!std::filesystem::is_directory(dir)) {
+    return Status::InvalidArgument("SketchStore::Open: not a directory: " +
+                                   dir);
+  }
+  return SketchStore(dir);
+}
+
+std::string SketchStore::PathFor(const std::string& name) const {
+  return (std::filesystem::path(dir_) / (name + kEntrySuffix)).string();
+}
+
+Status SketchStore::Put(const std::string& name,
+                        const std::vector<uint8_t>& blob) {
+  DS_RETURN_IF_ERROR(NameCheck(name));
+  telemetry::Span span("store/put", telemetry::Phase::kCompute);
+  span.SetAttr("bytes", static_cast<uint64_t>(blob.size()));
+  wire::Frame frame;
+  frame.tag = name;
+  frame.payload = blob;
+  const std::vector<uint8_t> encoded = wire::EncodeFrame(frame);
+  DS_RETURN_IF_ERROR(
+      WriteFileAtomic(PathFor(name), encoded.data(), encoded.size()));
+  telemetry::Count("store.puts");
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> SketchStore::Get(
+    const std::string& name) const {
+  DS_RETURN_IF_ERROR(NameCheck(name));
+  telemetry::Span span("store/get", telemetry::Phase::kCompute);
+  DS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                      ReadFileBytes(PathFor(name)));
+  auto frame = wire::DecodeFrame(bytes.data(), bytes.size());
+  if (!frame.ok()) {
+    telemetry::Count("store.get_failure");
+    return Status::InvalidArgument("SketchStore::Get: entry '" + name +
+                                   "' corrupt: " +
+                                   frame.status().message());
+  }
+  if (frame->tag != name) {
+    telemetry::Count("store.get_failure");
+    return Status::InvalidArgument("SketchStore::Get: tag mismatch: entry '" +
+                                   name + "' holds '" + frame->tag + "'");
+  }
+  telemetry::Count("store.gets");
+  return std::move(frame->payload);
+}
+
+bool SketchStore::Contains(const std::string& name) const {
+  if (!ValidName(name)) return false;
+  std::error_code ec;
+  return std::filesystem::is_regular_file(PathFor(name), ec);
+}
+
+StatusOr<std::vector<std::string>> SketchStore::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) {
+    return Status::Internal("SketchStore::List: cannot read " + dir_ +
+                            ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    const size_t suffix_len = sizeof(kEntrySuffix) - 1;
+    if (filename.size() <= suffix_len ||
+        filename.compare(filename.size() - suffix_len, suffix_len,
+                         kEntrySuffix) != 0) {
+      continue;
+    }
+    const std::string name =
+        filename.substr(0, filename.size() - suffix_len);
+    if (ValidName(name)) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SketchStore::Delete(const std::string& name) {
+  DS_RETURN_IF_ERROR(NameCheck(name));
+  std::error_code ec;
+  std::filesystem::remove(PathFor(name), ec);
+  if (ec) {
+    return Status::Internal("SketchStore::Delete: cannot remove entry '" +
+                            name + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace distsketch

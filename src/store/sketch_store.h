@@ -1,0 +1,64 @@
+#ifndef DISTSKETCH_STORE_SKETCH_STORE_H_
+#define DISTSKETCH_STORE_SKETCH_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distsketch {
+
+/// Persistent store of named sketch blobs, one file per sketch.
+///
+/// Each entry `<name>` lives at `<dir>/<name>.dss` and holds one wire
+/// frame (wire/frame.h) whose tag is the sketch name and whose payload
+/// is the caller's blob — normally a v1 sketch blob or a coordinator
+/// checkpoint (wire/sketch_serde.h). The frame envelope gives every
+/// entry a checksum and a self-identifying tag for free: Get() detects
+/// on-disk corruption ("checksum mismatch") and files renamed to another
+/// entry's slot ("tag mismatch").
+///
+/// Put() writes atomically (same-directory temp file + rename), so a
+/// crash mid-checkpoint leaves either the previous blob or the new one,
+/// never a torn file. That is the property the coordinator
+/// checkpoint/restart path (dist/checkpoint.h) relies on.
+class SketchStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`.
+  static StatusOr<SketchStore> Open(const std::string& dir);
+
+  /// Writes `blob` under `name` (overwriting any previous entry).
+  Status Put(const std::string& name, const std::vector<uint8_t>& blob);
+
+  /// Reads the blob stored under `name`. NotFound if absent;
+  /// InvalidArgument if the file is corrupt or holds a different entry.
+  StatusOr<std::vector<uint8_t>> Get(const std::string& name) const;
+
+  /// True iff an entry named `name` exists.
+  bool Contains(const std::string& name) const;
+
+  /// All entry names, sorted.
+  StatusOr<std::vector<std::string>> List() const;
+
+  /// Removes the entry (OK if it does not exist).
+  Status Delete(const std::string& name);
+
+  const std::string& dir() const { return dir_; }
+
+  /// True iff `name` is a valid entry name: nonempty, characters from
+  /// [A-Za-z0-9._-], not starting with '.'. Keeps every entry a plain
+  /// file inside the store directory.
+  static bool ValidName(const std::string& name);
+
+ private:
+  explicit SketchStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string PathFor(const std::string& name) const;
+
+  std::string dir_;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_STORE_SKETCH_STORE_H_

@@ -1,0 +1,199 @@
+// Golden-binary compatibility suite: replays the committed v1 binaries
+// under tests/golden/ (emitted once by tools/gen_golden) and asserts
+// they still decode bit-exactly and re-encode to identical bytes. A
+// failure here means the wire format changed — which v1 freezes. Fix
+// the code, not the goldens; regenerating them is a format break and
+// needs a version bump.
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wire/checksum.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+#include "wire/sketch_serde.h"
+
+#ifndef DS_GOLDEN_DIR
+#error "DS_GOLDEN_DIR must point at the committed tests/golden directory"
+#endif
+
+namespace distsketch {
+namespace wire {
+namespace {
+
+struct ManifestEntry {
+  std::string kind;
+  size_t bytes = 0;
+  uint64_t checksum = 0;
+};
+
+std::string GoldenPath(const std::string& file) {
+  return std::string(DS_GOLDEN_DIR) + "/" + file;
+}
+
+std::vector<uint8_t> ReadGolden(const std::string& file) {
+  std::ifstream in(GoldenPath(file), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden: " << file;
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+std::map<std::string, ManifestEntry> ReadManifest() {
+  std::map<std::string, ManifestEntry> manifest;
+  std::ifstream in(GoldenPath("manifest.txt"));
+  EXPECT_TRUE(in.good()) << "missing golden manifest";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string file, checksum_hex;
+    ManifestEntry entry;
+    fields >> file >> entry.kind >> entry.bytes >> checksum_hex;
+    EXPECT_FALSE(fields.fail()) << "bad manifest line: " << line;
+    entry.checksum = std::stoull(checksum_hex, nullptr, 16);
+    manifest[file] = entry;
+  }
+  return manifest;
+}
+
+TEST(GoldenCompatTest, FormatConstantsAreFrozen) {
+  // These values are load-bearing for every committed binary. Changing
+  // any of them is a format break.
+  EXPECT_EQ(kSketchMagic, 0x4B535344u);
+  EXPECT_EQ(kSketchFormatVersion, 1u);
+  EXPECT_EQ(kSketchHeaderBytes, 32u);
+  EXPECT_EQ(kSketchSectionEntryBytes, 24u);
+  EXPECT_EQ(kFrameMagic, 0x46575344u);
+  EXPECT_EQ(kFrameVersion, 1u);
+  EXPECT_EQ(kFrameHeaderBytes, 40u);
+}
+
+TEST(GoldenCompatTest, ManifestMatchesFilesOnDisk) {
+  const auto manifest = ReadManifest();
+  EXPECT_EQ(manifest.size(), 12u);
+  for (const auto& [file, entry] : manifest) {
+    const std::vector<uint8_t> bytes = ReadGolden(file);
+    EXPECT_EQ(bytes.size(), entry.bytes) << file;
+    EXPECT_EQ(Checksum64(bytes.data(), bytes.size()), entry.checksum) << file;
+  }
+}
+
+TEST(GoldenCompatTest, SketchBlobsDecodeAndReencodeIdentically) {
+  const auto manifest = ReadManifest();
+  for (const auto& [file, entry] : manifest) {
+    if (file.find(".sketch") == std::string::npos) continue;
+    const std::vector<uint8_t> blob = ReadGolden(file);
+    if (entry.kind == "coordinator_checkpoint") {
+      auto checkpoint = DecodeCoordinatorCheckpoint(blob.data(), blob.size());
+      ASSERT_TRUE(checkpoint.ok())
+          << file << ": " << checkpoint.status().message();
+      EXPECT_EQ(EncodeCoordinatorCheckpoint(*checkpoint), blob) << file;
+      continue;
+    }
+    auto compact = CompactSketch::Wrap(blob.data(), blob.size());
+    ASSERT_TRUE(compact.ok()) << file << ": " << compact.status().message();
+    std::vector<uint8_t> reencoded;
+    if (entry.kind == "frequent_directions") {
+      auto state = compact->ToFdState();
+      ASSERT_TRUE(state.ok()) << file << ": " << state.status().message();
+      reencoded = SerializeSketchState(*state);
+    } else if (entry.kind == "fast_frequent_directions") {
+      auto state = compact->ToFastFdState();
+      ASSERT_TRUE(state.ok()) << file << ": " << state.status().message();
+      reencoded = SerializeSketchState(*state);
+    } else if (entry.kind == "svs") {
+      auto state = compact->ToSvsState();
+      ASSERT_TRUE(state.ok()) << file << ": " << state.status().message();
+      reencoded = SerializeSketchState(*state);
+    } else if (entry.kind == "adaptive") {
+      auto state = compact->ToAdaptiveState();
+      ASSERT_TRUE(state.ok()) << file << ": " << state.status().message();
+      reencoded = SerializeSketchState(*state);
+    } else if (entry.kind == "countsketch") {
+      auto state = compact->ToCountSketchState();
+      ASSERT_TRUE(state.ok()) << file << ": " << state.status().message();
+      reencoded = SerializeSketchState(*state);
+    } else if (entry.kind == "sliding_window") {
+      auto state = compact->ToSlidingWindowState();
+      ASSERT_TRUE(state.ok()) << file << ": " << state.status().message();
+      reencoded = SerializeSketchState(*state);
+    } else if (entry.kind == "row_sampling") {
+      auto state = compact->ToRowSamplingState();
+      ASSERT_TRUE(state.ok()) << file << ": " << state.status().message();
+      reencoded = SerializeSketchState(*state);
+    } else {
+      FAIL() << "unknown manifest kind: " << entry.kind;
+    }
+    EXPECT_EQ(reencoded, blob) << file << " re-encode differs";
+  }
+}
+
+TEST(GoldenCompatTest, PayloadGoldensDecodeAndReencodeIdentically) {
+  {
+    const std::vector<uint8_t> payload = ReadGolden("dense_3x5.payload");
+    auto decoded = DecodeMatrixPayload(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->matrix.rows(), 3u);
+    EXPECT_EQ(decoded->matrix.cols(), 5u);
+    EXPECT_EQ(EncodeDensePayload(decoded->matrix), payload);
+  }
+  {
+    const std::vector<uint8_t> payload = ReadGolden("dense_0x4.payload");
+    auto decoded = DecodeMatrixPayload(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->matrix.rows(), 0u);
+    EXPECT_EQ(decoded->matrix.cols(), 4u);
+    EXPECT_EQ(EncodeDensePayload(decoded->matrix), payload);
+  }
+  {
+    const std::vector<uint8_t> payload = ReadGolden("quant_4x4_b12.payload");
+    auto decoded = DecodeMatrixPayload(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->matrix.rows(), 4u);
+    EXPECT_EQ(decoded->matrix.cols(), 4u);
+    EXPECT_EQ(decoded->encoding, MatrixEncoding::kQuantized);
+    EXPECT_EQ(decoded->precision, 1.0 / 1024.0);
+  }
+}
+
+TEST(GoldenCompatTest, FrameGoldenDecodesAndReencodesIdentically) {
+  const std::vector<uint8_t> buf = ReadGolden("frame_local_sketch.frame");
+  auto frame = DecodeFrame(buf.data(), buf.size());
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->tag, "local_sketch");
+  EXPECT_EQ(frame->from, 3);
+  EXPECT_EQ(frame->to, -1);
+  EXPECT_EQ(frame->attempt, 1u);
+  EXPECT_EQ(EncodeFrame(*frame), buf);
+}
+
+TEST(GoldenCompatTest, VersionBumpIsCleanlyRejected) {
+  std::vector<uint8_t> blob = ReadGolden("fd_state.sketch");
+  ASSERT_GE(blob.size(), kSketchHeaderBytes);
+  blob[4] = 2;  // version u16 LE low byte: 1 -> 2
+  auto compact = CompactSketch::Wrap(blob.data(), blob.size());
+  ASSERT_FALSE(compact.ok());
+  EXPECT_NE(
+      compact.status().message().find("unsupported sketch format version"),
+      std::string::npos)
+      << compact.status().message();
+}
+
+TEST(GoldenCompatTest, FrameVersionBumpIsCleanlyRejected) {
+  std::vector<uint8_t> buf = ReadGolden("frame_local_sketch.frame");
+  ASSERT_GE(buf.size(), kFrameHeaderBytes);
+  buf[4] = 2;  // version u16 LE low byte
+  auto frame = DecodeFrame(buf.data(), buf.size());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("bad version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace distsketch

@@ -1,0 +1,279 @@
+// Exhaustive robustness suite for the v1 sketch blob decoder: truncate
+// a valid blob at every byte offset and flip every single bit — Wrap()
+// must return a clean error Status each time, never crash or read out
+// of bounds. The suite runs under the asan preset, which is what makes
+// "never UB" a checked claim rather than a hope.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wire/checksum.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+#include "wire/sketch_serde.h"
+
+namespace distsketch {
+namespace wire {
+namespace {
+
+Matrix FilledMatrix(size_t rows, size_t cols, uint64_t salt) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<double>(r * cols + c + salt) * 0.0625 - 2.0;
+    }
+  }
+  return m;
+}
+
+FdSketchState MakeFdState() {
+  FdSketchState state;
+  state.dim = 6;
+  state.sketch_size = 4;
+  state.buffer = FilledMatrix(5, 6, 1);
+  state.total_shrinkage = 3.5;
+  state.shrink_count = 2;
+  state.rows_seen = 37;
+  return state;
+}
+
+std::vector<uint8_t> MultiSectionBlob() {
+  SlidingWindowState state;
+  state.dim = 4;
+  state.window = 16;
+  state.eps = 0.5;
+  state.block_rows = 4;
+  state.blocks = {{FilledMatrix(2, 4, 19), 0, 4},
+                  {FilledMatrix(3, 4, 23), 4, 8}};
+  state.active.dim = 4;
+  state.active.sketch_size = 4;
+  state.active.buffer = FilledMatrix(3, 4, 29);
+  state.active.rows_seen = 3;
+  state.active_begin = 8;
+  state.rows_seen = 11;
+  state.max_row_norm = 6.5;
+  return SerializeSketchState(state);
+}
+
+// Recomputes the envelope checksum after a deliberate mutation, so the
+// test reaches the validation layer *behind* the checksum.
+void FixChecksum(std::vector<uint8_t>* blob) {
+  const uint64_t checksum =
+      Checksum64(blob->data() + 24, blob->size() - 24);
+  std::memcpy(blob->data() + 16, &checksum, 8);
+}
+
+void ExpectWrapRejects(const std::vector<uint8_t>& blob,
+                       const char* substring) {
+  auto compact = CompactSketch::Wrap(blob.data(), blob.size());
+  ASSERT_FALSE(compact.ok()) << "expected rejection: " << substring;
+  EXPECT_NE(compact.status().message().find(substring), std::string::npos)
+      << compact.status().message();
+}
+
+TEST(SerdeCorruptionTest, EveryTruncationOfFdBlobFailsCleanly) {
+  const std::vector<uint8_t> blob = SerializeSketchState(MakeFdState());
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    std::vector<uint8_t> prefix(blob.begin(), blob.begin() + cut);
+    // Copy into an exactly-sized buffer so asan catches any read past
+    // the truncation point.
+    auto compact = CompactSketch::Wrap(prefix.data(), prefix.size());
+    EXPECT_FALSE(compact.ok()) << "prefix " << cut << " accepted";
+  }
+}
+
+TEST(SerdeCorruptionTest, EveryTruncationOfMultiSectionBlobFailsCleanly) {
+  const std::vector<uint8_t> blob = MultiSectionBlob();
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    std::vector<uint8_t> prefix(blob.begin(), blob.begin() + cut);
+    EXPECT_FALSE(CompactSketch::Wrap(prefix.data(), prefix.size()).ok())
+        << "prefix " << cut << " accepted";
+  }
+}
+
+TEST(SerdeCorruptionTest, EverySingleBitFlipOfFdBlobFailsCleanly) {
+  const std::vector<uint8_t> blob = SerializeSketchState(MakeFdState());
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupted = blob;
+      corrupted[byte] ^= static_cast<uint8_t>(1u << bit);
+      auto compact = CompactSketch::Wrap(corrupted.data(), corrupted.size());
+      EXPECT_FALSE(compact.ok())
+          << "flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, EverySingleBitFlipOfMultiSectionBlobFailsCleanly) {
+  const std::vector<uint8_t> blob = MultiSectionBlob();
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupted = blob;
+      corrupted[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(
+          CompactSketch::Wrap(corrupted.data(), corrupted.size()).ok())
+          << "flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, EverySingleBitFlipOfCheckpointFailsCleanly) {
+  CoordinatorCheckpoint checkpoint;
+  checkpoint.protocol_id = 1;
+  checkpoint.servers_total = 4;
+  checkpoint.done = {1, 1, 0, 0};
+  checkpoint.global_scalar = 42.5;
+  checkpoint.sketch_blob = SerializeSketchState(MakeFdState());
+  checkpoint.extra = FilledMatrix(2, 4, 37);
+  const std::vector<uint8_t> blob = EncodeCoordinatorCheckpoint(checkpoint);
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupted = blob;
+      corrupted[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(
+          DecodeCoordinatorCheckpoint(corrupted.data(), corrupted.size())
+              .ok())
+          << "flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, EverySingleBitFlipOfFrameIsHandledCleanly) {
+  Frame frame;
+  frame.tag = "local_sketch";
+  frame.from = 2;
+  frame.to = -1;
+  frame.attempt = 1;
+  frame.payload = EncodeDensePayload(FilledMatrix(3, 4, 9));
+  const std::vector<uint8_t> buf = EncodeFrame(frame);
+  // Offsets [12, 24) are from/to/attempt: pure routing metadata, not
+  // covered by any integrity field, so a flip there still decodes (to a
+  // frame whose only difference is that metadata). Everything else —
+  // magic, version, tag_len, tag_id, lengths, checksum, tag bytes,
+  // payload bytes — must be rejected with a clean Status. Either way:
+  // no crash, no UB (this file runs under the asan preset).
+  for (size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupted = buf;
+      corrupted[byte] ^= static_cast<uint8_t>(1u << bit);
+      auto decoded = DecodeFrame(corrupted.data(), corrupted.size());
+      if (byte >= 12 && byte < 24) {
+        ASSERT_TRUE(decoded.ok()) << "routing byte " << byte << " bit " << bit;
+        EXPECT_EQ(decoded->tag, frame.tag);
+        EXPECT_EQ(decoded->payload, frame.payload);
+      } else {
+        EXPECT_FALSE(decoded.ok())
+            << "flip at byte " << byte << " bit " << bit << " accepted";
+      }
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, EmptyAndTinyBuffersRejected) {
+  ExpectWrapRejects({}, "truncated header");
+  ExpectWrapRejects({0x44}, "truncated header");
+  std::vector<uint8_t> almost(kSketchHeaderBytes - 1, 0);
+  ExpectWrapRejects(almost, "truncated header");
+}
+
+TEST(SerdeCorruptionTest, HeaderFieldCorruptionsNameTheFailure) {
+  const std::vector<uint8_t> blob = SerializeSketchState(MakeFdState());
+
+  std::vector<uint8_t> bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  ExpectWrapRejects(bad_magic, "bad magic");
+
+  std::vector<uint8_t> bad_version = blob;
+  bad_version[4] = 9;
+  ExpectWrapRejects(bad_version, "unsupported sketch format version");
+
+  std::vector<uint8_t> bad_kind = blob;
+  bad_kind[6] = 200;
+  ExpectWrapRejects(bad_kind, "unknown sketch kind");
+
+  // A kind byte flipped to a *different valid* kind passes every check
+  // up to the header echo, which repeats the kind inside the
+  // checksummed range.
+  std::vector<uint8_t> swapped_kind = blob;
+  swapped_kind[6] = 5;  // kFrequentDirections -> kCountSketch
+  ExpectWrapRejects(swapped_kind, "header echo mismatch");
+
+  std::vector<uint8_t> bad_flags = blob;
+  bad_flags[7] = 1;
+  ExpectWrapRejects(bad_flags, "unsupported flags");
+
+  std::vector<uint8_t> bad_length = blob;
+  bad_length[8] ^= 0x01;
+  ExpectWrapRejects(bad_length, "length mismatch");
+
+  std::vector<uint8_t> bad_body = blob;
+  bad_body[blob.size() - 1] ^= 0x01;
+  ExpectWrapRejects(bad_body, "checksum mismatch");
+}
+
+TEST(SerdeCorruptionTest, AdversarialSectionTableRejected) {
+  const std::vector<uint8_t> blob = SerializeSketchState(MakeFdState());
+  // Section entry 0 starts at the end of the 32-byte header:
+  // { u32 id, u32 type, u64 offset, u64 length }.
+  const size_t entry = kSketchHeaderBytes;
+
+  {
+    // Out-of-bounds section length (checksum re-fixed so the table is
+    // actually inspected).
+    std::vector<uint8_t> mutated = blob;
+    const uint64_t huge = mutated.size() * 2;
+    std::memcpy(mutated.data() + entry + 16, &huge, 8);
+    FixChecksum(&mutated);
+    ExpectWrapRejects(mutated, "bad section");
+  }
+  {
+    // Unknown section type.
+    std::vector<uint8_t> mutated = blob;
+    const uint32_t bogus = 99;
+    std::memcpy(mutated.data() + entry + 4, &bogus, 4);
+    FixChecksum(&mutated);
+    ExpectWrapRejects(mutated, "bad section");
+  }
+  {
+    // Duplicate section id (copy entry 0's id into entry 1).
+    std::vector<uint8_t> mutated = blob;
+    std::memcpy(mutated.data() + entry + kSketchSectionEntryBytes,
+                mutated.data() + entry, 4);
+    FixChecksum(&mutated);
+    ExpectWrapRejects(mutated, "bad section");
+  }
+  {
+    // Misaligned word-section offset.
+    std::vector<uint8_t> mutated = blob;
+    uint64_t offset;
+    std::memcpy(&offset, mutated.data() + entry + 8, 8);
+    offset += 1;
+    std::memcpy(mutated.data() + entry + 8, &offset, 8);
+    FixChecksum(&mutated);
+    ExpectWrapRejects(mutated, "bad section");
+  }
+}
+
+TEST(SerdeCorruptionTest, MissingSectionRejectedOnConversion) {
+  // A structurally valid blob whose section inventory does not match the
+  // kind must fail conversion, not crash: serialize a CountSketch blob
+  // and retag it as FD via the kind byte + echo (checksum re-fixed).
+  CountSketchState state;
+  state.seed = 7;
+  state.compressed = FilledMatrix(2, 3, 1);
+  std::vector<uint8_t> blob = SerializeSketchState(state);
+  blob[6] = 1;  // kind -> kFrequentDirections
+  uint32_t echo = (1u << 16) | (1u << 8);
+  std::memcpy(blob.data() + 28, &echo, 4);
+  FixChecksum(&blob);
+  auto compact = CompactSketch::Wrap(blob.data(), blob.size());
+  ASSERT_TRUE(compact.ok()) << compact.status().message();
+  EXPECT_FALSE(compact->ToFdState().ok());
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace distsketch
