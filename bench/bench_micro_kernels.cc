@@ -10,19 +10,28 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/qr.h"
+#include "linalg/simd_dispatch.h"
 #include "linalg/spectral.h"
 #include "linalg/spectral_kernel.h"
 #include "linalg/svd.h"
 #include "sketch/frequent_directions.h"
+#include "sketch/quantizer.h"
 #include "sketch/row_sampling.h"
 #include "sketch/svs.h"
+#include "wire/codec.h"
 #include "workload/generators.h"
 
 namespace distsketch {
@@ -210,17 +219,183 @@ void EmitSvdKernelRows(bool smoke) {
   ThreadPool::SetGlobalThreads(saved_threads);
 }
 
+// ---------------------------------------------------------------------------
+// SIMD backend rows (E10): the four dispatched hot kernels timed under
+// every backend this host supports, written with the `backend` field so
+// the scalar/AVX2/AVX-512 rows coexist in BENCH_sketch.json.
+
+// Restores the process-wide backend even if a timing lambda throws.
+class BackendGuard {
+ public:
+  BackendGuard() : prev_(ActiveSimdBackend()) {}
+  ~BackendGuard() { SetSimdBackendForTesting(prev_); }
+
+ private:
+  SimdBackend prev_;
+};
+
+std::vector<SimdBackend> SupportedBackends() {
+  std::vector<SimdBackend> out = {SimdBackend::kScalar};
+  for (const SimdBackend b : {SimdBackend::kAvx2, SimdBackend::kAvx512}) {
+    if (SimdBackendSupported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+template <typename Fn>
+double MinWallMs(int reps, const Fn& fn) {
+  fn();  // warmup
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    bench::WallTimer timer;
+    fn();
+    const double ms = timer.ElapsedMs();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Times Gram / Multiply / Jacobi SVD / wire bit-packing under one
+/// backend. Keys of the returned map are the row `op` names.
+std::map<std::string, double> TimeSimdKernelsMs(bool smoke) {
+  const size_t n = smoke ? 256 : 4096;
+  const size_t d = smoke ? 16 : 64;
+  const int reps = smoke ? 1 : 5;
+  const Matrix a = GenerateGaussian(n, d, 1.0, 202);
+  const Matrix b = GenerateGaussian(d, d, 1.0, 203);
+  const Matrix jac = GenerateGaussian(2 * d, d, 1.0, 204);
+  auto quant = QuantizeMatrix(a, /*precision=*/0.0078125);
+  DS_CHECK(quant.ok());
+
+  std::map<std::string, double> ms;
+  ms["simd_gram"] = MinWallMs(reps, [&] {
+    benchmark::DoNotOptimize(Gram(a));
+  });
+  ms["simd_multiply"] = MinWallMs(reps, [&] {
+    benchmark::DoNotOptimize(Multiply(a, b));
+  });
+  ms["simd_jacobi_svd"] = MinWallMs(reps, [&] {
+    auto svd = ComputeSvd(jac);
+    DS_CHECK(svd.ok());
+    benchmark::DoNotOptimize(svd);
+  });
+  ms["simd_bitpack"] = MinWallMs(reps, [&] {
+    auto payload = wire::EncodeQuantizedPayload(*quant);
+    DS_CHECK(payload.ok());
+    auto decoded = wire::DecodeMatrixPayload(payload->data(), payload->size());
+    DS_CHECK(decoded.ok());
+    benchmark::DoNotOptimize(decoded);
+  });
+  return ms;
+}
+
+/// Per-backend rows for the dispatched kernels; returns
+/// op -> backend -> wall ms for the regression gate.
+std::map<std::string, std::map<std::string, double>> EmitSimdBackendRows(
+    bool smoke) {
+  BackendGuard guard;
+  const size_t n = smoke ? 256 : 4096;
+  const size_t d = smoke ? 16 : 64;
+  bench::BenchJsonWriter writer;
+  std::map<std::string, std::map<std::string, double>> all;
+  std::printf("\nsimd backend rows (n=%zu d=%zu)%s\n", n, d,
+              smoke ? " (smoke sizes)" : "");
+  for (const SimdBackend backend : SupportedBackends()) {
+    SetSimdBackendForTesting(backend);
+    const std::string name(SimdBackendName(backend));
+    for (const auto& [op, wall_ms] : TimeSimdKernelsMs(smoke)) {
+      bench::BenchRecord rec;
+      rec.op = op;
+      rec.n = n;
+      rec.d = d;
+      rec.wall_ms = wall_ms;
+      rec.backend = name;
+      writer.Add(rec);
+      all[op][name] = wall_ms;
+      std::printf("  %-16s backend=%-7s %9.3f ms\n", op.c_str(),
+                  name.c_str(), wall_ms);
+    }
+  }
+  return all;
+}
+
+double JsonNumber(const std::string& text, const std::string& key,
+                  double fallback) {
+  const std::string tag = "\"" + key + "\":";
+  size_t pos = text.find(tag);
+  if (pos == std::string::npos) return fallback;
+  pos += tag.size();
+  return std::strtod(text.c_str() + pos, nullptr);
+}
+
+/// Gate for CI: the best SIMD backend must beat scalar by at least the
+/// per-kernel floor in the committed baseline JSON. Exits 0 with a
+/// notice when the host has no SIMD backend (nothing to compare).
+int CheckAgainstBaseline(
+    const char* path,
+    const std::map<std::string, std::map<std::string, double>>& all) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path);
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (SupportedBackends().size() == 1) {
+    std::printf("kernel gate: host supports only the scalar backend; "
+                "nothing to compare — skipping\n");
+    return 0;
+  }
+  int rc = 0;
+  for (const auto& [op, by_backend] : all) {
+    const double floor = JsonNumber(text, op + "_min_speedup", -1.0);
+    if (floor <= 0.0) continue;  // kernel not gated by this baseline
+    const auto scalar = by_backend.find("scalar");
+    if (scalar == by_backend.end()) continue;
+    double best = scalar->second;
+    std::string best_name = "scalar";
+    for (const auto& [name, ms] : by_backend) {
+      if (ms < best) {
+        best = ms;
+        best_name = name;
+      }
+    }
+    const double speedup = scalar->second / best;
+    std::printf("kernel gate: %-16s best=%-7s speedup %.2fx (floor %.2fx)\n",
+                op.c_str(), best_name.c_str(), speedup, floor);
+    if (speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: %s best backend %.2fx below baseline floor %.2fx\n",
+                   op.c_str(), speedup, floor);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace distsketch
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  const char* baseline_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (baseline_path != nullptr) {
+    // CI kernel-regression gate: full-size backend rows, compared
+    // against the committed speedup floors.
+    const auto all = distsketch::EmitSimdBackendRows(/*smoke=*/false);
+    return distsketch::CheckAgainstBaseline(baseline_path, all);
   }
   if (smoke) {
     // CTest perf-smoke entry: only the JSON-emitting kernel rows, tiny.
     distsketch::EmitSvdKernelRows(/*smoke=*/true);
+    distsketch::EmitSimdBackendRows(/*smoke=*/true);
     return 0;
   }
   benchmark::Initialize(&argc, argv);
@@ -228,5 +403,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   distsketch::EmitSvdKernelRows(/*smoke=*/false);
+  distsketch::EmitSimdBackendRows(/*smoke=*/false);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dist/cluster.h"
+#include "linalg/simd_dispatch.h"
 #include "workload/partition.h"
 
 namespace distsketch {
@@ -45,6 +46,10 @@ struct BenchRecord {
   // Measured encoded frame bytes that crossed the simulated wire (the
   // byte-level counterpart of the analytic `words`; 0 for local kernels).
   uint64_t wire_bytes = 0;
+  // SIMD backend the measured region ran under. Defaults to the
+  // process-wide active backend so existing benches pick it up without
+  // code changes; kernel benches that swap backends set it explicitly.
+  std::string backend = std::string(SimdBackendName(ActiveSimdBackend()));
 };
 
 /// Accumulates BenchRecords and merges them into a JSON array on Flush
@@ -126,8 +131,9 @@ class BenchJsonWriter {
     std::ostringstream row;
     row << "{\"op\": \"" << r.op << "\", \"n\": " << r.n
         << ", \"d\": " << r.d << ", \"s\": " << r.s << ", \"l\": " << r.l
-        << ", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
-        << ", \"words\": " << r.words
+        << ", \"threads\": " << r.threads
+        << ", \"backend\": \"" << r.backend << "\""
+        << ", \"wall_ms\": " << r.wall_ms << ", \"words\": " << r.words
         << ", \"wire_bytes\": " << r.wire_bytes << "}";
     return row.str();
   }
@@ -152,12 +158,18 @@ class BenchJsonWriter {
   }
 
   // The configuration key of a row: everything except the measurements.
+  // Rows written before the `backend` field existed were all measured on
+  // the scalar kernels, so a missing field keys as "scalar" — re-running
+  // on a scalar host updates those legacy rows instead of duplicating.
   static std::string KeyOfRow(const std::string& row) {
     std::string key;
     for (const char* name : {"op", "n", "d", "s", "l", "threads"}) {
       key += FieldOfRow(row, name);
       key += '|';
     }
+    std::string backend = FieldOfRow(row, "backend");
+    key += backend.empty() ? "scalar" : backend;
+    key += '|';
     return key;
   }
 

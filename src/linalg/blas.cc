@@ -5,14 +5,13 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "linalg/simd_dispatch.h"
 
 namespace distsketch {
 
 double Dot(std::span<const double> x, std::span<const double> y) {
   DS_CHECK(x.size() == y.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  return ActiveSimd().dot(x.data(), y.data(), x.size());
 }
 
 double Norm2(std::span<const double> x) { return std::sqrt(SquaredNorm2(x)); }
@@ -32,86 +31,24 @@ void ScaleVector(double a, std::span<double> x) {
   for (double& v : x) v *= a;
 }
 
-namespace {
-
-// Rows of B kept hot per tile: 64 rows of a 512-column double matrix is
-// 256 KiB, sized to live in L2 while the i-loop sweeps over it. Dense
-// inputs dominate here, so the inner loops are branch-free (the old
-// `== 0.0` skip branch mispredicts on dense data; sparse inputs go
-// through CsrMatrix instead).
-constexpr size_t kGemmBlockK = 64;
-
-}  // namespace
-
 Matrix Multiply(const Matrix& a, const Matrix& b) {
   DS_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  const size_t m = a.rows();
-  const size_t kk = a.cols();
-  const size_t n = b.cols();
-  // k-blocked i-k-j order: each k-block of B is reused by every row of A
-  // while resident in cache; the 4-way k-unrolled kernel keeps one C row
-  // streaming against four B rows with no branches.
-  for (size_t k0 = 0; k0 < kk; k0 += kGemmBlockK) {
-    const size_t k1 = std::min(kk, k0 + kGemmBlockK);
-    for (size_t i = 0; i < m; ++i) {
-      const double* ai = a.data() + i * kk;
-      double* ci = c.data() + i * n;
-      size_t k = k0;
-      for (; k + 4 <= k1; k += 4) {
-        const double a0 = ai[k];
-        const double a1 = ai[k + 1];
-        const double a2 = ai[k + 2];
-        const double a3 = ai[k + 3];
-        const double* b0 = b.data() + k * n;
-        const double* b1 = b0 + n;
-        const double* b2 = b1 + n;
-        const double* b3 = b2 + n;
-        for (size_t j = 0; j < n; ++j) {
-          ci[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-      }
-      for (; k < k1; ++k) {
-        const double ak = ai[k];
-        const double* bk = b.data() + k * n;
-        for (size_t j = 0; j < n; ++j) ci[j] += ak * bk[j];
-      }
-    }
-  }
+  // k-blocked i-k-j order with a 4-way k-unrolled inner kernel; the
+  // blocking and schedule live in the per-backend table (scalar entry is
+  // the historical loop verbatim).
+  const SimdKernelTable& kern = ActiveSimd();
+  CountSimdKernelCall("gemm_nn");
+  kern.gemm_nn(a.data(), a.rows(), a.cols(), b.data(), b.cols(), c.data());
   return c;
 }
 
 Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
   DS_CHECK(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
-  const size_t m = a.cols();
-  const size_t kk = a.rows();
-  const size_t n = b.cols();
-  for (size_t k0 = 0; k0 < kk; k0 += kGemmBlockK) {
-    const size_t k1 = std::min(kk, k0 + kGemmBlockK);
-    for (size_t i = 0; i < m; ++i) {
-      double* ci = c.data() + i * n;
-      size_t k = k0;
-      for (; k + 4 <= k1; k += 4) {
-        const double a0 = a.data()[k * m + i];
-        const double a1 = a.data()[(k + 1) * m + i];
-        const double a2 = a.data()[(k + 2) * m + i];
-        const double a3 = a.data()[(k + 3) * m + i];
-        const double* b0 = b.data() + k * n;
-        const double* b1 = b0 + n;
-        const double* b2 = b1 + n;
-        const double* b3 = b2 + n;
-        for (size_t j = 0; j < n; ++j) {
-          ci[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-      }
-      for (; k < k1; ++k) {
-        const double ak = a.data()[k * m + i];
-        const double* bk = b.data() + k * n;
-        for (size_t j = 0; j < n; ++j) ci[j] += ak * bk[j];
-      }
-    }
-  }
+  const SimdKernelTable& kern = ActiveSimd();
+  CountSimdKernelCall("gemm_tn");
+  kern.gemm_tn(a.data(), a.rows(), a.cols(), b.data(), b.cols(), c.data());
   return c;
 }
 
@@ -128,32 +65,6 @@ Matrix MultiplyTransposeB(const Matrix& a, const Matrix& b) {
 
 namespace {
 
-// Accumulates sum_{k in [row_begin, row_end)} a_k a_k^T into the upper
-// triangle of g. Pairs of rank-1 updates, branch-free.
-void GramAccumulateRows(const Matrix& a, size_t row_begin, size_t row_end,
-                        Matrix& g) {
-  const size_t d = a.cols();
-  size_t k = row_begin;
-  for (; k + 2 <= row_end; k += 2) {
-    const double* r0 = a.data() + k * d;
-    const double* r1 = r0 + d;
-    for (size_t i = 0; i < d; ++i) {
-      const double u0 = r0[i];
-      const double u1 = r1[i];
-      double* gi = g.data() + i * d;
-      for (size_t j = i; j < d; ++j) gi[j] += u0 * r0[j] + u1 * r1[j];
-    }
-  }
-  for (; k < row_end; ++k) {
-    const double* row = a.data() + k * d;
-    for (size_t i = 0; i < d; ++i) {
-      const double ri = row[i];
-      double* gi = g.data() + i * d;
-      for (size_t j = i; j < d; ++j) gi[j] += ri * row[j];
-    }
-  }
-}
-
 void MirrorUpperTriangle(Matrix& g) {
   for (size_t i = 0; i < g.rows(); ++i) {
     for (size_t j = i + 1; j < g.cols(); ++j) g(j, i) = g(i, j);
@@ -169,7 +80,9 @@ constexpr size_t kGramChunkRows = 256;
 
 Matrix Gram(const Matrix& a) {
   Matrix g(a.cols(), a.cols());
-  GramAccumulateRows(a, 0, a.rows(), g);
+  const SimdKernelTable& kern = ActiveSimd();
+  CountSimdKernelCall("gram");
+  kern.gram_acc(a.data(), 0, a.rows(), a.cols(), g.data());
   MirrorUpperTriangle(g);
   return g;
 }
@@ -178,8 +91,12 @@ void GramParallelInto(const Matrix& a, Matrix& g) {
   const size_t d = a.cols();
   const size_t chunks = (a.rows() + kGramChunkRows - 1) / kGramChunkRows;
   g.SetZero(d, d);
+  // One table for the whole call: every chunk runs the same backend even
+  // if a test swaps the active backend concurrently.
+  const SimdKernelTable& kern = ActiveSimd();
+  CountSimdKernelCall("gram");
   if (chunks <= 1) {
-    GramAccumulateRows(a, 0, a.rows(), g);
+    kern.gram_acc(a.data(), 0, a.rows(), d, g.data());
     MirrorUpperTriangle(g);
     return;
   }
@@ -192,7 +109,7 @@ void GramParallelInto(const Matrix& a, Matrix& g) {
     const size_t begin = c * kGramChunkRows;
     const size_t end = std::min(a.rows(), begin + kGramChunkRows);
     partials[c].SetZero(d, d);
-    GramAccumulateRows(a, begin, end, partials[c]);
+    kern.gram_acc(a.data(), begin, end, d, partials[c].data());
   };
   ThreadPool& pool = ThreadPool::Global();
   if (pool.num_threads() > 1 && !ThreadPool::InParallelRegion()) {
@@ -216,57 +133,11 @@ Matrix GramParallel(const Matrix& a) {
 void GramUpdate(const Matrix& a, Matrix& c, double alpha) {
   DS_CHECK(c.rows() == a.rows() && c.cols() == a.rows());
   const size_t m = a.rows();
-  const size_t d = a.cols();
-  // 2x2 register tile of dot products over the shared k-dimension: four
-  // accumulators per pass reuse each loaded input value twice, and the
-  // hot loop carries no branches. Only tiles on or above the diagonal
-  // are computed; the strict lower triangle is mirrored at the end.
-  size_t i = 0;
-  for (; i + 2 <= m; i += 2) {
-    const double* x0 = a.data() + i * d;
-    const double* x1 = x0 + d;
-    size_t j = i;
-    for (; j + 2 <= m; j += 2) {
-      const double* y0 = a.data() + j * d;
-      const double* y1 = y0 + d;
-      double s00 = 0.0, s01 = 0.0, s10 = 0.0, s11 = 0.0;
-      for (size_t t = 0; t < d; ++t) {
-        const double u0 = x0[t];
-        const double u1 = x1[t];
-        const double v0 = y0[t];
-        const double v1 = y1[t];
-        s00 += u0 * v0;
-        s01 += u0 * v1;
-        s10 += u1 * v0;
-        s11 += u1 * v1;
-      }
-      c(i, j) += alpha * s00;
-      c(i, j + 1) += alpha * s01;
-      c(i + 1, j + 1) += alpha * s11;
-      // Upper for j >= i + 2; on the diagonal tile (j == i) it is the
-      // lower mirror of s01 and bit-identical to it.
-      c(i + 1, j) += alpha * s10;
-    }
-    if (j < m) {
-      const double* y0 = a.data() + j * d;
-      double s0 = 0.0, s1 = 0.0;
-      for (size_t t = 0; t < d; ++t) {
-        s0 += x0[t] * y0[t];
-        s1 += x1[t] * y0[t];
-      }
-      c(i, j) += alpha * s0;
-      c(i + 1, j) += alpha * s1;
-    }
-  }
-  if (i < m) {
-    const double* x0 = a.data() + i * d;
-    for (size_t j = i; j < m; ++j) {
-      const double* y0 = a.data() + j * d;
-      double s0 = 0.0;
-      for (size_t t = 0; t < d; ++t) s0 += x0[t] * y0[t];
-      c(i, j) += alpha * s0;
-    }
-  }
+  // 2x2 register-tiled SYRK over the upper triangle (plus the diagonal
+  // tile's lower mirror); schedule lives in the per-backend table.
+  const SimdKernelTable& kern = ActiveSimd();
+  CountSimdKernelCall("syrk");
+  kern.syrk_acc(a.data(), m, a.cols(), alpha, c.data());
   // Mirror the strict lower triangle from the upper (C symmetric on
   // entry, so the mirrored values are the updated ones).
   for (size_t r = 0; r < m; ++r) {

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "linalg/blas.h"
+#include "linalg/simd_dispatch.h"
 
 namespace distsketch {
 namespace {
@@ -13,9 +14,11 @@ namespace {
 // Householder reduction of the symmetric matrix held in z to tridiagonal
 // form (EISPACK tred2 with accumulation). On return d holds the diagonal,
 // e the subdiagonal in e[1..n-1], and z the accumulated orthogonal
-// transform Q with A = Q T Q^T.
-void TridiagonalReduce(Matrix& z, std::vector<double>& d,
-                       std::vector<double>& e) {
+// transform Q with A = Q T Q^T. The contiguous row-row dot and the
+// two-term update run through the dispatched kernel table; the strided
+// column accesses stay scalar (they are a lower-order term).
+void TridiagonalReduce(const SimdKernelTable& kern, Matrix& z,
+                       std::vector<double>& d, std::vector<double>& e) {
   const size_t n = z.rows();
   for (size_t i = n - 1; i >= 1; --i) {
     const size_t l = i - 1;
@@ -36,10 +39,10 @@ void TridiagonalReduce(Matrix& z, std::vector<double>& d,
         h -= f * g;
         z(i, l) = f - g;
         f = 0.0;
+        const double* zi = z.data() + i * n;
         for (size_t j = 0; j <= l; ++j) {
           z(j, i) = z(i, j) / h;
-          g = 0.0;
-          for (size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          g = kern.dot(z.data() + j * n, zi, j + 1);
           for (size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
           e[j] = g / h;
           f += e[j] * z(i, j);
@@ -49,9 +52,7 @@ void TridiagonalReduce(Matrix& z, std::vector<double>& d,
           f = z(i, j);
           g = e[j] - hh * f;
           e[j] = g;
-          for (size_t k = 0; k <= j; ++k) {
-            z(j, k) -= f * e[k] + g * z(i, k);
-          }
+          kern.axpy2(z.data() + j * n, e.data(), zi, f, g, j + 1);
         }
       }
     } else {
@@ -82,8 +83,9 @@ void TridiagonalReduce(Matrix& z, std::vector<double>& d,
 // (EISPACK tql2), rotating the columns of z along so they end up as the
 // eigenvectors of the original matrix. Returns false if an eigenvalue
 // fails to converge within max_iters iterations.
-bool TridiagonalQl(Matrix& z, std::vector<double>& d, std::vector<double>& e,
-                   double eps, int max_iters) {
+bool TridiagonalQl(const SimdKernelTable& kern, Matrix& z,
+                   std::vector<double>& d, std::vector<double>& e, double eps,
+                   int max_iters) {
   const size_t n = z.rows();
   if (n == 1) return true;
   for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
@@ -125,11 +127,7 @@ bool TridiagonalQl(Matrix& z, std::vector<double>& d, std::vector<double>& e,
           p = s * r;
           d[i + 1] = g + p;
           g = c * r - b;
-          for (size_t k = 0; k < n; ++k) {
-            f = z(k, i + 1);
-            z(k, i + 1) = s * z(k, i) + c * f;
-            z(k, i) = c * z(k, i) - s * f;
-          }
+          kern.ql_rotate(z.data(), n, n, i, s, c);
         }
         if (underflow) continue;
         d[l] -= p;
@@ -172,13 +170,15 @@ Status ComputeSymmetricEigenInto(const Matrix& x, SymmetricEigenResult* out,
     d[0] = z(0, 0);
     z(0, 0) = 1.0;
   } else {
-    TridiagonalReduce(z, d, e);
+    const SimdKernelTable& kern = ActiveSimd();
+    CountSimdKernelCall("eigen");
+    TridiagonalReduce(kern, z, d, e);
     // The deflation test is relative to the neighbouring diagonal mass, so
     // tol acts like a relative eigenvalue tolerance; it is floored at
     // machine epsilon because the iteration cannot resolve below that.
     const double eps =
         std::max(options.tol, std::numeric_limits<double>::epsilon());
-    if (!TridiagonalQl(z, d, e, eps, options.max_sweeps)) {
+    if (!TridiagonalQl(kern, z, d, e, eps, options.max_sweeps)) {
       return Status::NumericalError(
           "ComputeSymmetricEigen: QL iteration failed to converge");
     }

@@ -1,0 +1,119 @@
+#ifndef DISTSKETCH_LINALG_SIMD_DISPATCH_H_
+#define DISTSKETCH_LINALG_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/cpu_features.h"
+
+namespace distsketch {
+
+/// Function-pointer table of the hot inner kernels, one instance per
+/// SimdBackend. The scalar table is the semantic reference: its entries
+/// are the exact pre-dispatch loops, so `DS_SIMD=scalar` is bit-identical
+/// to the historical kernels. Vectorized tables must agree bit-for-bit
+/// on the integer entries (pack/unpack) and within the reduction
+/// envelope of DESIGN.md §12 on the float entries.
+///
+/// All pointers operate on raw row-major storage so linalg, the
+/// eigensolvers, and the wire codec can share one table without layering
+/// cycles.
+struct SimdKernelTable {
+  SimdBackend backend = SimdBackend::kScalar;
+
+  /// C[m x n] += A[m x k] * B[k x n]. C is caller-initialised (the
+  /// public Multiply zero-fills it); the kernel owns the k-blocking.
+  void (*gemm_nn)(const double* a, size_t m, size_t k, const double* b,
+                  size_t n, double* c);
+
+  /// C[m x n] += A^T * B with A stored k x m row-major: the
+  /// MultiplyTransposeA body. C is caller-initialised.
+  void (*gemm_tn)(const double* a, size_t k, size_t m, const double* b,
+                  size_t n, double* c);
+
+  /// Accumulates sum_{r in [row_begin, row_end)} a_r a_r^T into the
+  /// upper triangle of the d x d matrix g (a is ? x d row-major). The
+  /// caller mirrors the lower triangle. Serving both Gram and the fixed
+  /// 256-row chunks of GramParallel, so per backend the result is
+  /// bit-identical at any DS_THREADS.
+  void (*gram_acc)(const double* a, size_t row_begin, size_t row_end,
+                   size_t d, double* g);
+
+  /// SYRK-style row Gram: upper triangle of C[m x m] += alpha * A A^T
+  /// with A m x d row-major. The caller mirrors. Backs GramUpdate /
+  /// RowGram (the FD shrink kernel).
+  void (*syrk_acc)(const double* a, size_t m, size_t d, double alpha,
+                   double* c);
+
+  /// Strided column dot sum_i base[i*n + p] * base[i*n + q] over m rows:
+  /// the one-sided Jacobi coherence probe a_p . a_q.
+  double (*col_dot)(const double* base, size_t m, size_t n, size_t p,
+                    size_t q);
+
+  /// Jacobi plane rotation of columns p and q of an m x n row-major
+  /// matrix: (wp, wq) <- (c*wp - s*wq, s*wp + c*wq).
+  void (*col_rotate)(double* base, size_t m, size_t n, size_t p, size_t q,
+                     double c, double s);
+
+  /// QL eigenvector apply loop over the adjacent columns i, i+1 of the
+  /// nrows x ncols matrix z (EISPACK tql2 order):
+  ///   f = z(k,i+1); z(k,i+1) = s*z(k,i) + c*f; z(k,i) = c*z(k,i) - s*f.
+  void (*ql_rotate)(double* z, size_t nrows, size_t ncols, size_t i,
+                    double s, double c);
+
+  /// Contiguous dot product of length n (Householder row-row products).
+  double (*dot)(const double* x, const double* y, size_t n);
+
+  /// Householder two-term update z[k] -= f*e[k] + g*zi[k] for k < n.
+  void (*axpy2)(double* z, const double* e, const double* zi, double f,
+                double g, size_t n);
+
+  /// Packs DSQM quotients [i0, ...) LSB-first at bits-per-entry `bpe`
+  /// into `bytes`, continuing from stream bit *bit, while the 9-byte
+  /// store window of the next entry fits in payload_bytes (the caller's
+  /// per-bit loop finishes the tail). Advances *bit and returns the
+  /// number packed, or SIZE_MAX if a quotient magnitude exceeds bpe-1
+  /// bits. Output bytes are bit-identical across backends.
+  size_t (*pack_window)(const int64_t* quotients, size_t i0, size_t entries,
+                        uint64_t bpe, uint8_t* bytes, size_t payload_bytes,
+                        uint64_t* bit);
+
+  /// Unpacks entries [i0, ...) from the DSQM bitstream while the 9-byte
+  /// load window fits in stream_bytes, writing quotient * precision
+  /// doubles to out (sign bit 0, magnitude bits 1..bpe-1). Advances *bit
+  /// and returns the number unpacked. Decoded doubles are bit-identical
+  /// across backends (exact u64->f64 conversion + one IEEE multiply).
+  size_t (*unpack_window)(const uint8_t* stream, size_t stream_bytes,
+                          size_t i0, size_t entries, uint64_t bpe,
+                          double precision, double* out, uint64_t* bit);
+};
+
+/// The active kernel table. Resolved once at first use: the widest
+/// CPU-supported backend, overridden by DS_SIMD=scalar|avx2|avx512 (an
+/// unsupported or unknown override falls back with a stderr notice).
+/// After resolution this is one relaxed atomic pointer load.
+const SimdKernelTable& ActiveSimd();
+
+/// Backend of the active table.
+SimdBackend ActiveSimdBackend();
+
+/// The table for one specific backend; DS_CHECK-fails if unsupported.
+/// Benches use this to time backends side by side.
+const SimdKernelTable& SimdTableFor(SimdBackend backend);
+
+/// Swaps the active table (backend must be supported) and returns the
+/// previous backend. For tests and benches that compare backends inside
+/// one process; not intended for concurrent use with running kernels.
+SimdBackend SetSimdBackendForTesting(SimdBackend backend);
+
+/// Records one dispatched call of `kernel` against the active backend as
+/// the counter "simd.<kernel>.<backend>" in the current telemetry
+/// context. Cost when telemetry is disabled: one load and one branch.
+/// Call sites count once per kernel entry (per GEMM, per Jacobi solve,
+/// per codec pass), never per inner-loop iteration.
+void CountSimdKernelCall(std::string_view kernel);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_SIMD_DISPATCH_H_

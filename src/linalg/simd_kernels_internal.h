@@ -1,0 +1,38 @@
+#ifndef DISTSKETCH_LINALG_SIMD_KERNELS_INTERNAL_H_
+#define DISTSKETCH_LINALG_SIMD_KERNELS_INTERNAL_H_
+
+#include "linalg/simd_dispatch.h"
+
+// Internal seams between the dispatch resolver and the per-ISA kernel
+// translation units. Not part of the public surface.
+
+namespace distsketch {
+namespace simd_internal {
+
+// Scalar reference kernels (defined in simd_dispatch.cc). The vector
+// TUs call these for shapes outside their fast path (short tails, bit
+// widths past the vectorizable range) — the fallbacks stay inside one
+// backend's deterministic schedule because the delegation depends only
+// on shape and bit width, never on data.
+size_t PackWindowScalar(const int64_t* quotients, size_t i0, size_t entries,
+                        uint64_t bpe, uint8_t* bytes, size_t payload_bytes,
+                        uint64_t* bit);
+size_t UnpackWindowScalar(const uint8_t* stream, size_t stream_bytes,
+                          size_t i0, size_t entries, uint64_t bpe,
+                          double precision, double* out, uint64_t* bit);
+
+#if defined(DS_SIMD_COMPILED_AVX2)
+// Defined in simd_kernels_avx2.cc (compiled with -mavx2 -mfma). Only
+// called after DetectCpuFeatures() confirmed the ISA.
+const SimdKernelTable& Avx2KernelTable();
+#endif
+
+#if defined(DS_SIMD_COMPILED_AVX512)
+// Defined in simd_kernels_avx512.cc (compiled with -mavx512{f,dq,bw,vl}).
+const SimdKernelTable& Avx512KernelTable();
+#endif
+
+}  // namespace simd_internal
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_LINALG_SIMD_KERNELS_INTERNAL_H_

@@ -9,22 +9,17 @@
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/qr.h"
+#include "linalg/simd_dispatch.h"
 
 namespace distsketch {
 namespace {
 
-// Row-major column rotation: cols p and q of an m-by-n matrix.
-inline void RotateColumns(Matrix& a, size_t p, size_t q, double c, double s) {
-  const size_t m = a.rows();
-  const size_t n = a.cols();
-  double* base = a.data();
-  for (size_t i = 0; i < m; ++i) {
-    double* row = base + i * n;
-    const double wp = row[p];
-    const double wq = row[q];
-    row[p] = c * wp - s * wq;
-    row[q] = s * wp + c * wq;
-  }
+// Row-major column rotation: cols p and q of an m-by-n matrix. Routed
+// through the dispatched kernel table (scalar entry is the historical
+// loop verbatim).
+inline void RotateColumns(const SimdKernelTable& kern, Matrix& a, size_t p,
+                          size_t q, double c, double s) {
+  kern.col_rotate(a.data(), a.rows(), a.cols(), p, q, c, s);
 }
 
 // Shared per-sweep state of the one-sided Jacobi below. Column squared
@@ -39,8 +34,9 @@ struct JacobiState {
 // the threshold. Touches only columns p, q of work/v and the two norm
 // slots, so disjoint pairs commute exactly — the basis of the parallel
 // round-robin ordering. Returns true if a rotation was applied.
-bool RotatePair(Matrix& work, Matrix& v, JacobiState& state, size_t p,
-                size_t q, double tol, double column_floor) {
+bool RotatePair(const SimdKernelTable& kern, Matrix& work, Matrix& v,
+                JacobiState& state, size_t p, size_t q, double tol,
+                double column_floor) {
   const size_t m = work.rows();
   const size_t n = work.cols();
   const double app = state.col_norms2[p];
@@ -50,14 +46,7 @@ bool RotatePair(Matrix& work, Matrix& v, JacobiState& state, size_t p,
   // Rotations involving them are numerical no-ops that can cycle forever
   // on rank-deficient inputs, so they are frozen.
   if (app <= column_floor || aqq <= column_floor) return false;
-  double apq = 0.0;
-  {
-    const double* base = work.data();
-    for (size_t i = 0; i < m; ++i) {
-      const double* row = base + i * n;
-      apq += row[p] * row[q];
-    }
-  }
+  const double apq = kern.col_dot(work.data(), m, n, p, q);
   // sqrt(app)*sqrt(aqq) instead of sqrt(app*aqq): the product overflows
   // for inputs scaled near 1e150+ while the factored form stays finite.
   if (std::abs(apq) <= tol * (std::sqrt(app) * std::sqrt(aqq))) return false;
@@ -67,8 +56,8 @@ bool RotatePair(Matrix& work, Matrix& v, JacobiState& state, size_t p,
                                 : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
   const double c = 1.0 / std::sqrt(1.0 + t * t);
   const double s = c * t;
-  RotateColumns(work, p, q, c, s);
-  RotateColumns(v, p, q, c, s);
+  RotateColumns(kern, work, p, q, c, s);
+  RotateColumns(kern, v, p, q, c, s);
   // Exact diagonal update of the implicit Gram under the annihilating
   // rotation; norms are recomputed at each sweep start to wash out drift.
   state.col_norms2[p] = app - t * apq;
@@ -87,6 +76,11 @@ Status JacobiSweeps(Matrix& work, Matrix& v, const SvdOptions& options) {
   const size_t n = work.cols();
   DS_CHECK(m >= n);
   if (n < 2) return Status::OK();
+
+  // One table for the whole solve so every round of every sweep — serial
+  // or pooled — runs the same backend.
+  const SimdKernelTable& kern = ActiveSimd();
+  CountSimdKernelCall("jacobi");
 
   JacobiState state;
   state.col_norms2.assign(n, 0.0);
@@ -137,7 +131,7 @@ Status JacobiSweeps(Matrix& work, Matrix& v, const SvdOptions& options) {
         size_t p, q;
         pair_of(k, &p, &q);
         state.rotated[k] =
-            (q < n && RotatePair(work, v, state, p, q, options.tol,
+            (q < n && RotatePair(kern, work, v, state, p, q, options.tol,
                                  column_floor))
                 ? 1
                 : 0;

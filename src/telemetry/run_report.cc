@@ -52,6 +52,15 @@ RunReport BuildRunReport(const Telemetry& telem, std::string protocol,
   report.route_gram = counter("kernel.route.gram");
   report.route_jacobi = counter("kernel.route.jacobi");
   report.route_gram_vetoed = counter("kernel.route.gram_vetoed");
+  // "simd.<kernel>.<backend>" -> per-backend totals; the map is tiny
+  // (three backends), so the linear scan over counters dominates anyway.
+  for (const auto& [name, value] : report.metrics.counters) {
+    const std::string_view sv(name);
+    if (sv.substr(0, 5) != "simd.") continue;
+    const size_t dot = sv.rfind('.');
+    if (dot <= 5 || dot + 1 >= sv.size()) continue;
+    report.simd_backend_calls[std::string(sv.substr(dot + 1))] += value;
+  }
   return report;
 }
 
@@ -112,6 +121,19 @@ std::string RunReportJson(const RunReport& report) {
   out += std::to_string(report.route_jacobi);
   out += ",\"gram_vetoed\":";
   out += std::to_string(report.route_gram_vetoed);
+  out += "},";
+
+  AppendKey(out, "simd_backends");
+  out += '{';
+  {
+    bool first = true;
+    for (const auto& [name, value] : report.simd_backend_calls) {
+      if (!first) out += ',';
+      first = false;
+      AppendKey(out, name);
+      out += std::to_string(value);
+    }
+  }
   out += "},";
 
   AppendKey(out, "counters");

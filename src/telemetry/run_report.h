@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "telemetry/telemetry.h"
@@ -39,6 +40,10 @@ struct RunReport {
   uint64_t route_gram = 0;
   uint64_t route_jacobi = 0;
   uint64_t route_gram_vetoed = 0;
+  /// Dispatched SIMD kernel calls aggregated per backend, from the
+  /// "simd.<kernel>.<backend>" counters (the per-kernel breakdown stays
+  /// in `metrics.counters`). Empty when no dispatched kernel ran.
+  std::map<std::string, uint64_t> simd_backend_calls;
   MetricsSnapshot metrics;
 
   uint64_t TotalPhaseNs() const {

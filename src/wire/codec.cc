@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "linalg/simd_dispatch.h"
 
 namespace distsketch {
 namespace wire {
@@ -116,34 +117,22 @@ Status AppendQuantizedBody(const QuantizeResult& q, std::vector<uint8_t>* out) {
   };
   uint64_t bit = 0;
   uint64_t i = 0;
-  if constexpr (std::endian::native == std::endian::little) {
-    // Batched packing: one unaligned 64-bit load/OR/store per entry (plus
-    // a spill byte when shift + bpe > 64) replaces bpe single-bit RMWs.
-    // LSB-first bits in a little-endian byte stream are exactly the low
-    // bits of a little-endian 64-bit load, so `word << shift` lands each
-    // entry in place. Runs while the full 9-byte window stays inside the
-    // payload; the per-bit loop below finishes the tail.
-    for (; i < entries; ++i) {
-      const uint64_t byte_off = bit >> 3;
-      if (byte_off + 9 > payload_bytes) break;
-      uint64_t word;
-      if (!entry_word(i, &word)) {
-        return Status::Internal(
-            "quantized codec: quotient magnitude exceeds bits_per_entry");
-      }
-      const unsigned shift = static_cast<unsigned>(bit & 7);
-      uint64_t chunk;
-      std::memcpy(&chunk, bytes + byte_off, 8);
-      chunk |= word << shift;
-      std::memcpy(bytes + byte_off, &chunk, 8);
-      if (shift + bpe > 64) {
-        bytes[byte_off + 8] |= static_cast<uint8_t>(word >> (64 - shift));
-      }
-      bit += bpe;
-    }
+  // Batched packing through the dispatched kernel: one unaligned 64-bit
+  // load/OR/store per entry (plus a spill byte when shift + bpe > 64)
+  // replaces bpe single-bit RMWs, vectorized further by the AVX backends.
+  // Output bytes are bit-identical across backends (integer path). Runs
+  // while the 9-byte window stays inside the payload; the per-bit loop
+  // below finishes the tail (and the whole stream on a big-endian host,
+  // where every backend packs zero entries).
+  CountSimdKernelCall("pack");
+  const size_t packed = ActiveSimd().pack_window(
+      q.quotients.data(), 0, entries, bpe, bytes, payload_bytes, &bit);
+  if (packed == SIZE_MAX) {
+    return Status::Internal(
+        "quantized codec: quotient magnitude exceeds bits_per_entry");
   }
-  // Per-bit path: the stream tail, and the whole stream on a big-endian
-  // host (where the 64-bit window trick would scramble byte order).
+  i = packed;
+  // Per-bit path for the stream tail.
   for (; i < entries; ++i) {
     uint64_t word;
     if (!entry_word(i, &word)) {
@@ -200,30 +189,16 @@ StatusOr<DecodedMatrix> DecodeQuantizedBody(const uint8_t* data, size_t size) {
   out.precision = precision;
   out.matrix = Matrix(rows, cols);
   const size_t stream_bytes = want - kQuantHeaderBytes;
-  const uint64_t mask = (~0ULL) >> (64 - bpe);
   uint64_t bit = 0;
   uint64_t i = 0;
-  if constexpr (std::endian::native == std::endian::little) {
-    // Batched unpacking, mirror of the batched encoder: one unaligned
-    // 64-bit load (plus the spill byte when shift + bpe > 64) extracts a
-    // whole entry instead of bpe single-bit probes.
-    for (; i < entries; ++i) {
-      const uint64_t byte_off = bit >> 3;
-      if (byte_off + 9 > stream_bytes) break;
-      const unsigned shift = static_cast<unsigned>(bit & 7);
-      uint64_t chunk;
-      std::memcpy(&chunk, stream + byte_off, 8);
-      uint64_t word = chunk >> shift;
-      if (shift + bpe > 64) {
-        word |= static_cast<uint64_t>(stream[byte_off + 8]) << (64 - shift);
-      }
-      word &= mask;
-      const bool neg = (word & 1) != 0;
-      const double v = static_cast<double>(word >> 1) * precision;
-      out.matrix.data()[i] = neg ? -v : v;
-      bit += bpe;
-    }
-  }
+  // Batched unpacking through the dispatched kernel, mirror of the
+  // batched encoder: one unaligned 64-bit load (plus the spill byte when
+  // shift + bpe > 64) extracts a whole entry instead of bpe single-bit
+  // probes. Decoded doubles are bit-identical across backends (exact
+  // u64->f64 conversion + one IEEE multiply).
+  CountSimdKernelCall("unpack");
+  i = ActiveSimd().unpack_window(stream, stream_bytes, 0, entries, bpe,
+                                 precision, out.matrix.data(), &bit);
   // Per-bit path: the stream tail, and big-endian hosts.
   for (; i < entries; ++i) {
     uint64_t word = 0;

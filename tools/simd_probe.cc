@@ -1,0 +1,30 @@
+// Prints the SIMD backends available in this binary on this host, one
+// per line, widest last. CI uses it to decide which DS_SIMD values the
+// tier-1 matrix can exercise (`simd_probe | grep -qx avx2`); exits 0
+// always — "scalar" is always printed.
+//
+// With --active, prints the single backend the dispatcher would resolve
+// right now (DS_SIMD override included) instead.
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/cpu_features.h"
+#include "linalg/simd_dispatch.h"
+
+int main(int argc, char** argv) {
+  using distsketch::SimdBackend;
+  if (argc > 1 && std::strcmp(argv[1], "--active") == 0) {
+    const auto name =
+        distsketch::SimdBackendName(distsketch::ActiveSimdBackend());
+    std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+    return 0;
+  }
+  for (const SimdBackend backend :
+       {SimdBackend::kScalar, SimdBackend::kAvx2, SimdBackend::kAvx512}) {
+    if (!distsketch::SimdBackendSupported(backend)) continue;
+    const auto name = distsketch::SimdBackendName(backend);
+    std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+  }
+  return 0;
+}
