@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -23,6 +23,10 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 7,
   kUnavailable = 8,
   kDeadlineExceeded = 9,
+  /// Load shed: a bounded queue or tenant registry is full and the
+  /// request was rejected instead of silently dropped. Callers may
+  /// back off and retry; nothing about the rejected work was applied.
+  kOverloaded = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -71,6 +75,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   /// True iff this status represents success.

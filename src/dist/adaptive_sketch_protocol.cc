@@ -66,26 +66,16 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   for (size_t i = 0; i < s; ++i) {
     const int id = static_cast<int>(i);
     masses[i] = locals[i].mass;
-    bool mass_reported = false;
-    if (ft) {
-      SendOutcome mass_sent = cluster.Send(
-          id, kCoordinator, wire::ScalarMessage("local_mass", masses[i]));
-      if (!mass_sent.delivered) {
-        result.degraded.RecordLoss(id, masses[i], false);
-        continue;
-      }
-      mass_reported = true;
-    }
-    SendOutcome tail_sent = cluster.Send(
-        id, kCoordinator,
-        wire::ScalarMessage("tail_mass", locals[i].tail_mass));
+    ServerSendResult tail_sent = SendWithMassAccounting(
+        cluster, id, kCoordinator,
+        wire::ScalarMessage("tail_mass", locals[i].tail_mass),
+        result.degraded, masses[i], /*mass_known_if_lost=*/false,
+        /*prepend_mass_report=*/ft);
     if (tail_sent.delivered) {
       active[i] = true;
       DS_ASSIGN_OR_RETURN(const double reported,
                           wire::DecodeScalarPayload(tail_sent.payload));
       global_tail_mass += reported;
-    } else {
-      result.degraded.RecordLoss(id, masses[i], mass_reported);
     }
   }
 
@@ -95,12 +85,12 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
   std::vector<double> received_tail(s, 0.0);
   for (size_t i = 0; i < s; ++i) {
     if (!active[i]) continue;
-    SendOutcome sent = cluster.Send(
-        kCoordinator, static_cast<int>(i),
-        wire::ScalarMessage("global_tail_mass", global_tail_mass));
+    ServerSendResult sent = SendWithMassAccounting(
+        cluster, kCoordinator, static_cast<int>(i),
+        wire::ScalarMessage("global_tail_mass", global_tail_mass),
+        result.degraded, masses[i], /*mass_known_if_lost=*/ft);
     if (!sent.delivered) {
       active[i] = false;
-      result.degraded.RecordLoss(static_cast<int>(i), masses[i], ft);
       continue;
     }
     DS_ASSIGN_OR_RETURN(received_tail[i],
@@ -149,11 +139,10 @@ StatusOr<SketchProtocolResult> AdaptiveSketchProtocol::Run(Cluster& cluster) {
       msg = wire::DenseMessage("local_q_sketch", q_i);
       DS_CHECK(msg.words == cluster.cost_model().MatrixWords(q_i.rows(), d));
     }
-    SendOutcome sent = cluster.Send(id, kCoordinator, msg);
-    if (!sent.delivered) {
-      result.degraded.RecordLoss(id, masses[i], ft);
-      continue;
-    }
+    ServerSendResult sent = SendWithMassAccounting(
+        cluster, id, kCoordinator, msg, result.degraded, masses[i],
+        /*mass_known_if_lost=*/ft);
+    if (!sent.delivered) continue;
     DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
                         wire::DecodeMessagePayload(sent.payload));
     result.sketch.AppendRows(received.matrix);

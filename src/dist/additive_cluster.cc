@@ -33,12 +33,21 @@ StatusOr<AdditiveCluster> AdditiveCluster::Create(std::vector<Matrix> shares,
   return AdditiveCluster(std::move(shares), rows, dim, cost_model);
 }
 
+AdditiveCluster::AdditiveCluster(std::vector<Matrix> shares, size_t rows,
+                                 size_t dim, CostModel cost_model)
+    : shares_(std::move(shares)),
+      rows_(rows),
+      dim_(dim),
+      cost_model_(cost_model),
+      wire_(std::make_unique<WireEndpoint>(cost_model.bits_per_word())),
+      channel_(std::make_unique<ChannelTransport>(
+          [w = wire_.get()](int from, int to, const wire::Message& msg) {
+            return w->Transfer(from, to, msg);
+          })) {}
+
 SendOutcome AdditiveCluster::Send(int from, int to,
                                   const wire::Message& msg) {
-  if (faults_) {
-    return faults_->Send(log_, from, to, msg);
-  }
-  return SendOverIdealWire(log_, from, to, msg);
+  return channel_->SendAndWait(from, to, msg);
 }
 
 Matrix AdditiveCluster::AssembleGroundTruth() const {

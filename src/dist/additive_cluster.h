@@ -2,6 +2,7 @@
 #define DISTSKETCH_DIST_ADDITIVE_CLUSTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "common/cost_model.h"
 #include "common/status.h"
+#include "dist/channel.h"
 #include "dist/comm_log.h"
 #include "dist/fault_injection.h"
 #include "linalg/matrix.h"
@@ -34,11 +36,11 @@ class AdditiveCluster {
 
   const Matrix& share(size_t i) const { return shares_[i]; }
 
-  CommLog& log() { return log_; }
+  CommLog& log() { return wire_->log; }
   const CostModel& cost_model() const { return cost_model_; }
   void ResetLog() {
-    log_ = CommLog(cost_model_.bits_per_word());
-    if (faults_) faults_->Reset();
+    wire_->log = CommLog(cost_model_.bits_per_word());
+    if (wire_->faults) wire_->faults->Reset();
   }
 
   /// Fault simulation, mirroring Cluster (see fault_injection.h). Note
@@ -47,36 +49,43 @@ class AdditiveCluster {
   /// Unavailable instead of degrading, because no finite widening of the
   /// error bound covers the missing cross terms.
   void InstallFaultPlan(FaultConfig config) {
-    faults_.emplace(std::move(config));
+    wire_->faults.emplace(std::move(config));
   }
-  void ClearFaultPlan() { faults_.reset(); }
-  bool fault_mode() const { return faults_ && faults_->config().CanFault(); }
-  FaultInjector* faults() { return faults_ ? &*faults_ : nullptr; }
-  const FaultInjector* faults() const { return faults_ ? &*faults_ : nullptr; }
-  bool ServerLost(int i) const { return faults_ && faults_->IsLost(i); }
+  void ClearFaultPlan() { wire_->faults.reset(); }
+  bool fault_mode() const {
+    return wire_->faults && wire_->faults->config().CanFault();
+  }
+  FaultInjector* faults() { return wire_->faults ? &*wire_->faults : nullptr; }
+  const FaultInjector* faults() const {
+    return wire_->faults ? &*wire_->faults : nullptr;
+  }
+  bool ServerLost(int i) const {
+    return wire_->faults && wire_->faults->IsLost(i);
+  }
 
-  /// Routes one logical transfer of encoded bytes through the fault
-  /// simulation (or over the ideal wire when no plan is installed).
+  /// Routes one logical transfer through the same channel transport as
+  /// Cluster::Send — identical telemetry spans and control-byte
+  /// accounting on both cluster flavours (the NAK-metering audit gap the
+  /// old direct-to-injector path had).
   SendOutcome Send(int from, int to, const wire::Message& msg);
+
+  /// The underlying async transport.
+  ChannelTransport& channel() { return *channel_; }
 
   /// The assembled A = sum_i A^(i) (test/bench oracle).
   Matrix AssembleGroundTruth() const;
 
  private:
   AdditiveCluster(std::vector<Matrix> shares, size_t rows, size_t dim,
-                  CostModel cost_model)
-      : shares_(std::move(shares)),
-        rows_(rows),
-        dim_(dim),
-        cost_model_(cost_model),
-        log_(cost_model.bits_per_word()) {}
+                  CostModel cost_model);
 
   std::vector<Matrix> shares_;
   size_t rows_;
   size_t dim_;
   CostModel cost_model_;
-  CommLog log_;
-  std::optional<FaultInjector> faults_;
+  // Heap-pinned for move safety; see Cluster.
+  std::unique_ptr<WireEndpoint> wire_;
+  std::unique_ptr<ChannelTransport> channel_;
 };
 
 /// Splits `a` into `s` random additive shares (s-1 i.i.d. Gaussian

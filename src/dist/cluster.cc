@@ -1,8 +1,18 @@
 #include "dist/cluster.h"
 
-#include "telemetry/span.h"
-
 namespace distsketch {
+
+Cluster::Cluster(std::vector<Server> servers, size_t dim, size_t total_rows,
+                 CostModel cost_model)
+    : servers_(std::move(servers)),
+      dim_(dim),
+      total_rows_(total_rows),
+      cost_model_(cost_model),
+      wire_(std::make_unique<WireEndpoint>(cost_model.bits_per_word())),
+      channel_(std::make_unique<ChannelTransport>(
+          [w = wire_.get()](int from, int to, const wire::Message& msg) {
+            return w->Transfer(from, to, msg);
+          })) {}
 
 StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
                                   double eps_hint) {
@@ -39,31 +49,7 @@ StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
 }
 
 SendOutcome Cluster::Send(int from, int to, const wire::Message& msg) {
-  // The one instrumentation point every payload transfer funnels
-  // through: the bytes attrs of these comm spans sum to exactly the
-  // CommLog's wire-byte totals (payload + control, respectively).
-  telemetry::Span span("cluster/send", telemetry::Phase::kComm);
-  if (span.active()) {
-    span.SetAttr("from", static_cast<int64_t>(from));
-    span.SetAttr("to", static_cast<int64_t>(to));
-    span.SetAttr("server",
-                 static_cast<int64_t>(from == kCoordinator ? to : from));
-    span.SetAttr("tag", msg.tag);
-  }
-  SendOutcome out = faults_ ? faults_->Send(log_, from, to, msg)
-                            : SendOverIdealWire(log_, from, to, msg);
-  if (span.active()) {
-    span.SetAttr("bytes", out.wire_bytes);
-    span.SetAttr("words", out.wire_words);
-    span.SetAttr("attempts", static_cast<int64_t>(out.attempts));
-    if (out.control_bytes > 0) span.SetAttr("control_bytes", out.control_bytes);
-    if (!out.delivered) span.SetAttr("delivered", "false");
-    telemetry::Count("comm.messages");
-    telemetry::Count("comm.wire_bytes", out.wire_bytes);
-    telemetry::Count("comm.control_wire_bytes", out.control_bytes);
-    if (out.attempts > 1) telemetry::Count("comm.retries", out.attempts - 1);
-  }
-  return out;
+  return channel_->SendAndWait(from, to, msg);
 }
 
 Matrix Cluster::AssembleGroundTruth() const {

@@ -2,6 +2,7 @@
 #define DISTSKETCH_DIST_CLUSTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "common/cost_model.h"
 #include "common/status.h"
+#include "dist/channel.h"
 #include "dist/comm_log.h"
 #include "dist/fault_injection.h"
 #include "linalg/matrix.h"
@@ -59,45 +61,57 @@ class Cluster {
 
   const Server& server(size_t i) const { return servers_[i]; }
 
-  CommLog& log() { return log_; }
-  const CommLog& log() const { return log_; }
+  CommLog& log() { return wire_->log; }
+  const CommLog& log() const { return wire_->log; }
   const CostModel& cost_model() const { return cost_model_; }
 
   /// Resets the communication log (between protocol runs on the same
   /// data). Also rewinds the fault simulation, if installed, so every
   /// run replays the identical fault schedule.
   void ResetLog() {
-    log_ = CommLog(cost_model_.bits_per_word());
-    if (faults_) faults_->Reset();
+    wire_->log = CommLog(cost_model_.bits_per_word());
+    if (wire_->faults) wire_->faults->Reset();
   }
 
   /// Installs a deterministic fault plan: every subsequent transfer runs
   /// through the simulated faulty network (see fault_injection.h).
   void InstallFaultPlan(FaultConfig config) {
-    faults_.emplace(std::move(config));
+    wire_->faults.emplace(std::move(config));
   }
   /// Removes the fault plan; transfers become ideal again.
-  void ClearFaultPlan() { faults_.reset(); }
+  void ClearFaultPlan() { wire_->faults.reset(); }
 
   /// True iff a plan is installed that can actually perturb a run.
   /// Protocols consult this to decide whether to send the extra
   /// mass-accounting messages of degraded mode, so an all-zero plan (or
   /// none) reproduces the ideal-network wire format exactly.
-  bool fault_mode() const { return faults_ && faults_->config().CanFault(); }
+  bool fault_mode() const {
+    return wire_->faults && wire_->faults->config().CanFault();
+  }
 
-  FaultInjector* faults() { return faults_ ? &*faults_ : nullptr; }
-  const FaultInjector* faults() const { return faults_ ? &*faults_ : nullptr; }
+  FaultInjector* faults() { return wire_->faults ? &*wire_->faults : nullptr; }
+  const FaultInjector* faults() const {
+    return wire_->faults ? &*wire_->faults : nullptr;
+  }
 
   /// True iff the fault simulation has declared server `i` lost.
-  bool ServerLost(int i) const { return faults_ && faults_->IsLost(i); }
+  bool ServerLost(int i) const {
+    return wire_->faults && wire_->faults->IsLost(i);
+  }
 
-  /// Routes one logical transfer of encoded bytes: through the fault
-  /// simulation when a plan is installed, over the ideal wire otherwise.
-  /// Either way the message is framed, checksummed, and decoded on the
-  /// receiving side (outcome.payload). Protocols must use this (not
-  /// log().Record) for every payload so faults, retry accounting and
-  /// wire-byte metering apply uniformly.
+  /// Routes one logical transfer of encoded bytes through the channel
+  /// transport: the message is queued, executed in submission order, run
+  /// through the fault simulation when a plan is installed (ideal wire
+  /// otherwise), and framed, checksummed, and decoded on the receiving
+  /// side (outcome.payload). Protocols must use this (not log().Record)
+  /// for every payload so faults, retry accounting and wire-byte
+  /// metering apply uniformly.
   SendOutcome Send(int from, int to, const wire::Message& msg);
+
+  /// The underlying async transport. Cluster::Send is the blocking
+  /// adapter over it; the service layer drives the same machinery with
+  /// TrySubmit + a loop thread.
+  ChannelTransport& channel() { return *channel_; }
 
   /// Reassembles the full input [A^(1); ...; A^(s)] (test/bench oracle —
   /// a real coordinator never sees this).
@@ -105,19 +119,17 @@ class Cluster {
 
  private:
   Cluster(std::vector<Server> servers, size_t dim, size_t total_rows,
-          CostModel cost_model)
-      : servers_(std::move(servers)),
-        dim_(dim),
-        total_rows_(total_rows),
-        cost_model_(cost_model),
-        log_(cost_model.bits_per_word()) {}
+          CostModel cost_model);
 
   std::vector<Server> servers_;
   size_t dim_;
   size_t total_rows_;
   CostModel cost_model_;
-  CommLog log_;
-  std::optional<FaultInjector> faults_;
+  // Heap-pinned so the channel's wire closure (which captures the raw
+  // pointer) survives moves of the Cluster. Declared before channel_:
+  // the transport is constructed over it.
+  std::unique_ptr<WireEndpoint> wire_;
+  std::unique_ptr<ChannelTransport> channel_;
 };
 
 }  // namespace distsketch

@@ -42,26 +42,14 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   Matrix total_gram(d, d);
   for (size_t i = 0; i < s; ++i) {
     const int id = static_cast<int>(i);
-    bool mass_reported = false;
-    if (ft) {
-      SendOutcome mass_sent = cluster.Send(
-          id, kCoordinator,
-          wire::ScalarMessage("local_mass", locals[i].mass));
-      if (!mass_sent.delivered) {
-        result.degraded.RecordLoss(id, locals[i].mass, false);
-        continue;
-      }
-      mass_reported = true;
-    }
     // Symmetric payload: upper triangle only, packed as a flat row so
     // the measured wire words equal the analytic d(d+1)/2.
     wire::Message msg = wire::SymmetricMessage("local_gram", locals[i].gram);
     DS_CHECK(msg.words == d * (d + 1) / 2);
-    SendOutcome sent = cluster.Send(id, kCoordinator, msg);
-    if (!sent.delivered) {
-      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
-      continue;
-    }
+    ServerSendResult sent = SendWithMassAccounting(
+        cluster, id, kCoordinator, msg, result.degraded, locals[i].mass,
+        /*mass_known_if_lost=*/false, /*prepend_mass_report=*/ft);
+    if (!sent.delivered) continue;
     DS_ASSIGN_OR_RETURN(Matrix received,
                         wire::DecodeSymmetricPayload(sent.payload, d));
     total_gram = Add(total_gram, received);

@@ -88,20 +88,6 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   // by a resumed run).
   auto process = [&](size_t i) -> StatusOr<bool> {
     const int id = static_cast<int>(i);
-    bool mass_reported = false;
-    if (ft) {
-      // Fault-tolerant runs prepend a 1-word mass report so the
-      // coordinator can widen its bound honestly if this server is lost.
-      SendOutcome mass_sent = cluster.Send(
-          id, kCoordinator,
-          wire::ScalarMessage("local_mass", locals[i].mass));
-      if (!mass_sent.delivered) {
-        result.degraded.RecordLoss(id, locals[i].mass, false);
-        return false;
-      }
-      mass_reported = true;
-    }
-
     const Matrix& sketch = locals[i].sketch;
     wire::Message msg;
     if (options_.quantize && sketch.rows() > 0) {
@@ -118,11 +104,12 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
       DS_CHECK(msg.words ==
                cluster.cost_model().MatrixWords(sketch.rows(), d));
     }
-    SendOutcome sent = cluster.Send(id, kCoordinator, msg);
-    if (!sent.delivered) {
-      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
-      return false;
-    }
+    // Fault-tolerant runs prepend the 1-word mass report so the
+    // coordinator can widen its bound honestly if this server is lost.
+    ServerSendResult sent = SendWithMassAccounting(
+        cluster, id, kCoordinator, msg, result.degraded, locals[i].mass,
+        /*mass_known_if_lost=*/false, /*prepend_mass_report=*/ft);
+    if (!sent.delivered) return false;
     // The coordinator merges what it decoded off the wire, not the
     // sender's in-memory sketch.
     DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,

@@ -106,16 +106,8 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
   Matrix total_cov(d, d);
   for (size_t i = 0; i < s; ++i) {
     const int id = static_cast<int>(i);
-    bool mass_reported = false;
-    if (ft) {
-      SendOutcome mass_sent = cluster.Send(
-          id, kCoordinator,
-          wire::ScalarMessage("local_mass", locals[i].mass));
-      if (!mass_sent.delivered) {
-        result.degraded.RecordLoss(id, locals[i].mass, false);
-        continue;
-      }
-      mass_reported = true;
+    if (ft && !ReportLocalMass(cluster, id, locals[i].mass, result.degraded)) {
+      continue;
     }
     if (locals[i].overflowed) {
       return Status::FailedPrecondition(
@@ -130,19 +122,17 @@ StatusOr<SketchProtocolResult> LowRankExactProtocol::Run(Cluster& cluster) {
     // Gram. Both must arrive; losing either discards the contribution.
     wire::Message basis_msg = wire::DenseMessage("row_basis", locals[i].q);
     DS_CHECK(basis_msg.words == cluster.cost_model().MatrixWords(m, d));
-    SendOutcome basis_sent = cluster.Send(id, kCoordinator, basis_msg);
-    if (!basis_sent.delivered) {
-      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
-      continue;
-    }
+    ServerSendResult basis_sent = SendWithMassAccounting(
+        cluster, id, kCoordinator, basis_msg, result.degraded, locals[i].mass,
+        /*mass_known_if_lost=*/ft);
+    if (!basis_sent.delivered) continue;
     wire::Message gram_msg =
         wire::DenseMessage("projected_gram", locals[i].g);
     DS_CHECK(gram_msg.words == cluster.cost_model().MatrixWords(m, m));
-    SendOutcome gram_sent = cluster.Send(id, kCoordinator, gram_msg);
-    if (!gram_sent.delivered) {
-      result.degraded.RecordLoss(id, locals[i].mass, mass_reported);
-      continue;
-    }
+    ServerSendResult gram_sent = SendWithMassAccounting(
+        cluster, id, kCoordinator, gram_msg, result.degraded, locals[i].mass,
+        /*mass_known_if_lost=*/ft);
+    if (!gram_sent.delivered) continue;
 
     // Coordinator side, from the decoded payloads:
     // A^(i)T A^(i) = Q^+ G Q^{+T}.

@@ -1,0 +1,39 @@
+#include "dist/protocol.h"
+
+#include <utility>
+
+namespace distsketch {
+
+bool ReportLocalMass(Cluster& cluster, int server, double mass,
+                     DegradedModeInfo& degraded) {
+  SendOutcome sent = cluster.Send(server, kCoordinator,
+                                  wire::ScalarMessage("local_mass", mass));
+  if (!sent.delivered) {
+    degraded.RecordLoss(server, mass, false);
+    return false;
+  }
+  return true;
+}
+
+ServerSendResult SendWithMassAccounting(Cluster& cluster, int from, int to,
+                                        const wire::Message& msg,
+                                        DegradedModeInfo& degraded,
+                                        double mass, bool mass_known_if_lost,
+                                        bool prepend_mass_report) {
+  const int server = from == kCoordinator ? to : from;
+  ServerSendResult result;
+  if (prepend_mass_report) {
+    if (!ReportLocalMass(cluster, server, mass, degraded)) return result;
+    mass_known_if_lost = true;
+  }
+  SendOutcome sent = cluster.Send(from, to, msg);
+  if (!sent.delivered) {
+    degraded.RecordLoss(server, mass, mass_known_if_lost);
+    return result;
+  }
+  result.delivered = true;
+  result.payload = std::move(sent.payload);
+  return result;
+}
+
+}  // namespace distsketch

@@ -1,6 +1,7 @@
 #ifndef DISTSKETCH_DIST_PROTOCOL_H_
 #define DISTSKETCH_DIST_PROTOCOL_H_
 
+#include <cstdint>
 #include <limits>
 #include <string_view>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "dist/cluster.h"
 #include "dist/comm_log.h"
 #include "linalg/matrix.h"
+#include "wire/message.h"
 
 namespace distsketch {
 
@@ -69,6 +71,40 @@ struct SketchProtocolResult {
   /// resume = true continues from the stored checkpoint.
   bool halted = false;
 };
+
+/// Result of one accounted per-server transfer (see
+/// SendWithMassAccounting): either the decoded payload, or a loss that
+/// has already been recorded in the caller's DegradedModeInfo.
+struct ServerSendResult {
+  bool delivered = false;
+  std::vector<uint8_t> payload;
+};
+
+/// Sends the 1-word "local_mass" report a server prepends in fault mode
+/// so the coordinator can widen its bound honestly if the server is
+/// later lost. On loss, records it (mass unknown — the report itself
+/// never arrived) and returns false; the caller skips the server.
+bool ReportLocalMass(Cluster& cluster, int server, double mass,
+                     DegradedModeInfo& degraded);
+
+/// The per-server send-with-loss-accounting step shared by every
+/// protocol round: sends `msg` from `from` to `to` and, on permanent
+/// loss, records the endpoint server in `degraded` with `mass` known iff
+/// `mass_known_if_lost` (round semantics: false before any mass report
+/// has arrived, true once the coordinator holds the server's mass).
+/// With `prepend_mass_report` set (fault-mode uplinks), the 1-word
+/// "local_mass" report is sent first via ReportLocalMass — a loss there
+/// skips the payload entirely, and a payload loss after a delivered
+/// report is recorded with the mass known.
+///
+/// On delivery the decoded payload bytes are returned; protocols decode
+/// their matrix/scalar from those (receiver-side discipline), never from
+/// sender state.
+ServerSendResult SendWithMassAccounting(Cluster& cluster, int from, int to,
+                                        const wire::Message& msg,
+                                        DegradedModeInfo& degraded,
+                                        double mass, bool mass_known_if_lost,
+                                        bool prepend_mass_report = false);
 
 /// A distributed protocol that leaves a covariance sketch of the
 /// partitioned input at the coordinator. Implementations must route every

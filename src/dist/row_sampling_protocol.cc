@@ -46,13 +46,11 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
   std::vector<bool> active(s, false);
   for (size_t i = 0; i < s; ++i) {
     masses[i] = local[i].total_mass();
-    SendOutcome sent =
-        cluster.Send(static_cast<int>(i), kCoordinator,
-                     wire::ScalarMessage("local_mass", masses[i]));
-    if (!sent.delivered) {
-      result.degraded.RecordLoss(static_cast<int>(i), masses[i], false);
-      continue;
-    }
+    ServerSendResult sent = SendWithMassAccounting(
+        cluster, static_cast<int>(i), kCoordinator,
+        wire::ScalarMessage("local_mass", masses[i]), result.degraded,
+        masses[i], /*mass_known_if_lost=*/false);
+    if (!sent.delivered) continue;
     active[i] = true;
     DS_ASSIGN_OR_RETURN(const double reported,
                         wire::DecodeScalarPayload(sent.payload));
@@ -89,13 +87,13 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
   std::vector<size_t> received_count(s, 0);
   for (size_t i = 0; i < s; ++i) {
     if (!active[i]) continue;
-    SendOutcome sent = cluster.Send(
-        kCoordinator, static_cast<int>(i),
+    ServerSendResult sent = SendWithMassAccounting(
+        cluster, kCoordinator, static_cast<int>(i),
         wire::ScalarsMessage("sample_count+mass",
-                             {static_cast<double>(counts[i]), global_mass}));
+                             {static_cast<double>(counts[i]), global_mass}),
+        result.degraded, masses[i], /*mass_known_if_lost=*/true);
     if (!sent.delivered) {
       active[i] = false;
-      result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
       continue;
     }
     DS_ASSIGN_OR_RETURN(wire::DecodedMatrix reply,
@@ -126,11 +124,10 @@ StatusOr<SketchProtocolResult> RowSamplingProtocol::Run(Cluster& cluster) {
     if (taken > 0) {
       wire::Message msg = wire::DenseMessage("sampled_rows", rows);
       DS_CHECK(msg.words == cluster.cost_model().MatrixWords(taken, d));
-      SendOutcome sent = cluster.Send(static_cast<int>(i), kCoordinator, msg);
-      if (!sent.delivered) {
-        result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
-        continue;
-      }
+      ServerSendResult sent = SendWithMassAccounting(
+          cluster, static_cast<int>(i), kCoordinator, msg, result.degraded,
+          masses[i], /*mass_known_if_lost=*/true);
+      if (!sent.delivered) continue;
       DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
                           wire::DecodeMessagePayload(sent.payload));
       result.sketch.AppendRows(received.matrix);

@@ -88,9 +88,10 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
       return SquaredFrobeniusNorm(cluster.server(i).local_rows());
     });
     for (size_t i = 0; i < s; ++i) {
-      SendOutcome sent =
-          cluster.Send(static_cast<int>(i), kCoordinator,
-                       wire::ScalarMessage("local_mass", masses[i]));
+      ServerSendResult sent = SendWithMassAccounting(
+          cluster, static_cast<int>(i), kCoordinator,
+          wire::ScalarMessage("local_mass", masses[i]), result.degraded,
+          masses[i], /*mass_known_if_lost=*/false);
       if (sent.delivered) {
         // The coordinator accumulates the mass it decoded off the wire.
         DS_ASSIGN_OR_RETURN(const double reported,
@@ -98,7 +99,6 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
         global_mass += reported;
       } else {
         server_state[i] = kServerLostMassUnknown;
-        result.degraded.RecordLoss(static_cast<int>(i), masses[i], false);
       }
     }
     if (global_mass <= 0.0) {
@@ -111,12 +111,12 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
     log.BeginRound();
     for (size_t i = 0; i < s; ++i) {
       if (server_state[i] != kServerActive) continue;
-      SendOutcome sent =
-          cluster.Send(kCoordinator, static_cast<int>(i),
-                       wire::ScalarMessage("global_mass", global_mass));
+      ServerSendResult sent = SendWithMassAccounting(
+          cluster, kCoordinator, static_cast<int>(i),
+          wire::ScalarMessage("global_mass", global_mass), result.degraded,
+          masses[i], /*mass_known_if_lost=*/true);
       if (!sent.delivered) {
         server_state[i] = kServerLostMassKnown;
-        result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
         continue;
       }
       // The dense codec is a byte copy, so the broadcast value survives
@@ -178,13 +178,12 @@ StatusOr<SketchProtocolResult> SvsProtocol::Run(Cluster& cluster) {
       wire::Message msg = wire::DenseMessage("svs_rows", svs.sketch);
       DS_CHECK(msg.words ==
                cluster.cost_model().MatrixWords(svs.sketch.rows(), d));
-      SendOutcome sent = cluster.Send(static_cast<int>(i), kCoordinator, msg);
-      if (!sent.delivered) {
-        // A round-3 loss keeps state kServerActive and stays un-done:
-        // a resumed run retries the send with the same derived seed.
-        result.degraded.RecordLoss(static_cast<int>(i), masses[i], true);
-        continue;
-      }
+      // A round-3 loss keeps state kServerActive and stays un-done: a
+      // resumed run retries the send with the same derived seed.
+      ServerSendResult sent = SendWithMassAccounting(
+          cluster, static_cast<int>(i), kCoordinator, msg, result.degraded,
+          masses[i], /*mass_known_if_lost=*/true);
+      if (!sent.delivered) continue;
       DS_ASSIGN_OR_RETURN(wire::DecodedMatrix received,
                           wire::DecodeMessagePayload(sent.payload));
       result.sketch.AppendRows(received.matrix);

@@ -1,0 +1,130 @@
+#ifndef DISTSKETCH_SERVICE_SERVICE_RUNNER_H_
+#define DISTSKETCH_SERVICE_SERVICE_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/channel.h"
+#include "dist/fault_injection.h"
+#include "service/sketch_service.h"
+#include "service/service_wire.h"
+
+namespace distsketch {
+
+struct ServiceRunnerOptions {
+  /// Policy of the SketchService behind the channel.
+  SketchServiceOptions service;
+  /// Per-client channel queue capacity (backpressure / shed point).
+  ChannelOptions channel;
+  /// Loss model applied to the *request* leg (client -> service). The
+  /// injector's per-client RNG streams make each client's fault schedule
+  /// independent of how submissions interleave. Responses travel over
+  /// the ideal wire (they are metered, never faulted — a lost request is
+  /// answered kUnavailable, so every accepted submit gets a response).
+  std::optional<FaultConfig> faults;
+  /// CommLog metering granularity (bits per word, CostModel §1.2).
+  uint64_t bits_per_word = 64;
+};
+
+/// The service front end: an async channel (the event loop) carrying
+/// framed requests from many clients into one SketchService, with the
+/// full overload ladder:
+///
+///   client Submit --(queue full)--> kOverloaded, shed at the channel
+///          |
+///          v (accepted: exactly one callback will fire)
+///   wire transfer --(fault-injected loss)--> kUnavailable response
+///          |
+///          v (delivered)
+///   decode --(bad frame)--> kInvalidArgument response
+///          |
+///          v
+///   SketchService::HandleBatch --(registry full)--> kOverloaded response
+///          |
+///          v
+///   response encoded + metered over the ideal wire, callback fires
+///
+/// Threading: any number of producer threads may call Submit
+/// concurrently (the channel's queue is the synchronization point), and
+/// the channel's loop thread (StartLoop) or a Drain() caller executes
+/// the wire transfers. Process()/Drain() must be called from one thread
+/// at a time — the service itself is confined to that handler thread.
+class ServiceRunner {
+ public:
+  using ResponseCallback = std::function<void(const ServiceResponse&)>;
+
+  static StatusOr<std::unique_ptr<ServiceRunner>> Create(
+      const ServiceRunnerOptions& options);
+
+  /// Submits one framed request from `client` (client ids are >= 0).
+  /// Returns kOverloaded — without invoking `cb` — when the client's
+  /// channel queue is full. Every accepted submit gets exactly one
+  /// callback, during a later Process()/Drain().
+  Status Submit(int client, wire::Message request, ResponseCallback cb);
+
+  /// Convenience: encodes and submits an ingest request.
+  Status SubmitIngest(int client, const std::string& tenant,
+                      const Matrix& rows, ResponseCallback cb) {
+    return Submit(client, EncodeIngestRequest(tenant, rows), std::move(cb));
+  }
+
+  /// Executes every queued wire transfer, then processes all delivered
+  /// requests through the service in one batch and fires callbacks in
+  /// submission order. Returns the number of callbacks fired.
+  size_t Drain();
+
+  /// Processes requests already delivered by the channel (loop mode:
+  /// the channel's own thread executes transfers; call Process()
+  /// periodically from the handler thread to answer them).
+  size_t Process();
+
+  /// Starts / stops the channel's event-loop thread.
+  void StartLoop() { channel_->StartLoop(); }
+  void StopLoop() { channel_->StopLoop(); }
+
+  SketchService& service() { return *service_; }
+  ChannelTransport& channel() { return *channel_; }
+  CommLog& log() { return wire_->log; }
+  const std::optional<FaultInjector>& faults() const { return wire_->faults; }
+
+  /// Lifetime counters.
+  uint64_t accepted() const { return accepted_; }
+  uint64_t wire_lost() const { return wire_lost_; }
+  uint64_t responded() const { return responded_; }
+
+ private:
+  explicit ServiceRunner(const ServiceRunnerOptions& options);
+
+  /// One accepted submission after its wire transfer executed.
+  struct Delivered {
+    int client = 0;
+    bool delivered = false;
+    uint64_t request_wire_bytes = 0;
+    std::vector<uint8_t> payload;
+    ResponseCallback cb;
+  };
+
+  ServiceRunnerOptions options_;
+  std::unique_ptr<WireEndpoint> wire_;
+  std::unique_ptr<ChannelTransport> channel_;
+  std::unique_ptr<SketchService> service_;
+
+  /// Executed-but-unanswered submissions, in execution (= submission)
+  /// order. Appended by done callbacks on the draining thread; swapped
+  /// out under the lock by Process().
+  std::mutex inbox_lock_;
+  std::vector<Delivered> inbox_;
+
+  uint64_t accepted_ = 0;
+  uint64_t wire_lost_ = 0;
+  uint64_t responded_ = 0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SERVICE_SERVICE_RUNNER_H_

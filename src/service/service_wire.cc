@@ -1,0 +1,157 @@
+#include "service/service_wire.h"
+
+#include <cstring>
+#include <utility>
+
+#include "wire/codec.h"
+
+namespace distsketch {
+namespace {
+
+constexpr size_t kMaxTenantNameBytes = 255;
+
+void AppendU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool ReadU8(uint8_t* v) {
+    if (pos + 1 > size) return false;
+    *v = data[pos++];
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    if (pos + 2 > size) return false;
+    *v = static_cast<uint16_t>(data[pos]) |
+         static_cast<uint16_t>(data[pos + 1]) << 8;
+    pos += 2;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos + 8 > size) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+    }
+    *v = out;
+    pos += 8;
+    return true;
+  }
+};
+
+wire::Message EncodeRequest(ServiceRequestKind kind, std::string tag,
+                            const std::string& tenant, const Matrix& rows) {
+  wire::Message msg;
+  msg.tag = std::move(tag);
+  msg.payload.push_back(static_cast<uint8_t>(kind));
+  AppendU16(static_cast<uint16_t>(tenant.size()), &msg.payload);
+  msg.payload.insert(msg.payload.end(), tenant.begin(), tenant.end());
+  std::vector<uint8_t> body = wire::EncodeDensePayload(rows);
+  msg.payload.insert(msg.payload.end(), body.begin(), body.end());
+  msg.words = rows.size() > 0 ? rows.size() : 1;
+  return msg;
+}
+
+}  // namespace
+
+wire::Message EncodeIngestRequest(const std::string& tenant,
+                                  const Matrix& rows) {
+  return EncodeRequest(ServiceRequestKind::kIngest, "svc/ingest", tenant,
+                       rows);
+}
+
+wire::Message EncodeFlushRequest(const std::string& tenant) {
+  return EncodeRequest(ServiceRequestKind::kFlush, "svc/flush", tenant,
+                       Matrix(0, 0));
+}
+
+wire::Message EncodeQueryRequest(const std::string& tenant) {
+  return EncodeRequest(ServiceRequestKind::kQuery, "svc/query", tenant,
+                       Matrix(0, 0));
+}
+
+StatusOr<ServiceRequest> DecodeServiceRequest(
+    const std::vector<uint8_t>& payload) {
+  Reader r{payload.data(), payload.size()};
+  uint8_t kind_byte = 0;
+  uint16_t name_len = 0;
+  if (!r.ReadU8(&kind_byte) || !r.ReadU16(&name_len)) {
+    return Status::InvalidArgument("service request: truncated header");
+  }
+  if (kind_byte < 1 || kind_byte > 3) {
+    return Status::InvalidArgument("service request: unknown kind");
+  }
+  if (name_len > kMaxTenantNameBytes) {
+    return Status::InvalidArgument("service request: tenant name too long");
+  }
+  if (r.pos + name_len > r.size) {
+    return Status::InvalidArgument("service request: truncated tenant name");
+  }
+  ServiceRequest req;
+  req.kind = static_cast<ServiceRequestKind>(kind_byte);
+  req.tenant.assign(reinterpret_cast<const char*>(payload.data() + r.pos),
+                    name_len);
+  r.pos += name_len;
+  DS_ASSIGN_OR_RETURN(
+      wire::DecodedMatrix body,
+      wire::DecodeMatrixPayload(payload.data() + r.pos, r.size - r.pos));
+  req.rows = std::move(body.matrix);
+  return req;
+}
+
+wire::Message EncodeServiceResponse(const ServiceResponse& response) {
+  wire::Message msg;
+  msg.tag = "svc/response";
+  msg.payload.push_back(static_cast<uint8_t>(response.code));
+  AppendU16(static_cast<uint16_t>(response.tenant.size()), &msg.payload);
+  msg.payload.insert(msg.payload.end(), response.tenant.begin(),
+                     response.tenant.end());
+  AppendU64(response.epoch, &msg.payload);
+  AppendU64(response.rows_ingested, &msg.payload);
+  std::vector<uint8_t> body = wire::EncodeDensePayload(response.sketch);
+  msg.payload.insert(msg.payload.end(), body.begin(), body.end());
+  msg.words = response.sketch.size() > 0 ? response.sketch.size() : 1;
+  return msg;
+}
+
+StatusOr<ServiceResponse> DecodeServiceResponse(
+    const std::vector<uint8_t>& payload) {
+  Reader r{payload.data(), payload.size()};
+  uint8_t code = 0;
+  uint16_t name_len = 0;
+  if (!r.ReadU8(&code) || !r.ReadU16(&name_len)) {
+    return Status::InvalidArgument("service response: truncated header");
+  }
+  if (name_len > kMaxTenantNameBytes) {
+    return Status::InvalidArgument("service response: tenant name too long");
+  }
+  if (r.pos + name_len > r.size) {
+    return Status::InvalidArgument("service response: truncated tenant name");
+  }
+  ServiceResponse resp;
+  resp.code = static_cast<StatusCode>(code);
+  resp.tenant.assign(reinterpret_cast<const char*>(payload.data() + r.pos),
+                     name_len);
+  r.pos += name_len;
+  if (!r.ReadU64(&resp.epoch) || !r.ReadU64(&resp.rows_ingested)) {
+    return Status::InvalidArgument("service response: truncated counters");
+  }
+  DS_ASSIGN_OR_RETURN(
+      wire::DecodedMatrix body,
+      wire::DecodeMatrixPayload(payload.data() + r.pos, r.size - r.pos));
+  resp.sketch = std::move(body.matrix);
+  return resp;
+}
+
+}  // namespace distsketch

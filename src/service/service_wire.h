@@ -1,0 +1,74 @@
+#ifndef DISTSKETCH_SERVICE_SERVICE_WIRE_H_
+#define DISTSKETCH_SERVICE_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "wire/message.h"
+
+namespace distsketch {
+
+/// Request kinds the sketch service accepts. Values are on the wire
+/// (leading payload byte); never renumber.
+enum class ServiceRequestKind : uint8_t {
+  /// Absorb a batch of rows into the tenant's epoch sketch.
+  kIngest = 1,
+  /// Seal the tenant's current epoch (merge into the coordinator
+  /// sketch) and checkpoint it, regardless of fill level.
+  kFlush = 2,
+  /// Return the tenant's current sketch (coordinator merged with the
+  /// open epoch).
+  kQuery = 3,
+};
+
+/// A decoded service request. `rows` is populated for kIngest only.
+struct ServiceRequest {
+  ServiceRequestKind kind = ServiceRequestKind::kIngest;
+  std::string tenant;
+  Matrix rows;
+};
+
+/// One response per request — the no-silent-drops contract: every
+/// accepted submit produces exactly one response, and failures carry a
+/// typed code (kOverloaded for shed work, kUnavailable for wire loss).
+struct ServiceResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string tenant;
+  /// Epochs sealed for this tenant so far.
+  uint64_t epoch = 0;
+  /// Rows this tenant has ingested in total (after this request).
+  uint64_t rows_ingested = 0;
+  /// kQuery: the sketch matrix. Empty otherwise.
+  Matrix sketch;
+};
+
+/// Request payload layout (always framed as a wire::Message so the
+/// transport meters, checksums, and fault-injects it like any protocol
+/// transfer):
+///   [u8 kind][u16 tenant_len][tenant bytes][dense matrix payload]
+/// The matrix payload is the self-describing DSMT encoding (codec.h);
+/// kFlush/kQuery carry a 0x0 matrix. Metered words = rows * dim for
+/// ingest (the paper's convention), 1 for the control requests.
+wire::Message EncodeIngestRequest(const std::string& tenant,
+                                  const Matrix& rows);
+wire::Message EncodeFlushRequest(const std::string& tenant);
+wire::Message EncodeQueryRequest(const std::string& tenant);
+
+/// Decodes any request payload. Rejects malformed layouts and tenant
+/// names longer than 255 bytes with InvalidArgument.
+StatusOr<ServiceRequest> DecodeServiceRequest(
+    const std::vector<uint8_t>& payload);
+
+/// Response payload layout:
+///   [u8 code][u16 tenant_len][tenant bytes][u64 epoch][u64 rows]
+///   [dense matrix payload]
+wire::Message EncodeServiceResponse(const ServiceResponse& response);
+StatusOr<ServiceResponse> DecodeServiceResponse(
+    const std::vector<uint8_t>& payload);
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SERVICE_SERVICE_WIRE_H_

@@ -1,0 +1,281 @@
+#include "service/sketch_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "telemetry/span.h"
+#include "telemetry/telemetry.h"
+
+namespace distsketch {
+namespace {
+
+/// Per-tenant counter key ("svc.tenant.<name>.<what>"). Built only when
+/// telemetry is enabled — the disabled path must stay allocation-free.
+std::string TenantCounter(const std::string& tenant, const char* what) {
+  std::string key = "svc.tenant.";
+  key += tenant;
+  key += '.';
+  key += what;
+  return key;
+}
+
+}  // namespace
+
+StatusOr<SketchService> SketchService::Create(
+    const SketchServiceOptions& options) {
+  if (options.tenant.dim == 0) {
+    return Status::InvalidArgument("SketchService: tenant dim must be >= 1");
+  }
+  if (options.max_tenants == 0 || options.max_resident == 0) {
+    return Status::InvalidArgument(
+        "SketchService: max_tenants and max_resident must be >= 1");
+  }
+  if (options.max_resident < options.max_tenants && options.store == nullptr) {
+    return Status::InvalidArgument(
+        "SketchService: eviction (max_resident < max_tenants) requires a "
+        "store");
+  }
+  // Validate the tenant sizing once; per-tenant Create below reuses it.
+  DS_RETURN_IF_ERROR(TenantSketch::Create("probe", options.tenant).status());
+  return SketchService(options);
+}
+
+Status SketchService::CheckpointTenant(const TenantSketch& tenant) {
+  if (options_.store == nullptr) return Status::OK();
+  return options_.store->Put(StoreKey(tenant.name()), tenant.Checkpoint());
+}
+
+Status SketchService::EvictLruLocked() {
+  // The batch admission phase pins every tenant the in-flight batch
+  // touches (their pointers are live in the parallel phase), so the scan
+  // skips pinned entries. Deterministic: min (last_touch, name) over the
+  // ordered map.
+  const Resident* victim = nullptr;
+  const std::string* victim_name = nullptr;
+  for (const auto& [name, res] : resident_) {
+    if (pinned_ != nullptr && pinned_->count(name) > 0) continue;
+    if (victim == nullptr || res.last_touch < victim->last_touch) {
+      victim = &res;
+      victim_name = &name;
+    }
+  }
+  if (victim == nullptr) {
+    return Status::Overloaded(
+        "SketchService: residency full and every tenant is pinned by the "
+        "in-flight batch");
+  }
+  DS_RETURN_IF_ERROR(CheckpointTenant(*victim->sketch));
+  resident_.erase(*victim_name);
+  ++evictions_;
+  telemetry::Count("svc.evictions");
+  return Status::OK();
+}
+
+StatusOr<TenantSketch*> SketchService::TouchTenant(const std::string& name) {
+  auto it = resident_.find(name);
+  if (it != resident_.end()) {
+    it->second.last_touch = ++touch_counter_;
+    return it->second.sketch.get();
+  }
+  const bool is_known = known_.count(name) > 0;
+  if (!is_known && known_.size() >= options_.max_tenants) {
+    ++shed_;
+    telemetry::Count("svc.shed");
+    return Status::Overloaded(
+        "SketchService: tenant registry full (max_tenants = " +
+        std::to_string(options_.max_tenants) + ")");
+  }
+  if (resident_.size() >= options_.max_resident) {
+    if (options_.store == nullptr) {
+      ++shed_;
+      telemetry::Count("svc.shed");
+      return Status::Overloaded(
+          "SketchService: resident capacity full and no store to evict to");
+    }
+    DS_RETURN_IF_ERROR(EvictLruLocked());
+  }
+  Resident res;
+  if (is_known) {
+    // Evicted tenant: restore its checkpoint bit-identically.
+    DS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                        options_.store->Get(StoreKey(name)));
+    DS_ASSIGN_OR_RETURN(TenantSketch restored,
+                        TenantSketch::Restore(name, options_.tenant, blob));
+    res.sketch = std::make_unique<TenantSketch>(std::move(restored));
+    ++restores_;
+    telemetry::Count("svc.restores");
+  } else {
+    DS_ASSIGN_OR_RETURN(TenantSketch created,
+                        TenantSketch::Create(name, options_.tenant));
+    res.sketch = std::make_unique<TenantSketch>(std::move(created));
+    known_.insert(name);
+    telemetry::Count("svc.tenants_admitted");
+  }
+  res.last_touch = ++touch_counter_;
+  TenantSketch* ptr = res.sketch.get();
+  resident_.emplace(name, std::move(res));
+  return ptr;
+}
+
+ServiceResponse SketchService::MakeResponse(const ServiceRequest& request,
+                                            const Status& status,
+                                            TenantSketch* tenant) {
+  ServiceResponse resp;
+  resp.code = status.code();
+  resp.tenant = request.tenant;
+  if (tenant != nullptr) {
+    resp.epoch = tenant->epoch();
+    resp.rows_ingested = tenant->rows_ingested();
+  }
+  return resp;
+}
+
+ServiceResponse SketchService::Handle(const ServiceRequest& request) {
+  return HandleBatch({request})[0];
+}
+
+std::vector<ServiceResponse> SketchService::HandleBatch(
+    const std::vector<ServiceRequest>& requests) {
+  telemetry::Span span("service/batch", telemetry::Phase::kCompute);
+  span.SetAttr("requests", static_cast<uint64_t>(requests.size()));
+
+  const size_t n = requests.size();
+  std::vector<ServiceResponse> responses(n);
+  std::vector<TenantSketch*> tenants(n, nullptr);
+  std::vector<uint8_t> failed(n, 0);
+
+  // Phase 1 — serial admission in arrival order: name validation,
+  // registry admission, LRU eviction, checkpoint restore. All store I/O
+  // and registry mutation happens here or in phase 3, never in the
+  // parallel phase. Tenants touched by this batch are pinned so a later
+  // request's eviction cannot invalidate an earlier request's pointer.
+  std::set<std::string> touched;
+  pinned_ = &touched;
+  for (size_t i = 0; i < n; ++i) {
+    const ServiceRequest& req = requests[i];
+    if (!SketchStore::ValidName(req.tenant)) {
+      responses[i] = MakeResponse(
+          req, Status::InvalidArgument("bad tenant name"), nullptr);
+      failed[i] = 1;
+      continue;
+    }
+    auto tenant = TouchTenant(req.tenant);
+    if (!tenant.ok()) {
+      responses[i] = MakeResponse(req, tenant.status(), nullptr);
+      failed[i] = 1;
+      continue;
+    }
+    tenants[i] = *tenant;
+    touched.insert(req.tenant);
+  }
+  pinned_ = nullptr;
+
+  // Group surviving request indices by tenant, preserving arrival order
+  // within each tenant. Order of groups: first touch.
+  std::vector<std::pair<TenantSketch*, std::vector<size_t>>> groups;
+  std::map<TenantSketch*, size_t> group_of;
+  for (size_t i = 0; i < n; ++i) {
+    if (failed[i]) continue;
+    auto [it, inserted] = group_of.emplace(tenants[i], groups.size());
+    if (inserted) groups.push_back({tenants[i], {}});
+    groups[it->second].second.push_back(i);
+  }
+
+  // Phase 2 — parallel per-tenant work: each group replays its requests
+  // in arrival order against its own tenant state (absorb, seal at epoch
+  // boundaries, query). Pure per-tenant compute — groups share nothing —
+  // so results are bit-identical at any thread count; FD's nested
+  // spectral-kernel schedule is deterministic under the pool.
+  std::vector<uint8_t> sealed(groups.size(), 0);
+  ThreadPool::Global().ParallelFor(groups.size(), [&](size_t gi) {
+    TenantSketch* tenant = groups[gi].first;
+    telemetry::Span work("service/tenant_work", telemetry::Phase::kCompute);
+    work.SetAttr("tenant", tenant->name());
+    const bool telem = telemetry::Telemetry::Current()->enabled();
+    uint64_t rows_absorbed = 0;
+    for (const size_t i : groups[gi].second) {
+      const ServiceRequest& req = requests[i];
+      Status status = Status::OK();
+      switch (req.kind) {
+        case ServiceRequestKind::kIngest: {
+          status = tenant->AbsorbRows(req.rows);
+          rows_absorbed += req.rows.rows();
+          while (status.ok() && tenant->EpochReady()) {
+            tenant->SealEpoch();
+            sealed[gi] = 1;
+            telemetry::Count("svc.epoch_seals");
+          }
+          break;
+        }
+        case ServiceRequestKind::kFlush: {
+          if (tenant->rows_in_epoch() > 0) {
+            tenant->SealEpoch();
+            telemetry::Count("svc.epoch_seals");
+          }
+          sealed[gi] = 1;  // flush always persists, even if empty
+          break;
+        }
+        case ServiceRequestKind::kQuery: {
+          auto sketch = tenant->Query();
+          status = sketch.status();
+          if (sketch.ok()) responses[i].sketch = std::move(*sketch);
+          break;
+        }
+      }
+      ServiceResponse resp = MakeResponse(req, status, tenant);
+      resp.sketch = std::move(responses[i].sketch);
+      responses[i] = std::move(resp);
+    }
+    if (telem && rows_absorbed > 0) {
+      telemetry::Count(TenantCounter(tenant->name(), "rows"), rows_absorbed);
+      telemetry::Count(TenantCounter(tenant->name(), "epochs"),
+                       tenant->epoch());
+    }
+  });
+
+  // Phase 3 — serial durability: one checkpoint per tenant that sealed
+  // an epoch (or flushed), in group order. The store ends up with each
+  // tenant's latest state — the same final bytes a request-at-a-time run
+  // leaves behind.
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    if (!sealed[gi]) continue;
+    const Status st = CheckpointTenant(*groups[gi].first);
+    if (!st.ok()) {
+      // Surface the durability failure on every response of the group.
+      for (const size_t i : groups[gi].second) {
+        if (responses[i].code == StatusCode::kOk) responses[i].code = st.code();
+      }
+    }
+  }
+
+  telemetry::Count("svc.requests", n);
+  return responses;
+}
+
+Status SketchService::FlushAll() {
+  if (options_.store == nullptr) return Status::OK();
+  for (auto& [name, res] : resident_) {
+    if (res.sketch->rows_in_epoch() > 0) res.sketch->SealEpoch();
+    DS_RETURN_IF_ERROR(CheckpointTenant(*res.sketch));
+  }
+  return Status::OK();
+}
+
+Status SketchService::EvictTenant(const std::string& tenant) {
+  auto it = resident_.find(tenant);
+  if (it == resident_.end()) {
+    return Status::NotFound("SketchService: tenant not resident: " + tenant);
+  }
+  if (options_.store == nullptr) {
+    return Status::FailedPrecondition(
+        "SketchService: cannot evict without a store");
+  }
+  DS_RETURN_IF_ERROR(CheckpointTenant(*it->second.sketch));
+  resident_.erase(it);
+  ++evictions_;
+  telemetry::Count("svc.evictions");
+  return Status::OK();
+}
+
+}  // namespace distsketch

@@ -1,0 +1,121 @@
+#ifndef DISTSKETCH_SERVICE_SKETCH_SERVICE_H_
+#define DISTSKETCH_SERVICE_SKETCH_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/service_wire.h"
+#include "service/tenant.h"
+#include "store/sketch_store.h"
+
+namespace distsketch {
+
+/// Capacity and durability policy of the sketch service.
+struct SketchServiceOptions {
+  /// Per-tenant sketch sizing (dim, eps, epoch_rows).
+  TenantOptions tenant;
+  /// Admission cap: total tenants the service will ever register.
+  /// Requests for a new tenant beyond this are shed with kOverloaded.
+  size_t max_tenants = 4096;
+  /// Residency cap: tenants kept live in memory. Beyond this, the
+  /// least-recently-used tenant is checkpointed to the store and
+  /// evicted; touching it again restores it bit-identically.
+  size_t max_resident = 1024;
+  /// Checkpoint/restore backing store. Required whenever max_resident <
+  /// max_tenants (eviction needs somewhere to put the state); when set,
+  /// every epoch seal also checkpoints (the durability point).
+  SketchStore* store = nullptr;
+};
+
+/// A long-lived multi-tenant sketch service: each tenant owns a
+/// TenantSketch (epoch FD + coordinator FD), the registry is bounded
+/// (admission control), residency is bounded (LRU eviction through
+/// SketchStore checkpoints), and overload is always a typed kOverloaded
+/// response — never a silent drop.
+///
+/// Determinism: HandleBatch groups requests by tenant, absorbs each
+/// tenant's rows concurrently (pure per-tenant compute; FD's nested
+/// spectral-kernel schedule is bit-identical under the pool), and runs
+/// admission, eviction, epoch seals, and checkpoints serially in arrival
+/// order — so responses and all tenant state are bit-identical at any
+/// DS_THREADS.
+///
+/// Thread-safety: the service itself is confined to its caller (one
+/// handler thread — the service runner's event loop); internal
+/// parallelism happens through the global pool inside HandleBatch.
+class SketchService {
+ public:
+  static StatusOr<SketchService> Create(const SketchServiceOptions& options);
+
+  /// Handles one request (admission -> absorb -> epoch boundary).
+  ServiceResponse Handle(const ServiceRequest& request);
+
+  /// Handles a batch: per-tenant parallel absorb, serial everything
+  /// else. Response i answers request i.
+  std::vector<ServiceResponse> HandleBatch(
+      const std::vector<ServiceRequest>& requests);
+
+  /// Checkpoints every resident tenant to the store (no eviction).
+  /// No-op without a store.
+  Status FlushAll();
+
+  /// Checkpoints and evicts one tenant (testing/demo hook: forces the
+  /// restore path). NotFound if the tenant is not resident.
+  Status EvictTenant(const std::string& tenant);
+
+  size_t resident_tenants() const { return resident_.size(); }
+  size_t known_tenants() const { return known_.size(); }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t restores() const { return restores_; }
+  uint64_t shed() const { return shed_; }
+  const SketchServiceOptions& options() const { return options_; }
+
+  /// Store key for a tenant's checkpoint entry.
+  static std::string StoreKey(const std::string& tenant) {
+    return "tenant-" + tenant;
+  }
+
+ private:
+  explicit SketchService(const SketchServiceOptions& options)
+      : options_(options) {}
+
+  struct Resident {
+    std::unique_ptr<TenantSketch> sketch;
+    uint64_t last_touch = 0;
+  };
+
+  /// Admission + residency: returns the live TenantSketch for `name`,
+  /// restoring or creating it as needed; sheds with kOverloaded when the
+  /// registry (or, without a store, the residency cap) is full.
+  StatusOr<TenantSketch*> TouchTenant(const std::string& name);
+  Status EvictLruLocked();
+  Status CheckpointTenant(const TenantSketch& tenant);
+  ServiceResponse MakeResponse(const ServiceRequest& request,
+                               const Status& status, TenantSketch* tenant);
+
+  SketchServiceOptions options_;
+  /// Live tenants. std::map: deterministic iteration for eviction scans
+  /// and FlushAll.
+  std::map<std::string, Resident> resident_;
+  /// Every admitted tenant name (resident or evicted) — the bounded
+  /// registry.
+  std::set<std::string> known_;
+  /// Tenants the in-flight batch holds live pointers to; EvictLruLocked
+  /// skips them. Set only for the duration of a HandleBatch admission
+  /// phase.
+  const std::set<std::string>* pinned_ = nullptr;
+  uint64_t touch_counter_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t restores_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_SERVICE_SKETCH_SERVICE_H_

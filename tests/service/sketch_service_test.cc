@@ -1,0 +1,415 @@
+// The multi-tenant sketch service: request/response wire round-trips,
+// the tenant epoch-merge state machine, admission control and typed
+// kOverloaded shedding, LRU eviction with bit-identical checkpoint
+// restore (pinned against a never-evicted shadow tenant), batch
+// determinism across thread-pool widths, and the runner's full overload
+// ladder (channel shed / wire loss / decode failure / registry full).
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "service/service_runner.h"
+#include "service/service_wire.h"
+#include "service/sketch_service.h"
+#include "service/tenant.h"
+#include "store/sketch_store.h"
+#include "workload/generators.h"
+
+namespace distsketch {
+namespace {
+
+constexpr size_t kDim = 8;
+
+uint64_t MatrixDigest(const Matrix& m) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(m.rows());
+  mix(m.cols());
+  for (size_t i = 0; i < m.size(); ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, m.data() + i, 8);
+    mix(bits);
+  }
+  return h;
+}
+
+Matrix Rows(size_t n, uint64_t seed) {
+  return GenerateGaussian(n, kDim, 1.0, seed);
+}
+
+TenantOptions SmallTenant() {
+  return TenantOptions{.dim = kDim, .eps = 0.25, .epoch_rows = 16};
+}
+
+class StoreDir {
+ public:
+  StoreDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("svc_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::remove_all(dir_);
+  }
+  ~StoreDir() { std::filesystem::remove_all(dir_); }
+  std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST(ServiceWire, RequestRoundTrip) {
+  const Matrix rows = Rows(5, 11);
+  const wire::Message msg = EncodeIngestRequest("tenant-a", rows);
+  EXPECT_EQ(msg.tag, "svc/ingest");
+  EXPECT_EQ(msg.words, rows.size());
+  auto req = DecodeServiceRequest(msg.payload);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->kind, ServiceRequestKind::kIngest);
+  EXPECT_EQ(req->tenant, "tenant-a");
+  EXPECT_EQ(MatrixDigest(req->rows), MatrixDigest(rows));
+
+  auto flush = DecodeServiceRequest(EncodeFlushRequest("t").payload);
+  ASSERT_TRUE(flush.ok());
+  EXPECT_EQ(flush->kind, ServiceRequestKind::kFlush);
+  auto query = DecodeServiceRequest(EncodeQueryRequest("t").payload);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->kind, ServiceRequestKind::kQuery);
+}
+
+TEST(ServiceWire, ResponseRoundTrip) {
+  ServiceResponse resp;
+  resp.code = StatusCode::kOverloaded;
+  resp.tenant = "t9";
+  resp.epoch = 7;
+  resp.rows_ingested = 1234;
+  resp.sketch = Rows(3, 5);
+  const wire::Message msg = EncodeServiceResponse(resp);
+  EXPECT_EQ(msg.tag, "svc/response");
+  auto decoded = DecodeServiceResponse(msg.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kOverloaded);
+  EXPECT_EQ(decoded->tenant, "t9");
+  EXPECT_EQ(decoded->epoch, 7u);
+  EXPECT_EQ(decoded->rows_ingested, 1234u);
+  EXPECT_EQ(MatrixDigest(decoded->sketch), MatrixDigest(resp.sketch));
+}
+
+TEST(ServiceWire, RejectsMalformedRequests) {
+  EXPECT_FALSE(DecodeServiceRequest({}).ok());
+  EXPECT_FALSE(DecodeServiceRequest({9, 0, 0}).ok());  // unknown kind
+  wire::Message msg = EncodeIngestRequest("t", Rows(2, 1));
+  msg.payload.resize(msg.payload.size() / 2);  // truncated body
+  EXPECT_FALSE(DecodeServiceRequest(msg.payload).ok());
+}
+
+TEST(TenantSketch, EpochMergeMatchesSingleSketch) {
+  auto tenant = TenantSketch::Create("t", SmallTenant());
+  ASSERT_TRUE(tenant.ok());
+  auto reference =
+      FrequentDirections::FromEps(kDim, SmallTenant().eps);
+  ASSERT_TRUE(reference.ok());
+
+  // Epoch boundaries are merges of mergeable summaries: driving the
+  // same rows through seal cycles must track a single FD sketch fed the
+  // epoch sketches via Merge — which is exactly what SealEpoch does.
+  uint64_t seals = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    const Matrix rows = Rows(7, 100 + batch);
+    ASSERT_TRUE(tenant->AbsorbRows(rows).ok());
+    while (tenant->EpochReady()) {
+      tenant->SealEpoch();
+      ++seals;
+    }
+  }
+  EXPECT_GT(seals, 0u);
+  EXPECT_EQ(tenant->epoch(), seals);
+  EXPECT_EQ(tenant->rows_ingested(), 70u);
+
+  auto query = tenant->Query();
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->cols(), kDim);
+
+  // Checkpoint -> restore round trip is bit-identical, including the
+  // open (unsealed) epoch.
+  auto restored =
+      TenantSketch::Restore("t", SmallTenant(), tenant->Checkpoint());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->epoch(), tenant->epoch());
+  EXPECT_EQ(restored->rows_in_epoch(), tenant->rows_in_epoch());
+  auto restored_query = restored->Query();
+  ASSERT_TRUE(restored_query.ok());
+  EXPECT_EQ(MatrixDigest(*restored_query), MatrixDigest(*query));
+  EXPECT_EQ(restored->Checkpoint(), tenant->Checkpoint());
+}
+
+TEST(SketchService, IngestSealsEpochsAndAnswersQueries) {
+  auto service = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 8, .max_resident = 8});
+  ASSERT_TRUE(service.ok());
+  ServiceRequest ingest{ServiceRequestKind::kIngest, "a", Rows(40, 3)};
+  ServiceResponse resp = service->Handle(ingest);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_EQ(resp.rows_ingested, 40u);
+  // One seal: a seal closes the whole open epoch (40 rows >= 16), so a
+  // single oversized batch crosses the boundary once.
+  EXPECT_EQ(resp.epoch, 1u);
+
+  ServiceResponse query =
+      service->Handle({ServiceRequestKind::kQuery, "a", Matrix(0, 0)});
+  EXPECT_EQ(query.code, StatusCode::kOk);
+  EXPECT_EQ(query.sketch.cols(), kDim);
+  EXPECT_GT(query.sketch.rows(), 0u);
+
+  // Bad tenant names are rejected, not admitted.
+  ServiceResponse bad =
+      service->Handle({ServiceRequestKind::kIngest, "../evil", Rows(1, 1)});
+  EXPECT_EQ(bad.code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->known_tenants(), 1u);
+}
+
+TEST(SketchService, AdmissionControlShedsBeyondMaxTenants) {
+  auto service = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 3, .max_resident = 3});
+  ASSERT_TRUE(service.ok());
+  for (int i = 0; i < 3; ++i) {
+    ServiceResponse r = service->Handle({ServiceRequestKind::kIngest,
+                                         "t" + std::to_string(i),
+                                         Rows(2, i)});
+    EXPECT_EQ(r.code, StatusCode::kOk);
+  }
+  ServiceResponse shed =
+      service->Handle({ServiceRequestKind::kIngest, "t3", Rows(2, 9)});
+  EXPECT_EQ(shed.code, StatusCode::kOverloaded);
+  EXPECT_EQ(service->shed(), 1u);
+  EXPECT_EQ(service->known_tenants(), 3u);
+  // Existing tenants keep working while new ones shed.
+  ServiceResponse ok =
+      service->Handle({ServiceRequestKind::kIngest, "t0", Rows(2, 10)});
+  EXPECT_EQ(ok.code, StatusCode::kOk);
+}
+
+TEST(SketchService, EvictionRestoreIsBitIdenticalToNeverEvicted) {
+  StoreDir dir;
+  auto store = SketchStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto evicting = SketchService::Create({.tenant = SmallTenant(),
+                                         .max_tenants = 64,
+                                         .max_resident = 2,
+                                         .store = &*store});
+  ASSERT_TRUE(evicting.ok());
+  auto shadow = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 64, .max_resident = 64});
+  ASSERT_TRUE(shadow.ok());
+
+  // Interleave ingest over 6 tenants with only 2 resident slots: every
+  // touch of a cold tenant forces an evict + restore cycle.
+  constexpr int kTenants = 6;
+  for (int round = 0; round < 5; ++round) {
+    for (int t = 0; t < kTenants; ++t) {
+      const std::string name = "tenant" + std::to_string(t);
+      const Matrix rows = Rows(9, 1000 + round * kTenants + t);
+      ServiceRequest req{ServiceRequestKind::kIngest, name, rows};
+      EXPECT_EQ(evicting->Handle(req).code, StatusCode::kOk);
+      EXPECT_EQ(shadow->Handle(req).code, StatusCode::kOk);
+    }
+  }
+  EXPECT_GT(evicting->evictions(), 0u);
+  EXPECT_GT(evicting->restores(), 0u);
+  EXPECT_LE(evicting->resident_tenants(), 2u);
+  EXPECT_EQ(shadow->evictions(), 0u);
+
+  // Every tenant's query answer is bit-identical to the never-evicted
+  // shadow copy — checkpoint/restore is exact, not approximate.
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string name = "tenant" + std::to_string(t);
+    ServiceRequest query{ServiceRequestKind::kQuery, name, Matrix(0, 0)};
+    ServiceResponse a = evicting->Handle(query);
+    ServiceResponse b = shadow->Handle(query);
+    ASSERT_EQ(a.code, StatusCode::kOk) << name;
+    ASSERT_EQ(b.code, StatusCode::kOk) << name;
+    EXPECT_EQ(a.rows_ingested, b.rows_ingested) << name;
+    EXPECT_EQ(a.epoch, b.epoch) << name;
+    EXPECT_EQ(MatrixDigest(a.sketch), MatrixDigest(b.sketch)) << name;
+  }
+}
+
+TEST(SketchService, ExplicitEvictThenTouchRestores) {
+  StoreDir dir;
+  auto store = SketchStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto service = SketchService::Create({.tenant = SmallTenant(),
+                                        .max_tenants = 8,
+                                        .max_resident = 8,
+                                        .store = &*store});
+  ASSERT_TRUE(service.ok());
+  service->Handle({ServiceRequestKind::kIngest, "a", Rows(20, 1)});
+  ServiceResponse before =
+      service->Handle({ServiceRequestKind::kQuery, "a", Matrix(0, 0)});
+  ASSERT_EQ(before.code, StatusCode::kOk);
+
+  ASSERT_TRUE(service->EvictTenant("a").ok());
+  EXPECT_EQ(service->resident_tenants(), 0u);
+  EXPECT_EQ(service->known_tenants(), 1u);
+
+  ServiceResponse after =
+      service->Handle({ServiceRequestKind::kQuery, "a", Matrix(0, 0)});
+  ASSERT_EQ(after.code, StatusCode::kOk);
+  EXPECT_EQ(service->restores(), 1u);
+  EXPECT_EQ(MatrixDigest(after.sketch), MatrixDigest(before.sketch));
+}
+
+TEST(SketchService, BatchResultsIdenticalAcrossThreadWidths) {
+  const size_t saved_threads = ThreadPool::GlobalThreads();
+  std::vector<uint64_t> digests;
+  for (const size_t threads : {size_t{1}, size_t{8}}) {
+    ThreadPool::SetGlobalThreads(threads);
+    auto service = SketchService::Create(
+        {.tenant = SmallTenant(), .max_tenants = 32, .max_resident = 32});
+    ASSERT_TRUE(service.ok());
+    std::vector<ServiceRequest> batch;
+    for (int i = 0; i < 24; ++i) {
+      batch.push_back({ServiceRequestKind::kIngest,
+                       "t" + std::to_string(i % 6), Rows(11, 40 + i)});
+    }
+    for (int t = 0; t < 6; ++t) {
+      batch.push_back(
+          {ServiceRequestKind::kQuery, "t" + std::to_string(t), Matrix(0, 0)});
+    }
+    std::vector<ServiceResponse> responses = service->HandleBatch(batch);
+    uint64_t digest = 0xcbf29ce484222325ULL;
+    for (const ServiceResponse& r : responses) {
+      digest ^= MatrixDigest(r.sketch) + r.epoch + r.rows_ingested +
+                static_cast<uint64_t>(r.code);
+      digest *= 0x100000001b3ULL;
+    }
+    digests.push_back(digest);
+  }
+  ThreadPool::SetGlobalThreads(saved_threads);
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(SketchService, BatchMatchesRequestAtATime) {
+  auto batched = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 16, .max_resident = 16});
+  auto serial = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 16, .max_resident = 16});
+  ASSERT_TRUE(batched.ok() && serial.ok());
+  std::vector<ServiceRequest> batch;
+  for (int i = 0; i < 18; ++i) {
+    batch.push_back({ServiceRequestKind::kIngest, "t" + std::to_string(i % 4),
+                     Rows(7, 300 + i)});
+  }
+  std::vector<ServiceResponse> from_batch = batched->HandleBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ServiceResponse one = serial->Handle(batch[i]);
+    EXPECT_EQ(one.code, from_batch[i].code) << i;
+    EXPECT_EQ(one.epoch, from_batch[i].epoch) << i;
+    EXPECT_EQ(one.rows_ingested, from_batch[i].rows_ingested) << i;
+  }
+  for (int t = 0; t < 4; ++t) {
+    ServiceRequest query{ServiceRequestKind::kQuery, "t" + std::to_string(t),
+                         Matrix(0, 0)};
+    EXPECT_EQ(MatrixDigest(batched->Handle(query).sketch),
+              MatrixDigest(serial->Handle(query).sketch));
+  }
+}
+
+TEST(ServiceRunner, OverloadLadderAndResponseDelivery) {
+  ServiceRunnerOptions options;
+  options.service = {
+      .tenant = SmallTenant(), .max_tenants = 2, .max_resident = 2};
+  options.channel.peer_queue_capacity = 4;
+  auto runner = ServiceRunner::Create(options);
+  ASSERT_TRUE(runner.ok());
+
+  std::vector<ServiceResponse> answers;
+  auto collect = [&answers](const ServiceResponse& r) {
+    answers.push_back(r);
+  };
+
+  // Client 0 fills its queue; the fifth submit sheds at the channel.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        (*runner)->SubmitIngest(0, "a", Rows(4, 10 + i), collect).ok());
+  }
+  Status shed = (*runner)->SubmitIngest(0, "a", Rows(4, 99), collect);
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+
+  // A garbage frame is answered kInvalidArgument, not dropped.
+  wire::Message garbage;
+  garbage.tag = "svc/ingest";
+  garbage.payload = {42, 42, 42};
+  garbage.words = 1;
+  ASSERT_TRUE((*runner)->Submit(1, garbage, collect).ok());
+
+  // A third tenant beyond max_tenants gets a typed kOverloaded response.
+  ASSERT_TRUE((*runner)->SubmitIngest(2, "b", Rows(2, 50), collect).ok());
+  ASSERT_TRUE((*runner)->SubmitIngest(3, "c", Rows(2, 51), collect).ok());
+
+  const size_t processed = (*runner)->Drain();
+  EXPECT_EQ(processed, 7u);
+  ASSERT_EQ(answers.size(), 7u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(answers[i].code, StatusCode::kOk) << i;
+    EXPECT_EQ(answers[i].tenant, "a");
+  }
+  EXPECT_EQ(answers[4].code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(answers[5].code, StatusCode::kOk);
+  EXPECT_EQ(answers[6].code, StatusCode::kOverloaded);
+  EXPECT_EQ((*runner)->accepted(), 7u);
+  EXPECT_EQ((*runner)->responded(), 7u);
+  // Responses were metered on the runner's wire.
+  EXPECT_GT((*runner)->log().Stats().total_wire_bytes, 0u);
+}
+
+TEST(ServiceRunner, WireLossAnswersUnavailableDeterministically) {
+  auto run = [] {
+    ServiceRunnerOptions options;
+    options.service = {
+        .tenant = SmallTenant(), .max_tenants = 64, .max_resident = 64};
+    options.channel.peer_queue_capacity = 256;
+    FaultConfig fc;
+    fc.default_profile.drop_prob = 0.3;
+    fc.max_retries = 1;
+    fc.seed = 555;
+    options.faults = fc;
+    auto runner = ServiceRunner::Create(options);
+    DS_CHECK(runner.ok());
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 40; ++i) {
+      Status s = (*runner)->SubmitIngest(
+          i % 8, "t" + std::to_string(i % 8), Rows(3, 600 + i),
+          [&codes](const ServiceResponse& r) { codes.push_back(r.code); });
+      DS_CHECK(s.ok());
+    }
+    (*runner)->Drain();
+    return std::make_pair(codes, (*runner)->wire_lost());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  EXPECT_GT(first.second, 0u);  // the plan actually lost requests
+  size_t unavailable = 0;
+  for (const StatusCode c : first.first) {
+    if (c == StatusCode::kUnavailable) ++unavailable;
+  }
+  EXPECT_EQ(unavailable, first.second);
+  EXPECT_EQ(first.first.size(), 40u);  // every accepted submit answered
+}
+
+}  // namespace
+}  // namespace distsketch
