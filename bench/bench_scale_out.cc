@@ -1,0 +1,388 @@
+// E12: scale-out sweep of the aggregation topologies. Stars ship every
+// per-server sketch straight to the coordinator, so coordinator inbound
+// bytes grow as O(s * message); k-ary trees fold sketches at interior
+// servers and the coordinator receives only the top level — the sweep
+// measures exactly that gap over s in {64, 256, 1024} for the three
+// mergeable protocols (fd_merge, exact_gram, countsketch), plus:
+//
+//   - Zipf-skewed shards (workload realism: a few servers hold most
+//     rows; the tree's inbound win is partition-independent),
+//   - sparse-aware local compute (CSR Gram vs dense Gram at ~2% nnz),
+//   - chaos at scale (interior-node deaths at s=256 under tree(8):
+//     re-parenting keeps the run alive, degraded accounting stays
+//     honest).
+//
+// `--smoke` shrinks the sweep to s <= 256 for CTest / CI. `--check
+// <baseline.json>` gates the measured ratios against the committed
+// floors in bench/scale_out_baseline.json and exits nonzero on a
+// regression. The inbound-bytes floor (>= 8x) is hardware-independent;
+// the wall floors are conservative because the tree's wall win comes
+// from per-level merge parallelism, which a single-core host cannot
+// show (there the honest expectation is parity, and the floor only
+// guards against the tree becoming outright slower).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "dist/countsketch_protocol.h"
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "linalg/blas.h"
+#include "linalg/csr_matrix.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+struct RunResult {
+  double wall_ms = 0.0;
+  uint64_t words = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t coord_wire_bytes = 0;
+  double bound_widening = 0.0;
+  size_t lost_servers = 0;
+};
+
+/// Best-of-reps run of one protocol on one cluster; coordinator inbound
+/// is read off the CommLog of the last (identical) run.
+RunResult RunProtocol(SketchProtocol& protocol, Cluster& cluster, int reps) {
+  RunResult out;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    bench::WallTimer timer;
+    auto result = protocol.Run(cluster);
+    const double ms = timer.ElapsedMs();
+    DS_CHECK(result.ok());
+    if (best < 0.0 || ms < best) best = ms;
+    out.words = result->comm.total_words;
+    out.wire_bytes = result->comm.total_wire_bytes;
+    out.bound_widening = result->degraded.BoundWidening();
+    out.lost_servers = result->degraded.lost_servers.size();
+  }
+  out.wall_ms = best;
+  out.coord_wire_bytes = cluster.log().WireBytesReceivedBy(kCoordinator);
+  return out;
+}
+
+std::string TopologyLabel(const MergeTopologyOptions& topology) {
+  if (topology.is_star()) return "star";
+  return std::string(TopologyKindName(topology.kind)) +
+         std::to_string(topology.fanout);
+}
+
+void Report(const char* op, size_t s, const std::string& topology,
+            const RunResult& r) {
+  std::printf("%-22s s=%5zu %-6s %9.2f ms %10llu words %10llu coord B\n",
+              op, s, topology.c_str(), r.wall_ms,
+              static_cast<unsigned long long>(r.words),
+              static_cast<unsigned long long>(r.coord_wire_bytes));
+}
+
+double JsonNumber(const std::string& text, const std::string& key,
+                  double fallback) {
+  const std::string tag = "\"" + key + "\":";
+  size_t pos = text.find(tag);
+  if (pos == std::string::npos) return fallback;
+  pos += tag.size();
+  return std::strtod(text.c_str() + pos, nullptr);
+}
+
+/// Measured star/tree and dense/sparse ratios the --check gate audits.
+struct GateRatios {
+  double fd_inbound = 0.0;
+  double fd_wall = 0.0;
+  double gram_inbound = 0.0;
+  double gram_wall = 0.0;
+  double sparse_gram = 0.0;
+};
+
+int CheckAgainstBaseline(const char* path, bool smoke,
+                         const GateRatios& measured) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path);
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const char* mode = smoke ? "smoke" : "full";
+  const double inbound_min = JsonNumber(
+      text, std::string(mode) + "_inbound_ratio_min", -1.0);
+  const double wall_min =
+      JsonNumber(text, std::string(mode) + "_wall_ratio_min", -1.0);
+  const double sparse_min = JsonNumber(
+      text, std::string(mode) + "_sparse_gram_ratio_min", -1.0);
+  if (inbound_min <= 0.0 || wall_min <= 0.0 || sparse_min <= 0.0) {
+    std::fprintf(stderr, "baseline %s missing %s-mode floors\n", path, mode);
+    return 2;
+  }
+  int rc = 0;
+  const auto gate = [&rc](const char* what, double value, double floor) {
+    std::printf("gate %-28s %8.2fx (floor %.2fx)%s\n", what, value, floor,
+                value >= floor ? "" : "  FAIL");
+    if (value < floor) rc = 1;
+  };
+  gate("fd_merge coord inbound", measured.fd_inbound, inbound_min);
+  gate("exact_gram coord inbound", measured.gram_inbound, inbound_min);
+  gate("fd_merge wall star/tree", measured.fd_wall, wall_min);
+  gate("exact_gram wall star/tree", measured.gram_wall, wall_min);
+  gate("sparse gram kernel", measured.sparse_gram, sparse_min);
+  return rc;
+}
+
+}  // namespace
+}  // namespace distsketch
+
+int main(int argc, char** argv) {
+  using namespace distsketch;
+  bool smoke = false;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  std::printf("Scale-out sweep: star vs tree(8) aggregation\n\n");
+
+  const std::vector<size_t> sweep =
+      smoke ? std::vector<size_t>{64, 256} : std::vector<size_t>{64, 256, 1024};
+  const size_t n = smoke ? 1024 : 4096;
+  const size_t d = smoke ? 32 : 64;
+  const double eps = 0.15;
+  const int reps = smoke ? 1 : 3;
+  const size_t threads = ThreadPool::Global().num_threads();
+  const size_t s_gate = sweep.back();
+
+  const Matrix a = GenerateLowRankPlusNoise({.rows = n,
+                                             .cols = d,
+                                             .rank = 8,
+                                             .decay = 0.6,
+                                             .top_singular_value = 30.0,
+                                             .noise_stddev = 0.3,
+                                             .seed = 7});
+  bench::BenchJsonWriter json;
+  GateRatios gates;
+
+  const MergeTopologyOptions topologies[] = {MergeTopologyOptions::Star(),
+                                             MergeTopologyOptions::Tree(8)};
+
+  bench::Section("topology sweep (round-robin shards)");
+  for (const size_t s : sweep) {
+    RunResult star_fd, tree_fd, star_gram, tree_gram;
+    for (const MergeTopologyOptions& topo : topologies) {
+      const std::string label = TopologyLabel(topo);
+      Cluster cluster = bench::MakeCluster(a, s, eps);
+
+      FdMergeProtocol fd({.eps = eps, .k = 0, .topology = topo});
+      const RunResult fd_r = RunProtocol(fd, cluster, reps);
+      Report("fd_merge", s, label, fd_r);
+      json.Add({.op = "fd_merge",
+                .n = n,
+                .d = d,
+                .s = s,
+                .l = static_cast<size_t>(1.0 / eps) + 2,
+                .threads = threads,
+                .wall_ms = fd_r.wall_ms,
+                .words = fd_r.words,
+                .wire_bytes = fd_r.wire_bytes,
+                .topology = label,
+                .coord_wire_bytes = fd_r.coord_wire_bytes});
+
+      ExactGramProtocol gram({.topology = topo});
+      const RunResult gram_r = RunProtocol(gram, cluster, reps);
+      Report("exact_gram", s, label, gram_r);
+      json.Add({.op = "exact_gram",
+                .n = n,
+                .d = d,
+                .s = s,
+                .l = d,
+                .threads = threads,
+                .wall_ms = gram_r.wall_ms,
+                .words = gram_r.words,
+                .wire_bytes = gram_r.wire_bytes,
+                .topology = label,
+                .coord_wire_bytes = gram_r.coord_wire_bytes});
+
+      CountSketchProtocol cs({.eps = 0.3,
+                              .oversample = 2.0,
+                              .seed = 29,
+                              .topology = topo});
+      const RunResult cs_r = RunProtocol(cs, cluster, reps);
+      Report("countsketch", s, label, cs_r);
+      json.Add({.op = "countsketch",
+                .n = n,
+                .d = d,
+                .s = s,
+                .l = 0,
+                .threads = threads,
+                .wall_ms = cs_r.wall_ms,
+                .words = cs_r.words,
+                .wire_bytes = cs_r.wire_bytes,
+                .topology = label,
+                .coord_wire_bytes = cs_r.coord_wire_bytes});
+
+      if (topo.is_star()) {
+        star_fd = fd_r;
+        star_gram = gram_r;
+      } else {
+        tree_fd = fd_r;
+        tree_gram = gram_r;
+      }
+    }
+    if (s == s_gate) {
+      gates.fd_inbound = static_cast<double>(star_fd.coord_wire_bytes) /
+                         static_cast<double>(tree_fd.coord_wire_bytes);
+      gates.fd_wall = star_fd.wall_ms / tree_fd.wall_ms;
+      gates.gram_inbound = static_cast<double>(star_gram.coord_wire_bytes) /
+                           static_cast<double>(tree_gram.coord_wire_bytes);
+      gates.gram_wall = star_gram.wall_ms / tree_gram.wall_ms;
+    }
+  }
+
+  // Zipf-skewed shards: the tree's inbound cut is partition-independent
+  // (every server still sends one uplink), while the star's coordinator
+  // takes the same s messages regardless of skew.
+  bench::Section("zipf-skewed shards (alpha = 1)");
+  {
+    const size_t s = smoke ? 64 : 256;
+    for (const MergeTopologyOptions& topo : topologies) {
+      auto cluster = Cluster::Create(PartitionRowsZipf(a, s, 1.0), eps);
+      DS_CHECK(cluster.ok());
+      FdMergeProtocol fd({.eps = eps, .k = 0, .topology = topo});
+      const RunResult r = RunProtocol(fd, *cluster, reps);
+      const std::string label = TopologyLabel(topo);
+      Report("fd_merge_zipf", s, label, r);
+      json.Add({.op = "fd_merge_zipf",
+                .n = n,
+                .d = d,
+                .s = s,
+                .l = static_cast<size_t>(1.0 / eps) + 2,
+                .threads = threads,
+                .wall_ms = r.wall_ms,
+                .words = r.words,
+                .wire_bytes = r.wire_bytes,
+                .topology = label,
+                .coord_wire_bytes = r.coord_wire_bytes});
+    }
+  }
+
+  // Sparse-aware local compute: CSR Gram (nnz-proportional scatter
+  // kernel) vs dense Gram at ~2% density. Kernel-level ratio is the
+  // gate; the protocol-level pair shows it end to end.
+  bench::Section("sparse gram (2% density)");
+  {
+    const size_t sn = smoke ? 512 : 2048;
+    const size_t sd = smoke ? 128 : 256;
+    const Matrix sp = GenerateSparse(
+        {.rows = sn, .cols = sd, .density = 0.02, .value_stddev = 1.0,
+         .seed = 11});
+    const CsrMatrix csr = CsrMatrix::FromDense(sp);
+    const int kreps = smoke ? 3 : 5;
+    double dense_ms = -1.0, sparse_ms = -1.0;
+    for (int r = 0; r < kreps; ++r) {
+      bench::WallTimer t1;
+      const Matrix g1 = Gram(sp);
+      const double m1 = t1.ElapsedMs();
+      if (dense_ms < 0.0 || m1 < dense_ms) dense_ms = m1;
+      bench::WallTimer t2;
+      const Matrix g2 = csr.Gram();
+      const double m2 = t2.ElapsedMs();
+      if (sparse_ms < 0.0 || m2 < sparse_ms) sparse_ms = m2;
+      DS_CHECK(MaxAbs(Subtract(g1, g2)) < 1e-9);
+    }
+    gates.sparse_gram = dense_ms / sparse_ms;
+    std::printf("gram kernel %zux%zu: dense %.3f ms, sparse %.3f ms "
+                "(%.1fx)\n",
+                sn, sd, dense_ms, sparse_ms, gates.sparse_gram);
+    json.Add({.op = "gram_kernel_dense", .n = sn, .d = sd, .s = 0, .l = 0,
+              .threads = 1, .wall_ms = dense_ms, .words = 0,
+              .wire_bytes = 0});
+    json.Add({.op = "gram_kernel_sparse", .n = sn, .d = sd, .s = 0, .l = 0,
+              .threads = 1, .wall_ms = sparse_ms, .words = 0,
+              .wire_bytes = 0});
+
+    const size_t s = 16;
+    for (const bool use_sparse : {false, true}) {
+      auto parts = PartitionRows(sp, s, PartitionScheme::kRoundRobin);
+      auto cluster = use_sparse ? Cluster::CreateSparse(parts, eps)
+                                : Cluster::Create(parts, eps);
+      DS_CHECK(cluster.ok());
+      ExactGramProtocol gram({.topology = MergeTopologyOptions::Star(),
+                              .use_sparse = use_sparse});
+      const RunResult r = RunProtocol(gram, *cluster, kreps);
+      const char* op = use_sparse ? "exact_gram_sparse_input"
+                                  : "exact_gram_dense_input";
+      Report(op, s, "star", r);
+      json.Add({.op = op,
+                .n = sn,
+                .d = sd,
+                .s = s,
+                .l = sd,
+                .threads = threads,
+                .wall_ms = r.wall_ms,
+                .words = r.words,
+                .wire_bytes = r.wire_bytes,
+                .topology = "star",
+                .coord_wire_bytes = r.coord_wire_bytes});
+    }
+  }
+
+  // Chaos at scale: interior-node deaths plus flaky links under tree(8).
+  // Re-parenting keeps every surviving subtree's contribution; the
+  // degraded bound widens by exactly the dead nodes' local masses.
+  bench::Section("chaos at scale (tree(8), interior deaths)");
+  {
+    const size_t s = smoke ? 64 : 256;
+    Cluster cluster = bench::MakeCluster(a, s, eps);
+    FaultConfig config;
+    config.default_profile.drop_prob = 0.02;
+    config.default_profile.truncate_prob = 0.01;
+    // Interior merge nodes of the contiguous tree(8): block heads.
+    // Die after the mass-report round (reports are ~1 virtual time unit
+    // each, plus timeout on faulted attempts) but during the uplink
+    // stages, so the accounting stays finite while re-parenting runs.
+    config.per_server[8].die_at_time = 90.0;
+    config.per_server[16].die_at_time = 75.0;
+    config.seed = 4242;
+    cluster.InstallFaultPlan(config);
+    FdMergeProtocol fd({.eps = eps,
+                        .k = 0,
+                        .topology = MergeTopologyOptions::Tree(8)});
+    const RunResult r = RunProtocol(fd, cluster, reps);
+    Report("fd_merge_tree_chaos", s, "tree8", r);
+    std::printf("  lost servers: %zu, bound widening: %.3f\n",
+                r.lost_servers, r.bound_widening);
+    json.Add({.op = "fd_merge_tree_chaos",
+              .n = n,
+              .d = d,
+              .s = s,
+              .l = static_cast<size_t>(1.0 / eps) + 2,
+              .threads = threads,
+              .wall_ms = r.wall_ms,
+              .words = r.words,
+              .wire_bytes = r.wire_bytes,
+              .topology = "tree8",
+              .coord_wire_bytes = r.coord_wire_bytes});
+  }
+
+  std::printf("\nratios at s=%zu: fd inbound %.1fx wall %.2fx | gram "
+              "inbound %.1fx wall %.2fx | sparse gram %.1fx\n",
+              s_gate, gates.fd_inbound, gates.fd_wall, gates.gram_inbound,
+              gates.gram_wall, gates.sparse_gram);
+
+  if (baseline_path != nullptr) {
+    return CheckAgainstBaseline(baseline_path, smoke, gates);
+  }
+  return 0;
+}

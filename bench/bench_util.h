@@ -50,6 +50,14 @@ struct BenchRecord {
   // process-wide active backend so existing benches pick it up without
   // code changes; kernel benches that swap backends set it explicitly.
   std::string backend = std::string(SimdBackendName(ActiveSimdBackend()));
+  // Aggregation topology of the measured run ("star", "tree8", ...).
+  // Part of the row key: the same (op, shape) measured under different
+  // topologies are different experiments.
+  std::string topology = "star";
+  // Encoded frame bytes received by the coordinator — the quantity
+  // aggregation trees shrink while total wire_bytes stays put (0 for
+  // local kernels).
+  uint64_t coord_wire_bytes = 0;
 };
 
 /// Accumulates BenchRecords and merges them into a JSON array on Flush
@@ -133,8 +141,10 @@ class BenchJsonWriter {
         << ", \"d\": " << r.d << ", \"s\": " << r.s << ", \"l\": " << r.l
         << ", \"threads\": " << r.threads
         << ", \"backend\": \"" << r.backend << "\""
+        << ", \"topology\": \"" << r.topology << "\""
         << ", \"wall_ms\": " << r.wall_ms << ", \"words\": " << r.words
-        << ", \"wire_bytes\": " << r.wire_bytes << "}";
+        << ", \"wire_bytes\": " << r.wire_bytes
+        << ", \"coord_wire_bytes\": " << r.coord_wire_bytes << "}";
     return row.str();
   }
 
@@ -169,6 +179,12 @@ class BenchJsonWriter {
     }
     std::string backend = FieldOfRow(row, "backend");
     key += backend.empty() ? "scalar" : backend;
+    key += '|';
+    // Rows written before the `topology` field existed were all star
+    // runs (the only aggregation shape then), so a missing field keys
+    // as "star" — same migration the `backend` field got.
+    std::string topology = FieldOfRow(row, "topology");
+    key += topology.empty() ? "star" : topology;
     key += '|';
     return key;
   }

@@ -48,6 +48,16 @@ StatusOr<Cluster> Cluster::Create(std::vector<Matrix> parts,
   return Cluster(std::move(servers), dim, total_rows, cost_model);
 }
 
+StatusOr<Cluster> Cluster::CreateSparse(std::vector<Matrix> parts,
+                                        double eps_hint, double tol) {
+  DS_ASSIGN_OR_RETURN(Cluster cluster, Create(std::move(parts), eps_hint));
+  for (auto& server : cluster.servers_) {
+    server.AttachSparse(std::make_shared<CsrMatrix>(
+        CsrMatrix::FromDense(server.local_rows(), tol)));
+  }
+  return cluster;
+}
+
 SendOutcome Cluster::Send(int from, int to, const wire::Message& msg) {
   return channel_->SendAndWait(from, to, msg);
 }

@@ -13,6 +13,7 @@
 #include "dist/channel.h"
 #include "dist/comm_log.h"
 #include "dist/fault_injection.h"
+#include "linalg/csr_matrix.h"
 #include "linalg/matrix.h"
 #include "workload/row_stream.h"
 
@@ -35,9 +36,23 @@ class Server {
   /// Number of local rows.
   size_t num_rows() const { return local_rows_.rows(); }
 
+  /// True iff the partition also carries a CSR view (sparse-aware
+  /// protocols route their local compute through it; everything else
+  /// keeps using the dense rows, which stay authoritative).
+  bool has_sparse() const { return sparse_ != nullptr; }
+  /// The CSR view; only valid when has_sparse().
+  const CsrMatrix& sparse() const { return *sparse_; }
+
+  /// Attaches a CSR view of the same local rows (Cluster::CreateSparse).
+  void AttachSparse(std::shared_ptr<const CsrMatrix> sparse) {
+    sparse_ = std::move(sparse);
+  }
+
  private:
   int id_;
   Matrix local_rows_;
+  // shared_ptr: Server stays cheaply movable and the view is immutable.
+  std::shared_ptr<const CsrMatrix> sparse_;
 };
 
 /// The simulated message-passing cluster of the paper's model: `s`
@@ -52,6 +67,13 @@ class Cluster {
   /// the word size of the cost model (§1.2); pass the instance's real n
   /// and target eps.
   static StatusOr<Cluster> Create(std::vector<Matrix> parts, double eps_hint);
+
+  /// Like Create, but each server additionally carries a CSR view of its
+  /// partition (entries with |v| <= tol dropped) so sparse-aware
+  /// protocols can run nnz-proportional local kernels. The dense rows
+  /// remain authoritative; the CSR view is derived from them once here.
+  static StatusOr<Cluster> CreateSparse(std::vector<Matrix> parts,
+                                        double eps_hint, double tol = 0.0);
 
   size_t num_servers() const { return servers_.size(); }
   /// Row dimension d.

@@ -63,4 +63,20 @@ uint64_t CommLog::WordsSentBy(int from) const {
   return acc;
 }
 
+uint64_t CommLog::WordsReceivedBy(int to) const {
+  uint64_t acc = 0;
+  for (const auto& m : messages_) {
+    if (m.to == to && !m.control) acc += m.words;
+  }
+  return acc;
+}
+
+uint64_t CommLog::WireBytesReceivedBy(int to) const {
+  uint64_t acc = 0;
+  for (const auto& m : messages_) {
+    if (m.to == to && !m.control) acc += m.wire_bytes;
+  }
+  return acc;
+}
+
 }  // namespace distsketch

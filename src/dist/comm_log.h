@@ -108,6 +108,15 @@ class CommLog {
   /// Words sent by endpoint `from` (use kCoordinator for the coordinator).
   uint64_t WordsSentBy(int from) const;
 
+  /// Payload words received by endpoint `to` (control frames excluded).
+  /// The coordinator-inbound total — WordsReceivedBy(kCoordinator) — is
+  /// the quantity the aggregation topologies minimize.
+  uint64_t WordsReceivedBy(int to) const;
+
+  /// Encoded payload frame bytes received by endpoint `to` (control
+  /// frames excluded): the measured counterpart of WordsReceivedBy.
+  uint64_t WireBytesReceivedBy(int to) const;
+
   /// Full message trace (in send order).
   const std::vector<MessageRecord>& messages() const { return messages_; }
 

@@ -1,0 +1,149 @@
+#include "dist/countsketch_protocol.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dist/protocol_telemetry.h"
+#include "dist/tree_reduce.h"
+#include "linalg/blas.h"
+#include "sketch/countsketch.h"
+#include "telemetry/span.h"
+#include "workload/row_stream.h"
+
+namespace distsketch {
+namespace {
+
+/// Global row index of a server-local row: locally computable, distinct
+/// across servers (local counts stay far below 2^32), and stable under
+/// re-partitioning by whole shards — the properties the shared hash
+/// needs. Documented with the protocol in DESIGN.md §14.
+inline uint64_t GlobalRowIndex(size_t server, size_t local_row) {
+  return (static_cast<uint64_t>(server) << 32) |
+         static_cast<uint64_t>(local_row);
+}
+
+}  // namespace
+
+StatusOr<SketchProtocolResult> CountSketchProtocol::Run(Cluster& cluster) {
+  cluster.ResetLog();
+  ProtocolRunScope run_scope(cluster, "countsketch");
+  const size_t d = cluster.dim();
+  const size_t s = cluster.num_servers();
+  CommLog& log = cluster.log();
+  const bool ft = cluster.fault_mode();
+  log.BeginRound();
+
+  if (options_.eps <= 0.0 || options_.oversample <= 0.0) {
+    return Status::InvalidArgument(
+        "countsketch: eps and oversample must be > 0");
+  }
+  const size_t m = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(options_.oversample / (options_.eps * options_.eps))));
+
+  DS_ASSIGN_OR_RETURN(MergeTopology topo,
+                      MergeTopology::Build(s, options_.topology));
+
+  SketchProtocolResult result;
+
+  // Seed downlink, reverse topology order: the coordinator sends the
+  // 1-word seed to the top layer only; interior nodes forward it to
+  // their children. Every server receives the seed exactly once, and the
+  // coordinator's outbound traffic is top_width words instead of s. A
+  // dead forwarder is routed around exactly like a dead merge target:
+  // the next live ancestor (or the coordinator) sends instead.
+  std::vector<uint64_t> seeds(s, 0);
+  std::vector<uint8_t> seeded(s, 0);
+  {
+    telemetry::Span span("countsketch/seed_downlink",
+                         telemetry::Phase::kComm);
+    const auto& stages = topo.stages();
+    wire::Message seed_msg = wire::SeedMessage("cs_seed", options_.seed);
+    for (size_t r = stages.size(); r-- > 0;) {
+      for (int node : stages[r]) {
+        if (cluster.ServerLost(node)) continue;
+        int src = topo.node(static_cast<size_t>(node)).parent;
+        while (src != kCoordinator &&
+               (cluster.ServerLost(src) || !seeded[static_cast<size_t>(src)])) {
+          src = topo.node(static_cast<size_t>(src)).parent;
+        }
+        SendOutcome out = cluster.Send(src, node, seed_msg);
+        if (!out.delivered) continue;  // loss accounted at reduce time
+        DS_ASSIGN_OR_RETURN(seeds[static_cast<size_t>(node)],
+                            wire::DecodeSeedPayload(out.payload));
+        seeded[static_cast<size_t>(node)] = 1;
+      }
+    }
+  }
+
+  // Local compute: each seeded server streams its rows through the
+  // compressor under the decoded seed — sparse rows through the O(nnz)
+  // scatter kernel when a CSR view is attached.
+  struct LocalWork {
+    Matrix compressed;
+    double mass = 0.0;
+  };
+  std::vector<LocalWork> locals = ParallelMap<LocalWork>(s, [&](size_t i) {
+    LocalWork w;
+    if (!seeded[i]) {
+      w.compressed.SetZero(m, d);
+      return w;
+    }
+    telemetry::Span span("countsketch/local_compress",
+                         telemetry::Phase::kCompute);
+    span.SetAttr("server", static_cast<int64_t>(i));
+    const Server& server = cluster.server(i);
+    CountSketchCompressor compressor(m, d, seeds[i]);
+    const bool sparse = options_.use_sparse && server.has_sparse();
+    span.SetAttr("kernel", sparse ? "sparse" : "dense");
+    if (sparse) {
+      const CsrMatrix& csr = server.sparse();
+      for (size_t r = 0; r < csr.rows(); ++r) {
+        compressor.AbsorbSparse(GlobalRowIndex(i, r), csr.RowIndices(r),
+                                csr.RowValues(r));
+      }
+    } else {
+      RowStream stream = server.OpenStream();
+      for (size_t r = 0; stream.HasNext(); ++r) {
+        compressor.Absorb(GlobalRowIndex(i, r), stream.Next());
+      }
+    }
+    w.compressed = std::move(compressor.ExportState().compressed);
+    if (ft) w.mass = SquaredFrobeniusNorm(server.local_rows());
+    return w;
+  });
+
+  // Uplink: bucket matrices add (linearity), so interior nodes sum in
+  // place and the driver handles transfers, telemetry and loss.
+  Matrix total;
+  total.SetZero(m, d);
+  TreeReduceHooks hooks;
+  hooks.absorb = [&](int node, const std::vector<uint8_t>& payload) -> Status {
+    wire::DecodedMatrix received;
+    DS_ASSIGN_OR_RETURN(received, wire::DecodeMessagePayload(payload));
+    Matrix& dst = (node == kCoordinator)
+                      ? total
+                      : locals[static_cast<size_t>(node)].compressed;
+    dst = Add(dst, received.matrix);
+    return Status::OK();
+  };
+  hooks.make_message = [&](int node) -> StatusOr<wire::Message> {
+    return wire::DenseMessage("local_cs",
+                              locals[static_cast<size_t>(node)].compressed);
+  };
+  hooks.local_mass = [&](int node) {
+    return locals[static_cast<size_t>(node)].mass;
+  };
+  DS_ASSIGN_OR_RETURN(TreeReduceStats tree_stats,
+                      RunTreeReduce(cluster, topo, hooks, result.degraded));
+  (void)tree_stats;
+
+  result.sketch = std::move(total);
+  result.comm = log.Stats();
+  result.sketch_rows = result.sketch.rows();
+  return result;
+}
+
+}  // namespace distsketch

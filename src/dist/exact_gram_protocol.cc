@@ -6,11 +6,37 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "dist/protocol_telemetry.h"
+#include "dist/tree_reduce.h"
 #include "linalg/blas.h"
 #include "linalg/eigen_sym.h"
 #include "telemetry/span.h"
 
 namespace distsketch {
+namespace {
+
+/// Coordinator finish: B = sqrt(Lambda) V^T from the eigendecomposition
+/// of the (exact) Gram sum. Shared by every topology — the sum is the
+/// same matrix, however it was aggregated.
+StatusOr<Matrix> GramToSketch(const Matrix& total_gram) {
+  telemetry::Span eig_span("exact_gram/coordinator_eig",
+                           telemetry::Phase::kCompute);
+  const size_t d = total_gram.rows();
+  DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
+                      ComputeSymmetricEigen(total_gram));
+  Matrix sketch;
+  sketch.SetZero(0, d);
+  std::vector<double> row(d);
+  for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {
+    const double lambda = eig.eigenvalues[j];
+    if (lambda <= 0.0) break;  // sorted non-increasing
+    const double sigma = std::sqrt(lambda);
+    for (size_t i = 0; i < d; ++i) row[i] = sigma * eig.eigenvectors(i, j);
+    sketch.AppendRow(row);
+  }
+  return sketch;
+}
+
+}  // namespace
 
 StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   cluster.ResetLog();
@@ -22,8 +48,9 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
   log.BeginRound();
 
   SketchProtocolResult result;
-  // Parallel phase: local d-by-d Grams (the O(n_i d^2) hot loop) and, in
-  // fault mode, the local masses.
+  // Parallel phase: local d-by-d Grams (the O(n_i d^2) hot loop — or
+  // O(nnz_i d) through the CSR kernel when the server carries a sparse
+  // view) and, in fault mode, the local masses.
   struct LocalGram {
     Matrix gram;
     double mass = 0.0;
@@ -32,11 +59,54 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
     LocalGram w;
     telemetry::Span span("exact_gram/local_gram", telemetry::Phase::kCompute);
     span.SetAttr("server", static_cast<int64_t>(i));
-    const Matrix& local = cluster.server(i).local_rows();
-    w.gram = local.rows() > 0 ? Gram(local) : Matrix(d, d);
+    const Server& server = cluster.server(i);
+    const Matrix& local = server.local_rows();
+    const bool sparse = options_.use_sparse && server.has_sparse();
+    span.SetAttr("kernel", sparse ? "sparse" : "dense");
+    if (local.rows() == 0) {
+      w.gram = Matrix(d, d);
+    } else if (sparse) {
+      w.gram = server.sparse().Gram();
+    } else {
+      w.gram = Gram(local);
+    }
     if (ft) w.mass = SquaredFrobeniusNorm(local);
     return w;
   });
+
+  if (!options_.topology.is_star()) {
+    // Communication-avoiding path: Gram addition is associative, so
+    // interior servers sum partial Grams and forward one upper triangle;
+    // the coordinator receives top_width messages instead of s.
+    DS_ASSIGN_OR_RETURN(MergeTopology topo,
+                        MergeTopology::Build(s, options_.topology));
+    Matrix total_gram(d, d);
+    TreeReduceHooks hooks;
+    hooks.absorb = [&](int node,
+                       const std::vector<uint8_t>& payload) -> Status {
+      Matrix received;
+      DS_ASSIGN_OR_RETURN(received, wire::DecodeSymmetricPayload(payload, d));
+      Matrix& dst = (node == kCoordinator)
+                        ? total_gram
+                        : locals[static_cast<size_t>(node)].gram;
+      dst = Add(dst, received);
+      return Status::OK();
+    };
+    hooks.make_message = [&](int node) -> StatusOr<wire::Message> {
+      return wire::SymmetricMessage("local_gram",
+                                    locals[static_cast<size_t>(node)].gram);
+    };
+    hooks.local_mass = [&](int node) {
+      return locals[static_cast<size_t>(node)].mass;
+    };
+    DS_ASSIGN_OR_RETURN(TreeReduceStats tree_stats,
+                        RunTreeReduce(cluster, topo, hooks, result.degraded));
+    (void)tree_stats;
+    DS_ASSIGN_OR_RETURN(result.sketch, GramToSketch(total_gram));
+    result.comm = log.Stats();
+    result.sketch_rows = result.sketch.rows();
+    return result;
+  }
 
   // Serial phase: sends and the coordinator's sum, in server-index order.
   Matrix total_gram(d, d);
@@ -55,20 +125,7 @@ StatusOr<SketchProtocolResult> ExactGramProtocol::Run(Cluster& cluster) {
     total_gram = Add(total_gram, received);
   }
 
-  // Coordinator: B = sqrt(Lambda) V^T from the eigendecomposition.
-  telemetry::Span eig_span("exact_gram/coordinator_eig",
-                           telemetry::Phase::kCompute);
-  DS_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
-                      ComputeSymmetricEigen(total_gram));
-  result.sketch.SetZero(0, d);
-  std::vector<double> row(d);
-  for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {
-    const double lambda = eig.eigenvalues[j];
-    if (lambda <= 0.0) break;  // sorted non-increasing
-    const double sigma = std::sqrt(lambda);
-    for (size_t i = 0; i < d; ++i) row[i] = sigma * eig.eigenvectors(i, j);
-    result.sketch.AppendRow(row);
-  }
+  DS_ASSIGN_OR_RETURN(result.sketch, GramToSketch(total_gram));
   result.comm = log.Stats();
   result.sketch_rows = result.sketch.rows();
   return result;

@@ -1,9 +1,29 @@
 #ifndef DISTSKETCH_DIST_EXACT_GRAM_PROTOCOL_H_
 #define DISTSKETCH_DIST_EXACT_GRAM_PROTOCOL_H_
 
+#include "dist/merge_topology.h"
 #include "dist/protocol.h"
 
 namespace distsketch {
+
+/// Options for the exact-Gram protocol.
+struct ExactGramOptions {
+  /// Aggregation topology (dist/merge_topology.h). Gram summation is
+  /// exactly associative, so any topology computes the same sum; the
+  /// default star keeps the frozen v1 wire transcript, while tree and
+  /// pipeline let interior servers add partial Grams locally and cut the
+  /// coordinator's inbound traffic to top_width messages.
+  MergeTopologyOptions topology;
+  /// When set, servers carrying a CSR view of their partition (see
+  /// Cluster::CreateSparse) compute the local Gram with the
+  /// nnz-proportional sparse kernel instead of the dense O(n_i d^2) one.
+  /// Both kernels compute the same sum of per-row outer products; they
+  /// differ only in floating-point summation order across the skipped
+  /// zeros, so outputs are exactly equal whenever the products are exact
+  /// (e.g. the integer-valued determinism tests) and agree to rounding
+  /// otherwise.
+  bool use_sparse = true;
+};
 
 /// The trivial exact protocol referenced throughout the paper: every
 /// server ships its local Gram matrix A^(i)T A^(i) (upper triangle,
@@ -15,9 +35,15 @@ namespace distsketch {
 class ExactGramProtocol : public SketchProtocol {
  public:
   ExactGramProtocol() = default;
+  explicit ExactGramProtocol(ExactGramOptions options) : options_(options) {}
 
   std::string_view Name() const override { return "exact_gram"; }
   StatusOr<SketchProtocolResult> Run(Cluster& cluster) override;
+
+  const ExactGramOptions& options() const { return options_; }
+
+ private:
+  ExactGramOptions options_;
 };
 
 }  // namespace distsketch

@@ -164,14 +164,20 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
   const uint64_t words = msg.words;
   const uint64_t bits = msg.bits;
   // The fault domain is the server endpoint of the channel; the
-  // coordinator itself never fails in the paper's model.
+  // coordinator itself never fails in the paper's model. Server-to-server
+  // links (tree aggregation) have two server endpoints: link faults and
+  // loss-by-exhausted-retries are charged to the *sender* (its channel,
+  // its RNG stream), while the *receiver* can additionally be dead — the
+  // interior-node-death case the merge trees re-parent around.
   const int server = (from == kCoordinator) ? to : from;
-  if (IsLost(server)) {
+  const bool server_receiver = (from != kCoordinator && to != kCoordinator);
+  if (IsLost(server) || (server_receiver && IsLost(to))) {
     out.server_lost = true;
     return out;
   }
   const ServerFaultProfile& profile = config_.ProfileFor(server);
   Rng& rng = RngFor(server);
+  bool receiver_dead = false;
 
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     // Retry attempts get their own retransmit-phase span (nested inside
@@ -195,6 +201,18 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
       // by timing out. Dead servers never recover, so stop retrying.
       AddEvent(FaultEventKind::kDead, from, to, tag, attempt, 0);
       clock_.Advance(config_.timeout);
+      break;
+    }
+    if (server_receiver &&
+        clock_.Expired(config_.ProfileFor(to).die_at_time)) {
+      // Dead *receiver* on a server-to-server link: the frame reaches
+      // nothing, the sender times out, and since death is permanent the
+      // receiver — not the healthy sender — is the endpoint to declare
+      // lost. The tree driver reacts by re-parenting the sender to the
+      // receiver's nearest live ancestor and retransmitting.
+      AddEvent(FaultEventKind::kDead, from, to, tag, attempt, 0);
+      clock_.Advance(config_.timeout);
+      receiver_dead = true;
       break;
     }
     if (rng.NextBernoulli(profile.transient_fail_prob)) {
@@ -300,7 +318,7 @@ SendOutcome FaultInjector::Send(CommLog& log, int from, int to,
   }
 
   AddEvent(FaultEventKind::kGaveUp, from, to, tag, out.attempts - 1, 0);
-  lost_.push_back(server);
+  lost_.push_back(receiver_dead ? to : server);
   out.server_lost = true;
   return out;
 }
@@ -375,6 +393,25 @@ uint64_t TranscriptDigest(const CommLog& log, const FaultInjector* injector) {
 
 SendOutcome SendOverIdealWire(CommLog& log, int from, int to,
                               const wire::Message& msg) {
+  if (msg.cached_frame && msg.cached_frame->from == from &&
+      msg.cached_frame->to == to) {
+    // Pre-encoded fast path: the sender already ran EncodeFrame (off the
+    // transport's serialized wire path — see wire::PreEncodeFrame), and
+    // EncodeFrame is deterministic, so the cached bytes are exactly what
+    // the encode below would produce. On the ideal wire the frame
+    // arrives unmangled, so the receiver's checksum verification is a
+    // round trip back to msg.payload; skip both and meter the cached
+    // frame.
+    log.Record(from, to, msg.tag, msg.words, msg.bits,
+               msg.cached_frame->bytes.size());
+    SendOutcome out;
+    out.delivered = true;
+    out.attempts = 1;
+    out.wire_words = msg.words;
+    out.wire_bytes = msg.cached_frame->bytes.size();
+    out.payload = msg.payload;
+    return out;
+  }
   wire::Frame frame;
   frame.tag = msg.tag;
   frame.from = from;

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "dist/protocol_telemetry.h"
+#include "dist/tree_reduce.h"
 #include "linalg/blas.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/quantizer.h"
@@ -38,6 +39,72 @@ StatusOr<SketchProtocolResult> FdMergeProtocol::Run(Cluster& cluster) {
   // Validates the options once; the per-server sketches below use the
   // same parameters and therefore cannot fail.
   DS_ASSIGN_OR_RETURN(FrequentDirections merged, MakeFd(d, options_));
+
+  if (!options_.topology.is_star()) {
+    // Communication-avoiding path: uplinks climb an aggregation tree and
+    // interior servers shrink-merge in place (FD mergeability), so the
+    // coordinator receives top_width sketches instead of s. Quantize and
+    // checkpoint are star-transcript features (leaf-to-coordinator wire
+    // formats / coordinator-sequential restart points) and stay gated.
+    if (options_.quantize) {
+      return Status::InvalidArgument(
+          "fd_merge: quantize requires the star topology");
+    }
+    if (options_.checkpoint.enabled() ||
+        options_.checkpoint.halt_after_servers < s) {
+      return Status::InvalidArgument(
+          "fd_merge: checkpoint/restart requires the star topology");
+    }
+    DS_ASSIGN_OR_RETURN(MergeTopology topo,
+                        MergeTopology::Build(s, options_.topology));
+
+    // Per-node accumulators: seeded with the local rows here, children's
+    // sketches folded in by the driver's absorb hook at merge time.
+    std::vector<FrequentDirections> acc;
+    acc.reserve(s);
+    for (size_t i = 0; i < s; ++i) {
+      auto fd = MakeFd(d, options_);
+      DS_CHECK(fd.ok());  // options validated above
+      acc.push_back(std::move(fd).value());
+    }
+    std::vector<double> masses(s, 0.0);
+    ParallelMap<int>(s, [&](size_t i) {
+      telemetry::Span span("fd_merge/local_sketch",
+                           telemetry::Phase::kCompute);
+      span.SetAttr("server", static_cast<int64_t>(i));
+      RowStream stream = cluster.server(i).OpenStream();
+      while (stream.HasNext()) acc[i].Append(stream.Next());
+      if (ft) masses[i] = SquaredFrobeniusNorm(cluster.server(i).local_rows());
+      return 0;
+    });
+
+    TreeReduceHooks hooks;
+    hooks.absorb = [&](int node,
+                       const std::vector<uint8_t>& payload) -> Status {
+      wire::DecodedMatrix received;
+      DS_ASSIGN_OR_RETURN(received, wire::DecodeMessagePayload(payload));
+      if (node == kCoordinator) {
+        merged.AppendRows(received.matrix);
+      } else {
+        acc[static_cast<size_t>(node)].AppendRows(received.matrix);
+      }
+      return Status::OK();
+    };
+    hooks.make_message = [&](int node) -> StatusOr<wire::Message> {
+      return wire::DenseMessage("local_sketch",
+                                acc[static_cast<size_t>(node)].Sketch());
+    };
+    hooks.local_mass = [&](int node) {
+      return masses[static_cast<size_t>(node)];
+    };
+    DS_ASSIGN_OR_RETURN(TreeReduceStats tree_stats,
+                        RunTreeReduce(cluster, topo, hooks, result.degraded));
+    (void)tree_stats;
+    result.sketch = merged.Sketch();
+    result.comm = log.Stats();
+    result.sketch_rows = result.sketch.rows();
+    return result;
+  }
 
   // Checkpoint restore: the done bitmap marks servers already folded
   // into the saved partial sketch; this run skips them, so the merge

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "dist/checkpoint.h"
+#include "dist/merge_topology.h"
 #include "dist/protocol.h"
 
 namespace distsketch {
@@ -23,6 +24,14 @@ struct FdMergeOptions {
   /// order — and the sketch bytes — match an uninterrupted run; lost
   /// servers are never marked done and are retried on resume.
   CheckpointConfig checkpoint;
+  /// Aggregation topology (dist/merge_topology.h). The default star is
+  /// the paper's one-round protocol and keeps the frozen v1 wire
+  /// transcript bit-for-bit; tree/pipeline route uplinks through interior
+  /// servers that shrink-merge in place (FD mergeability), cutting the
+  /// coordinator's inbound traffic to top_width messages. Incompatible
+  /// with `quantize` and `checkpoint` (both are star-transcript
+  /// features; requesting either together is an InvalidArgument).
+  MergeTopologyOptions topology;
 };
 
 /// The deterministic protocol of Theorem 2: each server streams its local

@@ -1,0 +1,116 @@
+#include "dist/merge_topology.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace distsketch {
+
+std::string_view TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kTree:
+      return "tree";
+    case TopologyKind::kPipeline:
+      return "pipeline";
+  }
+  return "unknown";
+}
+
+StatusOr<TopologyKind> ParseTopologyKind(std::string_view name) {
+  if (name == "star") return TopologyKind::kStar;
+  if (name == "tree") return TopologyKind::kTree;
+  if (name == "pipeline") return TopologyKind::kPipeline;
+  return Status::InvalidArgument("ParseTopologyKind: unknown kind '" +
+                                 std::string(name) + "'");
+}
+
+StatusOr<MergeTopology> MergeTopology::Build(size_t num_servers,
+                                             MergeTopologyOptions options) {
+  if (num_servers < 1) {
+    return Status::InvalidArgument("MergeTopology: need >= 1 server");
+  }
+  if (options.kind == TopologyKind::kTree && options.fanout < 2) {
+    return Status::InvalidArgument("MergeTopology: tree fanout must be >= 2");
+  }
+  const size_t s = num_servers;
+  std::vector<Node> nodes(s);
+  std::vector<std::vector<int>> stages;
+  std::vector<int> roots;
+
+  switch (options.kind) {
+    case TopologyKind::kStar: {
+      std::vector<int> all(s);
+      for (size_t i = 0; i < s; ++i) {
+        all[i] = static_cast<int>(i);
+        nodes[i].parent = kCoordinator;
+        nodes[i].stage = 0;
+      }
+      roots = all;
+      stages.push_back(std::move(all));
+      break;
+    }
+    case TopologyKind::kTree: {
+      const size_t k = options.fanout;
+      // Contiguous grouping: each round packs the surviving heads into
+      // blocks of k; the first id of a block becomes its head for the
+      // next round, the rest send to it this round. The grouping is a
+      // pure function of (s, k), so the schedule — and every tree
+      // transcript — is reproducible.
+      std::vector<int> active(s);
+      for (size_t i = 0; i < s; ++i) active[i] = static_cast<int>(i);
+      while (active.size() > k) {
+        std::vector<int> heads;
+        std::vector<int> stage_nodes;
+        for (size_t g = 0; g < active.size(); g += k) {
+          const int head = active[g];
+          heads.push_back(head);
+          const size_t end = std::min(g + k, active.size());
+          for (size_t j = g + 1; j < end; ++j) {
+            const int child = active[j];
+            nodes[child].parent = head;
+            nodes[child].stage = stages.size();
+            nodes[head].children.push_back(child);
+            stage_nodes.push_back(child);
+          }
+        }
+        if (!stage_nodes.empty()) stages.push_back(std::move(stage_nodes));
+        active = std::move(heads);
+      }
+      for (int root : active) {
+        nodes[root].parent = kCoordinator;
+        nodes[root].stage = stages.size();
+      }
+      roots = active;
+      stages.push_back(std::move(active));
+      break;
+    }
+    case TopologyKind::kPipeline: {
+      for (size_t i = 0; i < s; ++i) {
+        const int id = static_cast<int>(i);
+        nodes[i].stage = i;
+        if (i + 1 < s) {
+          nodes[i].parent = id + 1;
+          nodes[i + 1].children.push_back(id);
+        } else {
+          nodes[i].parent = kCoordinator;
+        }
+        stages.push_back({id});
+      }
+      roots = {static_cast<int>(s - 1)};
+      break;
+    }
+  }
+  return MergeTopology(options, std::move(nodes), std::move(stages),
+                       std::move(roots));
+}
+
+size_t MergeTopology::max_inbound() const {
+  size_t best = roots_.size();  // the coordinator's inbound
+  for (const Node& n : nodes_) {
+    best = std::max(best, n.children.size());
+  }
+  return best;
+}
+
+}  // namespace distsketch

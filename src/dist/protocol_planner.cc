@@ -1,8 +1,11 @@
 #include "dist/protocol_planner.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 #include <string>
 
+#include "common/logging.h"
 #include "dist/adaptive_sketch_protocol.h"
 #include "dist/exact_gram_protocol.h"
 #include "dist/fd_merge_protocol.h"
@@ -16,6 +19,23 @@ namespace {
 double LogTerm(size_t d, double delta) {
   return std::max(1.0, std::log(static_cast<double>(d) / delta));
 }
+
+/// Sketch rows l of the FD protocol the request would run (the uplink
+/// message is l x d).
+double FdSketchRows(const SketchRequest& req) {
+  return req.k == 0 ? std::ceil(1.0 / req.eps) + 1.0
+                    : req.k + std::ceil(req.k / req.eps);
+}
+
+/// Frame header charged per message on the critical path (40 encoded
+/// bytes = 5 words at the default 64-bit word).
+constexpr double kPerMessageOverheadWords = 5.0;
+
+/// One synchronization round expressed in words. This is the
+/// latency/bandwidth knob of the topology model: without it a binary
+/// chain always wins on serialized receives; with it deep trees stop
+/// paying once messages are small relative to a round trip.
+constexpr double kRoundOverheadWords = 128.0;
 
 }  // namespace
 
@@ -53,6 +73,57 @@ double PredictAdaptiveWords(size_t s, size_t d, const SketchRequest& req) {
          std::sqrt(static_cast<double>(s)) * k * static_cast<double>(d) /
              req.eps * std::sqrt(LogTerm(d, req.delta)) +
          2.0 * static_cast<double>(s);
+}
+
+double PredictCoordinatorInboundWords(size_t s,
+                                      const MergeTopologyOptions& topology,
+                                      double message_words) {
+  auto topo = MergeTopology::Build(s, topology);
+  DS_CHECK(topo.ok());
+  return static_cast<double>(topo->top_width()) * message_words;
+}
+
+double PredictCriticalPathWords(size_t s, const MergeTopologyOptions& topology,
+                                double message_words) {
+  auto topo = MergeTopology::Build(s, topology);
+  DS_CHECK(topo.ok());
+  const double per_message = message_words + kPerMessageOverheadWords;
+  double total = 0.0;
+  for (const auto& stage : topo->stages()) {
+    // The busiest receiver of the stage takes its inbound messages back
+    // to back; everything else overlaps with it.
+    std::map<int, size_t> inbound;
+    size_t busiest = 0;
+    for (int node : stage) {
+      const size_t count = ++inbound[topo->node(static_cast<size_t>(node))
+                                         .parent];
+      busiest = std::max(busiest, count);
+    }
+    total += static_cast<double>(busiest) * per_message + kRoundOverheadWords;
+  }
+  return total;
+}
+
+MergeTopologyOptions ChooseMergeTopology(size_t s, double message_words) {
+  // Star first, then trees shallowest first, so ties keep the simpler
+  // schedule (small s stays a star: a degenerate tree costs the same
+  // receives plus extra rounds).
+  const MergeTopologyOptions candidates[] = {
+      MergeTopologyOptions::Star(),    MergeTopologyOptions::Tree(32),
+      MergeTopologyOptions::Tree(16),  MergeTopologyOptions::Tree(8),
+      MergeTopologyOptions::Tree(4),   MergeTopologyOptions::Tree(2),
+  };
+  MergeTopologyOptions best = candidates[0];
+  double best_cost = PredictCriticalPathWords(s, best, message_words);
+  for (size_t i = 1; i < sizeof(candidates) / sizeof(candidates[0]); ++i) {
+    const double cost =
+        PredictCriticalPathWords(s, candidates[i], message_words);
+    if (cost < best_cost) {
+      best = candidates[i];
+      best_cost = cost;
+    }
+  }
+  return best;
 }
 
 StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
@@ -143,9 +214,45 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
       if (span.active()) span.SetAttr("words.adaptive", adaptive_words);
     }
   }
+  // Topology resolution for the protocols whose merges are associative.
+  // Star-only protocols keep the default star plan fields.
+  best.predicted_coordinator_words = best.predicted_words;
+  if (chosen == "fd_merge" || chosen == "exact_gram") {
+    const double message_words =
+        chosen == "fd_merge"
+            ? FdSketchRows(request) * static_cast<double>(d)
+            : static_cast<double>(d) * static_cast<double>(d + 1) / 2.0;
+    const MergeTopologyOptions topology =
+        request.auto_topology ? ChooseMergeTopology(s, message_words)
+                              : request.topology;
+    best.topology = topology;
+    best.predicted_coordinator_words =
+        PredictCoordinatorInboundWords(s, topology, message_words);
+    if (chosen == "fd_merge") {
+      FdMergeOptions options;
+      options.eps = request.eps;
+      options.k = request.k;
+      options.topology = topology;
+      best.protocol = std::make_unique<FdMergeProtocol>(options);
+    } else {
+      ExactGramOptions options;
+      options.topology = topology;
+      best.protocol = std::make_unique<ExactGramProtocol>(options);
+    }
+    if (!topology.is_star()) {
+      best.rationale += "; " + std::string(TopologyKindName(topology.kind)) +
+                        "(fanout " + std::to_string(topology.fanout) +
+                        ") cuts coordinator inbound to " +
+                        std::to_string(static_cast<uint64_t>(
+                            best.predicted_coordinator_words)) +
+                        " words";
+    }
+  }
   if (span.active()) {
     span.SetAttr("chosen", chosen);
     span.SetAttr("predicted_words", best.predicted_words);
+    span.SetAttr("topology", TopologyKindName(best.topology.kind));
+    span.SetAttr("coordinator_words", best.predicted_coordinator_words);
     span.SetAttr("rationale", best.rationale);
     telemetry::Count("planner.plans");
     telemetry::Count("planner.pick." + chosen);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "dist/merge_topology.h"
 #include "dist/protocol.h"
 
 namespace distsketch {
@@ -22,6 +23,13 @@ struct SketchRequest {
   /// Failure probability for randomized protocols.
   double delta = 0.1;
   uint64_t seed = 42;
+  /// Aggregation topology for the planned protocol. Threaded into the
+  /// protocols whose merges are associative (fd_merge, exact_gram);
+  /// star-only protocols ignore it.
+  MergeTopologyOptions topology;
+  /// When set the planner picks the topology itself per
+  /// ChooseMergeTopology (and `topology` above is ignored).
+  bool auto_topology = false;
 };
 
 /// A planned protocol together with its predicted cost.
@@ -30,6 +38,12 @@ struct ProtocolPlan {
   /// Predicted total words (the planner's cost-model estimate — compare
   /// against the metered result to audit the model).
   double predicted_words = 0.0;
+  /// Predicted words *into the coordinator* under `topology` — the
+  /// quantity aggregation trees shrink while total words stay put.
+  double predicted_coordinator_words = 0.0;
+  /// The topology the plan runs under (star unless the protocol merges
+  /// associatively and the request asked for something else).
+  MergeTopologyOptions topology;
   /// Planner's explanation ("exact_gram: d <= 1/eps so sd^2 wins", ...).
   std::string rationale;
 };
@@ -42,6 +56,30 @@ double PredictFdMergeWords(size_t s, size_t d, const SketchRequest& req);
 double PredictRowSamplingWords(size_t s, size_t d, const SketchRequest& req);
 double PredictSvsWords(size_t s, size_t d, const SketchRequest& req);
 double PredictAdaptiveWords(size_t s, size_t d, const SketchRequest& req);
+
+/// Words received by the coordinator for an s-server reduction of
+/// `message_words`-word uplinks under `topology`: s * message under
+/// star, top_width * message under a tree (every interior merge keeps
+/// the per-hop payload size fixed — FD shrink-merge, Gram add and
+/// CountSketch bucket add all do).
+double PredictCoordinatorInboundWords(size_t s,
+                                      const MergeTopologyOptions& topology,
+                                      double message_words);
+
+/// Serialized-receive critical path of the reduction, in words: per
+/// stage the busiest receiver takes max_inbound messages back to back
+/// (message_words + frame overhead each), and each stage adds one
+/// round-latency charge. Star pays s serialized receives in one round;
+/// a k-ary tree pays (k-1) * depth + top_width receives across depth+1
+/// rounds — the planner's crossover between the two.
+double PredictCriticalPathWords(size_t s, const MergeTopologyOptions& topology,
+                                double message_words);
+
+/// Picks the topology with the cheapest predicted critical path for an
+/// s-server reduction of `message_words`-word uplinks, among star and
+/// k-ary trees with k in {2, 4, 8, 16, 32}. Ties go to the earlier
+/// (shallower) candidate, so small s keeps the star.
+MergeTopologyOptions ChooseMergeTopology(size_t s, double message_words);
 
 /// Chooses the cheapest applicable protocol for the instance, in the
 /// spirit of a query planner: the paper's Table 1 is exactly a cost

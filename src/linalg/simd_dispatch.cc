@@ -201,6 +201,10 @@ void Axpy2Scalar(double* z, const double* e, const double* zi, double f,
   for (size_t k = 0; k < n; ++k) z[k] -= f * e[k] + g * zi[k];
 }
 
+void AxpyScalar(double* y, const double* x, double alpha, size_t n) {
+  for (size_t j = 0; j < n; ++j) y[j] += alpha * x[j];
+}
+
 }  // namespace
 
 namespace simd_internal {
@@ -267,6 +271,20 @@ size_t UnpackWindowScalar(const uint8_t* stream, size_t stream_bytes,
   return i - i0;
 }
 
+void ScatterAxpyScalar(double* y, const size_t* idx, const double* vals,
+                       double alpha, size_t nnz) {
+  for (size_t t = 0; t < nnz; ++t) y[idx[t]] += alpha * vals[t];
+}
+
+void SparseOuterAccScalar(const size_t* idx, const double* vals, size_t nnz,
+                          size_t d, double* g) {
+  for (size_t a = 0; a < nnz; ++a) {
+    const double va = vals[a];
+    double* grow = g + idx[a] * d;
+    for (size_t b = a; b < nnz; ++b) grow[idx[b]] += va * vals[b];
+  }
+}
+
 }  // namespace simd_internal
 
 namespace {
@@ -282,6 +300,9 @@ const SimdKernelTable kScalarTable = {
     .ql_rotate = QlRotateScalar,
     .dot = DotScalar,
     .axpy2 = Axpy2Scalar,
+    .axpy = AxpyScalar,
+    .scatter_axpy = simd_internal::ScatterAxpyScalar,
+    .sparse_outer_acc = simd_internal::SparseOuterAccScalar,
     .pack_window = simd_internal::PackWindowScalar,
     .unpack_window = simd_internal::UnpackWindowScalar,
 };

@@ -69,6 +69,26 @@ struct SimdKernelTable {
   void (*axpy2)(double* z, const double* e, const double* zi, double f,
                 double g, size_t n);
 
+  /// Dense accumulate y[j] += alpha * x[j] for j < n — the CountSketch
+  /// bucket add (one +-1-scaled row) and the CSR row-times-dense-row
+  /// update share this loop.
+  void (*axpy)(double* y, const double* x, double alpha, size_t n);
+
+  /// Sparse accumulate y[idx[t]] += alpha * vals[t] for t < nnz (a CSR
+  /// row scaled into a dense accumulator). Index-gather bound, so every
+  /// backend shares the scalar loop; the entry exists so call sites
+  /// dispatch — and telemetry counts — uniformly with the dense kernels.
+  void (*scatter_axpy)(double* y, const size_t* idx, const double* vals,
+                       double alpha, size_t nnz);
+
+  /// Accumulates the outer product vals vals^T of one sparse row into
+  /// the upper triangle of the dense d x d Gram g at positions
+  /// (idx[a], idx[b]); idx must be strictly increasing and the caller
+  /// mirrors the lower triangle. O(nnz_row^2) against the dense
+  /// gram_acc's O(d^2) per row — the sparse-Gram workhorse.
+  void (*sparse_outer_acc)(const size_t* idx, const double* vals, size_t nnz,
+                           size_t d, double* g);
+
   /// Packs DSQM quotients [i0, ...) LSB-first at bits-per-entry `bpe`
   /// into `bytes`, continuing from stream bit *bit, while the 9-byte
   /// store window of the next entry fits in payload_bytes (the caller's

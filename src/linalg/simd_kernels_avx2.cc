@@ -368,6 +368,17 @@ void Axpy2Avx2(double* z, const double* e, const double* zi, double f,
   for (; k < n; ++k) z[k] -= f * e[k] + g * zi[k];
 }
 
+void AxpyAvx2(double* y, const double* x, double alpha, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        y + j, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + j),
+                               _mm256_loadu_pd(y + j)));
+  }
+  for (; j < n; ++j) y[j] += alpha * x[j];
+}
+
 size_t PackWindowAvx2(const int64_t* quotients, size_t i0, size_t entries,
                       uint64_t bpe, uint8_t* bytes, size_t payload_bytes,
                       uint64_t* bit) {
@@ -482,6 +493,11 @@ const SimdKernelTable& Avx2KernelTable() {
       .ql_rotate = QlRotateAvx2,
       .dot = DotAvx2,
       .axpy2 = Axpy2Avx2,
+      .axpy = AxpyAvx2,
+      // Index-gather bound: the shared scalar loops (see
+      // simd_kernels_internal.h).
+      .scatter_axpy = ScatterAxpyScalar,
+      .sparse_outer_acc = SparseOuterAccScalar,
       .pack_window = PackWindowAvx2,
       .unpack_window = UnpackWindowAvx2,
   };

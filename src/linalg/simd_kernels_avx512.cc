@@ -407,6 +407,23 @@ void Axpy2Avx512(double* z, const double* e, const double* zi, double f,
   }
 }
 
+void AxpyAvx512(double* y, const double* x, double alpha, size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(
+        y + j, _mm512_fmadd_pd(va, _mm512_loadu_pd(x + j),
+                               _mm512_loadu_pd(y + j)));
+  }
+  if (j < n) {
+    const __mmask8 tail = TailMask(j, n);
+    _mm512_mask_storeu_pd(
+        y + j, tail,
+        _mm512_fmadd_pd(va, _mm512_maskz_loadu_pd(tail, x + j),
+                        _mm512_maskz_loadu_pd(tail, y + j)));
+  }
+}
+
 size_t PackWindowAvx512(const int64_t* quotients, size_t i0, size_t entries,
                         uint64_t bpe, uint8_t* bytes, size_t payload_bytes,
                         uint64_t* bit) {
@@ -507,6 +524,11 @@ const SimdKernelTable& Avx512KernelTable() {
       .ql_rotate = QlRotateAvx512,
       .dot = DotAvx512,
       .axpy2 = Axpy2Avx512,
+      .axpy = AxpyAvx512,
+      // Index-gather bound: the shared scalar loops (see
+      // simd_kernels_internal.h).
+      .scatter_axpy = ScatterAxpyScalar,
+      .sparse_outer_acc = SparseOuterAccScalar,
       .pack_window = PackWindowAvx512,
       .unpack_window = UnpackWindowAvx512,
   };

@@ -21,6 +21,14 @@ size_t UnpackWindowScalar(const uint8_t* stream, size_t stream_bytes,
                           size_t i0, size_t entries, uint64_t bpe,
                           double precision, double* out, uint64_t* bit);
 
+// Index-gather-bound sparse kernels: one deterministic scalar loop
+// shared by every backend's table (vectorizing a data-dependent scatter
+// buys nothing and would fork the reduction order).
+void ScatterAxpyScalar(double* y, const size_t* idx, const double* vals,
+                       double alpha, size_t nnz);
+void SparseOuterAccScalar(const size_t* idx, const double* vals, size_t nnz,
+                          size_t d, double* g);
+
 #if defined(DS_SIMD_COMPILED_AVX2)
 // Defined in simd_kernels_avx2.cc (compiled with -mavx2 -mfma). Only
 // called after DetectCpuFeatures() confirmed the ISA.

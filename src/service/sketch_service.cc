@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "dist/merge_topology.h"
+#include "sketch/frequent_directions.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 
@@ -260,6 +262,74 @@ Status SketchService::FlushAll() {
     DS_RETURN_IF_ERROR(CheckpointTenant(*res.sketch));
   }
   return Status::OK();
+}
+
+StatusOr<Matrix> SketchService::AggregateQuery(size_t fanout) {
+  if (resident_.empty()) {
+    return Status::FailedPrecondition(
+        "SketchService: AggregateQuery needs at least one resident tenant");
+  }
+  if (fanout < 2) {
+    return Status::InvalidArgument(
+        "SketchService: AggregateQuery fanout must be >= 2");
+  }
+  telemetry::Span span("service/aggregate", telemetry::Phase::kCompute);
+  const size_t n = resident_.size();
+  if (span.active()) {
+    span.SetAttr("tenants", static_cast<uint64_t>(n));
+    span.SetAttr("fanout", static_cast<uint64_t>(fanout));
+  }
+
+  // Leaves in name order (the resident map's iteration order): the
+  // aggregate is a pure function of the live tenant states, not of touch
+  // history or residency churn.
+  std::vector<const TenantSketch*> leaves;
+  leaves.reserve(n);
+  for (const auto& [name, res] : resident_) leaves.push_back(res.sketch.get());
+
+  DS_ASSIGN_OR_RETURN(
+      MergeTopology topo,
+      MergeTopology::Build(n, MergeTopologyOptions::Tree(fanout)));
+
+  // Per-leaf accumulators seeded with each tenant's current sketch.
+  // Query() is pure per-tenant compute, so the seeding parallelizes.
+  std::vector<FrequentDirections> acc;
+  acc.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DS_ASSIGN_OR_RETURN(FrequentDirections fd,
+                        FrequentDirections::FromEps(options_.tenant.dim,
+                                                    options_.tenant.eps));
+    acc.push_back(std::move(fd));
+  }
+  std::vector<Status> seeded = ParallelMap<Status>(n, [&](size_t i) {
+    auto sketch = leaves[i]->Query();
+    if (!sketch.ok()) return sketch.status();
+    acc[i].AppendRows(*sketch);
+    return Status::OK();
+  });
+  for (const Status& st : seeded) DS_RETURN_IF_ERROR(st);
+
+  // Level-by-level reduction: at its send stage each node folds its
+  // children — all final, their stages are strictly earlier — into its
+  // own accumulator in ascending child order. Nodes within a stage own
+  // disjoint subtrees, so the pool runs them concurrently without
+  // changing any single merge order.
+  for (const auto& stage : topo.stages()) {
+    ParallelMap<int>(stage.size(), [&](size_t j) {
+      const size_t node = static_cast<size_t>(stage[j]);
+      for (int child : topo.node(node).children) {
+        acc[node].Merge(acc[static_cast<size_t>(child)]);
+      }
+      return 0;
+    });
+  }
+
+  DS_ASSIGN_OR_RETURN(FrequentDirections total,
+                      FrequentDirections::FromEps(options_.tenant.dim,
+                                                  options_.tenant.eps));
+  for (int root : topo.roots()) total.Merge(acc[static_cast<size_t>(root)]);
+  telemetry::Count("svc.aggregate_queries");
+  return total.Sketch();
 }
 
 Status SketchService::EvictTenant(const std::string& tenant) {

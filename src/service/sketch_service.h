@@ -69,6 +69,19 @@ class SketchService {
   /// restore path). NotFound if the tenant is not resident.
   Status EvictTenant(const std::string& tenant);
 
+  /// Fleet-wide sketch: merges every resident tenant's current sketch
+  /// (Query() semantics — coordinator plus open epoch, nothing mutated)
+  /// through a `fanout`-ary merge tree over tenants in name order, the
+  /// in-process analogue of the distributed aggregation topology. Subtree
+  /// merges run on the pool level by level with a fixed per-node merge
+  /// order, so the result is bit-identical at any DS_THREADS; the FD
+  /// mergeable-summaries guarantee holds for any merge tree, so every
+  /// fanout yields a valid eps-aggregate of the fleet's rows (different
+  /// fanouts differ only in rounding). Evicted tenants are not restored —
+  /// the aggregate covers what is live. FailedPrecondition when no tenant
+  /// is resident; InvalidArgument for fanout < 2.
+  StatusOr<Matrix> AggregateQuery(size_t fanout = 8);
+
   size_t resident_tenants() const { return resident_.size(); }
   size_t known_tenants() const { return known_.size(); }
   uint64_t evictions() const { return evictions_; }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "linalg/simd_dispatch.h"
+
 namespace distsketch {
 namespace {
 
@@ -70,7 +72,19 @@ void CountSketchCompressor::Absorb(uint64_t row_index,
   double sign = 0.0;
   Hash(row_index, &bucket, &sign);
   double* dst = compressed_.data() + bucket * compressed_.cols();
-  for (size_t j = 0; j < row.size(); ++j) dst[j] += sign * row[j];
+  ActiveSimd().axpy(dst, row.data(), sign, row.size());
+}
+
+void CountSketchCompressor::AbsorbSparse(uint64_t row_index,
+                                         std::span<const size_t> cols,
+                                         std::span<const double> vals) {
+  DS_CHECK(cols.size() == vals.size());
+  size_t bucket = 0;
+  double sign = 0.0;
+  Hash(row_index, &bucket, &sign);
+  double* dst = compressed_.data() + bucket * compressed_.cols();
+  ActiveSimd().scatter_axpy(dst, cols.data(), vals.data(), sign,
+                            cols.size());
 }
 
 }  // namespace distsketch

@@ -60,6 +60,13 @@ class CountSketchCompressor {
   /// pass the same index).
   void Absorb(uint64_t row_index, std::span<const double> row);
 
+  /// Absorbs one sparse row given as parallel (column, value) spans —
+  /// O(nnz) instead of O(d), through the scatter_axpy kernel. Touches
+  /// exactly the entries Absorb would change by a non-zero amount, so it
+  /// is bit-identical to absorbing the scattered dense row.
+  void AbsorbSparse(uint64_t row_index, std::span<const size_t> cols,
+                    std::span<const double> vals);
+
   /// The m-by-d compressed matrix so far.
   const Matrix& compressed() const { return compressed_; }
 

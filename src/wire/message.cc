@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "wire/frame.h"
+
 namespace distsketch {
 namespace wire {
 
@@ -76,6 +78,20 @@ StatusOr<Matrix> DecodeSymmetricPayload(const std::vector<uint8_t>& payload,
 StatusOr<DecodedMatrix> DecodeMessagePayload(
     const std::vector<uint8_t>& payload) {
   return DecodeMatrixPayload(payload.data(), payload.size());
+}
+
+void PreEncodeFrame(Message& msg, int from, int to) {
+  Frame frame;
+  frame.tag = msg.tag;
+  frame.from = from;
+  frame.to = to;
+  frame.attempt = 0;
+  frame.payload = msg.payload;
+  auto cached = std::make_shared<PreEncodedFrame>();
+  cached->from = from;
+  cached->to = to;
+  cached->bytes = EncodeFrame(frame);
+  msg.cached_frame = std::move(cached);
 }
 
 }  // namespace wire

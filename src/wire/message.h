@@ -2,6 +2,7 @@
 #define DISTSKETCH_WIRE_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,15 @@
 
 namespace distsketch {
 namespace wire {
+
+/// A frame encoded ahead of send time (see Message::cached_frame). The
+/// endpoints are part of the frame header, so the cache records which
+/// (from, to) pair it was encoded for; a mismatched send ignores it.
+struct PreEncodedFrame {
+  int from = 0;
+  int to = 0;
+  std::vector<uint8_t> bytes;
+};
 
 /// One logical transfer: a tag, the encoded payload bytes that actually
 /// cross the (simulated) wire, and the word/bit counts the cost model
@@ -27,7 +37,20 @@ struct Message {
   uint64_t words = 0;
   /// Metered bits; 0 means the CommLog default of words * bits_per_word.
   uint64_t bits = 0;
+  /// Optional first-attempt frame, encoded ahead of time by
+  /// PreEncodeFrame so senders can move the frame encode + checksum off
+  /// the transport's serialized wire path (the merge trees build and
+  /// pre-encode uplinks on the thread pool). Only honoured by the ideal
+  /// wire, and only when the endpoints match; the fault simulation
+  /// re-encodes per attempt regardless. shared_ptr: Message stays
+  /// copyable and the cache survives queueing by value.
+  std::shared_ptr<const PreEncodedFrame> cached_frame;
 };
+
+/// Encodes the attempt-0 frame for `msg` between the given endpoints and
+/// attaches it as msg.cached_frame. EncodeFrame is deterministic, so the
+/// cached bytes are exactly what SendOverIdealWire would put on the wire.
+void PreEncodeFrame(Message& msg, int from, int to);
 
 /// A dense matrix: one metered word per entry (the paper's convention
 /// for sketch payloads after §3.3 rounding).

@@ -1,6 +1,8 @@
 #include "workload/partition.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "common/rng.h"
 
@@ -53,6 +55,54 @@ std::vector<Matrix> PartitionRows(const Matrix& a, size_t s,
       }
       break;
     }
+    case PartitionScheme::kZipf: {
+      parts = PartitionRowsZipf(a, s, /*alpha=*/1.0);
+      break;
+    }
+  }
+  return parts;
+}
+
+std::vector<Matrix> PartitionRowsZipf(const Matrix& a, size_t s,
+                                      double alpha) {
+  DS_CHECK(s >= 1);
+  DS_CHECK(alpha >= 0.0);
+  const size_t n = a.rows();
+  // Ideal share of server p is weight[p] / sum(weight); integer sizes by
+  // largest remainder so the sizes add up to n exactly and the rounding
+  // is a pure function of (n, s, alpha).
+  std::vector<double> weight(s);
+  double total = 0.0;
+  for (size_t p = 0; p < s; ++p) {
+    weight[p] = 1.0 / std::pow(static_cast<double>(p + 1), alpha);
+    total += weight[p];
+  }
+  std::vector<size_t> count(s, 0);
+  std::vector<std::pair<double, size_t>> remainder(s);
+  size_t assigned = 0;
+  for (size_t p = 0; p < s; ++p) {
+    const double ideal = static_cast<double>(n) * weight[p] / total;
+    count[p] = static_cast<size_t>(ideal);
+    remainder[p] = {ideal - static_cast<double>(count[p]), p};
+    assigned += count[p];
+  }
+  // Largest remainder first; ties broken toward the lower-indexed
+  // (heavier) server for determinism.
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& x, const auto& y) {
+              return x.first != y.first ? x.first > y.first
+                                        : x.second < y.second;
+            });
+  for (size_t t = 0; assigned < n; ++t) {
+    ++count[remainder[t % s].second];
+    ++assigned;
+  }
+
+  std::vector<Matrix> parts(s);
+  for (auto& p : parts) p.SetZero(0, a.cols());
+  size_t next = 0;
+  for (size_t p = 0; p < s; ++p) {
+    for (size_t i = 0; i < count[p]; ++i) parts[p].AppendRow(a.Row(next++));
   }
   return parts;
 }

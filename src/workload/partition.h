@@ -20,6 +20,10 @@ enum class PartitionScheme {
   kSkewed,
   /// Each row assigned to a uniformly random server.
   kRandom,
+  /// Zipf-distributed block sizes with exponent 1 (server p+1 gets
+  /// ~1/(p+1) of server 1's share): the scale-out sweep's "realistic
+  /// skew". For other exponents use PartitionRowsZipf directly.
+  kZipf,
 };
 
 /// Splits `a` into `s` row-disjoint local matrices according to `scheme`.
@@ -27,6 +31,16 @@ enum class PartitionScheme {
 /// random scheme with few rows).
 std::vector<Matrix> PartitionRows(const Matrix& a, size_t s,
                                   PartitionScheme scheme, uint64_t seed = 0);
+
+/// Splits `a` into `s` contiguous blocks whose sizes follow a Zipf law
+/// with exponent `alpha` >= 0: server p receives a share proportional to
+/// 1/(p+1)^alpha (alpha = 0 degenerates to equal blocks; larger alpha
+/// concentrates rows on the first servers, the shard-skew regime the
+/// scale-out sweep stresses). Deterministic: shares are rounded by
+/// largest remainder, so exactly the first rows go to server 0 and every
+/// row lands on exactly one server.
+std::vector<Matrix> PartitionRowsZipf(const Matrix& a, size_t s,
+                                      double alpha);
 
 /// Reassembles a partition into a single matrix (order: server 0's rows,
 /// then server 1's, ...). Note the row order generally differs from the

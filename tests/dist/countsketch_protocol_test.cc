@@ -1,0 +1,152 @@
+// Distributed CountSketch projection protocol: the coordinator's sum of
+// per-server bucket matrices must equal a single compressor run over the
+// same (global index, row) pairs — CountSketch is linear, so shard-and-
+// sum is exact, not approximate. The approximation lives entirely in the
+// projection itself: coverr(A, SA) <= eps * ||A||_F^2 at the swept seeds.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/countsketch_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/countsketch.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+constexpr size_t kServers = 9;
+
+// Mirrors the protocol's global row index scheme (DESIGN.md §14).
+uint64_t GlobalRowIndex(size_t server, size_t local_row) {
+  return (static_cast<uint64_t>(server) << 32) |
+         static_cast<uint64_t>(local_row);
+}
+
+size_t BucketsFor(const CountSketchProtocolOptions& options) {
+  return static_cast<size_t>(
+      std::ceil(options.oversample / (options.eps * options.eps)));
+}
+
+Cluster MakeCluster(const std::vector<Matrix>& parts) {
+  auto cluster = Cluster::Create(parts, 0.2);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+// The oracle: one compressor absorbing every shard's rows under the
+// shard's global indices. By linearity the protocol must reproduce this
+// bit for bit — same hashes, same adds, only the association differs,
+// and the test data has +-1 entries so bucket sums are exact integers.
+Matrix Oracle(const std::vector<Matrix>& parts,
+              const CountSketchProtocolOptions& options) {
+  CountSketchCompressor compressor(BucketsFor(options), parts[0].cols(),
+                                   options.seed);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t r = 0; r < parts[i].rows(); ++r) {
+      compressor.Absorb(GlobalRowIndex(i, r), parts[i].Row(r));
+    }
+  }
+  return compressor.ExportState().compressed;
+}
+
+TEST(CountSketchProtocolTest, ShardAndSumEqualsOneCompressorExactly) {
+  const Matrix a = GenerateSignMatrix(117, 8, /*seed=*/13);
+  const auto parts = PartitionRows(a, kServers, PartitionScheme::kRoundRobin);
+  CountSketchProtocolOptions options{.eps = 0.35, .oversample = 2.0,
+                                     .seed = 77};
+  for (const MergeTopologyOptions& topo :
+       {MergeTopologyOptions::Star(), MergeTopologyOptions::Tree(3)}) {
+    options.topology = topo;
+    Cluster cluster = MakeCluster(parts);
+    CountSketchProtocol protocol(options);
+    auto result = protocol.Run(cluster);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->sketch == Oracle(parts, options));
+    EXPECT_EQ(result->sketch_rows, BucketsFor(options));
+  }
+}
+
+TEST(CountSketchProtocolTest, MeetsTheCoverrBoundAtSweptSeeds) {
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 300,
+                                             .cols = 16,
+                                             .rank = 5,
+                                             .decay = 0.5,
+                                             .top_singular_value = 20.0,
+                                             .noise_stddev = 0.3,
+                                             .seed = 8});
+  const double eps = 0.3;
+  const double budget = eps * SquaredFrobeniusNorm(a);
+  const auto parts = PartitionRows(a, kServers, PartitionScheme::kContiguous);
+  // coverr <= eps ||A||_F^2 holds with constant probability; sweeping a
+  // few fixed seeds keeps the test deterministic while showing the bound
+  // isn't a one-seed accident.
+  for (const uint64_t seed : {1ull, 29ull, 12345ull}) {
+    Cluster cluster = MakeCluster(parts);
+    CountSketchProtocol protocol({.eps = eps, .oversample = 4.0,
+                                  .seed = seed,
+                                  .topology = MergeTopologyOptions::Tree(4)});
+    auto result = protocol.Run(cluster);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(CovarianceError(a, result->sketch), budget) << "seed=" << seed;
+  }
+}
+
+TEST(CountSketchProtocolTest, SparseAndDenseInputsAgreeBitForBit) {
+  const Matrix a = GenerateSparse(
+      {.rows = 180, .cols = 24, .density = 0.05, .seed = 17});
+  const auto parts = PartitionRows(a, kServers, PartitionScheme::kContiguous);
+  const CountSketchProtocolOptions options{
+      .eps = 0.4, .oversample = 2.0, .seed = 5,
+      .topology = MergeTopologyOptions::Tree(3)};
+
+  Cluster dense = MakeCluster(parts);
+  auto dense_run = CountSketchProtocol(options).Run(dense);
+  ASSERT_TRUE(dense_run.ok());
+
+  auto sparse_cluster = Cluster::CreateSparse(parts, 0.2);
+  ASSERT_TRUE(sparse_cluster.ok());
+  auto sparse_run = CountSketchProtocol(options).Run(*sparse_cluster);
+  ASSERT_TRUE(sparse_run.ok());
+
+  // AbsorbSparse touches exactly the entries Absorb would change by a
+  // non-zero amount: the O(nnz) route is bit-identical, not approximate.
+  EXPECT_TRUE(sparse_run->sketch == dense_run->sketch);
+}
+
+TEST(CountSketchProtocolTest, SeedChangesTheHashFamily) {
+  const Matrix a = GenerateSignMatrix(60, 6, /*seed=*/2);
+  const auto parts = PartitionRows(a, kServers, PartitionScheme::kRoundRobin);
+  auto run = [&](uint64_t seed) {
+    Cluster cluster = MakeCluster(parts);
+    CountSketchProtocol protocol({.eps = 0.4, .oversample = 2.0,
+                                  .seed = seed});
+    auto result = protocol.Run(cluster);
+    DS_CHECK(result.ok());
+    return std::move(result->sketch);
+  };
+  const Matrix first = run(11);
+  EXPECT_TRUE(run(11) == first) << "same seed must be reproducible";
+  EXPECT_FALSE(run(12) == first) << "different seed, different buckets";
+}
+
+TEST(CountSketchProtocolTest, InvalidOptionsAreRejected) {
+  const Matrix a = GenerateSignMatrix(20, 4, /*seed=*/3);
+  const auto parts = PartitionRows(a, 4, PartitionScheme::kRoundRobin);
+  for (const CountSketchProtocolOptions& options :
+       {CountSketchProtocolOptions{.eps = 0.0},
+        CountSketchProtocolOptions{.eps = -0.1},
+        CountSketchProtocolOptions{.eps = 0.3, .oversample = 0.0}}) {
+    Cluster cluster = MakeCluster(parts);
+    auto result = CountSketchProtocol(options).Run(cluster);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace distsketch

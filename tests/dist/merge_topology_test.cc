@@ -1,0 +1,139 @@
+// MergeTopology structural invariants: every server sends exactly one
+// uplink; a node transmits strictly after all of its children; star,
+// tree and pipeline produce the documented shapes; and the schedule is a
+// pure function of (s, options).
+
+#include "dist/merge_topology.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace distsketch {
+namespace {
+
+// Every node appears in exactly one stage, children send at strictly
+// earlier stages than their parent, and each child list matches the
+// parent pointers.
+void CheckInvariants(const MergeTopology& topo) {
+  const size_t s = topo.num_servers();
+  std::set<int> seen;
+  for (const auto& stage : topo.stages()) {
+    for (int node : stage) {
+      EXPECT_TRUE(seen.insert(node).second) << "node sends twice: " << node;
+    }
+  }
+  EXPECT_EQ(seen.size(), s);
+  size_t root_count = 0;
+  for (size_t i = 0; i < s; ++i) {
+    const auto& node = topo.node(i);
+    if (node.parent == kCoordinator) {
+      ++root_count;
+    } else {
+      const auto& parent = topo.node(static_cast<size_t>(node.parent));
+      EXPECT_LT(node.stage, parent.stage)
+          << "node " << i << " sends at or after its parent";
+      bool listed = false;
+      for (int c : parent.children) listed |= (c == static_cast<int>(i));
+      EXPECT_TRUE(listed) << "node " << i << " missing from parent's children";
+    }
+    for (int c : node.children) {
+      EXPECT_EQ(topo.node(static_cast<size_t>(c)).parent,
+                static_cast<int>(i));
+    }
+  }
+  EXPECT_EQ(root_count, topo.top_width());
+  EXPECT_EQ(topo.roots().size(), topo.top_width());
+}
+
+TEST(MergeTopologyTest, StarIsOneStageAllToCoordinator) {
+  auto topo = MergeTopology::Build(16, MergeTopologyOptions::Star());
+  ASSERT_TRUE(topo.ok());
+  CheckInvariants(*topo);
+  EXPECT_EQ(topo->depth(), 1u);
+  EXPECT_EQ(topo->top_width(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(topo->node(i).parent, kCoordinator);
+    EXPECT_TRUE(topo->node(i).children.empty());
+  }
+  EXPECT_EQ(topo->max_inbound(), 16u);
+}
+
+TEST(MergeTopologyTest, TreeShapesMatchTheAnalyticSchedule) {
+  // 1024 servers under fanout 8: 1024 -> 128 -> 16 -> 2 live heads, the
+  // final two go to the coordinator. Coordinator inbound = 2.
+  auto topo = MergeTopology::Build(1024, MergeTopologyOptions::Tree(8));
+  ASSERT_TRUE(topo.ok());
+  CheckInvariants(*topo);
+  EXPECT_EQ(topo->top_width(), 2u);
+  // A head that survives every level absorbs fanout-1 children per
+  // level, so the merge bottleneck is (fanout-1)*levels — far below the
+  // star's s-wide coordinator funnel.
+  EXPECT_LE(topo->max_inbound(), 7u * topo->depth());
+  EXPECT_LT(topo->max_inbound(), 64u);
+
+  // 256 -> 32 -> 4 heads.
+  auto t256 = MergeTopology::Build(256, MergeTopologyOptions::Tree(8));
+  ASSERT_TRUE(t256.ok());
+  CheckInvariants(*t256);
+  EXPECT_EQ(t256->top_width(), 4u);
+
+  // s <= fanout degenerates to a star-shaped single stage.
+  auto small = MergeTopology::Build(5, MergeTopologyOptions::Tree(8));
+  ASSERT_TRUE(small.ok());
+  CheckInvariants(*small);
+  EXPECT_EQ(small->depth(), 1u);
+  EXPECT_EQ(small->top_width(), 5u);
+}
+
+TEST(MergeTopologyTest, PipelineIsAChainEndingAtTheCoordinator) {
+  auto topo = MergeTopology::Build(6, MergeTopologyOptions::Pipeline());
+  ASSERT_TRUE(topo.ok());
+  CheckInvariants(*topo);
+  EXPECT_EQ(topo->top_width(), 1u);
+  EXPECT_EQ(topo->max_inbound(), 1u);
+  EXPECT_EQ(topo->depth(), 6u);
+}
+
+TEST(MergeTopologyTest, SingleServerAlwaysTalksToTheCoordinator) {
+  for (const MergeTopologyOptions& options :
+       {MergeTopologyOptions::Star(), MergeTopologyOptions::Tree(4),
+        MergeTopologyOptions::Pipeline()}) {
+    auto topo = MergeTopology::Build(1, options);
+    ASSERT_TRUE(topo.ok());
+    CheckInvariants(*topo);
+    EXPECT_EQ(topo->top_width(), 1u);
+    EXPECT_EQ(topo->node(0).parent, kCoordinator);
+  }
+}
+
+TEST(MergeTopologyTest, InvalidShapesAreRejected) {
+  EXPECT_FALSE(MergeTopology::Build(0, MergeTopologyOptions::Star()).ok());
+  EXPECT_FALSE(MergeTopology::Build(8, MergeTopologyOptions::Tree(1)).ok());
+  EXPECT_FALSE(MergeTopology::Build(8, MergeTopologyOptions::Tree(0)).ok());
+}
+
+TEST(MergeTopologyTest, KindNamesRoundTrip) {
+  for (const TopologyKind kind :
+       {TopologyKind::kStar, TopologyKind::kTree, TopologyKind::kPipeline}) {
+    auto parsed = ParseTopologyKind(TopologyKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseTopologyKind("ring").ok());
+}
+
+TEST(MergeTopologyTest, InvariantsHoldAcrossFanoutsAndSizes) {
+  for (const size_t s : {1u, 2u, 7u, 8u, 9u, 63u, 64u, 100u, 257u}) {
+    for (const size_t fanout : {2u, 3u, 8u, 16u}) {
+      auto topo = MergeTopology::Build(s, MergeTopologyOptions::Tree(fanout));
+      ASSERT_TRUE(topo.ok()) << "s=" << s << " fanout=" << fanout;
+      CheckInvariants(*topo);
+      EXPECT_LE(topo->top_width(), fanout);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
 #include "sketch/error_metrics.h"
 #include "telemetry/telemetry.h"
 #include "workload/generators.h"
@@ -199,6 +201,93 @@ TEST(ProtocolPlannerTest, TelemetryReportsDecisionRationale) {
   EXPECT_EQ(telem.metrics().CounterValue("planner.plans"), 1u);
   EXPECT_EQ(telem.metrics().CounterValue("planner.pick.svs"), 1u);
   EXPECT_EQ(telem.metrics().CounterValue("planner.pick.fd_merge"), 0u);
+}
+
+TEST(ProtocolPlannerTest, InboundModelMatchesTopologyWidths) {
+  // Star: the coordinator receives all s uplinks. Tree: only top_width,
+  // each the same size (every associative merge keeps the payload fixed).
+  const double msg = 100.0;
+  EXPECT_DOUBLE_EQ(
+      PredictCoordinatorInboundWords(64, MergeTopologyOptions::Star(), msg),
+      64.0 * msg);
+  auto topo = MergeTopology::Build(64, MergeTopologyOptions::Tree(8));
+  ASSERT_TRUE(topo.ok());
+  EXPECT_DOUBLE_EQ(
+      PredictCoordinatorInboundWords(64, MergeTopologyOptions::Tree(8), msg),
+      static_cast<double>(topo->top_width()) * msg);
+}
+
+TEST(ProtocolPlannerTest, TopologyCrossoverSmallStaysStarLargeGoesTree) {
+  // The critical path of a star is s serialized receives in one round; a
+  // k-ary tree pays fewer receives but one round-latency charge per
+  // stage. At modest message sizes the extra rounds swamp the receive
+  // savings for tiny fleets, while big fleets always amortize them.
+  const double msg = 64.0;
+  for (const size_t s : {1u, 2u, 4u}) {
+    EXPECT_TRUE(ChooseMergeTopology(s, msg).is_star()) << "s=" << s;
+  }
+  for (const size_t s : {64u, 256u, 1024u}) {
+    const MergeTopologyOptions choice = ChooseMergeTopology(s, msg);
+    EXPECT_EQ(choice.kind, TopologyKind::kTree) << "s=" << s;
+    // And the choice must actually be the argmin of the model it claims
+    // to minimize.
+    const double chosen_cost = PredictCriticalPathWords(s, choice, msg);
+    EXPECT_LE(chosen_cost,
+              PredictCriticalPathWords(s, MergeTopologyOptions::Star(), msg));
+    for (const size_t fanout : {2u, 4u, 8u, 16u, 32u}) {
+      EXPECT_LE(chosen_cost,
+                PredictCriticalPathWords(
+                    s, MergeTopologyOptions::Tree(fanout), msg));
+    }
+  }
+}
+
+TEST(ProtocolPlannerTest, AutoTopologyThreadsIntoThePlannedProtocol) {
+  SketchRequest req;
+  req.eps = 0.25;
+  req.k = 2;
+  req.allow_randomized = false;  // force fd_merge at this instance
+  req.auto_topology = true;
+  auto plan = PlanSketchProtocol(256, 64, req);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->protocol->Name(), "fd_merge");
+  const auto& fd = static_cast<const FdMergeProtocol&>(*plan->protocol);
+  EXPECT_EQ(fd.options().topology.kind, plan->topology.kind);
+  EXPECT_EQ(fd.options().topology.fanout, plan->topology.fanout);
+  EXPECT_EQ(plan->topology.kind, TopologyKind::kTree);
+  // A tree plan must predict strictly less coordinator inbound than its
+  // total words, and say so in the rationale.
+  EXPECT_LT(plan->predicted_coordinator_words, plan->predicted_words);
+  EXPECT_NE(plan->rationale.find("coordinator inbound"), std::string::npos);
+}
+
+TEST(ProtocolPlannerTest, ExplicitTopologyRequestIsHonored) {
+  SketchRequest req;
+  req.eps = 0.5;
+  req.allow_randomized = false;
+  req.topology = MergeTopologyOptions::Tree(4);
+  auto plan = PlanSketchProtocol(32, 2, req);  // exact_gram regime
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->protocol->Name(), "exact_gram");
+  const auto& gram = static_cast<const ExactGramProtocol&>(*plan->protocol);
+  EXPECT_EQ(gram.options().topology.kind, TopologyKind::kTree);
+  EXPECT_EQ(gram.options().topology.fanout, 4u);
+  const double msg = 2.0 * 3.0 / 2.0;  // d(d+1)/2 at d=2
+  EXPECT_DOUBLE_EQ(
+      plan->predicted_coordinator_words,
+      PredictCoordinatorInboundWords(32, req.topology, msg));
+}
+
+TEST(ProtocolPlannerTest, StarOnlyProtocolsKeepStarPlanFields) {
+  SketchRequest req;
+  req.eps = 0.3;
+  req.k = 0;
+  req.auto_topology = true;
+  auto plan = PlanSketchProtocol(512, 64, req);  // row_sampling regime
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->protocol->Name(), "row_sampling");
+  EXPECT_TRUE(plan->topology.is_star());
+  EXPECT_DOUBLE_EQ(plan->predicted_coordinator_words, plan->predicted_words);
 }
 
 TEST(ProtocolPlannerTest, CostFormulasAreMonotone) {

@@ -1,0 +1,185 @@
+// Aggregation-topology semantics: for protocols whose merge is plain
+// addition (exact_gram's Gram sum, countsketch's bucket sum), integer-
+// valued inputs make every float addition exact, so star, tree and
+// pipeline must produce *bit-identical* coordinator sketches — the
+// association of an exact sum is irrelevant. FD's shrink-merge is not
+// associative, so fd_merge under a tree is held to the Theorem-1
+// guarantee instead. And every tree run must be bit-identical across
+// thread counts, transcript digest included: the tree driver's merge
+// compute fans out per level, but transfers replay in schedule order.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "dist/countsketch_protocol.h"
+#include "dist/exact_gram_protocol.h"
+#include "dist/fd_merge_protocol.h"
+#include "linalg/blas.h"
+#include "sketch/error_metrics.h"
+#include "workload/generators.h"
+#include "workload/partition.h"
+
+namespace distsketch {
+namespace {
+
+constexpr size_t kServers = 26;  // not a fanout power: ragged tree blocks
+
+// +-1 entries: every partial sum any topology can form is an exactly
+// representable integer, so addition-based merges are associative in
+// floating point too.
+Matrix SignData() { return GenerateSignMatrix(130, 9, /*seed=*/21); }
+
+Cluster MakeCluster(const Matrix& a) {
+  auto cluster = Cluster::Create(
+      PartitionRows(a, kServers, PartitionScheme::kRoundRobin), 0.2);
+  DS_CHECK(cluster.ok());
+  return std::move(*cluster);
+}
+
+std::vector<MergeTopologyOptions> AllTopologies() {
+  return {MergeTopologyOptions::Star(), MergeTopologyOptions::Tree(2),
+          MergeTopologyOptions::Tree(8), MergeTopologyOptions::Pipeline()};
+}
+
+class TreeStarDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = ThreadPool::GlobalThreads(); }
+  void TearDown() override { ThreadPool::SetGlobalThreads(saved_threads_); }
+  size_t saved_threads_ = 1;
+};
+
+TEST_F(TreeStarDeterminismTest, ExactGramBitIdenticalAcrossTopologies) {
+  const Matrix a = SignData();
+  Matrix star_sketch;
+  for (const MergeTopologyOptions& topo : AllTopologies()) {
+    Cluster cluster = MakeCluster(a);
+    ExactGramProtocol protocol({.topology = topo});
+    auto result = protocol.Run(cluster);
+    ASSERT_TRUE(result.ok());
+    if (topo.is_star()) {
+      star_sketch = std::move(result->sketch);
+      continue;
+    }
+    SCOPED_TRACE(std::string(TopologyKindName(topo.kind)));
+    EXPECT_TRUE(result->sketch == star_sketch)
+        << "additive merge must not depend on association";
+    // Total words are topology-invariant: every server still sends
+    // exactly one upper-triangle uplink.
+    EXPECT_EQ(result->comm.num_rounds, 1);
+  }
+}
+
+TEST_F(TreeStarDeterminismTest, CountSketchBitIdenticalAcrossTopologies) {
+  const Matrix a = SignData();
+  Matrix star_sketch;
+  uint64_t star_words = 0;
+  for (const MergeTopologyOptions& topo : AllTopologies()) {
+    Cluster cluster = MakeCluster(a);
+    CountSketchProtocol protocol(
+        {.eps = 0.35, .oversample = 2.0, .seed = 99, .topology = topo});
+    auto result = protocol.Run(cluster);
+    ASSERT_TRUE(result.ok());
+    if (topo.is_star()) {
+      star_sketch = std::move(result->sketch);
+      star_words = result->comm.total_words;
+      continue;
+    }
+    SCOPED_TRACE(std::string(TopologyKindName(topo.kind)));
+    EXPECT_TRUE(result->sketch == star_sketch);
+    // The uplink words match the star exactly (one m-by-d message per
+    // server); only the seed downlink fan-out differs, and a tree's is
+    // never larger than the star's s-message broadcast.
+    EXPECT_LE(result->comm.total_words, star_words);
+  }
+}
+
+TEST_F(TreeStarDeterminismTest, FdMergeTreeMeetsTheTheorem1Guarantee) {
+  const Matrix a = GenerateLowRankPlusNoise({.rows = 260,
+                                             .cols = 12,
+                                             .rank = 4,
+                                             .decay = 0.6,
+                                             .top_singular_value = 25.0,
+                                             .noise_stddev = 0.4,
+                                             .seed = 3});
+  const double eps = 0.25;
+  const double budget = eps * SquaredFrobeniusNorm(a);
+  for (const MergeTopologyOptions& topo : AllTopologies()) {
+    Cluster cluster = MakeCluster(a);
+    FdMergeProtocol protocol({.eps = eps, .k = 0, .topology = topo});
+    auto result = protocol.Run(cluster);
+    ASSERT_TRUE(result.ok());
+    SCOPED_TRACE(std::string(TopologyKindName(topo.kind)));
+    // Shrink-merging along any topology preserves the combined FD
+    // guarantee (mergeable-summaries property).
+    EXPECT_LE(CovarianceError(a, result->sketch), budget * (1.0 + 1e-9));
+  }
+}
+
+TEST_F(TreeStarDeterminismTest, TreeRunsBitIdenticalAcrossThreadCounts) {
+  const Matrix a = SignData();
+  struct Case {
+    std::string name;
+    std::function<std::unique_ptr<SketchProtocol>()> make;
+  };
+  const MergeTopologyOptions tree = MergeTopologyOptions::Tree(3);
+  std::vector<Case> cases;
+  cases.push_back({"fd_merge", [&] {
+                     return std::make_unique<FdMergeProtocol>(
+                         FdMergeOptions{.eps = 0.3, .k = 0, .topology = tree});
+                   }});
+  cases.push_back({"exact_gram", [&] {
+                     return std::make_unique<ExactGramProtocol>(
+                         ExactGramOptions{.topology = tree});
+                   }});
+  cases.push_back({"countsketch", [&] {
+                     return std::make_unique<CountSketchProtocol>(
+                         CountSketchProtocolOptions{
+                             .eps = 0.35, .oversample = 2.0, .seed = 7,
+                             .topology = tree});
+                   }});
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    ThreadPool::SetGlobalThreads(1);
+    Cluster base_cluster = MakeCluster(a);
+    auto base = c.make()->Run(base_cluster);
+    ASSERT_TRUE(base.ok());
+    const uint64_t base_digest =
+        TranscriptDigest(base_cluster.log(), base_cluster.faults());
+    for (const size_t threads : {2u, 8u}) {
+      ThreadPool::SetGlobalThreads(threads);
+      Cluster cluster = MakeCluster(a);
+      auto got = c.make()->Run(cluster);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(got->sketch == base->sketch)
+          << "threads=" << threads << ": sketch bits differ";
+      EXPECT_EQ(TranscriptDigest(cluster.log(), cluster.faults()),
+                base_digest)
+          << "threads=" << threads << ": wire transcript differs";
+      EXPECT_EQ(got->comm.total_words, base->comm.total_words);
+    }
+  }
+}
+
+TEST_F(TreeStarDeterminismTest, TreeCutsCoordinatorInboundWords) {
+  const Matrix a = SignData();
+  uint64_t star_inbound = 0;
+  for (const MergeTopologyOptions& topo :
+       {MergeTopologyOptions::Star(), MergeTopologyOptions::Tree(8)}) {
+    Cluster cluster = MakeCluster(a);
+    ExactGramProtocol protocol({.topology = topo});
+    ASSERT_TRUE(protocol.Run(cluster).ok());
+    const uint64_t inbound = cluster.log().WordsReceivedBy(kCoordinator);
+    if (topo.is_star()) {
+      star_inbound = inbound;
+    } else {
+      // 26 servers under fanout 8 leave at most 4 top-level heads.
+      EXPECT_LE(inbound * 6, star_inbound);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distsketch

@@ -1,0 +1,220 @@
+// Sparse kernel table entries (axpy, scatter_axpy, sparse_outer_acc):
+// scalar bitwise pins against independent reference loops, vector-vs-
+// scalar agreement on adversarial shapes, and the end-to-end route —
+// CsrMatrix::Gram through sparse_outer_acc must match the dense Gram
+// within the §12 envelope at every supported backend.
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/matrix.h"
+#include "linalg/simd_dispatch.h"
+
+namespace distsketch {
+namespace {
+
+class BackendGuard {
+ public:
+  BackendGuard() : prev_(ActiveSimdBackend()) {}
+  ~BackendGuard() { SetSimdBackendForTesting(prev_); }
+
+ private:
+  SimdBackend prev_;
+};
+
+std::vector<SimdBackend> AllSupportedBackends() {
+  std::vector<SimdBackend> out = {SimdBackend::kScalar};
+  for (const SimdBackend b : {SimdBackend::kAvx2, SimdBackend::kAvx512}) {
+    if (SimdBackendSupported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+// One sparse row: strictly increasing indices drawn from [0, d), values
+// scaled uniforms (scale hits overflow/underflow-adjacent magnitudes).
+struct SparseRow {
+  std::vector<size_t> idx;
+  std::vector<double> vals;
+};
+
+SparseRow MakeSparseRow(size_t d, size_t nnz, uint64_t seed, double scale) {
+  SparseRow row;
+  Rng rng(seed);
+  std::vector<uint8_t> used(d, 0);
+  while (row.idx.size() < nnz) {
+    const size_t j = static_cast<size_t>(rng.NextDouble() * d) % d;
+    if (!used[j]) used[j] = 1, row.idx.push_back(j);
+  }
+  std::sort(row.idx.begin(), row.idx.end());
+  for (size_t t = 0; t < nnz; ++t) {
+    row.vals.push_back(scale * (2.0 * rng.NextDouble() - 1.0));
+  }
+  return row;
+}
+
+TEST(SparseKernelScalarPinTest, AxpyMatchesReferenceLoop) {
+  const SimdKernelTable& table = SimdTableFor(SimdBackend::kScalar);
+  for (const size_t n : {0u, 1u, 7u, 64u, 129u}) {
+    Rng rng(n + 3);
+    std::vector<double> x(n), got(n), want;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = 2.0 * rng.NextDouble() - 1.0;
+      got[i] = rng.NextDouble();
+    }
+    want = got;
+    table.axpy(got.data(), x.data(), -1.7, n);
+    for (size_t i = 0; i < n; ++i) want[i] += -1.7 * x[i];
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << "n=" << n;
+  }
+}
+
+TEST(SparseKernelScalarPinTest, ScatterAxpyMatchesReferenceLoop) {
+  const SimdKernelTable& table = SimdTableFor(SimdBackend::kScalar);
+  const size_t d = 37;
+  const SparseRow row = MakeSparseRow(d, 11, /*seed=*/5, 1.0);
+  std::vector<double> got(d, 0.25), want(d, 0.25);
+  table.scatter_axpy(got.data(), row.idx.data(), row.vals.data(), 2.5,
+                     row.idx.size());
+  for (size_t t = 0; t < row.idx.size(); ++t) {
+    want[row.idx[t]] += 2.5 * row.vals[t];
+  }
+  for (size_t j = 0; j < d; ++j) EXPECT_EQ(got[j], want[j]);
+  // nnz == 0 is a no-op, not a crash.
+  table.scatter_axpy(got.data(), nullptr, nullptr, 1.0, 0);
+  for (size_t j = 0; j < d; ++j) EXPECT_EQ(got[j], want[j]);
+}
+
+TEST(SparseKernelScalarPinTest, SparseOuterAccMatchesReferenceLoop) {
+  const SimdKernelTable& table = SimdTableFor(SimdBackend::kScalar);
+  const size_t d = 23;
+  const SparseRow row = MakeSparseRow(d, 9, /*seed=*/11, 1.0);
+  Matrix got(d, d), want(d, d);
+  table.sparse_outer_acc(row.idx.data(), row.vals.data(), row.idx.size(), d,
+                         got.data());
+  // Upper triangle only; the caller mirrors.
+  for (size_t a = 0; a < row.idx.size(); ++a) {
+    for (size_t b = a; b < row.idx.size(); ++b) {
+      want(row.idx[a], row.idx[b]) += row.vals[a] * row.vals[b];
+    }
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.data()[i], want.data()[i]);
+  }
+}
+
+// The sparse entries are index-gather bound and every backend installs
+// the same scalar loop, so agreement across backends is *bitwise* — any
+// future vectorization must either keep that or relax this test to the
+// §12 envelope deliberately.
+TEST(SparseKernelAgreementTest, AllBackendsBitIdenticalOnSparseEntries) {
+  BackendGuard guard;
+  const size_t d = 61;
+  for (const double scale : {1.0, 1e150, 1e-150, 1e-300}) {
+    for (const size_t nnz : {0u, 1u, 3u, 17u, 61u}) {
+      const SparseRow row = MakeSparseRow(d, nnz, 100 + nnz, scale);
+      Matrix ref_outer(d, d);
+      std::vector<double> ref_scatter(d, 0.0);
+      const SimdKernelTable& ref = SimdTableFor(SimdBackend::kScalar);
+      ref.sparse_outer_acc(row.idx.data(), row.vals.data(), nnz, d,
+                           ref_outer.data());
+      ref.scatter_axpy(ref_scatter.data(), row.idx.data(), row.vals.data(),
+                       0.75, nnz);
+      for (const SimdBackend backend : AllSupportedBackends()) {
+        const SimdKernelTable& table = SimdTableFor(backend);
+        Matrix outer(d, d);
+        std::vector<double> scatter(d, 0.0);
+        table.sparse_outer_acc(row.idx.data(), row.vals.data(), nnz, d,
+                               outer.data());
+        table.scatter_axpy(scatter.data(), row.idx.data(), row.vals.data(),
+                           0.75, nnz);
+        for (size_t i = 0; i < outer.size(); ++i) {
+          EXPECT_EQ(outer.data()[i], ref_outer.data()[i])
+              << "backend=" << SimdBackendName(backend) << " nnz=" << nnz;
+        }
+        for (size_t j = 0; j < d; ++j) {
+          EXPECT_EQ(scatter[j], ref_scatter[j])
+              << "backend=" << SimdBackendName(backend) << " nnz=" << nnz;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseKernelAgreementTest, AxpyVectorWithinEnvelope) {
+  BackendGuard guard;
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (const SimdBackend backend : AllSupportedBackends()) {
+    const SimdKernelTable& vec = SimdTableFor(backend);
+    const SimdKernelTable& ref = SimdTableFor(SimdBackend::kScalar);
+    for (const size_t n : {1u, 5u, 8u, 13u, 127u}) {
+      for (const double scale : {1.0, 1e150, 1e-150}) {
+        Rng rng(7 * n + 1);
+        std::vector<double> x(n), got(n), want(n);
+        for (size_t i = 0; i < n; ++i) {
+          x[i] = scale * (2.0 * rng.NextDouble() - 1.0);
+          got[i] = want[i] = rng.NextDouble();
+        }
+        vec.axpy(got.data(), x.data(), 1.3, n);
+        ref.axpy(want.data(), x.data(), 1.3, n);
+        for (size_t i = 0; i < n; ++i) {
+          // axpy is elementwise (no reduction): one mul + one add per
+          // entry, so vector and scalar agree to an ulp-scale envelope.
+          // The FMA forms round relative to the *operands*, which can
+          // dwarf a cancelled result, so the envelope includes both.
+          const double mag = std::abs(want[i]) + std::abs(1.3 * x[i]);
+          EXPECT_NEAR(got[i], want[i], 4.0 * eps * mag)
+              << "backend=" << SimdBackendName(backend) << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// End-to-end: the CSR Gram (per-row sparse_outer_acc + mirror) equals
+// the dense Gram up to summation-order rounding, at every backend.
+TEST(SparseKernelEndToEndTest, CsrGramTracksDenseGramAcrossBackends) {
+  BackendGuard guard;
+  const size_t rows = 83, d = 29;
+  Rng rng(42);
+  Matrix dense(rows, d);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    dense.data()[i] =
+        rng.NextDouble() < 0.07 ? 2.0 * rng.NextDouble() - 1.0 : 0.0;
+  }
+  const CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  ASSERT_LT(sparse.nnz(), rows * d / 4) << "workload unexpectedly dense";
+  for (const SimdBackend backend : AllSupportedBackends()) {
+    SetSimdBackendForTesting(backend);
+    const Matrix got = sparse.Gram();
+    const Matrix want = Gram(dense);
+    const double tol = 8.0 * static_cast<double>(rows) *
+                       std::numeric_limits<double>::epsilon() *
+                       std::max(1.0, MaxAbs(want));
+    EXPECT_LE(MaxAbs(Subtract(got, want)), tol)
+        << "backend=" << SimdBackendName(backend);
+    // Mirroring must leave the result exactly symmetric.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) {
+        EXPECT_EQ(got(i, j), got(j, i));
+      }
+    }
+  }
+}
+
+TEST(SparseKernelEndToEndTest, SparseEntriesPresentInEveryTable) {
+  for (const SimdBackend b : AllSupportedBackends()) {
+    const SimdKernelTable& t = SimdTableFor(b);
+    EXPECT_NE(t.axpy, nullptr);
+    EXPECT_NE(t.scatter_axpy, nullptr);
+    EXPECT_NE(t.sparse_outer_acc, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace distsketch

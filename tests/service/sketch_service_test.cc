@@ -20,6 +20,7 @@
 #include "service/service_wire.h"
 #include "service/sketch_service.h"
 #include "service/tenant.h"
+#include "sketch/error_metrics.h"
 #include "store/sketch_store.h"
 #include "workload/generators.h"
 
@@ -325,6 +326,92 @@ TEST(SketchService, BatchMatchesRequestAtATime) {
     EXPECT_EQ(MatrixDigest(batched->Handle(query).sketch),
               MatrixDigest(serial->Handle(query).sketch));
   }
+}
+
+TEST(SketchService, AggregateQueryCoversTheFleet) {
+  auto service = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 8, .max_resident = 8});
+  ASSERT_TRUE(service.ok());
+  Matrix all(0, kDim);
+  for (int t = 0; t < 5; ++t) {
+    const Matrix rows = Rows(30, 500 + t);
+    for (size_t r = 0; r < rows.rows(); ++r) all.AppendRow(rows.Row(r));
+    ServiceResponse resp = service->Handle(
+        {ServiceRequestKind::kIngest, "t" + std::to_string(t), rows});
+    ASSERT_EQ(resp.code, StatusCode::kOk);
+  }
+  auto agg = service->AggregateQuery();
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->cols(), kDim);
+  // Tenant sketches are eps-sketches of their own rows and the aggregate
+  // tree shrink-merges them at the same eps; the compounded budget stays
+  // within 3 eps of the fleet's rows (same constant the protocol-level
+  // merge tests certify at).
+  EXPECT_TRUE(IsEpsKSketch(all, *agg, 3.0 * SmallTenant().eps, 0));
+  // Per-fanout results are all valid aggregates of the same fleet.
+  for (const size_t fanout : {2u, 3u, 16u}) {
+    auto other = service->AggregateQuery(fanout);
+    ASSERT_TRUE(other.ok());
+    EXPECT_TRUE(IsEpsKSketch(all, *other, 3.0 * SmallTenant().eps, 0))
+        << "fanout=" << fanout;
+  }
+}
+
+TEST(SketchService, AggregateQueryBitIdenticalAcrossThreadWidths) {
+  const size_t saved_threads = ThreadPool::GlobalThreads();
+  for (const size_t fanout : {2u, 8u}) {
+    std::vector<uint64_t> digests;
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      ThreadPool::SetGlobalThreads(threads);
+      auto service = SketchService::Create(
+          {.tenant = SmallTenant(), .max_tenants = 32, .max_resident = 32});
+      ASSERT_TRUE(service.ok());
+      for (int t = 0; t < 12; ++t) {
+        service->Handle({ServiceRequestKind::kIngest,
+                         "t" + std::to_string(t), Rows(9, 700 + t)});
+      }
+      auto agg = service->AggregateQuery(fanout);
+      ASSERT_TRUE(agg.ok());
+      digests.push_back(MatrixDigest(*agg));
+    }
+    EXPECT_EQ(digests[0], digests[1]) << "fanout=" << fanout;
+  }
+  ThreadPool::SetGlobalThreads(saved_threads);
+}
+
+TEST(SketchService, AggregateQueryLeavesTenantStateUntouched) {
+  auto service = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 8, .max_resident = 8});
+  ASSERT_TRUE(service.ok());
+  for (int t = 0; t < 3; ++t) {
+    service->Handle({ServiceRequestKind::kIngest, "t" + std::to_string(t),
+                     Rows(13, 900 + t)});
+  }
+  const ServiceRequest query{ServiceRequestKind::kQuery, "t1", Matrix(0, 0)};
+  const uint64_t before = MatrixDigest(service->Handle(query).sketch);
+  auto first = service->AggregateQuery();
+  ASSERT_TRUE(first.ok());
+  auto second = service->AggregateQuery();
+  ASSERT_TRUE(second.ok());
+  // Read-only: repeated aggregates are identical and per-tenant queries
+  // answer exactly as before.
+  EXPECT_EQ(MatrixDigest(*first), MatrixDigest(*second));
+  EXPECT_EQ(MatrixDigest(service->Handle(query).sketch), before);
+}
+
+TEST(SketchService, AggregateQueryValidation) {
+  auto service = SketchService::Create(
+      {.tenant = SmallTenant(), .max_tenants = 4, .max_resident = 4});
+  ASSERT_TRUE(service.ok());
+  auto empty = service->AggregateQuery();
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kFailedPrecondition);
+  service->Handle({ServiceRequestKind::kIngest, "a", Rows(4, 1)});
+  auto bad_fanout = service->AggregateQuery(1);
+  EXPECT_FALSE(bad_fanout.ok());
+  EXPECT_EQ(bad_fanout.status().code(), StatusCode::kInvalidArgument);
+  auto ok = service->AggregateQuery(2);
+  EXPECT_TRUE(ok.ok());
 }
 
 TEST(ServiceRunner, OverloadLadderAndResponseDelivery) {

@@ -34,7 +34,8 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, PartitionSchemeTest,
                          ::testing::Values(PartitionScheme::kRoundRobin,
                                            PartitionScheme::kContiguous,
                                            PartitionScheme::kSkewed,
-                                           PartitionScheme::kRandom));
+                                           PartitionScheme::kRandom,
+                                           PartitionScheme::kZipf));
 
 TEST(PartitionTest, ContiguousPreservesOrder) {
   const Matrix a{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
@@ -59,6 +60,67 @@ TEST(PartitionTest, SkewedFirstServerLargest) {
   const auto parts = PartitionRows(a, 4, PartitionScheme::kSkewed);
   EXPECT_GE(parts[0].rows(), parts[1].rows());
   EXPECT_GE(parts[1].rows(), parts[2].rows());
+}
+
+TEST(ZipfPartitionTest, SharesAreMonotoneAndExhaustive) {
+  const Matrix a = GenerateGaussian(200, 3, 1.0, 7);
+  for (const double alpha : {0.5, 1.0, 2.0}) {
+    const auto parts = PartitionRowsZipf(a, 8, alpha);
+    ASSERT_EQ(parts.size(), 8u);
+    size_t total = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      total += parts[p].rows();
+      if (p > 0) {
+        EXPECT_GE(parts[p - 1].rows(), parts[p].rows())
+            << "alpha=" << alpha << " p=" << p;
+      }
+    }
+    EXPECT_EQ(total, 200u) << "alpha=" << alpha;
+  }
+  // Larger alpha concentrates more rows on server 0.
+  EXPECT_LT(PartitionRowsZipf(a, 8, 0.5)[0].rows(),
+            PartitionRowsZipf(a, 8, 2.0)[0].rows());
+}
+
+TEST(ZipfPartitionTest, AlphaZeroDegeneratesToEqualBlocks) {
+  const Matrix a = GenerateGaussian(64, 2, 1.0, 9);
+  const auto zipf = PartitionRowsZipf(a, 4, 0.0);
+  const auto contiguous = PartitionRows(a, 4, PartitionScheme::kContiguous);
+  ASSERT_EQ(zipf.size(), contiguous.size());
+  for (size_t p = 0; p < zipf.size(); ++p) {
+    EXPECT_EQ(zipf[p].rows(), contiguous[p].rows());
+  }
+}
+
+TEST(ZipfPartitionTest, BlocksAreContiguousAndDeterministic) {
+  const Matrix a{{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0}, {7, 0}};
+  const auto parts = PartitionRowsZipf(a, 3, 1.0);
+  // Contiguous: reassembly in server order is the original matrix.
+  EXPECT_TRUE(UnpartitionRows(parts) == a);
+  const auto again = PartitionRowsZipf(a, 3, 1.0);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    EXPECT_EQ(parts[p].rows(), again[p].rows());
+  }
+}
+
+TEST(ZipfPartitionTest, SchemeEnumDelegatesToExponentOne) {
+  const Matrix a = GenerateGaussian(100, 2, 1.0, 3);
+  const auto via_scheme = PartitionRows(a, 6, PartitionScheme::kZipf);
+  const auto direct = PartitionRowsZipf(a, 6, 1.0);
+  ASSERT_EQ(via_scheme.size(), direct.size());
+  for (size_t p = 0; p < direct.size(); ++p) {
+    EXPECT_EQ(via_scheme[p].rows(), direct[p].rows()) << "p=" << p;
+  }
+}
+
+TEST(ZipfPartitionTest, MoreServersThanRowsLeavesTailEmpty) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const auto parts = PartitionRowsZipf(a, 10, 1.5);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.rows();
+  EXPECT_EQ(total, 3u);
+  // Largest-remainder rounding keeps the heavy shards in front.
+  EXPECT_GE(parts[0].rows(), parts[9].rows());
 }
 
 TEST(PartitionTest, MoreServersThanRows) {
