@@ -1,0 +1,180 @@
+#include "autoconf/error_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace distsketch {
+namespace autoconf {
+namespace {
+
+// Band widening applied per clamped interpolation axis: a query off the
+// calibrated grid is answered with the nearest grid value but the stated
+// band admits it is less certain there.
+constexpr double kClampWiden = 2.0;
+
+struct AxisWeight {
+  size_t lo = 0;
+  size_t hi = 0;
+  double t = 0.0;  // weight of hi in log space
+  bool clamped = false;
+};
+
+// Bracketing indices and log-space weight of `x` in the ascending grid.
+AxisWeight Bracket(const std::vector<double>& grid, double x) {
+  AxisWeight w;
+  if (grid.size() == 1 || x <= grid.front()) {
+    w.clamped = x < grid.front();
+    return w;
+  }
+  if (x >= grid.back()) {
+    w.lo = w.hi = grid.size() - 1;
+    w.clamped = x > grid.back();
+    return w;
+  }
+  size_t hi = 1;
+  while (grid[hi] < x) ++hi;
+  w.lo = hi - 1;
+  w.hi = hi;
+  w.t = (std::log(x) - std::log(grid[w.lo])) /
+        (std::log(grid[w.hi]) - std::log(grid[w.lo]));
+  return w;
+}
+
+}  // namespace
+
+ErrorPredictor::ErrorPredictor(CalibrationTable table)
+    : table_(std::move(table)) {}
+
+StatusOr<ErrorPredictor> ErrorPredictor::FromTable(CalibrationTable table) {
+  if (table.points.empty()) {
+    return Status::InvalidArgument("ErrorPredictor: empty calibration table");
+  }
+  for (const CalibrationPoint& p : table.points) {
+    if (p.rel_err_mean <= 0.0 || p.rel_err_min <= 0.0 || p.words <= 0.0) {
+      return Status::InvalidArgument(
+          "ErrorPredictor: non-positive measurement at grid point " +
+          p.family);
+    }
+  }
+  return ErrorPredictor(std::move(table));
+}
+
+StatusOr<ErrorPredictor> ErrorPredictor::LoadFromFile(const std::string& path) {
+  DS_ASSIGN_OR_RETURN(CalibrationTable table, LoadCalibrationTable(path));
+  return FromTable(std::move(table));
+}
+
+ErrorPredictor::Interpolated ErrorPredictor::Interpolate(
+    const std::string& family_key, double eps, size_t s) const {
+  Interpolated out;
+  const CalibrationSpec& spec = table_.spec;
+  bool any = false;
+  for (const CalibrationPoint& p : table_.points) {
+    if (p.family == family_key) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return out;
+
+  // The table is a dense grid; index points by (eps idx, s idx).
+  auto point_at = [&](size_t ei, size_t si) -> const CalibrationPoint* {
+    for (const CalibrationPoint& p : table_.points) {
+      if (p.family == family_key && p.eps == spec.eps_grid[ei] &&
+          p.s == spec.servers_grid[si]) {
+        return &p;
+      }
+    }
+    return nullptr;
+  };
+
+  std::vector<double> s_grid(spec.servers_grid.size());
+  for (size_t i = 0; i < s_grid.size(); ++i) {
+    s_grid[i] = static_cast<double>(spec.servers_grid[i]);
+  }
+  const AxisWeight we = Bracket(spec.eps_grid, eps);
+  const AxisWeight ws = Bracket(s_grid, static_cast<double>(s));
+
+  // Bilinear in log space over the four bracketing grid points. The band
+  // takes the envelope (min of mins, max of maxes) of the corners rather
+  // than interpolating it — bands must only widen between grid points.
+  double mean = 0.0;
+  double lo = 0.0, hi = 0.0;
+  double words = 0.0, bits = 0.0, wire_bytes = 0.0;
+  bool first = true;
+  for (const auto& [ei, wt_e] :
+       {std::pair{we.lo, 1.0 - we.t}, std::pair{we.hi, we.t}}) {
+    for (const auto& [si, wt_s] :
+         {std::pair{ws.lo, 1.0 - ws.t}, std::pair{ws.hi, ws.t}}) {
+      const double w = wt_e * wt_s;
+      const CalibrationPoint* p = point_at(ei, si);
+      if (p == nullptr) return out;  // hole in the grid: not calibrated here
+      if (w > 0.0) {
+        mean += w * std::log(p->rel_err_mean);
+        words += w * p->words;
+        bits += w * p->bits;
+        wire_bytes += w * p->wire_bytes;
+      }
+      if (first) {
+        lo = p->rel_err_min;
+        hi = p->rel_err_max;
+        first = false;
+      } else {
+        lo = std::min(lo, p->rel_err_min);
+        hi = std::max(hi, p->rel_err_max);
+      }
+    }
+  }
+  out.found = true;
+  out.mean = std::exp(mean);
+  out.min = lo;
+  out.max = hi;
+  out.words = words;
+  out.bits = bits;
+  out.wire_bytes = wire_bytes;
+  out.clamped_eps = we.clamped;
+  out.clamped_s = ws.clamped;
+  return out;
+}
+
+ErrorPrediction ErrorPredictor::PredictError(const std::string& family_key,
+                                             double eps, size_t s,
+                                             double analytic_rel) const {
+  ErrorPrediction pred;
+  pred.analytic = analytic_rel;
+  const Interpolated in = Interpolate(family_key, eps, s);
+  if (!in.found) {
+    pred.predicted = analytic_rel;
+    pred.lo = 0.0;
+    pred.hi = analytic_rel;
+    pred.calibrated = false;
+    return pred;
+  }
+  double margin = table_.spec.band_margin;
+  if (in.clamped_eps) margin *= kClampWiden;
+  if (in.clamped_s) margin *= kClampWiden;
+  pred.predicted = in.mean;
+  pred.lo = in.min / margin;
+  pred.hi = in.max * margin;
+  pred.calibrated = true;
+  return pred;
+}
+
+double ErrorPredictor::BytesPerWord(const std::string& family_key, double eps,
+                                    size_t s) const {
+  const Interpolated in = Interpolate(family_key, eps, s);
+  if (!in.found || in.words <= 0.0) return 0.0;
+  return in.wire_bytes / in.words;
+}
+
+double ErrorPredictor::BitsPerWord(const std::string& family_key, double eps,
+                                   size_t s) const {
+  const Interpolated in = Interpolate(family_key, eps, s);
+  if (!in.found || in.words <= 0.0) return 0.0;
+  return in.bits / in.words;
+}
+
+}  // namespace autoconf
+}  // namespace distsketch

@@ -1,0 +1,73 @@
+#ifndef DISTSKETCH_AUTOCONF_ERROR_PREDICTOR_H_
+#define DISTSKETCH_AUTOCONF_ERROR_PREDICTOR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "autoconf/calibration.h"
+#include "autoconf/config_plan.h"
+#include "common/status.h"
+
+namespace distsketch {
+namespace autoconf {
+
+/// Interpolates the committed calibration table into measured-error and
+/// measured-cost predictions. The SketchConf-style contract: analytic
+/// bounds hold for any input but are loose on benign spectra; the
+/// predictor states what the error will *measure* on workloads like the
+/// calibration one, with a band the honesty test verifies live at every
+/// grid point. The solver uses Certified() so a prediction is never
+/// trusted beyond the analytic guarantee.
+class ErrorPredictor {
+ public:
+  static StatusOr<ErrorPredictor> FromTable(CalibrationTable table);
+  static StatusOr<ErrorPredictor> LoadFromFile(const std::string& path);
+
+  /// Predicts the measured relative covariance error (vs ||A||_F^2) of
+  /// `family_key` at (eps, s). Log-log interpolation over the grid;
+  /// clamped axes widen the band by 2x per axis and extrapolation is
+  /// never attempted. `analytic_rel` is the family's analytic bound at
+  /// eps (relative), echoed into the result for Certified().
+  /// Unknown family keys return an uncalibrated (analytic-only)
+  /// prediction.
+  ErrorPrediction PredictError(const std::string& family_key, double eps,
+                               size_t s, double analytic_rel) const;
+
+  /// Measured encoded bytes per payload word for `family_key` at
+  /// (eps, s): frame overheads plus quantization, interpolated like the
+  /// error. Returns 0 when the key is not calibrated (caller falls back
+  /// to the analytic 8 bytes/word plus framing guess).
+  double BytesPerWord(const std::string& family_key, double eps,
+                      size_t s) const;
+
+  /// Measured payload bits per word (64 for dense payloads, fewer under
+  /// §3.3 quantization). 0 when not calibrated.
+  double BitsPerWord(const std::string& family_key, double eps,
+                     size_t s) const;
+
+  const CalibrationTable& table() const { return table_; }
+
+ private:
+  explicit ErrorPredictor(CalibrationTable table);
+
+  struct Interpolated {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double words = 0.0;
+    double bits = 0.0;
+    double wire_bytes = 0.0;
+    bool found = false;
+    bool clamped_eps = false;
+    bool clamped_s = false;
+  };
+  Interpolated Interpolate(const std::string& family_key, double eps,
+                           size_t s) const;
+
+  CalibrationTable table_;
+};
+
+}  // namespace autoconf
+}  // namespace distsketch
+
+#endif  // DISTSKETCH_AUTOCONF_ERROR_PREDICTOR_H_

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "dist/adaptive_sketch_protocol.h"
+#include "dist/countsketch_protocol.h"
 #include "dist/exact_gram_protocol.h"
 #include "dist/fd_merge_protocol.h"
 #include "dist/row_sampling_protocol.h"
@@ -75,6 +76,15 @@ double PredictAdaptiveWords(size_t s, size_t d, const SketchRequest& req) {
          2.0 * static_cast<double>(s);
 }
 
+double PredictCountSketchWords(size_t s, size_t d,
+                               const SketchRequest& req) {
+  // m buckets at the protocol's default oversample of 4; every server
+  // uplinks its m-by-d bucket matrix and receives the 1-word seed.
+  const double m = std::ceil(4.0 / (req.eps * req.eps));
+  return static_cast<double>(s) * m * static_cast<double>(d) +
+         static_cast<double>(s);
+}
+
 double PredictCoordinatorInboundWords(size_t s,
                                       const MergeTopologyOptions& topology,
                                       double message_words) {
@@ -137,6 +147,37 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
   const size_t s = num_servers;
   const size_t d = dim;
 
+  // Arbitrary-partition regime: A = sum_i A^(i) entry-wise, so only a
+  // sketch linear in A is mergeable — the CountSketch family. FD merges,
+  // per-shard Grams and row sampling all assume whole rows and are out.
+  if (request.arbitrary_partition) {
+    if (!request.allow_randomized || request.k != 0) {
+      return Status::FailedPrecondition(
+          "PlanSketchProtocol: no protocol family provides a deterministic "
+          "or (eps,k>0) guarantee over arbitrary partitions; only the "
+          "randomized (eps,0) CountSketch projection is linear in A");
+    }
+    ProtocolPlan plan;
+    CountSketchProtocolOptions options;
+    options.eps = request.eps;
+    options.seed = request.seed;
+    const double message_words =
+        std::ceil(4.0 / (request.eps * request.eps)) * static_cast<double>(d);
+    plan.topology = request.auto_topology
+                        ? ChooseMergeTopology(s, message_words)
+                        : request.topology;
+    options.topology = plan.topology;
+    plan.protocol = std::make_unique<CountSketchProtocol>(options);
+    plan.predicted_words = PredictCountSketchWords(s, d, request);
+    plan.predicted_coordinator_words =
+        PredictCoordinatorInboundWords(s, plan.topology, message_words);
+    plan.rationale =
+        "countsketch: only family linear in A, survives arbitrary partition";
+    telemetry::Count("planner.plans");
+    telemetry::Count("planner.pick.countsketch");
+    return plan;
+  }
+
   // The span records the full decision: instance shape, every candidate
   // cost, and the winner with its rationale.
   telemetry::Span span("planner/plan", telemetry::Phase::kCompute);
@@ -197,6 +238,19 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
         chosen = "svs";
       }
       if (span.active()) span.SetAttr("words.svs", svs_words);
+      const double countsketch_words = PredictCountSketchWords(s, d, request);
+      if (countsketch_words < best.predicted_words) {
+        CountSketchProtocolOptions options;
+        options.eps = request.eps;
+        options.seed = request.seed;
+        best.predicted_words = countsketch_words;
+        best.protocol = std::make_unique<CountSketchProtocol>(options);
+        best.rationale =
+            "countsketch: s*d/eps^2 linear projection beats the row-based "
+            "families at this (s, d, eps)";
+        chosen = "countsketch";
+      }
+      if (span.active()) span.SetAttr("words.countsketch", countsketch_words);
     } else {
       const double adaptive_words = PredictAdaptiveWords(s, d, request);
       if (adaptive_words < best.predicted_words) {
@@ -217,10 +271,14 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
   // Topology resolution for the protocols whose merges are associative.
   // Star-only protocols keep the default star plan fields.
   best.predicted_coordinator_words = best.predicted_words;
-  if (chosen == "fd_merge" || chosen == "exact_gram") {
+  if (chosen == "fd_merge" || chosen == "exact_gram" ||
+      chosen == "countsketch") {
     const double message_words =
         chosen == "fd_merge"
             ? FdSketchRows(request) * static_cast<double>(d)
+        : chosen == "countsketch"
+            ? std::ceil(4.0 / (request.eps * request.eps)) *
+                  static_cast<double>(d)
             : static_cast<double>(d) * static_cast<double>(d + 1) / 2.0;
     const MergeTopologyOptions topology =
         request.auto_topology ? ChooseMergeTopology(s, message_words)
@@ -234,6 +292,12 @@ StatusOr<ProtocolPlan> PlanSketchProtocol(size_t num_servers, size_t dim,
       options.k = request.k;
       options.topology = topology;
       best.protocol = std::make_unique<FdMergeProtocol>(options);
+    } else if (chosen == "countsketch") {
+      CountSketchProtocolOptions options;
+      options.eps = request.eps;
+      options.seed = request.seed;
+      options.topology = topology;
+      best.protocol = std::make_unique<CountSketchProtocol>(options);
     } else {
       ExactGramOptions options;
       options.topology = topology;

@@ -7,21 +7,15 @@
 #include "common/status.h"
 #include "dist/merge_topology.h"
 #include "dist/protocol.h"
+#include "dist/sketch_goal.h"
 
 namespace distsketch {
 
-/// What the caller needs from the sketch (drives algorithm choice).
-struct SketchRequest {
-  /// Accuracy parameter of Definition 3.
-  double eps = 0.1;
-  /// Rank parameter; 0 selects the (eps, 0) guarantee eps*||A||_F^2.
-  size_t k = 0;
-  /// Whether a randomized answer (correct w.h.p.) is acceptable. When
-  /// false only the deterministic protocols are considered — this is the
-  /// Theorem 3 regime, where Omega(s d k / eps) is unavoidable.
-  bool allow_randomized = true;
-  /// Failure probability for randomized protocols.
-  double delta = 0.1;
+/// What the caller needs from the sketch (drives algorithm choice): the
+/// semantic goal (eps/k/delta/determinism — the shared SketchGoal
+/// definition, also the auto-configurer's input) plus the execution
+/// details only the planner cares about (seed, topology).
+struct SketchRequest : SketchGoal {
   uint64_t seed = 42;
   /// Aggregation topology for the planned protocol. Threaded into the
   /// protocols whose merges are associative (fd_merge, exact_gram);
@@ -56,6 +50,14 @@ double PredictFdMergeWords(size_t s, size_t d, const SketchRequest& req);
 double PredictRowSamplingWords(size_t s, size_t d, const SketchRequest& req);
 double PredictSvsWords(size_t s, size_t d, const SketchRequest& req);
 double PredictAdaptiveWords(size_t s, size_t d, const SketchRequest& req);
+/// Distributed CountSketch (PR-9 protocol): every server ships its
+/// m-by-d bucket matrix (m = ceil(4/eps^2), the protocol's default
+/// oversample) plus the 1-word seed downlink each server receives.
+/// Quadratic in 1/eps, so it loses to sampling/SVS on words alone — but
+/// it is the only family whose sketch is *linear* in A, hence the only
+/// candidate under goal.arbitrary_partition, and it overtakes exact_gram
+/// once d > ~8/eps^2.
+double PredictCountSketchWords(size_t s, size_t d, const SketchRequest& req);
 
 /// Words received by the coordinator for an s-server reduction of
 /// `message_words`-word uplinks under `topology`: s * message under

@@ -73,6 +73,13 @@ class ServiceRunner {
     return Submit(client, EncodeIngestRequest(tenant, rows), std::move(cb));
   }
 
+  /// Convenience: encodes and submits a configure (front-door) request.
+  Status SubmitConfigure(int client, const std::string& tenant,
+                         const ConfigureParams& params, ResponseCallback cb) {
+    return Submit(client, EncodeConfigureRequest(tenant, params),
+                  std::move(cb));
+  }
+
   /// Executes every queued wire transfer, then processes all delivered
   /// requests through the service in one batch and fires callbacks in
   /// submission order. Returns the number of callbacks fired.

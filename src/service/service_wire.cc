@@ -1,5 +1,6 @@
 #include "service/service_wire.h"
 
+#include <bit>
 #include <cstring>
 #include <utility>
 
@@ -19,6 +20,10 @@ void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
   for (int i = 0; i < 8; ++i) {
     out->push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
+}
+
+void AppendF64(double v, std::vector<uint8_t>* out) {
+  AppendU64(std::bit_cast<uint64_t>(v), out);
 }
 
 struct Reader {
@@ -46,6 +51,12 @@ struct Reader {
     }
     *v = out;
     pos += 8;
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    *v = std::bit_cast<double>(bits);
     return true;
   }
 };
@@ -81,6 +92,33 @@ wire::Message EncodeQueryRequest(const std::string& tenant) {
                        Matrix(0, 0));
 }
 
+wire::Message EncodeConfigureRequest(const std::string& tenant,
+                                     const ConfigureParams& params) {
+  wire::Message msg;
+  msg.tag = "svc/configure";
+  msg.payload.push_back(static_cast<uint8_t>(ServiceRequestKind::kConfigure));
+  AppendU16(static_cast<uint16_t>(tenant.size()), &msg.payload);
+  msg.payload.insert(msg.payload.end(), tenant.begin(), tenant.end());
+  AppendF64(params.eps, &msg.payload);
+  AppendF64(params.delta, &msg.payload);
+  AppendU64(params.k, &msg.payload);
+  const uint8_t flags =
+      static_cast<uint8_t>(params.allow_randomized ? 1 : 0) |
+      static_cast<uint8_t>(params.arbitrary_partition ? 2 : 0);
+  msg.payload.push_back(flags);
+  AppendU64(params.budget_coordinator_words, &msg.payload);
+  AppendU64(params.budget_total_wire_bytes, &msg.payload);
+  AppendU64(params.budget_critical_path_words, &msg.payload);
+  AppendU64(params.num_servers, &msg.payload);
+  AppendU64(params.dim, &msg.payload);
+  AppendU64(params.expected_rows, &msg.payload);
+  AppendU64(params.epoch_rows, &msg.payload);
+  std::vector<uint8_t> body = wire::EncodeDensePayload(Matrix(0, 0));
+  msg.payload.insert(msg.payload.end(), body.begin(), body.end());
+  msg.words = 1;
+  return msg;
+}
+
 StatusOr<ServiceRequest> DecodeServiceRequest(
     const std::vector<uint8_t>& payload) {
   Reader r{payload.data(), payload.size()};
@@ -89,7 +127,7 @@ StatusOr<ServiceRequest> DecodeServiceRequest(
   if (!r.ReadU8(&kind_byte) || !r.ReadU16(&name_len)) {
     return Status::InvalidArgument("service request: truncated header");
   }
-  if (kind_byte < 1 || kind_byte > 3) {
+  if (kind_byte < 1 || kind_byte > 4) {
     return Status::InvalidArgument("service request: unknown kind");
   }
   if (name_len > kMaxTenantNameBytes) {
@@ -103,6 +141,21 @@ StatusOr<ServiceRequest> DecodeServiceRequest(
   req.tenant.assign(reinterpret_cast<const char*>(payload.data() + r.pos),
                     name_len);
   r.pos += name_len;
+  if (req.kind == ServiceRequestKind::kConfigure) {
+    ConfigureParams& p = req.configure;
+    uint8_t flags = 0;
+    if (!r.ReadF64(&p.eps) || !r.ReadF64(&p.delta) || !r.ReadU64(&p.k) ||
+        !r.ReadU8(&flags) || !r.ReadU64(&p.budget_coordinator_words) ||
+        !r.ReadU64(&p.budget_total_wire_bytes) ||
+        !r.ReadU64(&p.budget_critical_path_words) ||
+        !r.ReadU64(&p.num_servers) || !r.ReadU64(&p.dim) ||
+        !r.ReadU64(&p.expected_rows) || !r.ReadU64(&p.epoch_rows)) {
+      return Status::InvalidArgument(
+          "service request: truncated configure params");
+    }
+    p.allow_randomized = (flags & 1) != 0;
+    p.arbitrary_partition = (flags & 2) != 0;
+  }
   DS_ASSIGN_OR_RETURN(
       wire::DecodedMatrix body,
       wire::DecodeMatrixPayload(payload.data() + r.pos, r.size - r.pos));
@@ -119,6 +172,22 @@ wire::Message EncodeServiceResponse(const ServiceResponse& response) {
                      response.tenant.end());
   AppendU64(response.epoch, &msg.payload);
   AppendU64(response.rows_ingested, &msg.payload);
+  msg.payload.push_back(response.config.present ? 1 : 0);
+  if (response.config.present) {
+    const ConfigSummary& c = response.config;
+    AppendU16(static_cast<uint16_t>(c.family.size()), &msg.payload);
+    msg.payload.insert(msg.payload.end(), c.family.begin(), c.family.end());
+    AppendF64(c.working_eps, &msg.payload);
+    AppendU64(c.sketch_rows, &msg.payload);
+    AppendU64(c.quantize_bits, &msg.payload);
+    msg.payload.push_back(c.topology);
+    AppendU64(c.fanout, &msg.payload);
+    AppendF64(c.predicted_error, &msg.payload);
+    AppendF64(c.error_hi, &msg.payload);
+    AppendF64(c.coordinator_words, &msg.payload);
+    AppendF64(c.total_wire_bytes, &msg.payload);
+    msg.payload.push_back(c.binding);
+  }
   std::vector<uint8_t> body = wire::EncodeDensePayload(response.sketch);
   msg.payload.insert(msg.payload.end(), body.begin(), body.end());
   msg.words = response.sketch.size() > 0 ? response.sketch.size() : 1;
@@ -146,6 +215,30 @@ StatusOr<ServiceResponse> DecodeServiceResponse(
   r.pos += name_len;
   if (!r.ReadU64(&resp.epoch) || !r.ReadU64(&resp.rows_ingested)) {
     return Status::InvalidArgument("service response: truncated counters");
+  }
+  uint8_t has_config = 0;
+  if (!r.ReadU8(&has_config)) {
+    return Status::InvalidArgument("service response: truncated config flag");
+  }
+  if (has_config != 0) {
+    ConfigSummary& c = resp.config;
+    c.present = true;
+    uint16_t family_len = 0;
+    if (!r.ReadU16(&family_len) || r.pos + family_len > r.size) {
+      return Status::InvalidArgument(
+          "service response: truncated config family");
+    }
+    c.family.assign(reinterpret_cast<const char*>(payload.data() + r.pos),
+                    family_len);
+    r.pos += family_len;
+    if (!r.ReadF64(&c.working_eps) || !r.ReadU64(&c.sketch_rows) ||
+        !r.ReadU64(&c.quantize_bits) || !r.ReadU8(&c.topology) ||
+        !r.ReadU64(&c.fanout) || !r.ReadF64(&c.predicted_error) ||
+        !r.ReadF64(&c.error_hi) || !r.ReadF64(&c.coordinator_words) ||
+        !r.ReadF64(&c.total_wire_bytes) || !r.ReadU8(&c.binding)) {
+      return Status::InvalidArgument(
+          "service response: truncated config block");
+    }
   }
   DS_ASSIGN_OR_RETURN(
       wire::DecodedMatrix body,

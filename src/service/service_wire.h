@@ -22,13 +22,64 @@ enum class ServiceRequestKind : uint8_t {
   /// Return the tenant's current sketch (coordinator merged with the
   /// open epoch).
   kQuery = 3,
+  /// Provision a new tenant from a goal + budget: the service runs the
+  /// constraint solver (autoconf) and sizes the tenant from the winning
+  /// plan. The front door — callers state what they need, not how.
+  kConfigure = 4,
 };
 
-/// A decoded service request. `rows` is populated for kIngest only.
+/// The goal/budget/shape block of a kConfigure request (the wire form of
+/// autoconf's SketchGoal + Budget + InstanceShape). Budgets of 0 mean
+/// unconstrained.
+struct ConfigureParams {
+  double eps = 0.1;
+  double delta = 0.1;
+  uint64_t k = 0;
+  bool allow_randomized = true;
+  bool arbitrary_partition = false;
+  uint64_t budget_coordinator_words = 0;
+  uint64_t budget_total_wire_bytes = 0;
+  uint64_t budget_critical_path_words = 0;
+  /// Instance shape the plan prices: servers holding the row partition,
+  /// row dimension, expected total rows.
+  uint64_t num_servers = 1;
+  uint64_t dim = 0;
+  uint64_t expected_rows = 0;
+  /// Tenant epoch sizing (service-level policy, not solved for).
+  uint64_t epoch_rows = 256;
+};
+
+/// The solved configuration echoed in a kConfigure response — the
+/// machine-checkable rationale a client can audit or hand to
+/// autoconf::BuildProtocol.
+struct ConfigSummary {
+  /// False on non-configure responses (nothing else set).
+  bool present = false;
+  /// Calibration family key ("fd_merge", "fd_merge_q", "svs_linear", ...).
+  std::string family;
+  double working_eps = 0.0;
+  uint64_t sketch_rows = 0;
+  uint64_t quantize_bits = 0;
+  /// TopologyKind as its wire value (0 star, 1 tree, 2 pipeline) + fanout.
+  uint8_t topology = 0;
+  uint64_t fanout = 0;
+  /// Predicted measured error (relative to ||A||_F^2) with its band.
+  double predicted_error = 0.0;
+  double error_hi = 0.0;
+  /// Predicted communication of the provisioned protocol.
+  double coordinator_words = 0.0;
+  double total_wire_bytes = 0.0;
+  /// autoconf::BindingConstraint as its wire value.
+  uint8_t binding = 0;
+};
+
+/// A decoded service request. `rows` is populated for kIngest only;
+/// `configure` for kConfigure only.
 struct ServiceRequest {
   ServiceRequestKind kind = ServiceRequestKind::kIngest;
   std::string tenant;
   Matrix rows;
+  ConfigureParams configure;
 };
 
 /// One response per request — the no-silent-drops contract: every
@@ -43,6 +94,8 @@ struct ServiceResponse {
   uint64_t rows_ingested = 0;
   /// kQuery: the sketch matrix. Empty otherwise.
   Matrix sketch;
+  /// kConfigure: the solved plan (present == true). Default otherwise.
+  ConfigSummary config;
 };
 
 /// Request payload layout (always framed as a wire::Message so the
@@ -56,6 +109,11 @@ wire::Message EncodeIngestRequest(const std::string& tenant,
                                   const Matrix& rows);
 wire::Message EncodeFlushRequest(const std::string& tenant);
 wire::Message EncodeQueryRequest(const std::string& tenant);
+/// kConfigure carries a fixed-size params block between the tenant name
+/// and the (empty) matrix payload; doubles travel as IEEE-754 bit
+/// patterns in the u64 little-endian encoding.
+wire::Message EncodeConfigureRequest(const std::string& tenant,
+                                     const ConfigureParams& params);
 
 /// Decodes any request payload. Rejects malformed layouts and tenant
 /// names longer than 255 bytes with InvalidArgument.
@@ -64,6 +122,7 @@ StatusOr<ServiceRequest> DecodeServiceRequest(
 
 /// Response payload layout:
 ///   [u8 code][u16 tenant_len][tenant bytes][u64 epoch][u64 rows]
+///   [u8 has_config][config block when has_config = 1]
 ///   [dense matrix payload]
 wire::Message EncodeServiceResponse(const ServiceResponse& response);
 StatusOr<ServiceResponse> DecodeServiceResponse(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "autoconf/protocol_factory.h"
+#include "autoconf/solver.h"
 #include "common/thread_pool.h"
 #include "dist/merge_topology.h"
 #include "sketch/frequent_directions.h"
@@ -98,18 +100,19 @@ StatusOr<TenantSketch*> SketchService::TouchTenant(const std::string& name) {
     DS_RETURN_IF_ERROR(EvictLruLocked());
   }
   Resident res;
+  const TenantOptions& tenant_options = TenantOptionsFor(name);
   if (is_known) {
     // Evicted tenant: restore its checkpoint bit-identically.
     DS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
                         options_.store->Get(StoreKey(name)));
     DS_ASSIGN_OR_RETURN(TenantSketch restored,
-                        TenantSketch::Restore(name, options_.tenant, blob));
+                        TenantSketch::Restore(name, tenant_options, blob));
     res.sketch = std::make_unique<TenantSketch>(std::move(restored));
     ++restores_;
     telemetry::Count("svc.restores");
   } else {
     DS_ASSIGN_OR_RETURN(TenantSketch created,
-                        TenantSketch::Create(name, options_.tenant));
+                        TenantSketch::Create(name, tenant_options));
     res.sketch = std::make_unique<TenantSketch>(std::move(created));
     known_.insert(name);
     telemetry::Count("svc.tenants_admitted");
@@ -118,6 +121,76 @@ StatusOr<TenantSketch*> SketchService::TouchTenant(const std::string& name) {
   TenantSketch* ptr = res.sketch.get();
   resident_.emplace(name, std::move(res));
   return ptr;
+}
+
+const TenantOptions& SketchService::TenantOptionsFor(
+    const std::string& name) const {
+  const auto it = tenant_options_.find(name);
+  return it != tenant_options_.end() ? it->second : options_.tenant;
+}
+
+ServiceResponse SketchService::HandleConfigure(const ServiceRequest& request) {
+  ServiceResponse resp;
+  resp.tenant = request.tenant;
+  const ConfigureParams& p = request.configure;
+  if (known_.count(request.tenant) > 0) {
+    resp.code = StatusCode::kFailedPrecondition;  // already provisioned
+    return resp;
+  }
+  autoconf::AutoConfRequest areq;
+  areq.goal.eps = p.eps;
+  areq.goal.delta = p.delta;
+  areq.goal.k = static_cast<size_t>(p.k);
+  areq.goal.allow_randomized = p.allow_randomized;
+  areq.goal.arbitrary_partition = p.arbitrary_partition;
+  areq.budget.max_coordinator_words = p.budget_coordinator_words;
+  areq.budget.max_total_wire_bytes = p.budget_total_wire_bytes;
+  areq.budget.max_critical_path_words = p.budget_critical_path_words;
+  areq.shape.num_servers = static_cast<size_t>(p.num_servers);
+  areq.shape.dim = static_cast<size_t>(p.dim);
+  areq.shape.total_rows = static_cast<size_t>(p.expected_rows);
+  auto plan = autoconf::SolveSketchConfig(areq, options_.predictor);
+  if (!plan.ok()) {
+    resp.code = plan.status().code();
+    return resp;
+  }
+  const autoconf::ConfigCandidate& best = plan->best();
+  ConfigSummary& summary = resp.config;
+  summary.present = true;
+  summary.family = autoconf::FamilyKey(best.config);
+  summary.working_eps = best.config.working_eps;
+  summary.sketch_rows = best.config.sketch_rows;
+  summary.quantize_bits = best.config.quantize_bits;
+  summary.topology = static_cast<uint8_t>(best.config.topology.kind);
+  summary.fanout = best.config.topology.fanout;
+  summary.predicted_error = best.error.predicted;
+  summary.error_hi = best.error.Certified(true);
+  summary.coordinator_words = best.cost.coordinator_words;
+  summary.total_wire_bytes = best.cost.total_wire_bytes;
+  summary.binding = static_cast<uint8_t>(best.binding);
+  if (!plan->feasible()) {
+    // The summary shows the closest miss and which budget it violates.
+    resp.code = StatusCode::kFailedPrecondition;
+    return resp;
+  }
+  // Provision: the tenant's FD sketch runs at the solved working_eps
+  // (sketch_size = ceil(1/eps) + 1, Theorem 1), so the plan's certified
+  // error carries over to the tenant's ingest path.
+  TenantOptions tenant_options;
+  tenant_options.dim = static_cast<size_t>(p.dim);
+  tenant_options.eps = best.config.working_eps;
+  tenant_options.epoch_rows = static_cast<size_t>(p.epoch_rows);
+  tenant_options_[request.tenant] = tenant_options;
+  auto tenant = TouchTenant(request.tenant);
+  if (!tenant.ok()) {
+    tenant_options_.erase(request.tenant);
+    resp.code = tenant.status().code();
+    return resp;
+  }
+  resp.epoch = (*tenant)->epoch();
+  resp.rows_ingested = (*tenant)->rows_ingested();
+  telemetry::Count("svc.configured");
+  return resp;
 }
 
 ServiceResponse SketchService::MakeResponse(const ServiceRequest& request,
@@ -160,6 +233,13 @@ std::vector<ServiceResponse> SketchService::HandleBatch(
       responses[i] = MakeResponse(
           req, Status::InvalidArgument("bad tenant name"), nullptr);
       failed[i] = 1;
+      continue;
+    }
+    if (req.kind == ServiceRequestKind::kConfigure) {
+      // Solve + provision entirely in the serial phase: registry
+      // mutation, and the pure solver, both belong here.
+      responses[i] = HandleConfigure(req);
+      failed[i] = 1;  // no phase-2 work for this request
       continue;
     }
     auto tenant = TouchTenant(req.tenant);
@@ -224,6 +304,8 @@ std::vector<ServiceResponse> SketchService::HandleBatch(
           if (sketch.ok()) responses[i].sketch = std::move(*sketch);
           break;
         }
+        case ServiceRequestKind::kConfigure:
+          break;  // answered in phase 1; never grouped here
       }
       ServiceResponse resp = MakeResponse(req, status, tenant);
       resp.sketch = std::move(responses[i].sketch);

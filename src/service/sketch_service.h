@@ -15,11 +15,20 @@
 #include "store/sketch_store.h"
 
 namespace distsketch {
+namespace autoconf {
+class ErrorPredictor;
+}  // namespace autoconf
 
 /// Capacity and durability policy of the sketch service.
 struct SketchServiceOptions {
-  /// Per-tenant sketch sizing (dim, eps, epoch_rows).
+  /// Default per-tenant sketch sizing (dim, eps, epoch_rows) for tenants
+  /// admitted through ingest. kConfigure-provisioned tenants carry their
+  /// own solved sizing instead.
   TenantOptions tenant;
+  /// Calibrated error predictor for the kConfigure front door (optional;
+  /// without it the solver certifies with analytic bounds only). Not
+  /// owned; must outlive the service.
+  const autoconf::ErrorPredictor* predictor = nullptr;
   /// Admission cap: total tenants the service will ever register.
   /// Requests for a new tenant beyond this are shed with kOverloaded.
   size_t max_tenants = 4096;
@@ -111,8 +120,19 @@ class SketchService {
   Status CheckpointTenant(const TenantSketch& tenant);
   ServiceResponse MakeResponse(const ServiceRequest& request,
                                const Status& status, TenantSketch* tenant);
+  /// kConfigure: solve the goal/budget, provision the tenant from the
+  /// winning plan. Serial (phase 1) — the solver is a pure function, so
+  /// responses stay bit-identical at any DS_THREADS.
+  ServiceResponse HandleConfigure(const ServiceRequest& request);
+  /// The sizing a tenant runs at: its solved (kConfigure) options when
+  /// present, the service default otherwise. Used by both the Create and
+  /// Restore admission paths.
+  const TenantOptions& TenantOptionsFor(const std::string& name) const;
 
   SketchServiceOptions options_;
+  /// Solved sizing of kConfigure-provisioned tenants (kept across
+  /// eviction: Restore must rebuild with the same sizing).
+  std::map<std::string, TenantOptions> tenant_options_;
   /// Live tenants. std::map: deterministic iteration for eviction scans
   /// and FlushAll.
   std::map<std::string, Resident> resident_;

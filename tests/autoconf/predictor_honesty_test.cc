@@ -1,0 +1,62 @@
+// Predictor honesty (satellite of the auto-configurer): for every grid
+// point of the committed calibration artifact, re-run the calibration
+// experiment live and assert the measured error falls inside the band
+// the predictor states at that point. This is the contract the solver's
+// eps-relaxation leans on — if a protocol change shifts measured errors,
+// this test (and the CI drift gate) fails before the solver can certify
+// configs the hardware no longer delivers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "autoconf/calibration.h"
+#include "autoconf/error_predictor.h"
+
+namespace distsketch {
+namespace autoconf {
+namespace {
+
+TEST(PredictorHonestyTest, EveryGridPointMeasuresInsideTheStatedBand) {
+  auto table = LoadCalibrationTable(DS_AUTOCONF_CALIBRATION);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  auto predictor = ErrorPredictor::FromTable(*table);
+  ASSERT_TRUE(predictor.ok()) << predictor.status().ToString();
+
+  size_t checked = 0;
+  for (const CalibrationPoint& point : table->points) {
+    const ErrorPrediction pred =
+        predictor->PredictError(point.family, point.eps, point.s,
+                                /*analytic_rel=*/point.eps);
+    ASSERT_TRUE(pred.calibrated) << point.family;
+    for (uint64_t seed : table->spec.seeds) {
+      auto live = MeasureCalibrationPoint(table->spec, point.family,
+                                          point.eps, point.s, seed);
+      ASSERT_TRUE(live.ok()) << point.family << " eps=" << point.eps
+                             << " s=" << point.s << ": "
+                             << live.status().ToString();
+      EXPECT_GE(live->rel_err, pred.lo)
+          << point.family << " eps=" << point.eps << " s=" << point.s
+          << " seed=" << seed;
+      EXPECT_LE(live->rel_err, pred.hi)
+          << point.family << " eps=" << point.eps << " s=" << point.s
+          << " seed=" << seed;
+      ++checked;
+    }
+  }
+  // 7 families x 3 eps x 2 s x 3 seeds.
+  EXPECT_EQ(checked, table->points.size() * table->spec.seeds.size());
+}
+
+TEST(PredictorHonestyTest, CommittedTableMatchesAFreshSweep) {
+  auto committed = LoadCalibrationTable(DS_AUTOCONF_CALIBRATION);
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  auto fresh = RunCalibrationSweep(committed->spec);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  const auto drift = DiffCalibrationTables(*committed, *fresh, 0.10);
+  EXPECT_TRUE(drift.empty()) << drift.front();
+}
+
+}  // namespace
+}  // namespace autoconf
+}  // namespace distsketch

@@ -1,0 +1,245 @@
+// The constraint solver against the committed calibration artifact:
+// determinism (byte-identical PlanSummary), goal-flag routing
+// (deterministic-only, arbitrary partition, k > 0), the calibrated
+// eps-relaxation, budget feasibility/headroom semantics, and the E13
+// scenario — one goal under three different budgets yields three
+// different configurations, each respecting its budget.
+
+#include "autoconf/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "autoconf/calibration.h"
+#include "autoconf/config_plan.h"
+#include "autoconf/error_predictor.h"
+
+namespace distsketch {
+namespace autoconf {
+namespace {
+
+const ErrorPredictor& CommittedPredictor() {
+  static const ErrorPredictor* predictor = [] {
+    auto loaded = ErrorPredictor::LoadFromFile(DS_AUTOCONF_CALIBRATION);
+    if (!loaded.ok()) {
+      ADD_FAILURE() << "cannot load committed calibration: "
+                    << loaded.status().ToString();
+      std::abort();
+    }
+    return new ErrorPredictor(std::move(*loaded));
+  }();
+  return *predictor;
+}
+
+AutoConfRequest BaseRequest() {
+  AutoConfRequest request;
+  request.goal.eps = 0.05;
+  request.goal.delta = 0.01;
+  request.shape.num_servers = 16;
+  request.shape.dim = 32;
+  request.shape.total_rows = 1024;
+  return request;
+}
+
+std::string ConfigKey(const SketchConfig& config) {
+  return config.family + "/" + std::to_string(config.sketch_rows) + "/q" +
+         std::to_string(config.quantize_bits) + "/t" +
+         std::to_string(static_cast<int>(config.topology.kind)) + "x" +
+         std::to_string(config.topology.fanout);
+}
+
+TEST(SolverTest, PlanSummaryIsByteIdenticalAcrossCalls) {
+  const AutoConfRequest request = BaseRequest();
+  auto a = SolveSketchConfig(request, &CommittedPredictor());
+  auto b = SolveSketchConfig(request, &CommittedPredictor());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(PlanSummary(*a).empty());
+  EXPECT_EQ(PlanSummary(*a), PlanSummary(*b));
+}
+
+TEST(SolverTest, UnconstrainedPlanIsFeasibleWithErrorGoalBinding) {
+  auto plan = SolveSketchConfig(BaseRequest(), &CommittedPredictor());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->feasible());
+  EXPECT_EQ(plan->best().binding, BindingConstraint::kErrorGoal);
+  EXPECT_TRUE(std::isinf(plan->best().headroom));
+  // Every candidate's certified error meets the goal.
+  for (const ConfigCandidate& c : plan->ranked) {
+    EXPECT_LE(c.error.Certified(true), BaseRequest().goal.eps + 1e-12)
+        << c.rationale;
+    EXPECT_FALSE(c.rationale.empty());
+  }
+}
+
+TEST(SolverTest, CalibratedRelaxationBeatsAnalyticSizing) {
+  AutoConfRequest request = BaseRequest();
+  auto trusted = SolveSketchConfig(request, &CommittedPredictor());
+  request.trust_calibration = false;
+  auto analytic = SolveSketchConfig(request, &CommittedPredictor());
+  ASSERT_TRUE(trusted.ok());
+  ASSERT_TRUE(analytic.ok());
+  ASSERT_TRUE(trusted->feasible());
+  ASSERT_TRUE(analytic->feasible());
+  // On the calibrated low-rank spectrum the solver certifies a relaxed
+  // working_eps — strictly cheaper than sizing from the worst-case bound.
+  EXPECT_GT(trusted->best().config.working_eps, request.goal.eps);
+  EXPECT_LT(trusted->best().cost.total_words,
+            analytic->best().cost.total_words);
+  // Distrusting calibration pins working_eps to the goal.
+  for (const ConfigCandidate& c : analytic->ranked) {
+    EXPECT_DOUBLE_EQ(c.config.working_eps, request.goal.eps);
+  }
+}
+
+TEST(SolverTest, DeterministicGoalRestrictsToDeterministicFamilies) {
+  AutoConfRequest request = BaseRequest();
+  request.goal.allow_randomized = false;
+  auto plan = SolveSketchConfig(request, &CommittedPredictor());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_FALSE(plan->ranked.empty());
+  for (const ConfigCandidate& c : plan->ranked) {
+    EXPECT_TRUE(c.config.family == "fd_merge" ||
+                c.config.family == "exact_gram")
+        << c.config.family;
+  }
+}
+
+TEST(SolverTest, ArbitraryPartitionPlansCountSketchOnly) {
+  AutoConfRequest request = BaseRequest();
+  request.goal.arbitrary_partition = true;
+  auto plan = SolveSketchConfig(request, &CommittedPredictor());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_FALSE(plan->ranked.empty());
+  for (const ConfigCandidate& c : plan->ranked) {
+    EXPECT_EQ(c.config.family, "countsketch");
+  }
+  // Deterministic + arbitrary partition is unsatisfiable (only the
+  // randomized linear sketch survives entry-wise sharding).
+  request.goal.allow_randomized = false;
+  auto none = SolveSketchConfig(request, &CommittedPredictor());
+  EXPECT_EQ(none.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolverTest, RankGoalUsesRankAwareFamilies) {
+  AutoConfRequest request = BaseRequest();
+  request.goal.k = 4;
+  request.goal.eps = 0.2;
+  auto plan = SolveSketchConfig(request, &CommittedPredictor());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_FALSE(plan->ranked.empty());
+  std::set<std::string> families;
+  for (const ConfigCandidate& c : plan->ranked) {
+    families.insert(c.config.family);
+    EXPECT_EQ(c.config.k, 4u);
+  }
+  for (const std::string& family : families) {
+    EXPECT_TRUE(family == "fd_merge" || family == "exact_gram" ||
+                family == "adaptive_sketch")
+        << family;
+  }
+}
+
+TEST(SolverTest, ImpossibleBudgetReportsInfeasibleWithHeadroom) {
+  AutoConfRequest request = BaseRequest();
+  request.budget.max_coordinator_words = 10;  // far below any config
+  auto plan = SolveSketchConfig(request, &CommittedPredictor());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(plan->feasible());
+  ASSERT_FALSE(plan->ranked.empty());
+  for (const ConfigCandidate& c : plan->ranked) {
+    EXPECT_FALSE(c.feasible);
+    EXPECT_LT(c.headroom, 1.0);
+    EXPECT_GT(c.headroom, 0.0);
+  }
+  // The least-violating candidate ranks first.
+  for (size_t i = 1; i < plan->ranked.size(); ++i) {
+    EXPECT_GE(plan->ranked.front().headroom, plan->ranked[i].headroom - 1e-12);
+  }
+}
+
+TEST(SolverTest, SolverWorksWithoutAPredictor) {
+  auto plan = SolveSketchConfig(BaseRequest(), nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->feasible());
+  for (const ConfigCandidate& c : plan->ranked) {
+    // No calibration: working_eps cannot relax past the goal.
+    EXPECT_DOUBLE_EQ(c.config.working_eps, BaseRequest().goal.eps);
+    EXPECT_FALSE(c.error.calibrated);
+  }
+}
+
+TEST(SolverTest, RejectsMalformedInputs) {
+  AutoConfRequest request = BaseRequest();
+  request.shape.dim = 0;
+  EXPECT_EQ(SolveSketchConfig(request, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  request = BaseRequest();
+  request.goal.eps = 0.0;
+  EXPECT_EQ(SolveSketchConfig(request, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// E13: the same (eps = 0.05, delta = 0.01) goal under three budgets.
+// Each budget is derived from the unconstrained plan's own cost table:
+// the limit is set just above the cheapest candidate along that axis, so
+// only configs shaped for that axis fit. The three winners must respect
+// their budgets and cannot all be the same configuration.
+TEST(SolverTest, SameGoalThreeBudgetsThreeConfigs) {
+  const AutoConfRequest base = BaseRequest();
+  auto open = SolveSketchConfig(base, &CommittedPredictor());
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_TRUE(open->feasible());
+
+  double min_coord = 1e300, min_bytes = 1e300, min_path = 1e300;
+  for (const ConfigCandidate& c : open->ranked) {
+    min_coord = std::min(min_coord, c.cost.coordinator_words);
+    min_bytes = std::min(min_bytes, c.cost.total_wire_bytes);
+    min_path = std::min(min_path, c.cost.critical_path_words);
+  }
+
+  AutoConfRequest tight_coord = base;
+  tight_coord.budget.max_coordinator_words =
+      static_cast<uint64_t>(min_coord * 1.05) + 1;
+  AutoConfRequest tight_bytes = base;
+  tight_bytes.budget.max_total_wire_bytes =
+      static_cast<uint64_t>(min_bytes * 1.05) + 1;
+  AutoConfRequest tight_path = base;
+  tight_path.budget.max_critical_path_words =
+      static_cast<uint64_t>(min_path * 1.05) + 1;
+
+  auto coord = SolveSketchConfig(tight_coord, &CommittedPredictor());
+  auto bytes = SolveSketchConfig(tight_bytes, &CommittedPredictor());
+  auto path = SolveSketchConfig(tight_path, &CommittedPredictor());
+  ASSERT_TRUE(coord.ok() && bytes.ok() && path.ok());
+  ASSERT_TRUE(coord->feasible()) << PlanSummary(*coord);
+  ASSERT_TRUE(bytes->feasible()) << PlanSummary(*bytes);
+  ASSERT_TRUE(path->feasible()) << PlanSummary(*path);
+
+  // Usage respects the budget and the budgeted axis is the binding one.
+  EXPECT_LE(coord->best().cost.coordinator_words,
+            static_cast<double>(tight_coord.budget.max_coordinator_words));
+  EXPECT_EQ(coord->best().binding, BindingConstraint::kCoordinatorWords);
+  EXPECT_LE(bytes->best().cost.total_wire_bytes,
+            static_cast<double>(tight_bytes.budget.max_total_wire_bytes));
+  EXPECT_EQ(bytes->best().binding, BindingConstraint::kWireBytes);
+  EXPECT_LE(path->best().cost.critical_path_words,
+            static_cast<double>(tight_path.budget.max_critical_path_words));
+  EXPECT_EQ(path->best().binding, BindingConstraint::kCriticalPath);
+
+  const std::set<std::string> winners = {ConfigKey(coord->best().config),
+                                         ConfigKey(bytes->best().config),
+                                         ConfigKey(path->best().config)};
+  EXPECT_GE(winners.size(), 2u)
+      << "coord: " << coord->best().rationale
+      << "\nbytes: " << bytes->best().rationale
+      << "\npath: " << path->best().rationale;
+}
+
+}  // namespace
+}  // namespace autoconf
+}  // namespace distsketch

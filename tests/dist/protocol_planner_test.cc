@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "dist/exact_gram_protocol.h"
@@ -344,6 +345,78 @@ TEST(ProtocolPlannerTest, PredictionWithinFactorOfMeasured) {
     EXPECT_LT(measured, 3.0 * plan->predicted_words);
     EXPECT_GT(measured, plan->predicted_words / 8.0);
   }
+}
+
+// The request's semantic half IS the shared SketchGoal definition — the
+// auto-configurer and the planner cannot drift apart (satellite of the
+// autoconf subsystem).
+static_assert(std::is_base_of_v<SketchGoal, SketchRequest>,
+              "SketchRequest must derive from the shared SketchGoal");
+
+TEST(ProtocolPlannerTest, CountSketchWordsFollowTable1Formula) {
+  SketchRequest req;
+  req.eps = 0.2;
+  // s * ceil(4/eps^2) * d + s seed downlinks.
+  EXPECT_DOUBLE_EQ(PredictCountSketchWords(8, 16, req),
+                   8.0 * 100.0 * 16.0 + 8.0);
+  // Quadratic in 1/eps: halving eps quadruples the bucket payload.
+  SketchRequest tight = req;
+  tight.eps = 0.1;
+  EXPECT_GT(PredictCountSketchWords(8, 16, tight),
+            3.5 * PredictCountSketchWords(8, 16, req));
+}
+
+TEST(ProtocolPlannerTest, CountSketchCrossesExactGramInHighDimension) {
+  // exact_gram pays s*d^2/2; countsketch pays s*d*4/eps^2 — per Table 1
+  // the crossover is at d ~ 8/eps^2, independent of s.
+  SketchRequest req;
+  req.eps = 0.5;  // crossover at d = 32
+  const size_t s = 4;
+  EXPECT_LT(PredictExactGramWords(s, 16),
+            PredictCountSketchWords(s, 16, req));
+  EXPECT_GT(PredictExactGramWords(s, 256),
+            PredictCountSketchWords(s, 256, req));
+}
+
+TEST(ProtocolPlannerTest, ArbitraryPartitionPlansCountSketch) {
+  SketchRequest req;
+  req.eps = 0.2;
+  req.arbitrary_partition = true;
+  auto plan = PlanSketchProtocol(8, 16, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->protocol->Name(), "countsketch");
+  EXPECT_DOUBLE_EQ(plan->predicted_words,
+                   PredictCountSketchWords(8, 16, req));
+}
+
+TEST(ProtocolPlannerTest, ArbitraryPartitionRejectsDeterministicAndRankGoals) {
+  SketchRequest det;
+  det.eps = 0.2;
+  det.arbitrary_partition = true;
+  det.allow_randomized = false;
+  auto plan = PlanSketchProtocol(8, 16, det);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+
+  SketchRequest ranked;
+  ranked.eps = 0.2;
+  ranked.arbitrary_partition = true;
+  ranked.k = 4;
+  plan = PlanSketchProtocol(8, 16, ranked);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolPlannerTest, ArbitraryPartitionHonorsTopologyRequest) {
+  SketchRequest req;
+  req.eps = 0.25;
+  req.arbitrary_partition = true;
+  req.topology = MergeTopologyOptions::Tree(4);
+  auto plan = PlanSketchProtocol(16, 8, req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->topology.kind, TopologyKind::kTree);
+  // Tree reduction shrinks coordinator inbound below the star's s*m*d.
+  EXPECT_LT(plan->predicted_coordinator_words, plan->predicted_words);
 }
 
 }  // namespace
