@@ -14,6 +14,24 @@ namespace {
 // band admits it is less certain there.
 constexpr double kClampWiden = 2.0;
 
+// How far the instance shape (rows, dim) may depart from the calibration
+// workload — as a ratio, either direction — before the band widens by
+// kClampWiden per departing axis. The calibration measures one fixed
+// low-rank-plus-noise shape; within this window the
+// Desai–Ghashami–Phillips observation (relative error is a stable
+// function of l and spectrum shape) is trusted, beyond it the stated
+// band admits the calibration says little, which in practice pushes
+// Certified() back to the analytic bound.
+constexpr double kShapeTolerance = 4.0;
+
+// True when `x` departs from the calibration reference by more than the
+// tolerance ratio. x == 0 means "unspecified": no check.
+bool ShapeDeparts(size_t x, size_t reference) {
+  if (x == 0 || reference == 0) return false;
+  const double ratio = static_cast<double>(x) / static_cast<double>(reference);
+  return ratio > kShapeTolerance || ratio < 1.0 / kShapeTolerance;
+}
+
 struct AxisWeight {
   size_t lo = 0;
   size_t hi = 0;
@@ -24,7 +42,11 @@ struct AxisWeight {
 // Bracketing indices and log-space weight of `x` in the ascending grid.
 AxisWeight Bracket(const std::vector<double>& grid, double x) {
   AxisWeight w;
-  if (grid.size() == 1 || x <= grid.front()) {
+  if (grid.size() == 1) {
+    w.clamped = x != grid.front();
+    return w;
+  }
+  if (x <= grid.front()) {
     w.clamped = x < grid.front();
     return w;
   }
@@ -141,7 +163,8 @@ ErrorPredictor::Interpolated ErrorPredictor::Interpolate(
 
 ErrorPrediction ErrorPredictor::PredictError(const std::string& family_key,
                                              double eps, size_t s,
-                                             double analytic_rel) const {
+                                             double analytic_rel, size_t rows,
+                                             size_t dim) const {
   ErrorPrediction pred;
   pred.analytic = analytic_rel;
   const Interpolated in = Interpolate(family_key, eps, s);
@@ -155,6 +178,8 @@ ErrorPrediction ErrorPredictor::PredictError(const std::string& family_key,
   double margin = table_.spec.band_margin;
   if (in.clamped_eps) margin *= kClampWiden;
   if (in.clamped_s) margin *= kClampWiden;
+  if (ShapeDeparts(rows, table_.spec.rows)) margin *= kClampWiden;
+  if (ShapeDeparts(dim, table_.spec.dim)) margin *= kClampWiden;
   pred.predicted = in.mean;
   pred.lo = in.min / margin;
   pred.hi = in.max * margin;

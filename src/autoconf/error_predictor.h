@@ -30,8 +30,17 @@ class ErrorPredictor {
   /// eps (relative), echoed into the result for Certified().
   /// Unknown family keys return an uncalibrated (analytic-only)
   /// prediction.
+  ///
+  /// `rows`/`dim` (0 = unspecified) name the instance shape the caller
+  /// will actually run: the calibration measured one fixed workload
+  /// shape, so a shape more than 4x away from the spec's rows/dim (in
+  /// either direction, per axis) widens the band by 2x per departing
+  /// axis — the same treatment as a clamped grid axis. In practice the
+  /// widened ceiling loses to the analytic bound, so Certified() refuses
+  /// eps relaxation for shapes the calibration says nothing about.
   ErrorPrediction PredictError(const std::string& family_key, double eps,
-                               size_t s, double analytic_rel) const;
+                               size_t s, double analytic_rel, size_t rows = 0,
+                               size_t dim = 0) const;
 
   /// Measured encoded bytes per payload word for `family_key` at
   /// (eps, s): frame overheads plus quantization, interpolated like the

@@ -285,9 +285,13 @@ StatusOr<ConfigPlan> SolveSketchConfig(const AutoConfRequest& request,
       std::string key = FamilyKey(base);
       if (variant.quantized) key = "fd_merge_q";
       const double analytic = AnalyticRelativeBound(variant.family, eps);
+      // The shape enters the prediction: off-spec rows/dim widen the
+      // calibrated band (kClampWiden per axis), so relaxation is only
+      // certified for instances the calibration workload resembles.
       ErrorPrediction pred =
           predictor ? predictor->PredictError(key, eps, shape.num_servers,
-                                              analytic)
+                                              analytic, shape.total_rows,
+                                              shape.dim)
                     : ErrorPrediction{analytic, 0.0, analytic, analytic,
                                       false};
       if (pred.Certified(request.trust_calibration) <= goal.eps) {

@@ -65,6 +65,7 @@ wire::Message EncodeRequest(ServiceRequestKind kind, std::string tag,
                             const std::string& tenant, const Matrix& rows) {
   wire::Message msg;
   msg.tag = std::move(tag);
+  msg.payload.push_back(kServiceWireVersion);
   msg.payload.push_back(static_cast<uint8_t>(kind));
   AppendU16(static_cast<uint16_t>(tenant.size()), &msg.payload);
   msg.payload.insert(msg.payload.end(), tenant.begin(), tenant.end());
@@ -96,6 +97,7 @@ wire::Message EncodeConfigureRequest(const std::string& tenant,
                                      const ConfigureParams& params) {
   wire::Message msg;
   msg.tag = "svc/configure";
+  msg.payload.push_back(kServiceWireVersion);
   msg.payload.push_back(static_cast<uint8_t>(ServiceRequestKind::kConfigure));
   AppendU16(static_cast<uint16_t>(tenant.size()), &msg.payload);
   msg.payload.insert(msg.payload.end(), tenant.begin(), tenant.end());
@@ -122,10 +124,16 @@ wire::Message EncodeConfigureRequest(const std::string& tenant,
 StatusOr<ServiceRequest> DecodeServiceRequest(
     const std::vector<uint8_t>& payload) {
   Reader r{payload.data(), payload.size()};
+  uint8_t version = 0;
   uint8_t kind_byte = 0;
   uint16_t name_len = 0;
-  if (!r.ReadU8(&kind_byte) || !r.ReadU16(&name_len)) {
+  if (!r.ReadU8(&version) || !r.ReadU8(&kind_byte) || !r.ReadU16(&name_len)) {
     return Status::InvalidArgument("service request: truncated header");
+  }
+  if (version != kServiceWireVersion) {
+    return Status::InvalidArgument(
+        "service request: wire version " + std::to_string(version) +
+        " (this binary speaks " + std::to_string(kServiceWireVersion) + ")");
   }
   if (kind_byte < 1 || kind_byte > 4) {
     return Status::InvalidArgument("service request: unknown kind");
@@ -166,6 +174,7 @@ StatusOr<ServiceRequest> DecodeServiceRequest(
 wire::Message EncodeServiceResponse(const ServiceResponse& response) {
   wire::Message msg;
   msg.tag = "svc/response";
+  msg.payload.push_back(kServiceWireVersion);
   msg.payload.push_back(static_cast<uint8_t>(response.code));
   AppendU16(static_cast<uint16_t>(response.tenant.size()), &msg.payload);
   msg.payload.insert(msg.payload.end(), response.tenant.begin(),
@@ -197,10 +206,16 @@ wire::Message EncodeServiceResponse(const ServiceResponse& response) {
 StatusOr<ServiceResponse> DecodeServiceResponse(
     const std::vector<uint8_t>& payload) {
   Reader r{payload.data(), payload.size()};
+  uint8_t version = 0;
   uint8_t code = 0;
   uint16_t name_len = 0;
-  if (!r.ReadU8(&code) || !r.ReadU16(&name_len)) {
+  if (!r.ReadU8(&version) || !r.ReadU8(&code) || !r.ReadU16(&name_len)) {
     return Status::InvalidArgument("service response: truncated header");
+  }
+  if (version != kServiceWireVersion) {
+    return Status::InvalidArgument(
+        "service response: wire version " + std::to_string(version) +
+        " (this binary speaks " + std::to_string(kServiceWireVersion) + ")");
   }
   if (name_len > kMaxTenantNameBytes) {
     return Status::InvalidArgument("service response: tenant name too long");

@@ -11,8 +11,17 @@
 
 namespace distsketch {
 
+/// Version byte leading every service request and response payload.
+/// Unlike the frozen v1 sketch formats (wire/codec.h), the service wire
+/// evolves with the binary — the version byte is what lets a peer built
+/// against a different layout fail loudly (InvalidArgument) instead of
+/// misparsing the bytes that follow. Bumped whenever the layout changes
+/// (v2 added the version byte itself plus the kConfigure params and the
+/// response config block).
+inline constexpr uint8_t kServiceWireVersion = 2;
+
 /// Request kinds the sketch service accepts. Values are on the wire
-/// (leading payload byte); never renumber.
+/// (payload byte after the version); never renumber.
 enum class ServiceRequestKind : uint8_t {
   /// Absorb a batch of rows into the tenant's epoch sketch.
   kIngest = 1,
@@ -101,7 +110,8 @@ struct ServiceResponse {
 /// Request payload layout (always framed as a wire::Message so the
 /// transport meters, checksums, and fault-injects it like any protocol
 /// transfer):
-///   [u8 kind][u16 tenant_len][tenant bytes][dense matrix payload]
+///   [u8 version][u8 kind][u16 tenant_len][tenant bytes]
+///   [dense matrix payload]
 /// The matrix payload is the self-describing DSMT encoding (codec.h);
 /// kFlush/kQuery carry a 0x0 matrix. Metered words = rows * dim for
 /// ingest (the paper's convention), 1 for the control requests.
@@ -115,13 +125,14 @@ wire::Message EncodeQueryRequest(const std::string& tenant);
 wire::Message EncodeConfigureRequest(const std::string& tenant,
                                      const ConfigureParams& params);
 
-/// Decodes any request payload. Rejects malformed layouts and tenant
-/// names longer than 255 bytes with InvalidArgument.
+/// Decodes any request payload. Rejects version mismatches, malformed
+/// layouts and tenant names longer than 255 bytes with InvalidArgument.
 StatusOr<ServiceRequest> DecodeServiceRequest(
     const std::vector<uint8_t>& payload);
 
 /// Response payload layout:
-///   [u8 code][u16 tenant_len][tenant bytes][u64 epoch][u64 rows]
+///   [u8 version][u8 code][u16 tenant_len][tenant bytes]
+///   [u64 epoch][u64 rows]
 ///   [u8 has_config][config block when has_config = 1]
 ///   [dense matrix payload]
 wire::Message EncodeServiceResponse(const ServiceResponse& response);

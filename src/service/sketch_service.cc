@@ -137,6 +137,15 @@ ServiceResponse SketchService::HandleConfigure(const ServiceRequest& request) {
     resp.code = StatusCode::kFailedPrecondition;  // already provisioned
     return resp;
   }
+  if (p.arbitrary_partition) {
+    // Under an arbitrary partition (A = sum of per-server shards
+    // entry-wise) only a linear sketch answers correctly; the tenant
+    // ingest path absorbs whole rows into an FD sketch, so the service
+    // cannot honor such a goal — refuse instead of provisioning a
+    // semantically wrong tenant.
+    resp.code = StatusCode::kFailedPrecondition;
+    return resp;
+  }
   autoconf::AutoConfRequest areq;
   areq.goal.eps = p.eps;
   areq.goal.delta = p.delta;
@@ -154,7 +163,26 @@ ServiceResponse SketchService::HandleConfigure(const ServiceRequest& request) {
     resp.code = plan.status().code();
     return resp;
   }
-  const autoconf::ConfigCandidate& best = plan->best();
+  // The tenant ingest path is an unquantized FD sketch over whole rows,
+  // so only an fd_merge candidate's certified error transfers to the
+  // tenant (sketch_size = ceil(1/working_eps) + 1, Theorem 1). Cheaper
+  // families may top the overall ranking, but the service cannot realize
+  // them per tenant — provision (and certify the response) from the
+  // best-ranked plain fd_merge candidate instead. ranked is sorted
+  // feasible-first, so the first hit is the best feasible fd_merge when
+  // one exists, the least-violating fd_merge otherwise.
+  const autoconf::ConfigCandidate* chosen = nullptr;
+  for (const autoconf::ConfigCandidate& c : plan->ranked) {
+    if (c.config.family == "fd_merge" && c.config.quantize_bits == 0) {
+      chosen = &c;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    resp.code = StatusCode::kFailedPrecondition;
+    return resp;
+  }
+  const autoconf::ConfigCandidate& best = *chosen;
   ConfigSummary& summary = resp.config;
   summary.present = true;
   summary.family = autoconf::FamilyKey(best.config);
@@ -168,14 +196,12 @@ ServiceResponse SketchService::HandleConfigure(const ServiceRequest& request) {
   summary.coordinator_words = best.cost.coordinator_words;
   summary.total_wire_bytes = best.cost.total_wire_bytes;
   summary.binding = static_cast<uint8_t>(best.binding);
-  if (!plan->feasible()) {
-    // The summary shows the closest miss and which budget it violates.
+  if (!best.feasible) {
+    // The summary shows the closest fd_merge miss and which budget it
+    // violates.
     resp.code = StatusCode::kFailedPrecondition;
     return resp;
   }
-  // Provision: the tenant's FD sketch runs at the solved working_eps
-  // (sketch_size = ceil(1/eps) + 1, Theorem 1), so the plan's certified
-  // error carries over to the tenant's ingest path.
   TenantOptions tenant_options;
   tenant_options.dim = static_cast<size_t>(p.dim);
   tenant_options.eps = best.config.working_eps;

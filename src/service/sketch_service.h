@@ -121,8 +121,12 @@ class SketchService {
   ServiceResponse MakeResponse(const ServiceRequest& request,
                                const Status& status, TenantSketch* tenant);
   /// kConfigure: solve the goal/budget, provision the tenant from the
-  /// winning plan. Serial (phase 1) — the solver is a pure function, so
-  /// responses stay bit-identical at any DS_THREADS.
+  /// best plain fd_merge candidate — the only family the tenant's
+  /// row-based FD ingest path realizes, so the echoed certification
+  /// matches what was provisioned. Arbitrary-partition goals are refused
+  /// (only a linear sketch is correct there, which this path is not).
+  /// Serial (phase 1) — the solver is a pure function, so responses stay
+  /// bit-identical at any DS_THREADS.
   ServiceResponse HandleConfigure(const ServiceRequest& request);
   /// The sizing a tenant runs at: its solved (kConfigure) options when
   /// present, the service default otherwise. Used by both the Create and

@@ -119,7 +119,11 @@ TEST(ConfigureE2ETest, FrontDoorProvisionsAConfigThatMeetsGoalAndBudget) {
   ASSERT_EQ(answers[0].code, StatusCode::kOk) << answers[0].tenant;
   const ConfigSummary& solved = answers[0].config;
   ASSERT_TRUE(solved.present);
-  EXPECT_FALSE(solved.family.empty());
+  // The tenant ingest path is an unquantized FD sketch, so the service
+  // certifies (and provisions) a plain fd_merge plan even when another
+  // family tops the overall ranking.
+  EXPECT_EQ(solved.family, "fd_merge");
+  EXPECT_EQ(solved.quantize_bits, 0u);
   EXPECT_GE(solved.working_eps, kGoalEps);
   // The echoed rationale respects the budget and names it as binding.
   EXPECT_LE(solved.coordinator_words, static_cast<double>(budget));
@@ -217,6 +221,38 @@ TEST(ConfigureE2ETest, InfeasibleBudgetAnswersFailedPreconditionWithPlan) {
   EXPECT_EQ(answers[0].config.binding,
             static_cast<uint8_t>(autoconf::BindingConstraint::kErrorGoal));
   EXPECT_EQ((*runner)->service().known_tenants(), 1u);
+}
+
+TEST(ConfigureE2ETest, ArbitraryPartitionGoalsAreRefused) {
+  // Only a linear sketch answers correctly when A is shard-summed
+  // entry-wise; the tenant ingest path absorbs whole rows into FD, so
+  // the front door must refuse rather than provision a tenant whose
+  // responses would be semantically wrong under that partition model.
+  ServiceRunnerOptions options;
+  options.service.tenant = TenantOptions{.dim = kDim, .eps = 0.25,
+                                         .epoch_rows = 64};
+  options.service.predictor = &Predictor();
+  options.service.max_tenants = 8;
+  options.service.max_resident = 8;
+  auto runner = ServiceRunner::Create(options);
+  ASSERT_TRUE(runner.ok());
+
+  ConfigureParams params;
+  params.eps = kGoalEps;
+  params.delta = 0.01;
+  params.arbitrary_partition = true;
+  params.num_servers = kServers;
+  params.dim = kDim;
+  params.expected_rows = kRows;
+
+  std::vector<ServiceResponse> answers;
+  auto collect = [&answers](const ServiceResponse& r) { answers.push_back(r); };
+  ASSERT_TRUE((*runner)->SubmitConfigure(0, "entrywise", params, collect).ok());
+  (*runner)->Drain();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].code, StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(answers[0].config.present);
+  EXPECT_EQ((*runner)->service().known_tenants(), 0u);
 }
 
 }  // namespace

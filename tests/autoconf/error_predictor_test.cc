@@ -80,6 +80,67 @@ TEST(ErrorPredictorTest, OffGridQueriesClampAndWidenTheBand) {
   EXPECT_DOUBLE_EQ(off.lo, on.lo / 2.0);
 }
 
+TEST(ErrorPredictorTest, OffSpecShapesWidenTheBand) {
+  auto predictor = ErrorPredictor::FromTable(TinyTable());
+  ASSERT_TRUE(predictor.ok());
+  const ErrorPrediction base = predictor->PredictError("fd_merge", 0.1, 4, 0.1);
+  // The calibration workload shape itself (spec default 1024 x 32) and
+  // anything within the 4x tolerance window predict the same band.
+  const ErrorPrediction at_spec =
+      predictor->PredictError("fd_merge", 0.1, 4, 0.1, 1024, 32);
+  EXPECT_DOUBLE_EQ(at_spec.hi, base.hi);
+  EXPECT_DOUBLE_EQ(at_spec.lo, base.lo);
+  const ErrorPrediction near =
+      predictor->PredictError("fd_merge", 0.1, 4, 0.1, 4096, 128);
+  EXPECT_DOUBLE_EQ(near.hi, base.hi);
+  // One axis far off the calibrated shape: band doubles. Both axes: 4x.
+  const ErrorPrediction rows_off =
+      predictor->PredictError("fd_merge", 0.1, 4, 0.1, 10000000, 32);
+  EXPECT_DOUBLE_EQ(rows_off.predicted, base.predicted);
+  EXPECT_DOUBLE_EQ(rows_off.hi, base.hi * 2.0);
+  EXPECT_DOUBLE_EQ(rows_off.lo, base.lo / 2.0);
+  const ErrorPrediction both_off =
+      predictor->PredictError("fd_merge", 0.1, 4, 0.1, 10000000, 2048);
+  EXPECT_DOUBLE_EQ(both_off.hi, base.hi * 4.0);
+  // Departure counts in either direction (a tiny instance is just as far
+  // from the calibration evidence as a huge one).
+  const ErrorPrediction tiny =
+      predictor->PredictError("fd_merge", 0.1, 4, 0.1, 64, 4);
+  EXPECT_DOUBLE_EQ(tiny.hi, base.hi * 4.0);
+}
+
+TEST(ErrorPredictorTest, SingleEntryGridClampsOnBothSides) {
+  // A one-entry servers grid must flag queries on *either* side of the
+  // lone point as clamped (widened band), not just below it.
+  CalibrationTable table = TinyTable();
+  table.spec.servers_grid = {4};
+  table.points.clear();
+  auto add = [&](double eps, double err) {
+    CalibrationPoint p;
+    p.family = "fd_merge";
+    p.eps = eps;
+    p.s = 4;
+    p.rel_err_mean = err;
+    p.rel_err_min = err / 2.0;
+    p.rel_err_max = err * 2.0;
+    p.words = 1000.0;
+    p.bits = 64000.0;
+    p.coord_words = 1000.0;
+    p.wire_bytes = 9000.0;
+    table.points.push_back(p);
+  };
+  add(0.1, 1e-3);
+  add(0.4, 1e-2);
+  auto predictor = ErrorPredictor::FromTable(table);
+  ASSERT_TRUE(predictor.ok());
+  const ErrorPrediction on = predictor->PredictError("fd_merge", 0.1, 4, 0.1);
+  const ErrorPrediction above =
+      predictor->PredictError("fd_merge", 0.1, 16, 0.1);
+  const ErrorPrediction below = predictor->PredictError("fd_merge", 0.1, 2, 0.1);
+  EXPECT_DOUBLE_EQ(above.hi, on.hi * 2.0);
+  EXPECT_DOUBLE_EQ(below.hi, on.hi * 2.0);
+}
+
 TEST(ErrorPredictorTest, UnknownFamilyFallsBackToAnalytic) {
   auto predictor = ErrorPredictor::FromTable(TinyTable());
   ASSERT_TRUE(predictor.ok());

@@ -144,6 +144,38 @@ TEST(SolverTest, RankGoalUsesRankAwareFamilies) {
   }
 }
 
+TEST(SolverTest, OffSpecShapeWidensBandsAndCurbsRelaxation) {
+  // The calibration measured one 1024 x 32 workload. A request whose
+  // shape is far from that (the band says nothing about it) must not
+  // inherit the full relaxation certified at the calibrated shape: the
+  // band widens 2x per departing axis, so the ladder stops at a
+  // strictly tighter working_eps while every candidate still certifies
+  // the goal.
+  const AutoConfRequest at_spec_request = BaseRequest();
+  AutoConfRequest off_spec_request = BaseRequest();
+  off_spec_request.shape.dim = 2048;
+  off_spec_request.shape.total_rows = 10000000;
+  auto at_spec = SolveSketchConfig(at_spec_request, &CommittedPredictor());
+  auto off_spec = SolveSketchConfig(off_spec_request, &CommittedPredictor());
+  ASSERT_TRUE(at_spec.ok()) << at_spec.status().ToString();
+  ASSERT_TRUE(off_spec.ok()) << off_spec.status().ToString();
+  auto fd_eps = [](const ConfigPlan& plan) {
+    double eps = 0.0;
+    for (const ConfigCandidate& c : plan.ranked) {
+      if (c.config.family == "fd_merge") {
+        eps = std::max(eps, c.config.working_eps);
+      }
+    }
+    return eps;
+  };
+  EXPECT_LT(fd_eps(*off_spec), fd_eps(*at_spec));
+  EXPECT_GT(fd_eps(*at_spec), at_spec_request.goal.eps);
+  for (const ConfigCandidate& c : off_spec->ranked) {
+    EXPECT_LE(c.error.Certified(true), off_spec_request.goal.eps + 1e-12)
+        << c.rationale;
+  }
+}
+
 TEST(SolverTest, ImpossibleBudgetReportsInfeasibleWithHeadroom) {
   AutoConfRequest request = BaseRequest();
   request.budget.max_coordinator_words = 10;  // far below any config

@@ -110,10 +110,27 @@ TEST(ServiceWire, ResponseRoundTrip) {
 
 TEST(ServiceWire, RejectsMalformedRequests) {
   EXPECT_FALSE(DecodeServiceRequest({}).ok());
-  EXPECT_FALSE(DecodeServiceRequest({9, 0, 0}).ok());  // unknown kind
+  // Unknown kind (behind a valid version byte).
+  EXPECT_FALSE(DecodeServiceRequest({kServiceWireVersion, 9, 0, 0}).ok());
   wire::Message msg = EncodeIngestRequest("t", Rows(2, 1));
   msg.payload.resize(msg.payload.size() / 2);  // truncated body
   EXPECT_FALSE(DecodeServiceRequest(msg.payload).ok());
+}
+
+TEST(ServiceWire, RejectsForeignWireVersions) {
+  // A peer speaking a different service-wire layout must fail loudly at
+  // the version byte, not misparse the bytes that follow.
+  wire::Message req = EncodeIngestRequest("t", Rows(2, 1));
+  ASSERT_EQ(req.payload[0], kServiceWireVersion);
+  req.payload[0] = kServiceWireVersion + 1;
+  EXPECT_FALSE(DecodeServiceRequest(req.payload).ok());
+
+  ServiceResponse resp;
+  resp.tenant = "t";
+  wire::Message enc = EncodeServiceResponse(resp);
+  ASSERT_EQ(enc.payload[0], kServiceWireVersion);
+  enc.payload[0] = 0;
+  EXPECT_FALSE(DecodeServiceResponse(enc.payload).ok());
 }
 
 TEST(TenantSketch, EpochMergeMatchesSingleSketch) {
